@@ -1,0 +1,160 @@
+// Command chiller-bench regenerates the tables and figures of the
+// paper's evaluation (§7) on the simulated cluster. See EXPERIMENTS.md
+// for the experiment index and expected shapes.
+//
+// Usage:
+//
+//	chiller-bench -exp fig7                 # one experiment
+//	chiller-bench -exp all -duration 2s     # everything, longer windows
+//
+// Experiments: fig7, fig8, lookup, fig9, fig10, a1 (reorder-only
+// ablation), a2 (min-edge-weight ablation), a3 (sampling ablation), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/bench"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment: fig7|fig8|lookup|fig9|fig10|a1|a2|a3|a4|all")
+		duration   = flag.Duration("duration", 800*time.Millisecond, "measurement window per data point")
+		latency    = flag.Duration("latency", 5*time.Microsecond, "one-way network latency")
+		replicas   = flag.Int("replication", 2, "replication degree (1 = none)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		products   = flag.Int("products", 20000, "Instacart catalogue size")
+		traceTxns  = flag.Int("trace", 4000, "partitioner trace size (transactions)")
+		maxParts   = flag.Int("max-partitions", 8, "Figure 7/8 partition sweep upper bound")
+		conc       = flag.Int("concurrency", 4, "Instacart clients per partition")
+		warehouses = flag.Int("warehouses", 8, "TPC-C warehouses (= partitions)")
+		customers  = flag.Int("customers", 300, "TPC-C customers per district")
+		items      = flag.Int("items", 2000, "TPC-C items per warehouse")
+		maxConc    = flag.Int("max-concurrency", 8, "Figure 9 concurrency sweep upper bound")
+	)
+	flag.Parse()
+
+	opt := bench.Options{
+		Duration:       *duration,
+		Latency:        *latency,
+		Replication:    *replicas,
+		Seed:           *seed,
+		Products:       *products,
+		TraceTxns:      *traceTxns,
+		MaxPartitions:  *maxParts,
+		Concurrency:    *conc,
+		Warehouses:     *warehouses,
+		Customers:      *customers,
+		Items:          *items,
+		MaxConcurrency: *maxConc,
+	}
+
+	run := func(name string, fn func() error) {
+		start := time.Now()
+		fmt.Printf("=== %s ===\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if want("fig7") {
+		run("Figure 7", func() error {
+			fig, err := bench.Figure7(opt)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig8") {
+		run("Figure 8", func() error {
+			fig, err := bench.Figure8(opt)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		})
+	}
+	if want("lookup") {
+		run("Lookup table sizes (§7.2.2)", func() error {
+			fig, err := bench.LookupTableSizes(opt)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig9") {
+		run("Figure 9", func() error {
+			thr, abr, brk, err := bench.Figure9(opt)
+			if err != nil {
+				return err
+			}
+			thr.Fprint(os.Stdout)
+			abr.Fprint(os.Stdout)
+			brk.Fprint(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig10") {
+		run("Figure 10", func() error {
+			fig, err := bench.Figure10(opt)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		})
+	}
+	if want("a1") {
+		run("Ablation A1 (reorder-only)", func() error {
+			fig, err := bench.AblationReorderOnly(4, opt)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		})
+	}
+	if want("a2") {
+		run("Ablation A2 (min edge weight)", func() error {
+			fig, err := bench.AblationMinEdgeWeight(4, opt)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		})
+	}
+	if want("a3") {
+		run("Ablation A3 (sampling rate)", func() error {
+			fig, err := bench.AblationSamplingRate(opt)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		})
+	}
+	if want("a4") {
+		run("Ablation A4 (latency sweep)", func() error {
+			fig, err := bench.AblationLatency(4, opt)
+			if err != nil {
+				return err
+			}
+			fig.Fprint(os.Stdout)
+			return nil
+		})
+	}
+}

@@ -1,0 +1,76 @@
+// Command chiller-demo runs a live side-by-side comparison of 2PL, OCC
+// and Chiller on a skewed bank-transfer workload, printing per-second
+// throughput and abort rates. It is the quickest way to *see* the
+// two-region execution model beating lock-to-commit execution under
+// contention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/bench"
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+func main() {
+	var (
+		parts    = flag.Int("partitions", 4, "partitions (one node each)")
+		accounts = flag.Int("accounts", 1000, "accounts per partition")
+		hot      = flag.Float64("hot", 0.5, "probability a transfer debits the partition's celebrity account")
+		remote   = flag.Float64("remote", 0.3, "probability the credited account is remote")
+		conc     = flag.Int("concurrency", 4, "clients per partition")
+		seconds  = flag.Int("seconds", 3, "measurement seconds per engine")
+		latency  = flag.Duration("latency", 5*time.Microsecond, "one-way network latency")
+	)
+	flag.Parse()
+
+	fmt.Printf("chiller-demo: %d partitions × %d accounts, hot=%.0f%%, remote=%.0f%%, %d clients/partition\n\n",
+		*parts, *accounts, *hot*100, *remote*100, *conc)
+
+	for _, kind := range []bench.EngineKind{bench.Engine2PL, bench.EngineOCC, bench.EngineChiller} {
+		b := &bench.Bank{
+			AccountsPerPartition: *accounts,
+			HotProb:              *hot,
+			RemoteProb:           *remote,
+		}
+		def := cluster.RangePartitioner{
+			N: *parts,
+			MaxKey: map[storage.TableID]storage.Key{
+				bench.BankTable: storage.Key(*parts * *accounts),
+			},
+		}
+		c := bench.NewCluster(bench.ClusterConfig{
+			Partitions:  *parts,
+			Replication: 2,
+			Latency:     *latency,
+			Seed:        7,
+		}, def)
+		if err := bench.SetupBank(c, b, true); err != nil {
+			panic(err)
+		}
+		b.MarkCelebritiesHot(c)
+
+		before := c.TotalBalance(b)
+		m := c.Run(b, bench.RunConfig{
+			Engine:         kind,
+			Concurrency:    *conc,
+			Duration:       time.Duration(*seconds) * time.Second,
+			WarmupFraction: 0.2,
+			Retry:          true,
+			Seed:           11,
+		})
+		after := c.TotalBalance(b)
+		consistent := "OK"
+		if before != after {
+			consistent = fmt.Sprintf("VIOLATION Δ=%d", after-before)
+		}
+		fmt.Printf("%-8s  %10.0f txns/sec   abort rate %5.1f%%   distributed %4.1f%%   conservation %s\n",
+			kind, m.Throughput(), m.AbortRate()*100, m.DistributedRatio()*100, consistent)
+		c.Close()
+	}
+	fmt.Println("\nChiller wins by shrinking the celebrity accounts' contention span to the")
+	fmt.Println("inner region's local execution time (§3 of the paper).")
+}

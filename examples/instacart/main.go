@@ -1,0 +1,53 @@
+// Instacart: the partitioning-scheme comparison of §7.2 in miniature.
+// Synthesizes a grocery-basket trace, partitions it three ways (hashing,
+// Schism, Chiller), and runs each layout on a live cluster.
+//
+//	go run ./examples/instacart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/bench"
+)
+
+func main() {
+	opt := bench.DefaultOptions()
+	opt.Duration = 500 * time.Millisecond
+	opt.Products = 10000
+	opt.TraceTxns = 2500
+	const partitions = 4
+
+	fmt.Printf("Instacart-like baskets over %d products, %d partitions\n\n",
+		opt.Products, partitions)
+	fmt.Printf("%-10s %14s %12s %14s %14s\n",
+		"scheme", "txns/sec", "abort rate", "distributed", "lookup size")
+
+	for _, scheme := range []string{bench.SchemeHash, bench.SchemeSchism, bench.SchemeChiller} {
+		dep, err := bench.SetupInstacart(scheme, partitions, opt)
+		if err != nil {
+			panic(err)
+		}
+		m := dep.Cluster.Run(dep.W, bench.RunConfig{
+			Engine:         dep.Engine,
+			Concurrency:    opt.Concurrency,
+			Duration:       opt.Duration,
+			WarmupFraction: 0.2,
+			Retry:          true,
+			Seed:           opt.Seed,
+		})
+		lookup := 0
+		if dep.Layout != nil {
+			lookup = dep.Layout.LookupTableSize()
+		}
+		fmt.Printf("%-10s %14.0f %11.1f%% %13.1f%% %14d\n",
+			scheme, m.Throughput(), m.AbortRate()*100, m.DistributedRatio()*100, lookup)
+		dep.Cluster.Close()
+	}
+
+	fmt.Println("\nChiller accepts *more* distributed transactions than Schism yet commits")
+	fmt.Println("more per second: on fast networks the bottleneck is contention, not")
+	fmt.Println("coordination (§2 of the paper). Its lookup table is also far smaller —")
+	fmt.Println("only hot records need routing entries (§4.4).")
+}

@@ -1,0 +1,206 @@
+// Package bench is the experiment harness: it assembles simulated
+// clusters, loads workloads, drives closed-loop clients, and prints the
+// rows and series of every table and figure in the paper's evaluation
+// (§7). See EXPERIMENTS.md for the experiment index.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/cc"
+	"github.com/chillerdb/chiller/internal/cc/occ"
+	"github.com/chillerdb/chiller/internal/cc/twopl"
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/core"
+	"github.com/chillerdb/chiller/internal/server"
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/stats"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// EngineKind selects a concurrency-control engine.
+type EngineKind string
+
+// The three engines compared throughout §7.
+const (
+	Engine2PL     EngineKind = "2PL"
+	EngineOCC     EngineKind = "OCC"
+	EngineChiller EngineKind = "Chiller"
+)
+
+// ClusterConfig sizes a simulated cluster.
+type ClusterConfig struct {
+	// Partitions is the number of partitions; each gets a primary node.
+	Partitions int
+	// Replication is the replication degree (1 = no replicas; the
+	// paper's evaluation uses 2).
+	Replication int
+	// Latency is the one-way network latency between nodes. The paper's
+	// InfiniBand EDR testbed sits around 1-2µs; the default here is 5µs
+	// which keeps the network/memory ratio honest while tolerating OS
+	// timer slop.
+	Latency time.Duration
+	// Jitter adds random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Seed makes runs reproducible.
+	Seed int64
+	// SampleRate enables access sampling on every node at the given rate
+	// (0 disables; the paper samples ~0.1%).
+	SampleRate float64
+}
+
+// Cluster is a fully-wired simulated deployment: fabric, nodes, routing
+// directory, and one engine of each kind per node.
+type Cluster struct {
+	Cfg      ClusterConfig
+	Net      *simnet.Network
+	Topo     *cluster.Topology
+	Dir      *cluster.Directory
+	Registry *txn.Registry
+	Nodes    []*server.Node
+	Sampler  *stats.Sampler // shared global sampler (nil if disabled)
+
+	engines map[EngineKind][]cc.Engine
+}
+
+// NewCluster builds a cluster with the given default partitioner.
+func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
+	if cfg.Partitions <= 0 {
+		panic("bench: Partitions must be positive")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	if cfg.Latency == 0 {
+		cfg.Latency = 5 * time.Microsecond
+	}
+
+	net := simnet.New(simnet.Config{
+		Latency: cfg.Latency,
+		Jitter:  cfg.Jitter,
+		Seed:    cfg.Seed,
+	})
+	topo := cluster.NewTopology(cfg.Partitions, cfg.Replication)
+	dir := cluster.NewDirectory(topo, def)
+	reg := txn.NewRegistry()
+
+	c := &Cluster{
+		Cfg:      cfg,
+		Net:      net,
+		Topo:     topo,
+		Dir:      dir,
+		Registry: reg,
+		engines:  make(map[EngineKind][]cc.Engine),
+	}
+	if cfg.SampleRate > 0 {
+		c.Sampler = stats.NewSampler(cfg.SampleRate, cfg.Seed+1)
+	}
+
+	for p := 0; p < cfg.Partitions; p++ {
+		ep := net.Endpoint(simnet.NodeID(p))
+		st := storage.NewStore()
+		node := server.New(ep, st, reg, dir, cluster.PartitionID(p))
+		if c.Sampler != nil {
+			node.SetSampler(c.Sampler)
+		}
+		occ.RegisterVerbs(node)
+		core.RegisterVerbs(node)
+		c.Nodes = append(c.Nodes, node)
+	}
+	for _, n := range c.Nodes {
+		c.engines[Engine2PL] = append(c.engines[Engine2PL], twopl.New(n))
+		c.engines[EngineOCC] = append(c.engines[EngineOCC], occ.New(n))
+		c.engines[EngineChiller] = append(c.engines[EngineChiller], core.New(n))
+	}
+	return c
+}
+
+// Engine returns the engine of the given kind coordinated at node i.
+func (c *Cluster) Engine(kind EngineKind, node int) cc.Engine {
+	return c.engines[kind][node]
+}
+
+// Close tears the cluster down.
+func (c *Cluster) Close() { c.Net.Close() }
+
+// CreateTable creates the table on every node (primaries and replicas
+// share loader code; a node stores primary data of its own partition and
+// replica data of partitions replicated onto it).
+func (c *Cluster) CreateTable(id storage.TableID, buckets int) {
+	for _, n := range c.Nodes {
+		n.Store().CreateTable(id, buckets)
+	}
+}
+
+// LoadRecord routes a record to its partition (per the current directory
+// state — install partitioning layouts *before* loading) and inserts it
+// into the primary store and every replica store.
+func (c *Cluster) LoadRecord(table storage.TableID, key storage.Key, value []byte) error {
+	rid := storage.RID{Table: table, Key: key}
+	pid := c.Dir.Partition(rid)
+	targets := append([]simnet.NodeID{c.Topo.Primary(pid)}, c.Topo.Replicas(pid)...)
+	for _, t := range targets {
+		st := c.Nodes[int(t)].Store()
+		tbl := st.Table(table)
+		if tbl == nil {
+			return fmt.Errorf("bench: table %d missing on node %d", table, t)
+		}
+		if err := tbl.Bucket(key).Insert(key, value); err != nil {
+			return fmt.Errorf("bench: load %v on node %d: %w", rid, t, err)
+		}
+	}
+	return nil
+}
+
+// MustLoadRecord is LoadRecord that panics on error (loader code paths).
+func (c *Cluster) MustLoadRecord(table storage.TableID, key storage.Key, value []byte) {
+	if err := c.LoadRecord(table, key, value); err != nil {
+		panic(err)
+	}
+}
+
+// Quiesced reports whether all nodes have drained their participant
+// state (no leaked locks). The harness asserts this after every run.
+func (c *Cluster) Quiesced() bool {
+	for _, n := range c.Nodes {
+		if n.ActiveTxns() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// VerifyReplicaConsistency compares, for every partition with replicas,
+// each table's records between primary and replica stores. It returns
+// the number of mismatching records (0 means consistent). Call only on a
+// quiesced cluster.
+func (c *Cluster) VerifyReplicaConsistency(table storage.TableID) (mismatches int) {
+	for p := 0; p < c.Cfg.Partitions; p++ {
+		pid := cluster.PartitionID(p)
+		primary := c.Nodes[int(c.Topo.Primary(pid))].Store().Table(table)
+		if primary == nil {
+			continue
+		}
+		for _, rn := range c.Topo.Replicas(pid) {
+			replica := c.Nodes[int(rn)].Store().Table(table)
+			if replica == nil {
+				mismatches++
+				continue
+			}
+			primary.Range(func(key storage.Key, value []byte, _ uint64) bool {
+				rid := storage.RID{Table: table, Key: key}
+				if c.Dir.Partition(rid) != pid {
+					return true // replica data of another partition
+				}
+				rv, _, err := replica.Bucket(key).Get(key)
+				if err != nil || string(rv) != string(value) {
+					mismatches++
+				}
+				return true
+			})
+		}
+	}
+	return mismatches
+}

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// testOptions shrinks the sweeps so the whole experiment suite runs in
+// seconds under go test. Shape assertions are kept loose: simulation
+// noise must not flake CI, but gross inversions of the paper's findings
+// should fail loudly.
+func testOptions() Options {
+	opt := DefaultOptions()
+	opt.Duration = 250 * time.Millisecond
+	opt.Products = 2000
+	opt.TraceTxns = 600
+	opt.MaxPartitions = 4
+	opt.Concurrency = 3
+	opt.Warehouses = 4
+	opt.Customers = 30
+	opt.Items = 200
+	opt.MaxConcurrency = 4
+	return opt
+}
+
+func TestFigure8Shapes(t *testing.T) {
+	opt := testOptions()
+	fig, err := Figure8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Fprint(&buf)
+	t.Logf("\n%s", buf.String())
+
+	for _, parts := range []float64{2, 4} {
+		schism, _ := fig.Get(SchemeSchism, parts)
+		hash, _ := fig.Get(SchemeHash, parts)
+		chiller, _ := fig.Get(SchemeChiller, parts)
+		// Schism's whole objective is fewer distributed txns: it must
+		// beat hashing.
+		if schism > hash {
+			t.Errorf("parts=%v: schism ratio %.3f > hash %.3f", parts, schism, hash)
+		}
+		// Chiller trades distribution for contention: its ratio must be
+		// at least Schism's (the paper reports ~60%% more at 2 parts).
+		if chiller+0.02 < schism {
+			t.Errorf("parts=%v: chiller ratio %.3f < schism %.3f", parts, chiller, schism)
+		}
+	}
+}
+
+func TestLookupTableShapes(t *testing.T) {
+	opt := testOptions()
+	fig, err := LookupTableSizes(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []float64{2, 4} {
+		schism, ok1 := fig.Get(SchemeSchism, parts)
+		chiller, ok2 := fig.Get(SchemeChiller, parts)
+		if !ok1 || !ok2 {
+			t.Fatal("missing points")
+		}
+		// The paper reports ~10x; require at least 3x under the small
+		// test trace.
+		if chiller*3 > schism {
+			t.Errorf("parts=%v: chiller lookup %d not ≪ schism %d",
+				parts, int(chiller), int(schism))
+		}
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := testOptions()
+	fig, err := Figure7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Fprint(&buf)
+	t.Logf("\n%s", buf.String())
+
+	// At the largest sweep point Chiller must lead both baselines.
+	chiller, _ := fig.Get(SchemeChiller, 4)
+	hash, _ := fig.Get(SchemeHash, 4)
+	schism, _ := fig.Get(SchemeSchism, 4)
+	if chiller <= hash {
+		t.Errorf("chiller %.0f <= hash %.0f at 4 partitions", chiller, hash)
+	}
+	if chiller <= schism {
+		t.Errorf("chiller %.0f <= schism %.0f at 4 partitions", chiller, schism)
+	}
+	// Chiller must at least hold its throughput as partitions grow
+	// (the paper shows near-linear scaling; under go test the host is
+	// shared with other test binaries, so allow 30% measurement noise
+	// rather than flake).
+	c2, _ := fig.Get(SchemeChiller, 2)
+	if chiller < 0.7*c2 {
+		t.Errorf("chiller collapsed with partitions: %.0f at 4 parts vs %.0f at 2", chiller, c2)
+	}
+}
+
+func TestFigure9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := testOptions()
+	thr, abr, brk, err := Figure9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []*Figure{thr, abr, brk} {
+		var buf bytes.Buffer
+		f.Fprint(&buf)
+		t.Logf("\n%s", buf.String())
+	}
+	// At concurrency 1, 2PL and Chiller are close (paper: identical).
+	c1, _ := thr.Get("Chiller", 1)
+	p1, _ := thr.Get("2PL", 1)
+	if c1 < p1/2 {
+		t.Errorf("at 1 concurrent txn Chiller %.0f vastly below 2PL %.0f", c1, p1)
+	}
+	// At max concurrency Chiller leads and keeps the lowest abort rate.
+	x := float64(opt.MaxConcurrency)
+	cT, _ := thr.Get("Chiller", x)
+	pT, _ := thr.Get("2PL", x)
+	oT, _ := thr.Get("OCC", x)
+	if cT <= pT || cT <= oT {
+		t.Errorf("at %v concurrent Chiller %.0f not ahead (2PL %.0f, OCC %.0f)", x, cT, pT, oT)
+	}
+	cA, _ := abr.Get("Chiller", x)
+	pA, _ := abr.Get("2PL", x)
+	if cA >= pA {
+		t.Errorf("Chiller abort rate %.3f not below 2PL %.3f", cA, pA)
+	}
+}
+
+func TestFigure10Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := testOptions()
+	fig, err := Figure10(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Fprint(&buf)
+	t.Logf("\n%s", buf.String())
+
+	// Chiller at 100% distributed must retain most of its 0% throughput
+	// (paper: degrades < 20%; we allow 50% for the small simulation).
+	c0, _ := fig.Get("Chiller (5 txn)", 0)
+	c100, _ := fig.Get("Chiller (5 txn)", 100)
+	if c100 < c0/2 {
+		t.Errorf("Chiller degraded %.0f → %.0f (>50%%)", c0, c100)
+	}
+	// 2PL(5) must degrade more steeply than Chiller, relatively.
+	p0, _ := fig.Get("2PL (5 txn)", 0)
+	p100, _ := fig.Get("2PL (5 txn)", 100)
+	if p0 > 0 && c0 > 0 && p100/p0 > c100/c0+0.15 {
+		t.Errorf("2PL retained %.2f of its throughput vs Chiller %.2f", p100/p0, c100/c0)
+	}
+	// Chiller leads everyone at 100%.
+	for _, other := range []string{"2PL (1 txn)", "OCC (1 txn)", "2PL (5 txn)", "OCC (5 txn)"} {
+		o, _ := fig.Get(other, 100)
+		if c100 <= o {
+			t.Errorf("at 100%% distributed: Chiller %.0f <= %s %.0f", c100, other, o)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := testOptions()
+	a1, err := AblationReorderOnly(4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := a1.Get("throughput", 1)
+	full, _ := a1.Get("throughput", 3)
+	if full <= base {
+		t.Errorf("full Chiller %.0f not above 2PL/hash baseline %.0f", full, base)
+	}
+
+	a2, err := AblationMinEdgeWeight(4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Higher floor weight should not increase the distributed ratio.
+	d0, _ := a2.Get("distributed-ratio", 0)
+	d1, _ := a2.Get("distributed-ratio", 1.0)
+	if d1 > d0+0.05 {
+		t.Errorf("min-edge-weight co-optimization raised distributed ratio %.3f → %.3f", d0, d1)
+	}
+
+	a3, err := AblationSamplingRate(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := a3.Get("recall", 1.0)
+	if !ok || r < 0.99 {
+		t.Errorf("full-rate sampling recall = %.3f, want ~1", r)
+	}
+}
+
+func TestFigurePrinting(t *testing.T) {
+	f := &Figure{Name: "F", Title: "T", XLabel: "x", YLabel: "y"}
+	f.Add("a", 1, 10)
+	f.Add("a", 2, 20)
+	f.Add("b", 1, 30)
+	var buf bytes.Buffer
+	f.Fprint(&buf)
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("F — T")) {
+		t.Fatalf("missing header: %s", out)
+	}
+	if _, ok := f.Get("a", 2); !ok {
+		t.Fatal("Get failed")
+	}
+	if _, ok := f.Get("b", 2); ok {
+		t.Fatal("Get returned phantom point")
+	}
+}
+
+func TestAblationLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	opt := testOptions()
+	fig, err := AblationLatency(3, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	fig.Fprint(&buf)
+	t.Logf("\n%s", buf.String())
+	// At high latency Chiller must beat 2PL decisively.
+	c100, _ := fig.Get(string(EngineChiller), 100)
+	p100, _ := fig.Get(string(Engine2PL), 100)
+	if c100 <= p100 {
+		t.Errorf("at 100µs latency Chiller %.0f <= 2PL %.0f", c100, p100)
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Point is one measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced table/figure: a set of series over a shared X
+// axis, printable as the rows the paper plots.
+type Figure struct {
+	Name   string // e.g. "Figure 7"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a point to the named series, creating it if needed.
+func (f *Figure) Add(label string, x, y float64) {
+	for i := range f.Series {
+		if f.Series[i].Label == label {
+			f.Series[i].Points = append(f.Series[i].Points, Point{x, y})
+			return
+		}
+	}
+	f.Series = append(f.Series, Series{Label: label, Points: []Point{{x, y}}})
+}
+
+// Get returns the Y value of the named series at x (NaN-free: ok=false
+// when missing).
+func (f *Figure) Get(label string, x float64) (float64, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			for _, p := range s.Points {
+				if p.X == x {
+					return p.Y, true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// xs returns the sorted union of X values across series.
+func (f *Figure) xs() []float64 {
+	set := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			set[p.X] = true
+		}
+	}
+	out := make([]float64, 0, len(set))
+	for x := range set {
+		out = append(out, x)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// Fprint renders the figure as an aligned text table, one row per X
+// value, one column per series — the same rows/series the paper reports.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", f.Name, f.Title)
+	fmt.Fprintf(w, "%-24s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, "%16s", s.Label)
+	}
+	fmt.Fprintf(w, "    (%s)\n", f.YLabel)
+	for _, x := range f.xs() {
+		fmt.Fprintf(w, "%-24.4g", x)
+		for _, s := range f.Series {
+			if y, ok := f.Get(s.Label, x); ok {
+				fmt.Fprintf(w, "%16.4g", y)
+			} else {
+				fmt.Fprintf(w, "%16s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

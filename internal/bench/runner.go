@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// Workload produces transaction requests. Implementations must be safe
+// for concurrent Next calls (each client goroutine passes its own rng).
+type Workload interface {
+	// Name identifies the workload in output.
+	Name() string
+	// Next returns the next request originating at the given partition
+	// (the client is co-located with that partition's node, like the
+	// paper's per-warehouse execution engines).
+	Next(partition int, rng *rand.Rand) *txn.Request
+}
+
+// RunConfig drives a closed-loop measurement.
+type RunConfig struct {
+	// Engine selects the concurrency-control engine.
+	Engine EngineKind
+	// Concurrency is the number of closed-loop clients per partition —
+	// the "concurrent transactions per warehouse" knob of Figure 9.
+	Concurrency int
+	// Duration is the measurement window.
+	Duration time.Duration
+	// WarmupFraction of Duration is run before counters reset (0-0.5).
+	WarmupFraction float64
+	// Seed makes client request streams reproducible.
+	Seed int64
+	// Retry re-runs aborted transactions (with the same request) until
+	// they commit. Aborts are still counted. This is the closed-loop
+	// behaviour the paper's throughput numbers imply.
+	Retry bool
+}
+
+// Metrics aggregates a run's outcome.
+type Metrics struct {
+	Engine      EngineKind
+	Workload    string
+	Committed   uint64
+	Aborted     uint64
+	Distributed uint64 // committed transactions that spanned partitions
+	Elapsed     time.Duration
+	ByReason    map[txn.AbortReason]uint64
+	ByProc      map[string]*ProcMetrics
+}
+
+// ProcMetrics is the per-procedure breakdown (Figure 9c needs per-type
+// abort rates).
+type ProcMetrics struct {
+	Committed uint64
+	Aborted   uint64
+}
+
+// Throughput returns committed transactions per second.
+func (m *Metrics) Throughput() float64 {
+	if m.Elapsed <= 0 {
+		return 0
+	}
+	return float64(m.Committed) / m.Elapsed.Seconds()
+}
+
+// AbortRate returns aborts / (aborts + commits).
+func (m *Metrics) AbortRate() float64 {
+	total := m.Committed + m.Aborted
+	if total == 0 {
+		return 0
+	}
+	return float64(m.Aborted) / float64(total)
+}
+
+// DistributedRatio returns the fraction of committed transactions that
+// were distributed.
+func (m *Metrics) DistributedRatio() float64 {
+	if m.Committed == 0 {
+		return 0
+	}
+	return float64(m.Distributed) / float64(m.Committed)
+}
+
+// ProcAbortRate returns the abort rate of one procedure.
+func (m *Metrics) ProcAbortRate(proc string) float64 {
+	pm := m.ByProc[proc]
+	if pm == nil || pm.Committed+pm.Aborted == 0 {
+		return 0
+	}
+	return float64(pm.Aborted) / float64(pm.Committed+pm.Aborted)
+}
+
+// Run drives the workload closed-loop: Concurrency clients per partition,
+// each bound to its partition's engine, issuing transactions back to back
+// for the configured duration.
+func (c *Cluster) Run(w Workload, cfg RunConfig) *Metrics {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 500 * time.Millisecond
+	}
+
+	type shard struct {
+		committed   uint64
+		aborted     uint64
+		distributed uint64
+		byReason    map[txn.AbortReason]uint64
+		byProc      map[string]*ProcMetrics
+	}
+
+	nClients := c.Cfg.Partitions * cfg.Concurrency
+	shards := make([]shard, nClients)
+	var counting atomic.Bool
+	var stop atomic.Bool
+
+	var wg sync.WaitGroup
+	clientID := 0
+	for p := 0; p < c.Cfg.Partitions; p++ {
+		engine := c.Engine(cfg.Engine, p)
+		for k := 0; k < cfg.Concurrency; k++ {
+			wg.Add(1)
+			go func(id, part int) {
+				defer wg.Done()
+				sh := &shards[id]
+				sh.byReason = make(map[txn.AbortReason]uint64)
+				sh.byProc = make(map[string]*ProcMetrics)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+				for !stop.Load() {
+					req := w.Next(part, rng)
+					for {
+						res := engine.Run(req)
+						count := counting.Load()
+						pm := sh.byProc[req.Proc]
+						if pm == nil {
+							pm = &ProcMetrics{}
+							sh.byProc[req.Proc] = pm
+						}
+						if res.Committed {
+							if count {
+								sh.committed++
+								pm.Committed++
+								if res.Distributed {
+									sh.distributed++
+								}
+							}
+							break
+						}
+						if count {
+							sh.aborted++
+							pm.Aborted++
+							sh.byReason[res.Reason]++
+						}
+						if !cfg.Retry || stop.Load() {
+							break
+						}
+					}
+				}
+			}(clientID, p)
+			clientID++
+		}
+	}
+
+	warmup := time.Duration(float64(cfg.Duration) * cfg.WarmupFraction)
+	time.Sleep(warmup)
+	counting.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Duration - warmup)
+	counting.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	m := &Metrics{
+		Engine:   cfg.Engine,
+		Workload: w.Name(),
+		Elapsed:  elapsed,
+		ByReason: make(map[txn.AbortReason]uint64),
+		ByProc:   make(map[string]*ProcMetrics),
+	}
+	for i := range shards {
+		sh := &shards[i]
+		m.Committed += sh.committed
+		m.Aborted += sh.aborted
+		m.Distributed += sh.distributed
+		for r, n := range sh.byReason {
+			m.ByReason[r] += n
+		}
+		for p, pm := range sh.byProc {
+			agg := m.ByProc[p]
+			if agg == nil {
+				agg = &ProcMetrics{}
+				m.ByProc[p] = agg
+			}
+			agg.Committed += pm.Committed
+			agg.Aborted += pm.Aborted
+		}
+	}
+	return m
+}
+
+// RunN executes exactly n transactions per partition sequentially (one
+// client per partition, retries until commit) — used by correctness
+// tests where a fixed amount of work must land.
+func (c *Cluster) RunN(w Workload, kind EngineKind, nPerPartition int, seed int64) *Metrics {
+	m := &Metrics{
+		Engine:   kind,
+		Workload: w.Name(),
+		ByReason: make(map[txn.AbortReason]uint64),
+		ByProc:   make(map[string]*ProcMetrics),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for p := 0; p < c.Cfg.Partitions; p++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			engine := c.Engine(kind, part)
+			rng := rand.New(rand.NewSource(seed + int64(part)))
+			for i := 0; i < nPerPartition; i++ {
+				req := w.Next(part, rng)
+				for {
+					res := engine.Run(req)
+					mu.Lock()
+					pm := m.ByProc[req.Proc]
+					if pm == nil {
+						pm = &ProcMetrics{}
+						m.ByProc[req.Proc] = pm
+					}
+					if res.Committed {
+						m.Committed++
+						pm.Committed++
+						if res.Distributed {
+							m.Distributed++
+						}
+						mu.Unlock()
+						break
+					}
+					m.Aborted++
+					pm.Aborted++
+					m.ByReason[res.Reason]++
+					mu.Unlock()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	return m
+}

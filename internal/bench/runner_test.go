@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+func TestMetricsMath(t *testing.T) {
+	m := &Metrics{
+		Committed:   80,
+		Aborted:     20,
+		Distributed: 40,
+		Elapsed:     2 * time.Second,
+		ByProc: map[string]*ProcMetrics{
+			"p": {Committed: 30, Aborted: 10},
+		},
+	}
+	if got := m.Throughput(); got != 40 {
+		t.Errorf("Throughput = %v, want 40", got)
+	}
+	if got := m.AbortRate(); got != 0.2 {
+		t.Errorf("AbortRate = %v, want 0.2", got)
+	}
+	if got := m.DistributedRatio(); got != 0.5 {
+		t.Errorf("DistributedRatio = %v, want 0.5", got)
+	}
+	if got := m.ProcAbortRate("p"); got != 0.25 {
+		t.Errorf("ProcAbortRate = %v, want 0.25", got)
+	}
+	if got := m.ProcAbortRate("missing"); got != 0 {
+		t.Errorf("missing proc rate = %v", got)
+	}
+}
+
+func TestMetricsZeroDivisionSafety(t *testing.T) {
+	m := &Metrics{}
+	if m.Throughput() != 0 || m.AbortRate() != 0 || m.DistributedRatio() != 0 {
+		t.Fatal("zero metrics should be 0, not NaN")
+	}
+}
+
+func TestRunCountsAbortReasons(t *testing.T) {
+	b := &Bank{AccountsPerPartition: 4, HotProb: 1} // tiny: constant conflicts
+	c := bankCluster(t, 2, 1, b)
+	defer c.Close()
+	m := c.Run(b, RunConfig{
+		Engine:      Engine2PL,
+		Concurrency: 4,
+		Duration:    100 * time.Millisecond,
+		Retry:       true,
+		Seed:        9,
+	})
+	if m.Aborted == 0 {
+		t.Skip("no conflicts materialized; nothing to assert")
+	}
+	var sum uint64
+	for _, n := range m.ByReason {
+		sum += n
+	}
+	if sum != m.Aborted {
+		t.Fatalf("ByReason sums to %d, Aborted = %d", sum, m.Aborted)
+	}
+	if m.ByReason[txn.AbortLockConflict] == 0 {
+		t.Fatalf("expected lock-conflict aborts, got %v", m.ByReason)
+	}
+}

@@ -1,0 +1,237 @@
+package bench_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/bench"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller/internal/workload/tpcc"
+)
+
+func tpccCluster(t *testing.T, partitions, replication int, cfg tpcc.Config) (*bench.Cluster, *tpcc.Workload) {
+	t.Helper()
+	c := bench.NewCluster(bench.ClusterConfig{
+		Partitions:  partitions,
+		Replication: replication,
+		Latency:     2 * time.Microsecond,
+		Seed:        17,
+	}, tpcc.Partitioner(cfg.Warehouses, partitions))
+	if err := tpcc.RegisterAll(c.Registry); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpcc.Load(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+	tpcc.MarkHot(c.Dir, cfg)
+	w, err := tpcc.NewWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, w
+}
+
+// The full mix must run to completion on every engine with zero leaked
+// locks and consistent replicas.
+func TestTPCCFullMixAllEngines(t *testing.T) {
+	cfg := tpcc.Config{
+		Warehouses: 4, Partitions: 4,
+		CustomersPerDistrict: 30, Items: 200,
+	}.Defaults()
+	for _, kind := range []bench.EngineKind{bench.Engine2PL, bench.EngineOCC, bench.EngineChiller} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			c, w := tpccCluster(t, 4, 2, cfg)
+			defer c.Close()
+			m := c.RunN(w, kind, 100, 3)
+			if m.Committed != 400 {
+				t.Fatalf("committed %d, want 400", m.Committed)
+			}
+			if !c.Quiesced() {
+				t.Fatal("locks leaked")
+			}
+			for _, tbl := range []storage.TableID{
+				tpcc.TableWarehouse, tpcc.TableDistrict, tpcc.TableCustomer,
+				tpcc.TableStock, tpcc.TableOrder, tpcc.TableOrderLine,
+			} {
+				if mm := c.VerifyReplicaConsistency(tbl); mm != 0 {
+					t.Fatalf("table %d: %d replica mismatches", tbl, mm)
+				}
+			}
+		})
+	}
+}
+
+// Money invariants: warehouse YTD equals the sum of payment amounts
+// applied to it; district next_o_id advances once per NewOrder.
+func TestTPCCPaymentYTDInvariant(t *testing.T) {
+	cfg := tpcc.Config{
+		Warehouses: 2, Partitions: 2,
+		CustomersPerDistrict: 20, Items: 100,
+		// Payment-only mix.
+		NewOrderPct: 0, PaymentPct: 100,
+	}.Defaults()
+	c, w := tpccCluster(t, 2, 1, cfg)
+	defer c.Close()
+
+	m := c.RunN(w, bench.EngineChiller, 200, 5)
+	if m.Committed != 400 {
+		t.Fatalf("committed %d", m.Committed)
+	}
+	// Sum warehouse + district YTD must match: every payment adds its
+	// amount to exactly one warehouse and one district.
+	var wYTD, dYTD int64
+	for wh := 0; wh < 2; wh++ {
+		rid := storage.RID{Table: tpcc.TableWarehouse, Key: tpcc.WarehouseKey(wh)}
+		node := c.Nodes[int(c.Topo.Primary(c.Dir.Partition(rid)))]
+		v, _, err := node.Store().Table(tpcc.TableWarehouse).Bucket(rid.Key).Get(rid.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wYTD += tpcc.DecodeWarehouse(v).YTD
+		for d := 0; d < tpcc.DistrictsPerWarehouse; d++ {
+			dk := tpcc.DistrictKey(wh, d)
+			drid := storage.RID{Table: tpcc.TableDistrict, Key: dk}
+			dn := c.Nodes[int(c.Topo.Primary(c.Dir.Partition(drid)))]
+			dv, _, err := dn.Store().Table(tpcc.TableDistrict).Bucket(dk).Get(dk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dYTD += tpcc.DecodeDistrict(dv).YTD
+		}
+	}
+	if wYTD == 0 || wYTD != dYTD {
+		t.Fatalf("warehouse YTD %d != district YTD %d (payments lost or doubled)", wYTD, dYTD)
+	}
+}
+
+// NewOrder serialization: after N committed NewOrders against one
+// district, next_o_id must have advanced exactly N and every order key
+// 1..N must exist with its order lines.
+func TestTPCCNewOrderSequence(t *testing.T) {
+	cfg := tpcc.Config{
+		Warehouses: 1, Partitions: 1,
+		CustomersPerDistrict: 20, Items: 100,
+		FixedOrderLines: 5,
+	}.Defaults()
+	c, _ := tpccCluster(t, 1, 1, cfg)
+	defer c.Close()
+
+	eng := c.Engine(bench.EngineChiller, 0)
+	const n = 25
+	for i := 0; i < n; i++ {
+		args := txn.Args{0, 0, int64(i % 20),
+			1, 0, 1,
+			2, 0, 1,
+			3, 0, 1,
+			4, 0, 1,
+			5, 0, 1,
+		}
+		res := eng.Run(&txn.Request{Proc: tpcc.NewOrderProc(5), Args: args})
+		if !res.Committed {
+			t.Fatalf("neworder %d aborted: %v", i, res.Reason)
+		}
+	}
+	st := c.Nodes[0].Store()
+	dk := tpcc.DistrictKey(0, 0)
+	dv, _, err := st.Table(tpcc.TableDistrict).Bucket(dk).Get(dk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tpcc.DecodeDistrict(dv).NextOID; got != 1+n {
+		t.Fatalf("next_o_id = %d, want %d", got, 1+n)
+	}
+	for o := 1; o <= n; o++ {
+		ok := tpcc.OrderKey(0, 0, o)
+		ov, _, err := st.Table(tpcc.TableOrder).Bucket(ok).Get(ok)
+		if err != nil {
+			t.Fatalf("order %d missing: %v", o, err)
+		}
+		if tpcc.DecodeOrder(ov).OLCnt != 5 {
+			t.Fatalf("order %d has OLCnt %d", o, tpcc.DecodeOrder(ov).OLCnt)
+		}
+		for line := 0; line < 5; line++ {
+			lk := tpcc.OrderLineKey(ok, line)
+			if _, _, err := st.Table(tpcc.TableOrderLine).Bucket(lk).Get(lk); err != nil {
+				t.Fatalf("order %d line %d missing", o, line)
+			}
+		}
+	}
+}
+
+// Distributed NewOrders (remote stock) must work on every engine.
+func TestTPCCRemoteStock(t *testing.T) {
+	cfg := tpcc.Config{
+		Warehouses: 2, Partitions: 2,
+		CustomersPerDistrict: 10, Items: 50,
+		FixedOrderLines: 5,
+	}.Defaults()
+	for _, kind := range []bench.EngineKind{bench.Engine2PL, bench.EngineOCC, bench.EngineChiller} {
+		c, _ := tpccCluster(t, 2, 1, cfg)
+		eng := c.Engine(kind, 0)
+		// All five stock items from warehouse 1 (remote).
+		args := txn.Args{0, 0, 0,
+			7, 1, 2,
+			8, 1, 2,
+			9, 1, 2,
+			10, 1, 2,
+			11, 1, 2,
+		}
+		res := eng.Run(&txn.Request{Proc: tpcc.NewOrderProc(5), Args: args})
+		if !res.Committed {
+			t.Fatalf("%s: remote neworder aborted: %v", kind, res.Reason)
+		}
+		if !res.Distributed {
+			t.Fatalf("%s: remote neworder not marked distributed", kind)
+		}
+		// Remote stock actually decremented.
+		sk := tpcc.StockKey(1, 7)
+		sv, _, err := c.Nodes[1].Store().Table(tpcc.TableStock).Bucket(sk).Get(sk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tpcc.DecodeStock(sv).OrderCnt != 1 {
+			t.Fatalf("%s: remote stock not updated: %+v", kind, tpcc.DecodeStock(sv))
+		}
+		c.Close()
+	}
+}
+
+// OrderStatus / Delivery / StockLevel read paths.
+func TestTPCCAuxiliaryProcedures(t *testing.T) {
+	cfg := tpcc.Config{
+		Warehouses: 1, Partitions: 1,
+		CustomersPerDistrict: 10, Items: 50,
+	}.Defaults()
+	c, _ := tpccCluster(t, 1, 1, cfg)
+	defer c.Close()
+	eng := c.Engine(bench.EngineChiller, 0)
+
+	res := eng.Run(&txn.Request{Proc: tpcc.ProcOrderStatus, Args: txn.Args{0, 0, 0}})
+	if !res.Committed {
+		t.Fatalf("orderstatus aborted: %v", res.Reason)
+	}
+	if tpcc.DecodeOrder(res.Reads[2]).OLCnt != 10 {
+		t.Fatalf("orderstatus read wrong order: %+v", tpcc.DecodeOrder(res.Reads[2]))
+	}
+
+	res = eng.Run(&txn.Request{Proc: tpcc.ProcDelivery, Args: txn.Args{0, 0, 7}})
+	if !res.Committed {
+		t.Fatalf("delivery aborted: %v", res.Reason)
+	}
+	ok := tpcc.OrderKey(0, 0, 0)
+	ov, _, _ := c.Nodes[0].Store().Table(tpcc.TableOrder).Bucket(ok).Get(ok)
+	if tpcc.DecodeOrder(ov).CarrierID != 7 {
+		t.Fatalf("delivery did not stamp carrier: %+v", tpcc.DecodeOrder(ov))
+	}
+
+	res = eng.Run(&txn.Request{Proc: tpcc.ProcStockLevel,
+		Args: txn.Args{0, 0, 1000, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}})
+	if !res.Committed {
+		t.Fatalf("stocklevel aborted: %v", res.Reason)
+	}
+	if got := tpcc.CountBelowThreshold(res.Reads, 1000); got != 10 {
+		t.Fatalf("stocklevel count = %d, want 10 (threshold above all)", got)
+	}
+}

@@ -1,0 +1,20 @@
+// Package cc defines the execution-engine interface shared by the
+// concurrency-control implementations compared in the paper's evaluation:
+// distributed 2PL with 2PC (cc/twopl), optimistic concurrency control
+// (cc/occ), and Chiller's two-region engine (internal/core).
+package cc
+
+import "github.com/chillerdb/chiller/internal/txn"
+
+// Engine executes transactions to completion on behalf of a client.
+// Implementations are safe for concurrent use: each Run call is an
+// independent coordinator (the paper's "worker co-routine").
+type Engine interface {
+	// Name identifies the engine in benchmark output ("2PL", "OCC",
+	// "Chiller").
+	Name() string
+	// Run executes one transaction and reports its outcome. Aborted
+	// transactions are not retried by the engine; retry policy belongs
+	// to the caller.
+	Run(req *txn.Request) txn.Result
+}

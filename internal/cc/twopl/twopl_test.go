@@ -1,0 +1,126 @@
+package twopl_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/bench"
+	"github.com/chillerdb/chiller/internal/cc/twopl"
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+func newBankCluster(t *testing.T, parts int) (*bench.Cluster, *bench.Bank) {
+	t.Helper()
+	b := &bench.Bank{AccountsPerPartition: 20}
+	def := cluster.RangePartitioner{
+		N:      parts,
+		MaxKey: map[storage.TableID]storage.Key{bench.BankTable: storage.Key(parts * 20)},
+	}
+	c := bench.NewCluster(bench.ClusterConfig{
+		Partitions: parts,
+		Latency:    time.Microsecond,
+	}, def)
+	t.Cleanup(c.Close)
+	if err := bench.SetupBank(c, b, true); err != nil {
+		t.Fatal(err)
+	}
+	return c, b
+}
+
+func TestEngineName(t *testing.T) {
+	c, _ := newBankCluster(t, 1)
+	e := twopl.New(c.Nodes[0])
+	if e.Name() != "2PL" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	if e.Node() != c.Nodes[0] {
+		t.Fatal("Node accessor broken")
+	}
+}
+
+func TestLocalAndRemoteTransfer(t *testing.T) {
+	c, _ := newBankCluster(t, 2)
+	e := twopl.New(c.Nodes[0])
+
+	// Local transfer.
+	res := e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, 2, 5}})
+	if !res.Committed || res.Distributed {
+		t.Fatalf("local: %+v", res)
+	}
+	// Remote transfer: partition 0 → 1.
+	res = e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, 25, 5}})
+	if !res.Committed || !res.Distributed {
+		t.Fatalf("remote: %+v", res)
+	}
+}
+
+func TestBatchingEquivalence(t *testing.T) {
+	// The same transaction must produce the same effects with and
+	// without request batching.
+	for _, disable := range []bool{false, true} {
+		c, _ := newBankCluster(t, 2)
+		e := twopl.New(c.Nodes[0])
+		e.DisableBatching = disable
+		res := e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{0, 1, 7}})
+		if !res.Committed {
+			t.Fatalf("disable=%v: aborted %v", disable, res.Reason)
+		}
+		v, _, _ := c.Nodes[0].Store().Table(bench.BankTable).Bucket(0).Get(0)
+		if bench.DecodeBalance(v) != bench.InitialBalance-7 {
+			t.Fatalf("disable=%v: balance %d", disable, bench.DecodeBalance(v))
+		}
+	}
+}
+
+func TestRunOrderedCustomOrder(t *testing.T) {
+	c, _ := newBankCluster(t, 1)
+	e := twopl.New(c.Nodes[0])
+	proc := c.Registry.Lookup(bench.BankTransferProc)
+	// Credit before debit: legal (no pk-deps) and must commit with the
+	// same net effect.
+	res := e.RunOrdered(&txn.Request{
+		Proc: bench.BankTransferProc, Args: txn.Args{3, 4, 9},
+	}, proc, []int{1, 0})
+	if !res.Committed {
+		t.Fatalf("reordered run aborted: %v", res.Reason)
+	}
+	v, _, _ := c.Nodes[0].Store().Table(bench.BankTable).Bucket(3).Get(3)
+	if bench.DecodeBalance(v) != bench.InitialBalance-9 {
+		t.Fatalf("balance = %d", bench.DecodeBalance(v))
+	}
+}
+
+func TestAbortReleasesRemoteLocks(t *testing.T) {
+	c, _ := newBankCluster(t, 2)
+	e := twopl.New(c.Nodes[0])
+	// Hold the destination's bucket so the transfer aborts after having
+	// locked the (remote-from-dst) source.
+	dst := storage.Key(25)
+	b := c.Nodes[1].Store().Table(bench.BankTable).Bucket(dst)
+	if !b.Lock.TryLock(storage.LockExclusive) {
+		t.Fatal("setup")
+	}
+	res := e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, int64(dst), 5}})
+	if res.Committed || res.Reason != txn.AbortLockConflict {
+		t.Fatalf("res = %+v", res)
+	}
+	b.Lock.Unlock(storage.LockExclusive)
+	if !c.Quiesced() {
+		t.Fatal("abort leaked participant state")
+	}
+	// Source bucket must be free again.
+	if c.Nodes[0].Store().Table(bench.BankTable).Bucket(1).Lock.Held() {
+		t.Fatal("source lock leaked")
+	}
+}
+
+func TestUnknownProcedure(t *testing.T) {
+	c, _ := newBankCluster(t, 1)
+	e := twopl.New(c.Nodes[0])
+	res := e.Run(&txn.Request{Proc: "nope"})
+	if res.Committed || res.Reason != txn.AbortInternal {
+		t.Fatalf("res = %+v", res)
+	}
+}

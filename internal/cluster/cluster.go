@@ -1,0 +1,260 @@
+// Package cluster defines the cluster topology (partitions, primaries,
+// replicas) and the record-routing directory: a default hash/range
+// partitioner plus the small hot-record lookup table of §4.4.
+//
+// The paper's key observation about metadata (§4.4) is reproduced here:
+// because Chiller's partitioner only ever relocates *hot* records, the
+// lookup table holds entries for hot records only, and everything else
+// routes through the default partitioner — for the Instacart workload this
+// makes the table roughly 10x smaller than Schism's full record→partition
+// map.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+// PartitionID identifies a horizontal partition.
+type PartitionID int32
+
+// Topology describes where partitions live.
+type Topology struct {
+	// Partitions[i] describes partition i.
+	Partitions []PartitionInfo
+}
+
+// PartitionInfo names the primary node and replica nodes of one partition.
+type PartitionInfo struct {
+	ID       PartitionID
+	Primary  simnet.NodeID
+	Replicas []simnet.NodeID
+}
+
+// NewTopology builds a topology with n partitions, partition i primaried
+// on node i, and replicationDegree-1 replicas placed on the following
+// nodes round-robin (replicationDegree 2 means one extra copy, as in the
+// paper's evaluation setup §7.1).
+func NewTopology(n int, replicationDegree int) *Topology {
+	if replicationDegree < 1 {
+		replicationDegree = 1
+	}
+	t := &Topology{Partitions: make([]PartitionInfo, n)}
+	for i := 0; i < n; i++ {
+		info := PartitionInfo{ID: PartitionID(i), Primary: simnet.NodeID(i)}
+		for r := 1; r < replicationDegree && n > 1; r++ {
+			info.Replicas = append(info.Replicas, simnet.NodeID((i+r)%n))
+		}
+		t.Partitions[i] = info
+	}
+	return t
+}
+
+// NumPartitions returns the partition count.
+func (t *Topology) NumPartitions() int { return len(t.Partitions) }
+
+// Primary returns the primary node of partition p.
+func (t *Topology) Primary(p PartitionID) simnet.NodeID {
+	return t.Partitions[p].Primary
+}
+
+// Replicas returns the replica nodes of partition p.
+func (t *Topology) Replicas(p PartitionID) []simnet.NodeID {
+	return t.Partitions[p].Replicas
+}
+
+// PartitionOfNode returns the partition primaried on the given node, or
+// -1 if none.
+func (t *Topology) PartitionOfNode(n simnet.NodeID) PartitionID {
+	for _, p := range t.Partitions {
+		if p.Primary == n {
+			return p.ID
+		}
+	}
+	return -1
+}
+
+// DefaultPartitioner is the orthogonal (non-workload-aware) scheme that
+// routes every record not present in the lookup table, e.g. hash or range
+// partitioning on the primary key.
+type DefaultPartitioner interface {
+	Partition(rid storage.RID) PartitionID
+	Name() string
+}
+
+// HashPartitioner routes by a hash of (table, key). This is the scheme
+// evaluated as "Hashing" in Figure 7.
+type HashPartitioner struct {
+	N int
+}
+
+// Partition implements DefaultPartitioner.
+func (h HashPartitioner) Partition(rid storage.RID) PartitionID {
+	x := uint64(rid.Key)
+	x ^= uint64(rid.Table) << 56
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return PartitionID(x % uint64(h.N))
+}
+
+// Name implements DefaultPartitioner.
+func (h HashPartitioner) Name() string { return "hash" }
+
+// RangePartitioner routes by dividing the key space of each table into N
+// contiguous ranges. TPC-C's by-warehouse layout is expressed this way:
+// keys are packed with the warehouse in the high bits.
+type RangePartitioner struct {
+	N int
+	// MaxKey is the exclusive upper bound of the key space per table.
+	MaxKey map[storage.TableID]storage.Key
+}
+
+// Partition implements DefaultPartitioner.
+func (r RangePartitioner) Partition(rid storage.RID) PartitionID {
+	max, ok := r.MaxKey[rid.Table]
+	if !ok || max == 0 {
+		return PartitionID(uint64(rid.Key) % uint64(r.N))
+	}
+	span := (uint64(max) + uint64(r.N) - 1) / uint64(r.N)
+	p := uint64(rid.Key) / span
+	if p >= uint64(r.N) {
+		p = uint64(r.N) - 1
+	}
+	return PartitionID(p)
+}
+
+// Name implements DefaultPartitioner.
+func (r RangePartitioner) Name() string { return "range" }
+
+// FuncPartitioner adapts a function (e.g. TPC-C's warehouse extraction).
+type FuncPartitioner struct {
+	Fn    func(rid storage.RID) PartitionID
+	Label string
+}
+
+// Partition implements DefaultPartitioner.
+func (f FuncPartitioner) Partition(rid storage.RID) PartitionID { return f.Fn(rid) }
+
+// Name implements DefaultPartitioner.
+func (f FuncPartitioner) Name() string {
+	if f.Label == "" {
+		return "func"
+	}
+	return f.Label
+}
+
+// Directory routes records to partitions: hot records via the lookup
+// table, everything else via the default partitioner. It also answers
+// hotness queries for the run-time region decision. Safe for concurrent
+// use; the read path is a single map probe.
+type Directory struct {
+	topo *Topology
+	def  DefaultPartitioner
+
+	mu  sync.RWMutex
+	hot map[storage.RID]PartitionID
+	// full, when non-nil, is a complete record→partition map as built by
+	// Schism-style partitioners; it takes precedence over def but not
+	// over hot. Chiller itself never populates it.
+	full map[storage.RID]PartitionID
+}
+
+// NewDirectory creates a directory over the topology with the given
+// default partitioner.
+func NewDirectory(topo *Topology, def DefaultPartitioner) *Directory {
+	return &Directory{
+		topo: topo,
+		def:  def,
+		hot:  make(map[storage.RID]PartitionID),
+	}
+}
+
+// Topology returns the directory's topology.
+func (d *Directory) Topology() *Topology { return d.topo }
+
+// Default returns the default partitioner.
+func (d *Directory) Default() DefaultPartitioner { return d.def }
+
+// Partition routes a record.
+func (d *Directory) Partition(rid storage.RID) PartitionID {
+	d.mu.RLock()
+	if p, ok := d.hot[rid]; ok {
+		d.mu.RUnlock()
+		return p
+	}
+	if d.full != nil {
+		if p, ok := d.full[rid]; ok {
+			d.mu.RUnlock()
+			return p
+		}
+	}
+	d.mu.RUnlock()
+	return d.def.Partition(rid)
+}
+
+// PrimaryOf routes a record straight to its primary node.
+func (d *Directory) PrimaryOf(rid storage.RID) simnet.NodeID {
+	return d.topo.Primary(d.Partition(rid))
+}
+
+// IsHot reports whether the record is in the hot lookup table.
+func (d *Directory) IsHot(rid storage.RID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.hot[rid]
+	return ok
+}
+
+// SetHot places a hot record on a partition (a lookup-table entry).
+func (d *Directory) SetHot(rid storage.RID, p PartitionID) {
+	if int(p) < 0 || int(p) >= d.topo.NumPartitions() {
+		panic(fmt.Sprintf("cluster: partition %d out of range", p))
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hot[rid] = p
+}
+
+// ClearHot empties the lookup table (before installing a new layout).
+func (d *Directory) ClearHot() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hot = make(map[storage.RID]PartitionID)
+}
+
+// LookupTableSize returns the number of hot entries — the metadata cost
+// compared in §7.2.2.
+func (d *Directory) LookupTableSize() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := len(d.hot)
+	if d.full != nil {
+		n += len(d.full)
+	}
+	return n
+}
+
+// HotEntries returns a snapshot of the lookup table.
+func (d *Directory) HotEntries() map[storage.RID]PartitionID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make(map[storage.RID]PartitionID, len(d.hot))
+	for k, v := range d.hot {
+		out[k] = v
+	}
+	return out
+}
+
+// InstallFullMap installs a complete record→partition assignment, the way
+// distributed-transaction-minimizing tools (Schism) materialize their
+// output. Entries equal to the default partitioner's choice may be elided
+// by the caller to shrink the table; Partition falls back automatically.
+func (d *Directory) InstallFullMap(m map[storage.RID]PartitionID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.full = m
+}

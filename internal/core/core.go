@@ -1,0 +1,441 @@
+// Package core implements Chiller's contention-centric two-region
+// transaction execution engine — the paper's primary contribution (§3).
+//
+// A transaction whose records include hot items is split into an outer
+// region (cold records, locked first, committed last) and an inner region
+// (hot records, delegated to the single partition that owns them). The
+// inner host executes and commits its part unilaterally: once the outer
+// locks are all held, the transaction's fate rests entirely on the inner
+// region, so the hot records' contention span shrinks from two-plus
+// network round trips to the local execution time of the inner region.
+//
+// Fault-tolerance for the inner region's early commit point uses the
+// replication protocol of §5 (see package server's inner-replication
+// verbs): the inner primary streams new values to its replicas without
+// waiting, the replicas acknowledge to the coordinator, and the
+// coordinator only completes the outer region after those acks.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/chillerdb/chiller/internal/cc/twopl"
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/depgraph"
+	"github.com/chillerdb/chiller/internal/server"
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// innerIDBit distinguishes the inner region's lock namespace from the
+// outer region's on the inner host. The inner host may already hold outer
+// locks for the same transaction (a cold record on the hot partition);
+// those must survive the inner region's unilateral commit.
+const innerIDBit = uint64(1) << 63
+
+// Engine is Chiller's coordinator. Safe for concurrent Run calls.
+type Engine struct {
+	node     *server.Node
+	fallback *twopl.Engine
+
+	gmu    sync.RWMutex
+	graphs map[string]*depgraph.Graph
+}
+
+// New creates a Chiller engine on a node. RegisterVerbs must have been
+// called on every node in the cluster.
+func New(n *server.Node) *Engine {
+	return &Engine{
+		node:     n,
+		fallback: twopl.New(n),
+		graphs:   make(map[string]*depgraph.Graph),
+	}
+}
+
+// Name implements cc.Engine.
+func (e *Engine) Name() string { return "Chiller" }
+
+// Node returns the engine's node.
+func (e *Engine) Node() *server.Node { return e.node }
+
+// graph returns the cached dependency graph for a procedure, building it
+// on first use (the paper builds it "when registering a new stored
+// procedure"; lazy construction is equivalent and keeps registration
+// order-independent).
+func (e *Engine) graph(proc *txn.Procedure) (*depgraph.Graph, error) {
+	e.gmu.RLock()
+	g, ok := e.graphs[proc.Name]
+	e.gmu.RUnlock()
+	if ok {
+		return g, nil
+	}
+	g, err := depgraph.Build(proc)
+	if err != nil {
+		return nil, err
+	}
+	e.gmu.Lock()
+	e.graphs[proc.Name] = g
+	e.gmu.Unlock()
+	return g, nil
+}
+
+// resolver adapts the directory to the static-analysis interface: an
+// op's partition is known pre-execution when its key resolves from args
+// alone, or when it declares a partition-affinity hint (PartKey).
+func (e *Engine) resolver() depgraph.PartitionResolver {
+	dir := e.node.Directory()
+	return func(op *txn.OpSpec, args txn.Args) (int, bool) {
+		if key, ok := op.Key(args, nil); ok {
+			return int(dir.Partition(storage.RID{Table: op.Table, Key: key})), true
+		}
+		if op.PartKey != nil {
+			if pk, ok := op.PartKey(args, nil); ok {
+				pt := op.PartTable
+				if pt == 0 {
+					pt = op.Table
+				}
+				return int(dir.Partition(storage.RID{Table: pt, Key: pk})), true
+			}
+		}
+		return 0, false
+	}
+}
+
+// hotFunc consults the lookup table of §4.4.
+func (e *Engine) hotFunc() depgraph.HotFunc {
+	dir := e.node.Directory()
+	return func(op *txn.OpSpec, args txn.Args) bool {
+		key, ok := op.Key(args, nil)
+		if !ok {
+			return false
+		}
+		return dir.IsHot(storage.RID{Table: op.Table, Key: key})
+	}
+}
+
+// Decide exposes the run-time region decision for a request (used by the
+// benchmark harness and tests to inspect planned regions).
+func (e *Engine) Decide(req *txn.Request) (depgraph.Decision, error) {
+	proc := e.node.Registry().Lookup(req.Proc)
+	if proc == nil {
+		return depgraph.Decision{}, fmt.Errorf("core: unknown procedure %q", req.Proc)
+	}
+	g, err := e.graph(proc)
+	if err != nil {
+		return depgraph.Decision{}, err
+	}
+	return depgraph.Decide(g, req.Args, e.resolver(), e.hotFunc()), nil
+}
+
+// Run implements cc.Engine: steps 1-5 of §3.3.
+func (e *Engine) Run(req *txn.Request) txn.Result {
+	n := e.node
+	proc := n.Registry().Lookup(req.Proc)
+	if proc == nil {
+		return txn.Result{Reason: txn.AbortInternal}
+	}
+	g, err := e.graph(proc)
+	if err != nil {
+		return txn.Result{Reason: txn.AbortInternal}
+	}
+
+	// Step 1-2: decide execution model and the inner host.
+	dec := depgraph.Decide(g, req.Args, e.resolver(), e.hotFunc())
+	if !dec.TwoRegion {
+		// Cold transaction: normal 2PL with 2PC.
+		order := make([]int, len(proc.Ops))
+		for i := range order {
+			order[i] = i
+		}
+		return e.fallback.RunOrdered(req, proc, order)
+	}
+
+	txnID := req.ID
+	if txnID == 0 {
+		txnID = n.NextTxnID()
+	}
+
+	dir := n.Directory()
+	topo := dir.Topology()
+	innerPID := cluster.PartitionID(dec.InnerHost)
+	innerNode := topo.Primary(innerPID)
+
+	st := outerState{
+		reads:        make(txn.ReadSet, len(proc.Ops)),
+		pending:      make(map[storage.RID][]byte),
+		participants: make(map[simnet.NodeID]bool),
+		partOfNode:   make(map[simnet.NodeID]cluster.PartitionID),
+		ridOf:        make(map[int]storage.RID),
+		pids:         map[cluster.PartitionID]bool{innerPID: true},
+	}
+
+	// Step 3: read and lock the outer region. Within the outer region the
+	// lock order is itself re-ordered hot-last (§3: locks on the most
+	// contended records are acquired last "if possible"): a hot record
+	// that could not join the inner region still gets the shortest span
+	// the outer region can give it.
+	outerOrder := e.hotLastOrder(g, req.Args, dec.OuterOps)
+	if reason, ok := e.lockOuter(proc, req.Args, txnID, outerOrder, &st); !ok {
+		n.AbortAll(st.participants, txnID)
+		return txn.Result{Reason: reason, Distributed: st.isDistributed()}
+	}
+
+	// Step 4: delegate, execute, and commit the inner region. Register
+	// the replica-ack waiter first so acks cannot race registration.
+	replicas := topo.Replicas(innerPID)
+	ackCh := n.ExpectInnerAcks(txnID, len(replicas))
+
+	ireq := &innerRequest{
+		TxnID:    txnID,
+		Coord:    n.ID(),
+		Proc:     proc.Name,
+		Args:     req.Args,
+		InnerOps: dec.InnerOps,
+		Reads:    st.reads,
+	}
+	iresp := e.execInner(innerNode, ireq)
+	if !iresp.OK {
+		n.CancelInnerAcks(txnID)
+		n.AbortAll(st.participants, txnID)
+		return txn.Result{Reason: iresp.Reason, Distributed: st.isDistributed()}
+	}
+	for id, v := range iresp.Reads {
+		st.reads[id] = v
+	}
+
+	// The transaction is now committed (the inner host decided). The
+	// steps below cannot abort it; a failure here is an engine invariant
+	// violation, not a transaction abort.
+
+	// Step 5: commit the outer region. Compute the deferred outer writes
+	// — their mutators may consume values produced by the inner region.
+	writes, err := e.materializeOuterWrites(proc, req.Args, dec.OuterOps, &st)
+	if err != nil {
+		// Mutators of outer write ops must be infallible once the inner
+		// region has committed (all value constraints belong in reads'
+		// Check hooks or inner mutators). Surface loudly.
+		panic(fmt.Sprintf("core: outer mutate failed after inner commit (txn %d, proc %s): %v", txnID, proc.Name, err))
+	}
+
+	// Wait for the inner region's replicas to acknowledge (to us, the
+	// coordinator — Figure 6) before completing the transaction.
+	<-ackCh
+
+	if err := e.replicateOuter(txnID, writes); err != nil {
+		panic(fmt.Sprintf("core: outer replication failed after inner commit: %v", err))
+	}
+	if err := e.commitOuter(txnID, writes, &st); err != nil {
+		panic(fmt.Sprintf("core: outer commit failed after inner commit: %v", err))
+	}
+	n.SampleCommit(st.readRIDs, st.writeRIDs)
+	return txn.Result{Committed: true, Reads: st.reads, Distributed: st.isDistributed()}
+}
+
+// hotLastOrder re-orders the outer ops so cold records are locked first
+// and hot records last, provided the result still satisfies every pk-dep
+// (v-deps never restrict order, §3.2). If the reorder is illegal it
+// returns the original ascending order.
+func (e *Engine) hotLastOrder(g *depgraph.Graph, args txn.Args, outerOps []int) []int {
+	hot := e.hotFunc()
+	proc := g.Proc()
+	anyHot := false
+	for _, op := range outerOps {
+		if hot(&proc.Ops[op], args) {
+			anyHot = true
+			break
+		}
+	}
+	if !anyHot {
+		return outerOps
+	}
+	reordered := make([]int, 0, len(outerOps))
+	var hotOps []int
+	for _, op := range outerOps {
+		if hot(&proc.Ops[op], args) {
+			hotOps = append(hotOps, op)
+		} else {
+			reordered = append(reordered, op)
+		}
+	}
+	reordered = append(reordered, hotOps...)
+	// Legality check over the full execution order implied for this
+	// transaction: reordered outer ops must still respect pk-deps among
+	// themselves (inner ops run after and are unaffected).
+	pos := make(map[int]int, len(reordered))
+	for i, op := range reordered {
+		pos[op] = i
+	}
+	for _, op := range reordered {
+		for _, dep := range proc.Ops[op].PKDeps {
+			if p, ok := pos[dep]; ok && p > pos[op] {
+				return outerOps // illegal: keep original order
+			}
+		}
+	}
+	return reordered
+}
+
+type outerState struct {
+	reads        txn.ReadSet
+	pending      map[storage.RID][]byte
+	participants map[simnet.NodeID]bool
+	partOfNode   map[simnet.NodeID]cluster.PartitionID
+	ridOf        map[int]storage.RID
+	pids         map[cluster.PartitionID]bool
+	readRIDs     []storage.RID
+	writeRIDs    []storage.RID
+}
+
+func (st *outerState) isDistributed() bool { return len(st.pids) > 1 }
+
+// lockOuter acquires locks and performs reads for the outer ops, batching
+// consecutive same-participant ops into one round trip. Writes are not
+// materialized here — outer mutators may depend on inner reads.
+func (e *Engine) lockOuter(proc *txn.Procedure, args txn.Args, txnID uint64, outerOps []int, st *outerState) (txn.AbortReason, bool) {
+	n := e.node
+	dir := n.Directory()
+	topo := dir.Topology()
+
+	for idx := 0; idx < len(outerOps); {
+		var batch []server.LockEntry
+		var batchOps []int
+		var target simnet.NodeID
+		var pid cluster.PartitionID
+		for j := idx; j < len(outerOps); j++ {
+			op := &proc.Ops[outerOps[j]]
+			key, ok := op.Key(args, st.reads)
+			if !ok {
+				if j == idx {
+					return txn.AbortInternal, false
+				}
+				break
+			}
+			rid := storage.RID{Table: op.Table, Key: key}
+			p := dir.Partition(rid)
+			t := topo.Primary(p)
+			if j == idx {
+				target, pid = t, p
+			} else if t != target {
+				break
+			}
+			batch = append(batch, server.LockEntry{
+				OpID:      op.ID,
+				Table:     op.Table,
+				Key:       key,
+				Mode:      op.Type.LockMode(),
+				Read:      op.Type == txn.OpRead || op.Type == txn.OpUpdate,
+				MustExist: op.Type != txn.OpInsert,
+			})
+			batchOps = append(batchOps, outerOps[j])
+			st.ridOf[op.ID] = rid
+		}
+		st.participants[target] = true
+		st.partOfNode[target] = pid
+		st.pids[pid] = true
+
+		resp, err := n.LockRead(target, txnID, batch)
+		if err != nil {
+			return txn.AbortInternal, false
+		}
+		if !resp.OK {
+			return resp.Reason, false
+		}
+		for _, opID := range batchOps {
+			op := &proc.Ops[opID]
+			if op.Type == txn.OpRead || op.Type == txn.OpUpdate {
+				rid := st.ridOf[opID]
+				if pv, ok := st.pending[rid]; ok {
+					st.reads[opID] = pv
+				} else {
+					st.reads[opID] = resp.Reads[opID]
+				}
+				st.readRIDs = append(st.readRIDs, rid)
+			}
+			if op.Check != nil {
+				if err := op.Check(st.reads[opID], args, st.reads); err != nil {
+					return txn.AbortConstraint, false
+				}
+			}
+		}
+		idx += len(batch)
+	}
+	return txn.AbortNone, true
+}
+
+// materializeOuterWrites runs the deferred outer mutators, now that both
+// outer and inner reads are available, and groups writes by partition.
+func (e *Engine) materializeOuterWrites(proc *txn.Procedure, args txn.Args, outerOps []int, st *outerState) (map[cluster.PartitionID][]server.WriteOp, error) {
+	dir := e.node.Directory()
+	writes := make(map[cluster.PartitionID][]server.WriteOp)
+	for _, opID := range outerOps {
+		op := &proc.Ops[opID]
+		if !op.Type.IsWrite() {
+			continue
+		}
+		rid, ok := st.ridOf[opID]
+		if !ok {
+			return nil, fmt.Errorf("core: outer write op %d has no resolved rid", opID)
+		}
+		var newVal []byte
+		if op.Type != txn.OpDelete {
+			var old []byte
+			if op.Type == txn.OpUpdate {
+				old = st.reads[opID]
+			}
+			nv, err := op.Mutate(old, args, st.reads)
+			if err != nil {
+				return nil, err
+			}
+			newVal = nv
+		}
+		st.pending[rid] = newVal
+		pid := dir.Partition(rid)
+		writes[pid] = append(writes[pid], server.WriteOp{
+			Table: op.Table, Key: rid.Key, Type: op.Type, Value: newVal,
+		})
+		st.writeRIDs = append(st.writeRIDs, rid)
+	}
+	return writes, nil
+}
+
+func (e *Engine) replicateOuter(txnID uint64, writes map[cluster.PartitionID][]server.WriteOp) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(writes))
+	for pid, ws := range writes {
+		wg.Add(1)
+		go func(pid cluster.PartitionID, ws []server.WriteOp) {
+			defer wg.Done()
+			if err := e.node.Replicate(pid, txnID, ws); err != nil {
+				errs <- err
+			}
+		}(pid, ws)
+	}
+	wg.Wait()
+	close(errs)
+	return <-errs
+}
+
+func (e *Engine) commitOuter(txnID uint64, writes map[cluster.PartitionID][]server.WriteOp, st *outerState) error {
+	var calls []*simnet.Call
+	for target := range st.participants {
+		pid := st.partOfNode[target]
+		c, err := e.node.CommitAsync(target, txnID, writes[pid])
+		if err != nil {
+			return err
+		}
+		if c != nil {
+			calls = append(calls, c)
+		}
+	}
+	for _, c := range calls {
+		if _, err := c.Wait(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/depgraph"
+	"github.com/chillerdb/chiller/internal/server"
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+func key(k storage.Key) txn.KeyFunc {
+	return func(txn.Args, txn.ReadSet) (storage.Key, bool) { return k, true }
+}
+
+func setVal(v byte) txn.MutateFunc {
+	return func([]byte, txn.Args, txn.ReadSet) ([]byte, error) { return []byte{v}, nil }
+}
+
+// single-node harness with hot key 7.
+func newHarness(t *testing.T) (*Engine, *server.Node) {
+	t.Helper()
+	net := simnet.New(simnet.Config{})
+	t.Cleanup(net.Close)
+	topo := cluster.NewTopology(1, 1)
+	dir := cluster.NewDirectory(topo, cluster.HashPartitioner{N: 1})
+	st := storage.NewStore()
+	tbl := st.CreateTable(1, 32)
+	for k := storage.Key(0); k < 10; k++ {
+		if err := tbl.Bucket(k).Insert(k, []byte{byte(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir.SetHot(storage.RID{Table: 1, Key: 7}, 0)
+	node := server.New(net.Endpoint(0), st, txn.NewRegistry(), dir, 0)
+	RegisterVerbs(node)
+	return New(node), node
+}
+
+func TestHotLastOrder(t *testing.T) {
+	e, node := newHarness(t)
+	proc := &txn.Procedure{
+		Name: "p",
+		Ops: []txn.OpSpec{
+			{ID: 0, Type: txn.OpUpdate, Table: 1, Key: key(7), Mutate: setVal(1)}, // hot
+			{ID: 1, Type: txn.OpRead, Table: 1, Key: key(2)},
+			{ID: 2, Type: txn.OpRead, Table: 1, Key: key(3)},
+		},
+	}
+	if err := node.Registry().Register(proc); err != nil {
+		t.Fatal(err)
+	}
+	g, err := depgraph.Build(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.hotLastOrder(g, nil, []int{0, 1, 2})
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	// No hot ops: unchanged.
+	got2 := e.hotLastOrder(g, nil, []int{1, 2})
+	if len(got2) != 2 || got2[0] != 1 {
+		t.Fatalf("cold order changed: %v", got2)
+	}
+}
+
+func TestHotLastOrderRespectsPKDeps(t *testing.T) {
+	e, node := newHarness(t)
+	// Cold op 1's key depends on hot op 0's read: moving 0 after 1 is
+	// illegal, so the original order must be kept.
+	proc := &txn.Procedure{
+		Name: "dep",
+		Ops: []txn.OpSpec{
+			{ID: 0, Type: txn.OpRead, Table: 1, Key: key(7)}, // hot
+			{ID: 1, Type: txn.OpRead, Table: 1, Key: func(_ txn.Args, reads txn.ReadSet) (storage.Key, bool) {
+				v, ok := reads[0]
+				if !ok {
+					return 0, false
+				}
+				return storage.Key(v[0] % 10), true
+			}, PKDeps: []int{0}},
+		},
+	}
+	if err := node.Registry().Register(proc); err != nil {
+		t.Fatal(err)
+	}
+	g, err := depgraph.Build(proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e.hotLastOrder(g, nil, []int{0, 1})
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("illegal reorder accepted: %v", got)
+	}
+}
+
+func TestExecInnerLocalCommitsUnilaterally(t *testing.T) {
+	_, node := newHarness(t)
+	proc := &txn.Procedure{
+		Name: "inner",
+		Ops: []txn.OpSpec{
+			{ID: 0, Type: txn.OpUpdate, Table: 1, Key: key(7), Mutate: setVal(42)},
+		},
+	}
+	if err := node.Registry().Register(proc); err != nil {
+		t.Fatal(err)
+	}
+	resp := ExecInnerLocal(node, 100, node.ID(), "inner", nil, []int{0}, nil)
+	if !resp.OK {
+		t.Fatalf("inner aborted: %v", resp.Reason)
+	}
+	// Committed immediately: value visible, locks released.
+	v, _, err := node.Store().Table(1).Bucket(7).Get(7)
+	if err != nil || v[0] != 42 {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	if node.Store().Table(1).Bucket(7).Lock.Held() {
+		t.Fatal("inner lock leaked")
+	}
+	if node.ActiveTxns() != 0 {
+		t.Fatal("inner state leaked")
+	}
+}
+
+func TestExecInnerLocalAbortsOnConflict(t *testing.T) {
+	_, node := newHarness(t)
+	proc := &txn.Procedure{
+		Name: "conflict",
+		Ops: []txn.OpSpec{
+			{ID: 0, Type: txn.OpUpdate, Table: 1, Key: key(7), Mutate: setVal(1)},
+		},
+	}
+	if err := node.Registry().Register(proc); err != nil {
+		t.Fatal(err)
+	}
+	b := node.Store().Table(1).Bucket(7)
+	if !b.Lock.TryLock(storage.LockExclusive) {
+		t.Fatal("setup")
+	}
+	defer b.Lock.Unlock(storage.LockExclusive)
+	resp := ExecInnerLocal(node, 101, node.ID(), "conflict", nil, []int{0}, nil)
+	if resp.OK || resp.Reason != txn.AbortLockConflict {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// Original value intact.
+	v, _, _ := b.Get(7)
+	if v[0] != 7 {
+		t.Fatalf("aborted inner mutated value: %v", v)
+	}
+}
+
+// The inner lock namespace must be disjoint from the outer one: a
+// transaction holding an outer lock on this node must not have it
+// released by its own inner region's commit.
+func TestInnerLockNamespaceIsolation(t *testing.T) {
+	_, node := newHarness(t)
+	proc := &txn.Procedure{
+		Name: "ns",
+		Ops: []txn.OpSpec{
+			{ID: 0, Type: txn.OpRead, Table: 1, Key: key(2)},                      // outer
+			{ID: 1, Type: txn.OpUpdate, Table: 1, Key: key(7), Mutate: setVal(9)}, // inner
+		},
+	}
+	if err := node.Registry().Register(proc); err != nil {
+		t.Fatal(err)
+	}
+	const txnID = 200
+	// Outer region locked under the raw txn id.
+	lr := node.LockReadLocal(txnID, []server.LockEntry{
+		{OpID: 0, Table: 1, Key: 2, Mode: storage.LockShared, Read: true, MustExist: true},
+	})
+	if !lr.OK {
+		t.Fatal(lr.Reason)
+	}
+	// Inner region executes and commits under the same txn id.
+	resp := ExecInnerLocal(node, txnID, node.ID(), "ns", nil, []int{1}, txn.ReadSet{0: []byte{2}})
+	if !resp.OK {
+		t.Fatalf("inner: %v", resp.Reason)
+	}
+	// The outer shared lock must still be held.
+	if !node.Store().Table(1).Bucket(2).Lock.Held() {
+		t.Fatal("inner commit released the outer lock")
+	}
+	node.AbortLocal(txnID)
+}
+
+func TestInnerRequestWireRoundTrip(t *testing.T) {
+	req := &innerRequest{
+		TxnID:    7,
+		Coord:    3,
+		Proc:     "p",
+		Args:     txn.Args{1, 2},
+		InnerOps: []int{0, 2},
+		Reads:    txn.ReadSet{1: []byte("v")},
+	}
+	got, err := decodeInnerRequest(req.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TxnID != 7 || got.Coord != 3 || got.Proc != "p" ||
+		len(got.Args) != 2 || len(got.InnerOps) != 2 || string(got.Reads[1]) != "v" {
+		t.Fatalf("got %+v", got)
+	}
+	resp := &innerResponse{OK: true, Reads: txn.ReadSet{0: []byte("r")}}
+	rgot, err := decodeInnerResponse(resp.encode())
+	if err != nil || !rgot.OK || string(rgot.Reads[0]) != "r" {
+		t.Fatalf("resp %+v err=%v", rgot, err)
+	}
+}
+
+func TestRunFallsBackForColdTxn(t *testing.T) {
+	e, node := newHarness(t)
+	proc := &txn.Procedure{
+		Name: "cold",
+		Ops: []txn.OpSpec{
+			{ID: 0, Type: txn.OpUpdate, Table: 1, Key: key(3), Mutate: setVal(5)},
+		},
+	}
+	if err := node.Registry().Register(proc); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := e.Decide(&txn.Request{Proc: "cold"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.TwoRegion {
+		t.Fatal("cold txn classified two-region")
+	}
+	res := e.Run(&txn.Request{Proc: "cold"})
+	if !res.Committed {
+		t.Fatalf("cold txn aborted: %v", res.Reason)
+	}
+	v, _, _ := node.Store().Table(1).Bucket(3).Get(3)
+	if v[0] != 5 {
+		t.Fatal("cold write lost")
+	}
+}
+
+func TestRunUnknownProc(t *testing.T) {
+	e, _ := newHarness(t)
+	res := e.Run(&txn.Request{Proc: "ghost"})
+	if res.Committed || res.Reason != txn.AbortInternal {
+		t.Fatalf("res = %+v", res)
+	}
+	if _, err := e.Decide(&txn.Request{Proc: "ghost"}); err == nil {
+		t.Fatal("Decide accepted unknown proc")
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"github.com/chillerdb/chiller/internal/server"
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller/internal/wire"
+)
+
+// innerRequest is the RPC the coordinator sends to the inner host
+// (step 4 of §3.3): "all information needed to execute and commit the
+// transaction (transaction ID, all remaining operation IDs, input
+// parameters, etc.)".
+type innerRequest struct {
+	TxnID    uint64
+	Coord    simnet.NodeID
+	Proc     string
+	Args     txn.Args
+	InnerOps []int
+	Reads    txn.ReadSet // outer-region values the inner ops may need
+}
+
+func (r *innerRequest) encode() []byte {
+	w := wire.NewWriter(128)
+	w.Uint64(r.TxnID)
+	w.Uint32(uint32(r.Coord))
+	w.String(r.Proc)
+	w.Int64s(r.Args)
+	w.Ints(r.InnerOps)
+	r.Reads.Encode(w)
+	return w.Bytes()
+}
+
+func decodeInnerRequest(p []byte) (*innerRequest, error) {
+	r := wire.NewReader(p)
+	req := &innerRequest{}
+	req.TxnID = r.Uint64()
+	req.Coord = simnet.NodeID(r.Uint32())
+	req.Proc = r.String()
+	req.Args = r.Int64s()
+	req.InnerOps = r.Ints()
+	req.Reads = txn.DecodeReadSet(r)
+	return req, r.Err()
+}
+
+// innerResponse reports the inner host's unilateral decision plus the
+// values it read (the coordinator needs them to materialize outer writes
+// with v-deps on the inner region — e.g. Figure 4's cost value flowing
+// back to the customer-balance update).
+type innerResponse struct {
+	OK     bool
+	Reason txn.AbortReason
+	Reads  txn.ReadSet
+}
+
+func (r *innerResponse) encode() []byte {
+	w := wire.NewWriter(64)
+	w.Bool(r.OK)
+	w.Uint8(uint8(r.Reason))
+	r.Reads.Encode(w)
+	return w.Bytes()
+}
+
+func decodeInnerResponse(p []byte) (*innerResponse, error) {
+	r := wire.NewReader(p)
+	resp := &innerResponse{}
+	resp.OK = r.Bool()
+	resp.Reason = txn.AbortReason(r.Uint8())
+	resp.Reads = txn.DecodeReadSet(r)
+	return resp, r.Err()
+}
+
+// RegisterVerbs installs the inner-region execution handler on a node.
+// Every node that can host an inner region needs it.
+func RegisterVerbs(n *server.Node) {
+	n.Endpoint().Handle(server.VerbInnerExec, func(_ simnet.NodeID, raw []byte) ([]byte, error) {
+		req, err := decodeInnerRequest(raw)
+		if err != nil {
+			return nil, err
+		}
+		// The handler runs on the fabric's delivery goroutine; inner
+		// execution is purely local and fast (that is the whole point),
+		// so executing inline preserves per-link ordering without
+		// stalling other traffic meaningfully. Long-running handlers
+		// would spawn; this one must not, because the one-way
+		// replication stream it emits must stay ordered with respect to
+		// subsequent inner regions on this host.
+		resp := ExecInnerLocal(n, req.TxnID, req.Coord, req.Proc, req.Args, req.InnerOps, req.Reads)
+		return resp.encode(), nil
+	})
+}
+
+// execInner delegates the inner region: a direct call when the inner host
+// is this node (the common case after contention-aware partitioning — the
+// coordinator was placed with the hot data), an RPC otherwise.
+func (e *Engine) execInner(innerNode simnet.NodeID, req *innerRequest) *innerResponse {
+	if innerNode == e.node.ID() {
+		return ExecInnerLocal(e.node, req.TxnID, req.Coord, req.Proc, req.Args, req.InnerOps, req.Reads)
+	}
+	raw, err := e.node.Endpoint().Call(innerNode, server.VerbInnerExec, req.encode())
+	if err != nil {
+		return &innerResponse{Reason: txn.AbortInternal}
+	}
+	resp, derr := decodeInnerResponse(raw)
+	if derr != nil {
+		return &innerResponse{Reason: txn.AbortInternal}
+	}
+	return resp
+}
+
+// ExecInnerLocal executes and unilaterally commits an inner region on
+// this node. It is exported for the benchmark harness's single-node
+// ablations.
+//
+// Execution acquires bucket locks even inside the inner region (the
+// paper's "general execution model", end of §3.3): static analysis alone
+// cannot guarantee that no other transaction touches these records in an
+// outer region, and the lock cost is negligible next to a message delay.
+// The locks live in a separate namespace (innerIDBit) so committing the
+// inner region does not release outer locks the coordinator may hold on
+// this same node under the same transaction id.
+func ExecInnerLocal(n *server.Node, txnID uint64, coord simnet.NodeID, procName string, args txn.Args, innerOps []int, shipped txn.ReadSet) *innerResponse {
+	proc := n.Registry().Lookup(procName)
+	if proc == nil {
+		return &innerResponse{Reason: txn.AbortInternal}
+	}
+	innerID := txnID | innerIDBit
+
+	reads := shipped.Clone()
+	innerReads := make(txn.ReadSet)
+	pending := make(map[storage.RID][]byte)
+	var writes []server.WriteOp
+
+	abort := func(reason txn.AbortReason) *innerResponse {
+		n.AbortLocal(innerID)
+		return &innerResponse{Reason: reason}
+	}
+
+	for _, opID := range innerOps {
+		if opID < 0 || opID >= len(proc.Ops) {
+			return abort(txn.AbortInternal)
+		}
+		op := &proc.Ops[opID]
+		key, ok := op.Key(args, reads)
+		if !ok {
+			return abort(txn.AbortInternal)
+		}
+		rid := storage.RID{Table: op.Table, Key: key}
+
+		entry := server.LockEntry{
+			OpID:      opID,
+			Table:     op.Table,
+			Key:       key,
+			Mode:      op.Type.LockMode(),
+			Read:      op.Type == txn.OpRead || op.Type == txn.OpUpdate,
+			MustExist: op.Type != txn.OpInsert,
+		}
+		resp := n.LockReadLocal(innerID, []server.LockEntry{entry})
+		if !resp.OK {
+			return abort(resp.Reason)
+		}
+		if entry.Read {
+			var v []byte
+			if pv, ok := pending[rid]; ok {
+				v = pv
+			} else {
+				v = resp.Reads[opID]
+			}
+			reads[opID] = v
+			innerReads[opID] = v
+		}
+		if op.Check != nil {
+			if err := op.Check(reads[opID], args, reads); err != nil {
+				return abort(txn.AbortConstraint)
+			}
+		}
+		if op.Type.IsWrite() {
+			var newVal []byte
+			if op.Type != txn.OpDelete {
+				var old []byte
+				if op.Type == txn.OpUpdate {
+					old = reads[opID]
+				}
+				nv, err := op.Mutate(old, args, reads)
+				if err != nil {
+					return abort(txn.AbortConstraint)
+				}
+				newVal = nv
+			}
+			pending[rid] = newVal
+			writes = append(writes, server.WriteOp{
+				Table: op.Table, Key: key, Type: op.Type, Value: newVal,
+			})
+		}
+	}
+
+	// Unilateral commit: apply the writes and release the inner locks.
+	// From this instant the transaction is committed (§3.3 step 4); the
+	// outer region can no longer abort it.
+	if err := n.CommitLocal(innerID, writes); err != nil {
+		// CommitLocal only fails on engine invariant violations.
+		return &innerResponse{Reason: txn.AbortInternal}
+	}
+
+	// Stream the new values to this partition's replicas without
+	// waiting; replicas acknowledge to the coordinator (Figure 6).
+	if len(writes) > 0 {
+		if _, err := n.StreamInnerRepl(n.Partition(), txnID, coord, writes); err != nil {
+			return &innerResponse{Reason: txn.AbortInternal}
+		}
+	} else {
+		// Nothing to replicate: satisfy the coordinator's ack
+		// expectation directly so it does not wait forever.
+		for range n.Directory().Topology().Replicas(n.Partition()) {
+			_ = n.Endpoint().Send(coord, server.VerbInnerAck, server.EncodeAbort(txnID))
+		}
+	}
+	return &innerResponse{OK: true, Reads: innerReads}
+}

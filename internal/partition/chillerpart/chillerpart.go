@@ -1,0 +1,243 @@
+// Package chillerpart implements Chiller's contention-centric partitioner
+// (§4.2–4.4): the workload is modelled as a *star* graph — one dummy
+// t-vertex per sampled transaction with an edge to each record it
+// accesses — instead of Schism's clique representation. Edge weights are
+// proportional to the record's contention likelihood, so a min-cut keeps
+// hot records attached to the transactions that touch them: the t-vertex's
+// partition is the transaction's inner host, and a cut edge to a record
+// means that record would be accessed in the transaction's *outer*
+// region (bad in proportion to its contention).
+//
+// Only records whose contention likelihood exceeds the threshold enter
+// the lookup table; everything else keeps its default hash/range home
+// (§4.4), which is what makes Chiller's routing metadata ~10x smaller
+// than Schism's on skewed workloads.
+package chillerpart
+
+import (
+	"fmt"
+
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/metis"
+	"github.com/chillerdb/chiller/internal/partition"
+	"github.com/chillerdb/chiller/internal/stats"
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+// LoadMetric selects the balance objective of §4.3.
+type LoadMetric uint8
+
+const (
+	// LoadTxnCount balances the number of transactions executed per
+	// partition (t-vertices weigh 1, r-vertices 0).
+	LoadTxnCount LoadMetric = iota
+	// LoadRecordCount balances the number of records hosted
+	// (r-vertices weigh 1, t-vertices 0).
+	LoadRecordCount
+	// LoadAccessCount balances record accesses (r-vertices weigh
+	// reads+writes, t-vertices 0).
+	LoadAccessCount
+)
+
+func (m LoadMetric) String() string {
+	switch m {
+	case LoadTxnCount:
+		return "txn-count"
+	case LoadRecordCount:
+		return "record-count"
+	case LoadAccessCount:
+		return "access-count"
+	}
+	return fmt.Sprintf("load(%d)", uint8(m))
+}
+
+// Config controls the partitioning.
+type Config struct {
+	// K is the number of partitions.
+	K int
+	// Epsilon is the balance slack (default 0.1).
+	Epsilon float64
+	// Seed drives the randomized phases.
+	Seed int64
+	// HotThreshold is the contention likelihood above which a record
+	// earns a lookup-table entry (default 0.05).
+	HotThreshold float64
+	// Load selects the balance metric (default LoadTxnCount).
+	Load LoadMetric
+	// MinEdgeWeight, when positive, adds a floor weight to every edge —
+	// the co-optimization of §4.4 that also discourages distributed
+	// transactions. Expressed in the same unit as contention likelihood
+	// (e.g. 0.01).
+	MinEdgeWeight float64
+}
+
+// Result extends the layout with per-transaction inner hosts.
+type Result struct {
+	Layout *partition.Layout
+	// TxnHost[i] is the partition chosen for trace transaction i's
+	// t-vertex — the transaction's planned inner host.
+	TxnHost []cluster.PartitionID
+	// Hot lists the records that crossed the threshold, hottest first.
+	Hot []stats.RecordStats
+	// Edges is the number of graph edges (n per n-record transaction —
+	// the §4.4 graph-size advantage over Schism's cliques).
+	Edges int
+}
+
+// weightScale converts float contention likelihoods to the integer edge
+// weights the graph partitioner uses.
+const weightScale = 10000
+
+// Partition builds the star graph from the aggregate's trace and
+// contention statistics and partitions it. The aggregate must have been
+// Finalized so per-record Pc values are available.
+func Partition(agg *stats.Aggregate, cfg Config) (*Result, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("chillerpart: K = %d", cfg.K)
+	}
+	if cfg.Epsilon <= 0 {
+		cfg.Epsilon = 0.1
+	}
+	if cfg.HotThreshold <= 0 {
+		cfg.HotThreshold = 0.05
+	}
+	trace := agg.Txns()
+
+	rids := partition.Records(trace)
+	index := make(map[storage.RID]int, len(rids))
+	for i, r := range rids {
+		index[r] = i
+	}
+	nR := len(rids)
+	nT := len(trace)
+
+	// Vertices: records first [0, nR), then t-vertices [nR, nR+nT).
+	b := metis.NewBuilder(nR + nT)
+
+	// Load metric → vertex weights.
+	accessCount := make([]int64, nR)
+	for _, t := range trace {
+		for _, r := range t.Reads {
+			accessCount[index[r]]++
+		}
+		for _, w := range t.Writes {
+			accessCount[index[w]]++
+		}
+	}
+	for i := 0; i < nR; i++ {
+		switch cfg.Load {
+		case LoadTxnCount:
+			b.SetVertexWeight(i, 0)
+		case LoadRecordCount:
+			b.SetVertexWeight(i, 1)
+		case LoadAccessCount:
+			b.SetVertexWeight(i, accessCount[i])
+		}
+	}
+	for i := 0; i < nT; i++ {
+		if cfg.Load == LoadTxnCount {
+			b.SetVertexWeight(nR+i, 1)
+		} else {
+			b.SetVertexWeight(nR+i, 0)
+		}
+	}
+
+	// Star edges: t-vertex ↔ each accessed record, weight ∝ Pc + floor.
+	edges := 0
+	for ti, t := range trace {
+		tv := nR + ti
+		seen := make(map[int]bool)
+		connect := func(rid storage.RID) {
+			v := index[rid]
+			if seen[v] {
+				return
+			}
+			seen[v] = true
+			w := int64(agg.Pc(rid)*weightScale) + int64(cfg.MinEdgeWeight*weightScale)
+			if w < 1 {
+				w = 1 // keep the graph connected so records follow txns
+			}
+			b.AddEdge(tv, v, w)
+			edges++
+		}
+		for _, r := range t.Reads {
+			connect(r)
+		}
+		for _, w := range t.Writes {
+			connect(w)
+		}
+	}
+
+	g := b.Build()
+	res, err := metis.Partition(g, cfg.K, cfg.Epsilon, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lookup table: hot records only.
+	hot := make(map[storage.RID]cluster.PartitionID)
+	var hotStats []stats.RecordStats
+	for _, rs := range agg.Records() {
+		if rs.Pc <= cfg.HotThreshold {
+			break // Records() is sorted hottest-first
+		}
+		if v, ok := index[rs.RID]; ok {
+			hot[rs.RID] = cluster.PartitionID(res.Assign[v])
+			hotStats = append(hotStats, rs)
+		}
+	}
+
+	hosts := make([]cluster.PartitionID, nT)
+	for i := 0; i < nT; i++ {
+		hosts[i] = cluster.PartitionID(res.Assign[nR+i])
+	}
+	return &Result{
+		Layout:  &partition.Layout{Hot: hot, Cut: res.Cut},
+		TxnHost: hosts,
+		Hot:     hotStats,
+		Edges:   edges,
+	}, nil
+}
+
+// ContentionCost evaluates Σ_ρ Pc(ρ) over records accessed in an outer
+// region under the given router — the objective of §4.3 measured on a
+// trace. For each transaction, its inner host is the partition hosting
+// the plurality of its hot-record accesses; every hot record on another
+// partition contributes its contention likelihood.
+func ContentionCost(agg *stats.Aggregate, route partition.Router, k int) float64 {
+	total := 0.0
+	for _, t := range agg.Txns() {
+		counts := make(map[cluster.PartitionID]float64)
+		type acc struct {
+			rid storage.RID
+			pc  float64
+		}
+		var accesses []acc
+		visit := func(rid storage.RID) {
+			pc := agg.Pc(rid)
+			p := route(rid)
+			counts[p] += pc
+			accesses = append(accesses, acc{rid, pc})
+		}
+		for _, r := range t.Reads {
+			visit(r)
+		}
+		for _, w := range t.Writes {
+			visit(w)
+		}
+		// Inner host: the partition with the most contention mass.
+		var inner cluster.PartitionID
+		best := -1.0
+		for p, c := range counts {
+			if c > best {
+				inner, best = p, c
+			}
+		}
+		for _, a := range accesses {
+			if route(a.rid) != inner {
+				total += a.pc
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,97 @@
+package partition
+
+import (
+	"testing"
+
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/stats"
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+func rid(k storage.Key) storage.RID { return storage.RID{Table: 1, Key: k} }
+
+func trace() []stats.TxnSample {
+	return []stats.TxnSample{
+		{Reads: []storage.RID{rid(1)}, Writes: []storage.RID{rid(2)}},
+		{Writes: []storage.RID{rid(2), rid(3)}},
+		{Reads: []storage.RID{rid(4)}},
+	}
+}
+
+func TestRecordsDeduplicated(t *testing.T) {
+	rs := Records(trace())
+	if len(rs) != 4 {
+		t.Fatalf("Records = %v", rs)
+	}
+	if rs[0] != rid(1) || rs[1] != rid(2) {
+		t.Fatalf("first-seen order violated: %v", rs)
+	}
+}
+
+func TestDistributedRatio(t *testing.T) {
+	// Route: key<3 → partition 0, else partition 1.
+	route := Router(func(r storage.RID) cluster.PartitionID {
+		if r.Key < 3 {
+			return 0
+		}
+		return 1
+	})
+	// txn1: records 1,2 → local. txn2: records 2,3 → distributed.
+	// txn3: record 4 → local.
+	got := DistributedRatio(trace(), route)
+	want := 1.0 / 3.0
+	if got != want {
+		t.Fatalf("DistributedRatio = %v, want %v", got, want)
+	}
+	if DistributedRatio(nil, route) != 0 {
+		t.Fatal("empty trace should be 0")
+	}
+}
+
+func TestLayoutInstallAndRouter(t *testing.T) {
+	topo := cluster.NewTopology(2, 1)
+	def := cluster.HashPartitioner{N: 2}
+	dir := cluster.NewDirectory(topo, def)
+
+	l := &Layout{Hot: map[storage.RID]cluster.PartitionID{rid(1): 1}}
+	l.Install(dir)
+	if !dir.IsHot(rid(1)) || dir.Partition(rid(1)) != 1 {
+		t.Fatal("hot entry not installed")
+	}
+	if l.LookupTableSize() != 1 {
+		t.Fatalf("LookupTableSize = %d", l.LookupTableSize())
+	}
+
+	r := RouterFor(l, def)
+	if r(rid(1)) != 1 {
+		t.Fatal("router ignores hot entry")
+	}
+	if r(rid(9)) != def.Partition(rid(9)) {
+		t.Fatal("router fallback broken")
+	}
+
+	// Full-map layout.
+	l2 := &Layout{Full: map[storage.RID]cluster.PartitionID{rid(2): 0, rid(3): 1}}
+	l2.Install(dir)
+	if dir.IsHot(rid(1)) {
+		t.Fatal("Install did not clear previous hot entries")
+	}
+	if dir.Partition(rid(2)) != 0 || dir.Partition(rid(3)) != 1 {
+		t.Fatal("full map not honored")
+	}
+	r2 := RouterFor(l2, def)
+	if r2(rid(3)) != 1 {
+		t.Fatal("router ignores full map")
+	}
+}
+
+func TestLoadBalanceCountsDistinctRecords(t *testing.T) {
+	route := Router(func(r storage.RID) cluster.PartitionID {
+		return cluster.PartitionID(r.Key % 2)
+	})
+	loads := LoadBalance(trace(), route, 2)
+	// Records 1,3 → partition 1; records 2,4 → partition 0.
+	if loads[0] != 2 || loads[1] != 2 {
+		t.Fatalf("loads = %v", loads)
+	}
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"fmt"
+
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+// Coordinator-side helpers. Every engine (2PL/2PC, OCC, Chiller) drives
+// participants through these; a participant that happens to be the local
+// node is short-circuited to a direct call, modelling the co-located
+// compute/storage fast path of the NAM-DB architecture.
+
+// LockRead locks and reads entries at the target node.
+func (n *Node) LockRead(target simnet.NodeID, txnID uint64, entries []LockEntry) (*LockResponse, error) {
+	if target == n.ID() {
+		return n.LockReadLocal(txnID, entries), nil
+	}
+	resp, err := n.ep.Call(target, VerbLockRead, EncodeLockRequest(txnID, entries))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeLockResponse(resp)
+}
+
+// CommitAt applies writes and releases locks at the target participant.
+func (n *Node) CommitAt(target simnet.NodeID, txnID uint64, writes []WriteOp) error {
+	if target == n.ID() {
+		return n.CommitLocal(txnID, writes)
+	}
+	_, err := n.ep.Call(target, VerbCommit, EncodeWrites(txnID, writes))
+	return err
+}
+
+// CommitAsync starts a commit RPC without waiting (used to fan out the
+// second phase of 2PC). The caller must Wait on the returned call; a nil
+// call means the commit was executed locally and synchronously.
+func (n *Node) CommitAsync(target simnet.NodeID, txnID uint64, writes []WriteOp) (*simnet.Call, error) {
+	if target == n.ID() {
+		return nil, n.CommitLocal(txnID, writes)
+	}
+	return n.ep.Go(target, VerbCommit, EncodeWrites(txnID, writes))
+}
+
+// AbortAt rolls a participant back. Abort is best-effort fire-and-forget
+// from the protocol's perspective, but we wait for the response so tests
+// observe a quiesced cluster.
+func (n *Node) AbortAt(target simnet.NodeID, txnID uint64) {
+	if target == n.ID() {
+		n.AbortLocal(txnID)
+		return
+	}
+	_, _ = n.ep.Call(target, VerbAbort, EncodeAbort(txnID))
+}
+
+// AbortAll rolls back every participant in the set.
+func (n *Node) AbortAll(participants map[simnet.NodeID]bool, txnID uint64) {
+	for p := range participants {
+		n.AbortAt(p, txnID)
+	}
+}
+
+// Replicate synchronously ships a partition's write set to all replicas
+// of that partition (outer-region/cold-data replication: the primary
+// waits for acknowledgements before committing).
+func (n *Node) Replicate(pid cluster.PartitionID, txnID uint64, writes []WriteOp) error {
+	if len(writes) == 0 {
+		return nil
+	}
+	replicas := n.dir.Topology().Replicas(pid)
+	if len(replicas) == 0 {
+		return nil
+	}
+	payload := EncodeWrites(txnID, writes)
+	calls := make([]*simnet.Call, 0, len(replicas))
+	for _, r := range replicas {
+		c, err := n.ep.Go(r, VerbReplApply, payload)
+		if err != nil {
+			return fmt.Errorf("server: replicate to node %d: %w", r, err)
+		}
+		calls = append(calls, c)
+	}
+	for _, c := range calls {
+		if _, err := c.Wait(); err != nil {
+			return fmt.Errorf("server: replica ack: %w", err)
+		}
+	}
+	return nil
+}
+
+// StreamInnerRepl sends the inner-region write set to each replica of the
+// inner partition as a one-way message and returns immediately: per §5 the
+// inner primary "moves on to the next transaction" without waiting. The
+// replicas will ack to the coordinator, not to us.
+func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID uint64, coordinator simnet.NodeID, writes []WriteOp) (replicaCount int, err error) {
+	replicas := n.dir.Topology().Replicas(pid)
+	if len(replicas) == 0 {
+		return 0, nil
+	}
+	payload := EncodeInnerRepl(txnID, coordinator, writes)
+	for _, r := range replicas {
+		if err := n.ep.Send(r, VerbInnerRepl, payload); err != nil {
+			return 0, fmt.Errorf("server: inner repl to node %d: %w", r, err)
+		}
+	}
+	return len(replicas), nil
+}
+
+// SampleCommit reports a committed transaction's access sets to the
+// statistics observer, if one is installed.
+func (n *Node) SampleCommit(reads, writes []storage.RID) {
+	if n.sampler == nil {
+		return
+	}
+	n.sampler.ObserveTxn(reads, writes)
+}

@@ -1,0 +1,418 @@
+// Package server implements a Chiller cluster node: the partition-local
+// storage engine plus the RPC verbs that every execution engine
+// (2PL/2PC, OCC, and Chiller's two-region engine) builds on.
+//
+// A node is both a participant (it serves lock/commit/abort verbs against
+// its partition) and a potential coordinator (client goroutines on the
+// node run engine code that fans out to other participants). Per the
+// NAM-DB architecture (§6), compute and storage are logically decoupled
+// but co-located here: a coordinator accesses its own partition through
+// direct function calls and remote partitions through the fabric.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// AccessObserver receives sampled transaction access sets; the statistics
+// service (§4.1) implements it. May be nil.
+type AccessObserver interface {
+	ObserveTxn(reads, writes []storage.RID)
+}
+
+// Node is one machine in the cluster.
+type Node struct {
+	ep       *simnet.Endpoint
+	store    *storage.Store
+	registry *txn.Registry
+	dir      *cluster.Directory
+	part     cluster.PartitionID
+
+	txnSeq atomic.Uint64
+
+	// Participant transaction state (locks held on behalf of remote
+	// coordinators, and by local coordinators for uniformity).
+	stMu  sync.Mutex
+	state map[uint64]*partState
+
+	// Pending inner-region replication acks awaited by local
+	// coordinators: txnID → countdown channel.
+	ackMu   sync.Mutex
+	acks    map[uint64]*ackWaiter
+	sampler AccessObserver
+
+	// FaultInjector, when non-nil, is consulted before commits; tests
+	// use it to simulate participant failures.
+	FaultInjector func(verb string, txnID uint64) error
+}
+
+type ackWaiter struct {
+	remaining int
+	done      chan struct{}
+}
+
+// partState tracks one transaction's footprint on this participant.
+type partState struct {
+	locks []lockRef
+}
+
+type lockRef struct {
+	bucket *storage.Bucket
+	mode   storage.LockMode
+}
+
+// New creates a node bound to an endpoint, owning the primary store for
+// partition part, and registers the common verbs.
+func New(ep *simnet.Endpoint, st *storage.Store, reg *txn.Registry, dir *cluster.Directory, part cluster.PartitionID) *Node {
+	n := &Node{
+		ep:       ep,
+		store:    st,
+		registry: reg,
+		dir:      dir,
+		part:     part,
+		state:    make(map[uint64]*partState),
+		acks:     make(map[uint64]*ackWaiter),
+	}
+	ep.Handle(VerbLockRead, n.handleLockRead)
+	ep.Handle(VerbCommit, n.handleCommit)
+	ep.Handle(VerbAbort, n.handleAbort)
+	ep.Handle(VerbReplApply, n.handleReplApply)
+	ep.Handle(VerbInnerRepl, n.handleInnerRepl)
+	ep.Handle(VerbInnerAck, n.handleInnerAck)
+	return n
+}
+
+// ID returns the node's fabric identity.
+func (n *Node) ID() simnet.NodeID { return n.ep.ID() }
+
+// Endpoint returns the node's fabric endpoint.
+func (n *Node) Endpoint() *simnet.Endpoint { return n.ep }
+
+// Store returns the node's storage engine.
+func (n *Node) Store() *storage.Store { return n.store }
+
+// Registry returns the shared stored-procedure registry.
+func (n *Node) Registry() *txn.Registry { return n.registry }
+
+// Directory returns the routing directory.
+func (n *Node) Directory() *cluster.Directory { return n.dir }
+
+// Partition returns the partition this node primaries.
+func (n *Node) Partition() cluster.PartitionID { return n.part }
+
+// SetSampler installs the statistics observer (may be nil).
+func (n *Node) SetSampler(s AccessObserver) { n.sampler = s }
+
+// Sampler returns the installed observer, or nil.
+func (n *Node) Sampler() AccessObserver { return n.sampler }
+
+// NextTxnID mints a cluster-unique transaction id: node id in the high
+// bits, a local sequence below.
+func (n *Node) NextTxnID() uint64 {
+	return uint64(n.ep.ID())<<40 | n.txnSeq.Add(1)
+}
+
+func (n *Node) getState(txnID uint64, create bool) *partState {
+	n.stMu.Lock()
+	defer n.stMu.Unlock()
+	st, ok := n.state[txnID]
+	if !ok && create {
+		st = &partState{}
+		n.state[txnID] = st
+	}
+	return st
+}
+
+func (n *Node) dropState(txnID uint64) *partState {
+	n.stMu.Lock()
+	defer n.stMu.Unlock()
+	st := n.state[txnID]
+	delete(n.state, txnID)
+	return st
+}
+
+// ActiveTxns reports how many transactions currently hold participant
+// state here (diagnostics; the harness asserts it drains to zero).
+func (n *Node) ActiveTxns() int {
+	n.stMu.Lock()
+	defer n.stMu.Unlock()
+	return len(n.state)
+}
+
+// hasLock reports whether the state already covers bucket b with a mode
+// at least as strong as mode.
+func (st *partState) hasLock(b *storage.Bucket, mode storage.LockMode) (held bool, idx int) {
+	for i, l := range st.locks {
+		if l.bucket == b {
+			if l.mode == storage.LockExclusive || mode == storage.LockShared {
+				return true, i
+			}
+			return false, i // held shared, need exclusive → upgrade
+		}
+	}
+	return false, -1
+}
+
+// LockReadLocal is the participant lock-and-read step, callable directly
+// by a local coordinator or via VerbLockRead. On failure everything this
+// call acquired is rolled back, but locks from earlier calls for the same
+// txn remain until an explicit AbortLocal (the coordinator owns cleanup).
+func (n *Node) LockReadLocal(txnID uint64, entries []LockEntry) *LockResponse {
+	st := n.getState(txnID, true)
+	acquired := make([]lockRef, 0, len(entries))
+	rollback := func() {
+		for _, l := range acquired {
+			l.bucket.Lock.Unlock(l.mode)
+		}
+		// Remove the acquired suffix from state.
+		n.stMu.Lock()
+		st.locks = st.locks[:len(st.locks)-len(acquired)]
+		n.stMu.Unlock()
+	}
+	reads := make(txn.ReadSet)
+	for _, e := range entries {
+		tbl := n.store.Table(e.Table)
+		if tbl == nil {
+			rollback()
+			return &LockResponse{OK: false, Reason: txn.AbortInternal}
+		}
+		b := tbl.Bucket(e.Key)
+
+		n.stMu.Lock()
+		held, idx := st.hasLock(b, e.Mode)
+		n.stMu.Unlock()
+		switch {
+		case held:
+			// Already sufficiently locked by this txn.
+		case idx >= 0:
+			// Held shared, exclusive requested: try upgrade.
+			if !b.Lock.Upgrade() {
+				rollback()
+				return &LockResponse{OK: false, Reason: txn.AbortLockConflict}
+			}
+			n.stMu.Lock()
+			st.locks[idx].mode = storage.LockExclusive
+			n.stMu.Unlock()
+		default:
+			if !b.Lock.TryLock(e.Mode) {
+				rollback()
+				return &LockResponse{OK: false, Reason: txn.AbortLockConflict}
+			}
+			ref := lockRef{bucket: b, mode: e.Mode}
+			acquired = append(acquired, ref)
+			n.stMu.Lock()
+			st.locks = append(st.locks, ref)
+			n.stMu.Unlock()
+		}
+
+		if e.Read || e.MustExist {
+			v, _, err := b.Get(e.Key)
+			if err != nil {
+				if e.MustExist {
+					rollback()
+					return &LockResponse{OK: false, Reason: txn.AbortNotFound}
+				}
+				v = nil
+			}
+			if e.Read {
+				reads[e.OpID] = v
+			}
+		}
+	}
+	return &LockResponse{OK: true, Reads: reads}
+}
+
+// CommitLocal applies the write set and releases the transaction's locks
+// on this participant.
+func (n *Node) CommitLocal(txnID uint64, writes []WriteOp) error {
+	if n.FaultInjector != nil {
+		if err := n.FaultInjector(VerbCommit, txnID); err != nil {
+			return err
+		}
+	}
+	if err := ApplyWrites(n.store, writes); err != nil {
+		// A write to a locked, verified record cannot legitimately fail;
+		// treat as an engine invariant violation.
+		n.releaseAll(txnID)
+		return fmt.Errorf("server: commit apply: %w", err)
+	}
+	n.releaseAll(txnID)
+	return nil
+}
+
+// AbortLocal releases the transaction's locks without applying writes.
+func (n *Node) AbortLocal(txnID uint64) {
+	n.releaseAll(txnID)
+}
+
+func (n *Node) releaseAll(txnID uint64) {
+	st := n.dropState(txnID)
+	if st == nil {
+		return
+	}
+	for _, l := range st.locks {
+		l.bucket.Lock.Unlock(l.mode)
+	}
+}
+
+// ApplyWrites applies a write set to a store (used by participants at
+// commit and by replicas). Inserts that find the key already present
+// degrade to updates, which makes replica application idempotent.
+func ApplyWrites(st *storage.Store, writes []WriteOp) error {
+	for _, w := range writes {
+		tbl := st.Table(w.Table)
+		if tbl == nil {
+			return fmt.Errorf("server: no table %d", w.Table)
+		}
+		b := tbl.Bucket(w.Key)
+		switch w.Type {
+		case txn.OpUpdate:
+			if err := b.Put(w.Key, w.Value); err != nil {
+				return fmt.Errorf("server: update %v/%d: %w", w.Table, w.Key, err)
+			}
+		case txn.OpInsert:
+			b.Upsert(w.Key, w.Value)
+		case txn.OpDelete:
+			if err := b.Delete(w.Key); err != nil && err != storage.ErrNotFound {
+				return err
+			}
+		default:
+			return fmt.Errorf("server: bad write type %v", w.Type)
+		}
+	}
+	return nil
+}
+
+// --- RPC handlers ---
+
+func (n *Node) handleLockRead(_ simnet.NodeID, req []byte) ([]byte, error) {
+	txnID, entries, err := DecodeLockRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	return n.LockReadLocal(txnID, entries).Encode(), nil
+}
+
+func (n *Node) handleCommit(_ simnet.NodeID, req []byte) ([]byte, error) {
+	txnID, writes, err := DecodeWrites(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.CommitLocal(txnID, writes); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+func (n *Node) handleAbort(_ simnet.NodeID, req []byte) ([]byte, error) {
+	txnID, err := DecodeAbort(req)
+	if err != nil {
+		return nil, err
+	}
+	n.AbortLocal(txnID)
+	return nil, nil
+}
+
+// handleReplApply applies an outer-region write set on a replica. The
+// primary waits for this RPC's response before committing, giving
+// synchronous primary-backup replication for cold data.
+func (n *Node) handleReplApply(_ simnet.NodeID, req []byte) ([]byte, error) {
+	_, writes, err := DecodeWrites(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := ApplyWrites(n.store, writes); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// --- Inner-region replication (§5, Figure 6) ---
+
+// innerReplMsg layout: writes payload (with txnID) followed by the
+// coordinator node id appended by the primary.
+
+// EncodeInnerRepl builds the one-way primary→replica message.
+func EncodeInnerRepl(txnID uint64, coordinator simnet.NodeID, writes []WriteOp) []byte {
+	base := EncodeWrites(txnID, writes)
+	out := make([]byte, 0, len(base)+4)
+	out = append(out, base...)
+	out = append(out, byte(coordinator), byte(coordinator>>8), byte(coordinator>>16), byte(coordinator>>24))
+	return out
+}
+
+// DecodeInnerRepl parses the primary→replica message.
+func DecodeInnerRepl(p []byte) (txnID uint64, coordinator simnet.NodeID, writes []WriteOp, err error) {
+	if len(p) < 4 {
+		return 0, 0, nil, fmt.Errorf("server: short inner-repl message")
+	}
+	body, tail := p[:len(p)-4], p[len(p)-4:]
+	txnID, writes, err = DecodeWrites(body)
+	coordinator = simnet.NodeID(uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24)
+	return txnID, coordinator, writes, err
+}
+
+// handleInnerRepl runs on a replica of the inner partition: apply the
+// inner write set, then notify the *coordinator* (not the inner primary —
+// the primary has already moved on, Fig 6).
+func (n *Node) handleInnerRepl(_ simnet.NodeID, req []byte) ([]byte, error) {
+	txnID, coord, writes, err := DecodeInnerRepl(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := ApplyWrites(n.store, writes); err != nil {
+		return nil, err
+	}
+	_ = n.ep.Send(coord, VerbInnerAck, EncodeAbort(txnID))
+	return nil, nil
+}
+
+// handleInnerAck runs on the coordinator: count down the waiter.
+func (n *Node) handleInnerAck(_ simnet.NodeID, req []byte) ([]byte, error) {
+	txnID, err := DecodeAbort(req)
+	if err != nil {
+		return nil, err
+	}
+	n.ackMu.Lock()
+	w, ok := n.acks[txnID]
+	if ok {
+		w.remaining--
+		if w.remaining <= 0 {
+			delete(n.acks, txnID)
+			close(w.done)
+		}
+	}
+	n.ackMu.Unlock()
+	return nil, nil
+}
+
+// ExpectInnerAcks registers that the local coordinator will wait for
+// `count` replica acks for txnID. It must be called *before* the inner
+// RPC is sent, so acks can never race past registration. The returned
+// channel closes when all acks arrive; if count <= 0 it is already closed.
+func (n *Node) ExpectInnerAcks(txnID uint64, count int) <-chan struct{} {
+	done := make(chan struct{})
+	if count <= 0 {
+		close(done)
+		return done
+	}
+	n.ackMu.Lock()
+	n.acks[txnID] = &ackWaiter{remaining: count, done: done}
+	n.ackMu.Unlock()
+	return done
+}
+
+// CancelInnerAcks discards a registered waiter (inner region aborted, so
+// no replication will happen).
+func (n *Node) CancelInnerAcks(txnID uint64) {
+	n.ackMu.Lock()
+	delete(n.acks, txnID)
+	n.ackMu.Unlock()
+}

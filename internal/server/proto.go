@@ -1,0 +1,153 @@
+package server
+
+import (
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller/internal/wire"
+)
+
+// Verb names for the RPC methods every node serves. Engine-specific verbs
+// (OCC validation, Chiller inner execution) are registered by their
+// packages using these same encoding helpers.
+const (
+	VerbLockRead  = "lr"    // lock buckets + read records (2PL expanding phase)
+	VerbCommit    = "cm"    // apply writes, release locks (2PC phase 2)
+	VerbAbort     = "ab"    // roll back, release locks
+	VerbReplApply = "repl"  // primary→replica write-set apply (outer region)
+	VerbInnerExec = "inner" // coordinator→inner-host delegation (Chiller)
+	VerbInnerRepl = "irepl" // inner-primary→replica stream (one-way)
+	VerbInnerAck  = "irack" // inner-replica→coordinator ack (one-way)
+	VerbOCCRead   = "ord"   // OCC unlocked read
+	VerbOCCValid  = "ovl"   // OCC validate + write-lock
+	VerbOCCFinish = "ofn"   // OCC commit or abort after validation
+)
+
+// LockEntry is one lock-and-read request item.
+type LockEntry struct {
+	OpID  int
+	Table storage.TableID
+	Key   storage.Key
+	Mode  storage.LockMode
+	// Read requests the record value back (true for reads and updates;
+	// false for inserts, which only need the bucket locked).
+	Read bool
+	// MustExist aborts with AbortNotFound when true and the key is
+	// missing. Inserts set it false.
+	MustExist bool
+}
+
+// WriteOp is one buffered write shipped at commit time.
+type WriteOp struct {
+	Table storage.TableID
+	Key   storage.Key
+	Type  txn.OpType // OpUpdate, OpInsert or OpDelete
+	Value []byte
+}
+
+// EncodeLockRequest builds the VerbLockRead payload.
+func EncodeLockRequest(txnID uint64, entries []LockEntry) []byte {
+	w := wire.NewWriter(16 + len(entries)*24)
+	w.Uint64(txnID)
+	w.Uint32(uint32(len(entries)))
+	for _, e := range entries {
+		w.Uint32(uint32(e.OpID))
+		w.Uint32(uint32(e.Table))
+		w.Uint64(uint64(e.Key))
+		w.Uint8(uint8(e.Mode))
+		w.Bool(e.Read)
+		w.Bool(e.MustExist)
+	}
+	return w.Bytes()
+}
+
+// DecodeLockRequest parses the VerbLockRead payload.
+func DecodeLockRequest(p []byte) (txnID uint64, entries []LockEntry, err error) {
+	r := wire.NewReader(p)
+	txnID = r.Uint64()
+	n := r.Uint32()
+	entries = make([]LockEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		e := LockEntry{
+			OpID:  int(r.Uint32()),
+			Table: storage.TableID(r.Uint32()),
+			Key:   storage.Key(r.Uint64()),
+			Mode:  storage.LockMode(r.Uint8()),
+		}
+		e.Read = r.Bool()
+		e.MustExist = r.Bool()
+		entries = append(entries, e)
+	}
+	return txnID, entries, r.Err()
+}
+
+// LockResponse reports the result of a lock-and-read request.
+type LockResponse struct {
+	OK     bool
+	Reason txn.AbortReason // set when !OK
+	Reads  txn.ReadSet     // opID → value
+}
+
+// Encode serializes the response.
+func (lr *LockResponse) Encode() []byte {
+	w := wire.NewWriter(64)
+	w.Bool(lr.OK)
+	w.Uint8(uint8(lr.Reason))
+	lr.Reads.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeLockResponse parses a LockResponse.
+func DecodeLockResponse(p []byte) (*LockResponse, error) {
+	r := wire.NewReader(p)
+	lr := &LockResponse{}
+	lr.OK = r.Bool()
+	lr.Reason = txn.AbortReason(r.Uint8())
+	lr.Reads = txn.DecodeReadSet(r)
+	return lr, r.Err()
+}
+
+// EncodeWrites serializes a write set with a transaction id header.
+func EncodeWrites(txnID uint64, writes []WriteOp) []byte {
+	w := wire.NewWriter(16 + len(writes)*32)
+	w.Uint64(txnID)
+	w.Uint32(uint32(len(writes)))
+	for _, wr := range writes {
+		w.Uint32(uint32(wr.Table))
+		w.Uint64(uint64(wr.Key))
+		w.Uint8(uint8(wr.Type))
+		w.Bytes32(wr.Value)
+	}
+	return w.Bytes()
+}
+
+// DecodeWrites parses a write-set payload.
+func DecodeWrites(p []byte) (txnID uint64, writes []WriteOp, err error) {
+	r := wire.NewReader(p)
+	txnID = r.Uint64()
+	n := r.Uint32()
+	writes = make([]WriteOp, 0, n)
+	for i := uint32(0); i < n; i++ {
+		wr := WriteOp{
+			Table: storage.TableID(r.Uint32()),
+			Key:   storage.Key(r.Uint64()),
+			Type:  txn.OpType(r.Uint8()),
+		}
+		wr.Value = r.BytesCopy()
+		writes = append(writes, wr)
+	}
+	return txnID, writes, r.Err()
+}
+
+// EncodeAbort serializes an abort request.
+func EncodeAbort(txnID uint64) []byte {
+	w := wire.NewWriter(8)
+	w.Uint64(txnID)
+	return w.Bytes()
+}
+
+// DecodeAbort parses an abort request.
+func DecodeAbort(p []byte) (uint64, error) {
+	r := wire.NewReader(p)
+	id := r.Uint64()
+	return id, r.Err()
+}

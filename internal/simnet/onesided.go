@@ -1,0 +1,84 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// One-sided verbs. In real RDMA these are serviced by the remote NIC
+// without involving the remote CPU; here they are serviced by the fabric
+// itself (never by a user-registered RPC handler) after the same one-way
+// latency, so the remote "CPU" stays free — the property NAM-DB exploits.
+//
+// For simplicity the one-sided path bypasses the link-drain goroutine and
+// sleeps inline for a full round trip: one-sided verbs have no ordering
+// interaction with two-sided messages in our protocols (Chiller uses them
+// only for lock words and direct record access, both of which are
+// idempotent reads or atomics).
+
+func (e *Endpoint) oneSidedDelay(to NodeID) {
+	cfg := &e.net.cfg
+	lat := cfg.Latency
+	if to == e.id {
+		lat = cfg.LocalLatency
+	}
+	if lat <= 0 {
+		return
+	}
+	// Full round trip: request + response.
+	time.Sleep(2 * lat)
+}
+
+// ReadRemote performs a one-sided READ of length len(p) at offset off in
+// the named region of node `to`, filling p.
+func (e *Endpoint) ReadRemote(to NodeID, region string, off uint64, p []byte) error {
+	dst, ok := e.net.endpoint(to)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchNode, to)
+	}
+	m, ok := dst.region(region)
+	if !ok {
+		return fmt.Errorf("%w: %q on node %d", ErrNoSuchRegion, region, to)
+	}
+	e.oneSidedDelay(to)
+	e.net.stats.OneSidedReads.Add(1)
+	e.net.stats.MessagesSent.Add(2)
+	return m.ReadAt(off, p)
+}
+
+// WriteRemote performs a one-sided WRITE of p at offset off in the named
+// region of node `to`.
+func (e *Endpoint) WriteRemote(to NodeID, region string, off uint64, p []byte) error {
+	dst, ok := e.net.endpoint(to)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchNode, to)
+	}
+	m, ok := dst.region(region)
+	if !ok {
+		return fmt.Errorf("%w: %q on node %d", ErrNoSuchRegion, region, to)
+	}
+	e.oneSidedDelay(to)
+	e.net.stats.MessagesSent.Add(2)
+	e.net.stats.BytesSent.Add(uint64(len(p)))
+	return m.WriteAt(off, p)
+}
+
+// CompareAndSwapRemote performs a one-sided atomic CAS on the 8 bytes at
+// off in the named region of node `to`. It returns the previously stored
+// value and whether the swap happened — exactly the semantics of the RDMA
+// ATOMIC_CMP_AND_SWP verb that NAM-DB style systems use for remote lock
+// acquisition.
+func (e *Endpoint) CompareAndSwapRemote(to NodeID, region string, off uint64, old, new uint64) (prev uint64, swapped bool, err error) {
+	dst, ok := e.net.endpoint(to)
+	if !ok {
+		return 0, false, fmt.Errorf("%w: %d", ErrNoSuchNode, to)
+	}
+	m, ok := dst.region(region)
+	if !ok {
+		return 0, false, fmt.Errorf("%w: %q on node %d", ErrNoSuchRegion, region, to)
+	}
+	e.oneSidedDelay(to)
+	e.net.stats.OneSidedCAS.Add(1)
+	e.net.stats.MessagesSent.Add(2)
+	return m.CompareAndSwap64(off, old, new)
+}

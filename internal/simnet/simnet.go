@@ -1,0 +1,506 @@
+// Package simnet simulates the RDMA-capable fabric that Chiller assumes:
+// a low-latency network with per-link in-order (FIFO) delivery, two-sided
+// RPC endpoints, and one-sided READ/WRITE/CAS verbs against registered
+// memory regions.
+//
+// The paper's testbed was an 8-node InfiniBand EDR cluster. What Chiller's
+// argument actually depends on is (a) network round trips being one to two
+// orders of magnitude slower than local memory, and (b) messages on a queue
+// pair arriving in send order (the inner-region replication protocol of §5
+// relies on this). simnet reproduces both properties in-process with a
+// configurable one-way latency, which lets the benchmark harness sweep the
+// network/memory latency ratio directly.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a machine in the simulated cluster.
+type NodeID int32
+
+// Config controls the fabric's timing model.
+type Config struct {
+	// Latency is the one-way delay for messages between distinct nodes.
+	// With RDMA this is on the order of 1-3us; classic TCP is 30-100us.
+	Latency time.Duration
+	// Jitter adds a uniformly distributed extra delay in [0, Jitter).
+	Jitter time.Duration
+	// LocalLatency is the delay for a node messaging itself (loopback
+	// shortcut, normally 0).
+	LocalLatency time.Duration
+	// Seed seeds the jitter source; 0 means a fixed default so runs are
+	// reproducible unless the caller opts into variation.
+	Seed int64
+	// QueueDepth is the per-link send queue capacity. Sends block when
+	// the queue is full, modelling a bounded QP send queue. 0 means a
+	// default of 1024.
+	QueueDepth int
+}
+
+// Stats aggregates fabric-wide counters. All fields are updated atomically
+// and may be read concurrently with traffic.
+type Stats struct {
+	MessagesSent  atomic.Uint64
+	BytesSent     atomic.Uint64
+	RPCs          atomic.Uint64
+	OneSidedReads atomic.Uint64
+	OneSidedCAS   atomic.Uint64
+}
+
+// Network is the fabric. Create one per simulated cluster, then create an
+// Endpoint per node.
+type Network struct {
+	cfg   Config
+	stats Stats
+
+	mu     sync.RWMutex
+	nodes  map[NodeID]*Endpoint
+	links  map[linkKey]*link
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type linkKey struct{ from, to NodeID }
+
+// New creates a fabric with the given timing configuration.
+func New(cfg Config) *Network {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	return &Network{
+		cfg:   cfg,
+		nodes: make(map[NodeID]*Endpoint),
+		links: make(map[linkKey]*link),
+	}
+}
+
+// Stats returns the fabric counters.
+func (n *Network) Stats() *Stats { return &n.stats }
+
+// Close tears the fabric down. Outstanding RPCs fail with ErrClosed.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	links := make([]*link, 0, len(n.links))
+	for _, l := range n.links {
+		links = append(links, l)
+	}
+	eps := make([]*Endpoint, 0, len(n.nodes))
+	for _, e := range n.nodes {
+		eps = append(eps, e)
+	}
+	n.mu.Unlock()
+
+	for _, l := range links {
+		l.close()
+	}
+	n.wg.Wait()
+	for _, e := range eps {
+		e.failPending(ErrClosed)
+	}
+}
+
+// ErrClosed is returned for operations on a closed fabric.
+var ErrClosed = errors.New("simnet: network closed")
+
+// ErrNoSuchNode is returned when addressing an unregistered node.
+var ErrNoSuchNode = errors.New("simnet: no such node")
+
+// ErrNoSuchMethod is returned when the destination has no handler for the
+// requested RPC method.
+var ErrNoSuchMethod = errors.New("simnet: no such method")
+
+// ErrNoSuchRegion is returned by one-sided verbs targeting an unregistered
+// memory region.
+var ErrNoSuchRegion = errors.New("simnet: no such memory region")
+
+// Endpoint returns (creating if necessary) the endpoint for node id.
+func (n *Network) Endpoint(id NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.nodes[id]; ok {
+		return e
+	}
+	e := &Endpoint{
+		id:       id,
+		net:      n,
+		handlers: make(map[string]RPCHandler),
+		regions:  make(map[string]Memory),
+		pending:  make(map[uint64]chan rpcResult),
+	}
+	n.nodes[id] = e
+	return e
+}
+
+func (n *Network) endpoint(id NodeID) (*Endpoint, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	e, ok := n.nodes[id]
+	return e, ok
+}
+
+// link is a directed FIFO channel between two nodes. One goroutine drains
+// the queue in order, enforcing per-link ordered delivery even with jitter:
+// a message never overtakes an earlier one on the same link.
+type link struct {
+	net   *Network
+	from  NodeID
+	to    NodeID
+	ch    chan *envelope
+	done  chan struct{}
+	once  sync.Once
+	local bool
+	rng   *rand.Rand // owned by the drain goroutine
+	rngMu sync.Mutex // protects jitter draws made on the send path
+}
+
+type envelope struct {
+	msg      message
+	deliver  time.Time
+	enqueued time.Time
+}
+
+type message struct {
+	kind    uint8 // kindRequest or kindResponse
+	rpcID   uint64
+	from    NodeID
+	method  string
+	payload []byte
+	err     string
+}
+
+const (
+	kindRequest uint8 = iota + 1
+	kindResponse
+)
+
+func (n *Network) getLink(from, to NodeID) (*link, error) {
+	key := linkKey{from, to}
+	n.mu.RLock()
+	l, ok := n.links[key]
+	closed := n.closed
+	n.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if ok {
+		return l, nil
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if l, ok = n.links[key]; ok {
+		return l, nil
+	}
+	seed := n.cfg.Seed
+	if seed == 0 {
+		seed = 0x5eed
+	}
+	l = &link{
+		net:   n,
+		from:  from,
+		to:    to,
+		ch:    make(chan *envelope, n.cfg.QueueDepth),
+		done:  make(chan struct{}),
+		local: from == to,
+		rng:   rand.New(rand.NewSource(seed ^ int64(from)<<32 ^ int64(to))),
+	}
+	n.links[key] = l
+	n.wg.Add(1)
+	go l.run()
+	return l, nil
+}
+
+func (l *link) close() { l.once.Do(func() { close(l.done) }) }
+
+// run drains the link in FIFO order, delaying each message until its
+// delivery time. Because delivery times are computed monotonically per
+// link, ordering is preserved.
+func (l *link) run() {
+	defer l.net.wg.Done()
+	for {
+		select {
+		case <-l.done:
+			return
+		case env := <-l.ch:
+			if d := time.Until(env.deliver); d > 0 {
+				timer := time.NewTimer(d)
+				select {
+				case <-timer.C:
+				case <-l.done:
+					timer.Stop()
+					return
+				}
+			}
+			dst, ok := l.net.endpoint(l.to)
+			if !ok {
+				continue
+			}
+			dst.dispatch(env.msg)
+		}
+	}
+}
+
+func (l *link) latency() time.Duration {
+	cfg := &l.net.cfg
+	base := cfg.Latency
+	if l.local {
+		base = cfg.LocalLatency
+	}
+	if cfg.Jitter > 0 {
+		l.rngMu.Lock()
+		base += time.Duration(l.rng.Int63n(int64(cfg.Jitter)))
+		l.rngMu.Unlock()
+	}
+	return base
+}
+
+func (l *link) send(msg message) error {
+	env := &envelope{
+		msg:      msg,
+		enqueued: time.Now(),
+	}
+	env.deliver = env.enqueued.Add(l.latency())
+	select {
+	case l.ch <- env:
+		l.net.stats.MessagesSent.Add(1)
+		l.net.stats.BytesSent.Add(uint64(len(msg.payload)))
+		return nil
+	case <-l.done:
+		return ErrClosed
+	}
+}
+
+// RPCHandler serves a two-sided RPC. from identifies the caller. The
+// returned bytes are shipped back as the response; a non-nil error is
+// delivered to the caller as a string-wrapped remote error.
+type RPCHandler func(from NodeID, req []byte) ([]byte, error)
+
+// Memory is a region that remote nodes can access with one-sided verbs.
+// Implementations must be safe for concurrent use: in real RDMA the NIC
+// writes to memory without synchronizing with host software.
+type Memory interface {
+	// ReadAt copies len(p) bytes starting at off into p.
+	ReadAt(off uint64, p []byte) error
+	// WriteAt copies p into the region starting at off.
+	WriteAt(off uint64, p []byte) error
+	// CompareAndSwap64 atomically compares the 8 bytes at off with old
+	// and, if equal, replaces them with new. It returns the value
+	// observed before the operation.
+	CompareAndSwap64(off uint64, old, new uint64) (prev uint64, swapped bool, err error)
+}
+
+// Endpoint is one node's attachment to the fabric.
+type Endpoint struct {
+	id  NodeID
+	net *Network
+
+	mu       sync.RWMutex
+	handlers map[string]RPCHandler
+	regions  map[string]Memory
+
+	pmu     sync.Mutex
+	pending map[uint64]chan rpcResult
+	rpcSeq  atomic.Uint64
+}
+
+type rpcResult struct {
+	payload []byte
+	err     error
+}
+
+// ID returns the endpoint's node ID.
+func (e *Endpoint) ID() NodeID { return e.id }
+
+// Handle registers h for RPC method name. Registering the same method twice
+// replaces the previous handler.
+func (e *Endpoint) Handle(method string, h RPCHandler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[method] = h
+}
+
+// RegisterMemory exposes m under the given region name for one-sided
+// access by remote endpoints.
+func (e *Endpoint) RegisterMemory(region string, m Memory) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.regions[region] = m
+}
+
+// RemoteError is an application-level error returned by a remote RPC
+// handler, distinguished from transport failures.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("simnet: remote %s: %s", e.Method, e.Msg)
+}
+
+// Call performs a synchronous RPC to node `to`, blocking through one
+// network round trip (two one-way latencies).
+func (e *Endpoint) Call(to NodeID, method string, req []byte) ([]byte, error) {
+	c, err := e.Go(to, method, req)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wait()
+}
+
+// Call is an in-flight asynchronous RPC created by Endpoint.Go.
+type Call struct {
+	method string
+	ch     chan rpcResult
+}
+
+// Wait blocks until the response (or failure) arrives.
+func (c *Call) Wait() ([]byte, error) {
+	res := <-c.ch
+	if res.err != nil {
+		return nil, res.err
+	}
+	return res.payload, nil
+}
+
+// Go starts an asynchronous RPC. The returned Call's Wait method yields
+// the response. Multiple Go calls may be outstanding simultaneously; this
+// is how Chiller's coordinator fans out outer-region lock requests.
+func (e *Endpoint) Go(to NodeID, method string, req []byte) (*Call, error) {
+	if _, ok := e.net.endpoint(to); !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchNode, to)
+	}
+	l, err := e.net.getLink(e.id, to)
+	if err != nil {
+		return nil, err
+	}
+	id := e.rpcSeq.Add(1)
+	ch := make(chan rpcResult, 1)
+	e.pmu.Lock()
+	e.pending[id] = ch
+	e.pmu.Unlock()
+
+	msg := message{
+		kind:    kindRequest,
+		rpcID:   id,
+		from:    e.id,
+		method:  method,
+		payload: req,
+	}
+	if err := l.send(msg); err != nil {
+		e.pmu.Lock()
+		delete(e.pending, id)
+		e.pmu.Unlock()
+		return nil, err
+	}
+	e.net.stats.RPCs.Add(1)
+	return &Call{method: method, ch: ch}, nil
+}
+
+// dispatch runs on the link drain goroutine of the *incoming* link.
+// Requests are served on fresh goroutines so a slow handler doesn't block
+// in-order delivery of subsequent messages... except that would break FIFO
+// observation guarantees for the replication protocol. Instead, handler
+// invocation happens inline (preserving per-link ordering of handler
+// starts) and handlers that need concurrency spawn their own goroutines.
+func (e *Endpoint) dispatch(msg message) {
+	switch msg.kind {
+	case kindRequest:
+		e.serve(msg)
+	case kindResponse:
+		e.pmu.Lock()
+		ch, ok := e.pending[msg.rpcID]
+		if ok {
+			delete(e.pending, msg.rpcID)
+		}
+		e.pmu.Unlock()
+		if !ok {
+			return
+		}
+		if msg.err != "" {
+			ch <- rpcResult{err: &RemoteError{Method: msg.method, Msg: msg.err}}
+		} else {
+			ch <- rpcResult{payload: msg.payload}
+		}
+	}
+}
+
+func (e *Endpoint) serve(msg message) {
+	e.mu.RLock()
+	h, ok := e.handlers[msg.method]
+	e.mu.RUnlock()
+
+	var resp []byte
+	var errStr string
+	if !ok {
+		errStr = ErrNoSuchMethod.Error() + ": " + msg.method
+	} else {
+		r, err := h(msg.from, msg.payload)
+		if err != nil {
+			errStr = err.Error()
+		} else {
+			resp = r
+		}
+	}
+	back, err := e.net.getLink(e.id, msg.from)
+	if err != nil {
+		return
+	}
+	_ = back.send(message{
+		kind:    kindResponse,
+		rpcID:   msg.rpcID,
+		from:    e.id,
+		method:  msg.method,
+		payload: resp,
+		err:     errStr,
+	})
+}
+
+// Send delivers a one-way message (no response) to node `to`. Used by the
+// inner-region replication stream, where the primary must not wait.
+func (e *Endpoint) Send(to NodeID, method string, payload []byte) error {
+	if _, ok := e.net.endpoint(to); !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchNode, to)
+	}
+	l, err := e.net.getLink(e.id, to)
+	if err != nil {
+		return err
+	}
+	return l.send(message{
+		kind:    kindRequest,
+		rpcID:   0,
+		from:    e.id,
+		method:  method,
+		payload: payload,
+	})
+}
+
+func (e *Endpoint) failPending(err error) {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	for id, ch := range e.pending {
+		ch <- rpcResult{err: err}
+		delete(e.pending, id)
+	}
+}
+
+// region looks up a registered memory region.
+func (e *Endpoint) region(name string) (Memory, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	m, ok := e.regions[name]
+	return m, ok
+}

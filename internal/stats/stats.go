@@ -1,0 +1,231 @@
+// Package stats implements Chiller's statistics service (§4.1): partition
+// managers sample running transactions and periodically report the
+// accessed records with their read/write sets; the service aggregates
+// them over a time frame, converts access frequencies into Poisson
+// arrival rates per lock window, and computes each record's contention
+// likelihood
+//
+//	Pc(Xw, Xr) = P(Xw>1)P(Xr=0) + P(Xw>0)P(Xr>0)
+//	           = 1 − e^{−λw} − λw·e^{−λw}·e^{−λr}
+//
+// which is zero when a record is never written (shared locks never
+// conflict) and rises with both write and read rates otherwise.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+// ContentionLikelihood evaluates the closed-form conflict probability for
+// a record with Poisson read/write arrival rates λr and λw per lock
+// window. It is exactly the final expression derived in §4.1:
+//
+//	Pc = 1 − e^{−λw} − λw·e^{−λw}·e^{−λr}
+func ContentionLikelihood(lambdaW, lambdaR float64) float64 {
+	if lambdaW <= 0 {
+		return 0
+	}
+	if lambdaR < 0 {
+		lambdaR = 0
+	}
+	ew := math.Exp(-lambdaW)
+	return 1 - ew - lambdaW*ew*math.Exp(-lambdaR)
+}
+
+// Sampler collects access-set samples from an execution engine. It
+// implements server.AccessObserver. Sampling is probabilistic: each
+// committed transaction is recorded with probability Rate, so a rate of
+// 0.001 reproduces the paper's 0.1% sampling.
+type Sampler struct {
+	rate float64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	txns    []TxnSample
+	total   uint64 // transactions offered (sampled or not)
+	sampled uint64
+}
+
+// TxnSample is one sampled transaction's access sets.
+type TxnSample struct {
+	Reads  []storage.RID
+	Writes []storage.RID
+}
+
+// NewSampler creates a sampler with the given sampling rate in (0, 1].
+func NewSampler(rate float64, seed int64) *Sampler {
+	if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	return &Sampler{rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// ObserveTxn implements the engine-side observer hook.
+func (s *Sampler) ObserveTxn(reads, writes []storage.RID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if s.rate < 1 && s.rng.Float64() >= s.rate {
+		return
+	}
+	s.sampled++
+	ts := TxnSample{
+		Reads:  append([]storage.RID(nil), reads...),
+		Writes: append([]storage.RID(nil), writes...),
+	}
+	s.txns = append(s.txns, ts)
+}
+
+// Counts reports (offered, sampled) transaction totals.
+func (s *Sampler) Counts() (total, sampled uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total, s.sampled
+}
+
+// Drain removes and returns the accumulated samples (a partition manager
+// periodically drains into the global service).
+func (s *Sampler) Drain() []TxnSample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.txns
+	s.txns = nil
+	return out
+}
+
+// RecordStats aggregates one record's observed access counts.
+type RecordStats struct {
+	RID    storage.RID
+	Reads  uint64
+	Writes uint64
+	// Pc is the contention likelihood computed by Aggregate.
+	Pc float64
+}
+
+// Aggregate is the global statistics service: it merges samples from all
+// partitions and derives per-record contention likelihoods.
+type Aggregate struct {
+	mu      sync.Mutex
+	records map[storage.RID]*RecordStats
+	// coAccess tracks, for every sampled transaction, which records it
+	// touched; the partitioners turn this into their workload graphs.
+	txns []TxnSample
+}
+
+// NewAggregate returns an empty aggregate.
+func NewAggregate() *Aggregate {
+	return &Aggregate{records: make(map[storage.RID]*RecordStats)}
+}
+
+// Add merges a batch of samples.
+func (a *Aggregate) Add(samples []TxnSample) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, t := range samples {
+		for _, r := range t.Reads {
+			a.record(r).Reads++
+		}
+		for _, w := range t.Writes {
+			a.record(w).Writes++
+		}
+		a.txns = append(a.txns, t)
+	}
+}
+
+func (a *Aggregate) record(rid storage.RID) *RecordStats {
+	rs, ok := a.records[rid]
+	if !ok {
+		rs = &RecordStats{RID: rid}
+		a.records[rid] = rs
+	}
+	return rs
+}
+
+// Finalize computes contention likelihoods. lockWindows is the number of
+// lock windows covered by the sampling frame (frame duration / average
+// lock hold time): each record's arrival rates are its sampled counts,
+// scaled back up by the sampling rate, spread over that many windows.
+func (a *Aggregate) Finalize(samplingRate float64, lockWindows float64) {
+	if samplingRate <= 0 {
+		samplingRate = 1
+	}
+	if lockWindows <= 0 {
+		lockWindows = 1
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, rs := range a.records {
+		lw := float64(rs.Writes) / samplingRate / lockWindows
+		lr := float64(rs.Reads) / samplingRate / lockWindows
+		rs.Pc = ContentionLikelihood(lw, lr)
+	}
+}
+
+// Pc returns a record's contention likelihood (0 if unobserved).
+func (a *Aggregate) Pc(rid storage.RID) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if rs, ok := a.records[rid]; ok {
+		return rs.Pc
+	}
+	return 0
+}
+
+// Records returns all record stats, most contended first.
+func (a *Aggregate) Records() []RecordStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]RecordStats, 0, len(a.records))
+	for _, rs := range a.records {
+		out = append(out, *rs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pc != out[j].Pc {
+			return out[i].Pc > out[j].Pc
+		}
+		if out[i].Writes != out[j].Writes {
+			return out[i].Writes > out[j].Writes
+		}
+		return ridLess(out[i].RID, out[j].RID)
+	})
+	return out
+}
+
+func ridLess(a, b storage.RID) bool {
+	if a.Table != b.Table {
+		return a.Table < b.Table
+	}
+	return a.Key < b.Key
+}
+
+// HotSet returns the records whose contention likelihood exceeds the
+// threshold — the candidates for the lookup table (§4.4).
+func (a *Aggregate) HotSet(threshold float64) []storage.RID {
+	var out []storage.RID
+	for _, rs := range a.Records() {
+		if rs.Pc > threshold {
+			out = append(out, rs.RID)
+		}
+	}
+	return out
+}
+
+// Txns returns the sampled transactions (the partitioners' workload
+// trace).
+func (a *Aggregate) Txns() []TxnSample {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.txns
+}
+
+// NumRecords reports how many distinct records were observed.
+func (a *Aggregate) NumRecords() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.records)
+}

@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+func TestContentionLikelihoodZeroWrites(t *testing.T) {
+	// No writes → shared locks only → no conflicts, regardless of reads.
+	for _, lr := range []float64{0, 0.5, 10, 1000} {
+		if pc := ContentionLikelihood(0, lr); pc != 0 {
+			t.Errorf("Pc(0, %v) = %v, want 0", lr, pc)
+		}
+	}
+}
+
+func TestContentionLikelihoodHandComputed(t *testing.T) {
+	// Pc = 1 − e^{−λw} − λw·e^{−λw}·e^{−λr}
+	cases := []struct {
+		lw, lr, want float64
+	}{
+		{1, 0, 1 - math.Exp(-1) - math.Exp(-1)},                        // ≈ 0.2642
+		{2, 0, 1 - math.Exp(-2) - 2*math.Exp(-2)},                      // ≈ 0.5940
+		{1, 1, 1 - math.Exp(-1) - math.Exp(-1)*math.Exp(-1)},           // ≈ 0.4968
+		{0.5, 2, 1 - math.Exp(-0.5) - 0.5*math.Exp(-0.5)*math.Exp(-2)}, // ≈ 0.3524
+	}
+	for _, c := range cases {
+		got := ContentionLikelihood(c.lw, c.lr)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Pc(%v,%v) = %.12f, want %.12f", c.lw, c.lr, got, c.want)
+		}
+	}
+}
+
+func TestContentionLikelihoodProperties(t *testing.T) {
+	// Bounded in [0,1); monotone in λr for fixed λw>0; monotone in λw.
+	f := func(lw, lr uint8) bool {
+		w := float64(lw) / 16
+		r := float64(lr) / 16
+		pc := ContentionLikelihood(w, r)
+		if pc < 0 || pc >= 1 {
+			return false
+		}
+		if ContentionLikelihood(w, r+0.5) < pc-1e-15 {
+			return false
+		}
+		if ContentionLikelihood(w+0.5, r) < pc-1e-15 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentionLikelihoodAsymptote(t *testing.T) {
+	if pc := ContentionLikelihood(100, 100); pc < 0.999 {
+		t.Errorf("very hot record Pc = %v, want ~1", pc)
+	}
+	// Negative read rate is clamped.
+	if pc := ContentionLikelihood(1, -5); pc != ContentionLikelihood(1, 0) {
+		t.Error("negative λr not clamped")
+	}
+}
+
+func rid(k storage.Key) storage.RID { return storage.RID{Table: 1, Key: k} }
+
+func TestSamplerRateOne(t *testing.T) {
+	s := NewSampler(1, 1)
+	for i := 0; i < 50; i++ {
+		s.ObserveTxn([]storage.RID{rid(1)}, []storage.RID{rid(2)})
+	}
+	total, sampled := s.Counts()
+	if total != 50 || sampled != 50 {
+		t.Fatalf("counts = %d/%d, want 50/50", sampled, total)
+	}
+	if got := len(s.Drain()); got != 50 {
+		t.Fatalf("Drain = %d", got)
+	}
+	if got := len(s.Drain()); got != 0 {
+		t.Fatalf("second Drain = %d, want 0", got)
+	}
+}
+
+func TestSamplerSubsampling(t *testing.T) {
+	s := NewSampler(0.1, 42)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		s.ObserveTxn(nil, []storage.RID{rid(1)})
+	}
+	_, sampled := s.Counts()
+	// Expect ~2000; allow wide slack.
+	if sampled < 1500 || sampled > 2500 {
+		t.Fatalf("sampled %d of %d at rate 0.1", sampled, n)
+	}
+}
+
+func TestSamplerInvalidRateDefaultsToOne(t *testing.T) {
+	s := NewSampler(0, 1)
+	s.ObserveTxn(nil, []storage.RID{rid(1)})
+	if _, sampled := s.Counts(); sampled != 1 {
+		t.Fatal("rate 0 should clamp to 1")
+	}
+}
+
+func TestAggregateCountsAndPc(t *testing.T) {
+	a := NewAggregate()
+	samples := []TxnSample{
+		{Writes: []storage.RID{rid(1)}},
+		{Writes: []storage.RID{rid(1)}, Reads: []storage.RID{rid(2)}},
+		{Reads: []storage.RID{rid(1), rid(2)}},
+	}
+	a.Add(samples)
+	if a.NumRecords() != 2 {
+		t.Fatalf("NumRecords = %d", a.NumRecords())
+	}
+	a.Finalize(1, 1)
+	// Record 1: λw=2, λr=1. Record 2: λw=0 → Pc=0.
+	want1 := ContentionLikelihood(2, 1)
+	if got := a.Pc(rid(1)); math.Abs(got-want1) > 1e-12 {
+		t.Errorf("Pc(1) = %v, want %v", got, want1)
+	}
+	if got := a.Pc(rid(2)); got != 0 {
+		t.Errorf("Pc(2) = %v, want 0 (read-only)", got)
+	}
+	if got := a.Pc(rid(99)); got != 0 {
+		t.Errorf("Pc(unobserved) = %v", got)
+	}
+}
+
+func TestAggregateSamplingScaleUp(t *testing.T) {
+	// 10 sampled writes at rate 0.1 over 100 lock windows ≈ λw = 1.
+	a := NewAggregate()
+	for i := 0; i < 10; i++ {
+		a.Add([]TxnSample{{Writes: []storage.RID{rid(1)}}})
+	}
+	a.Finalize(0.1, 100)
+	want := ContentionLikelihood(1, 0)
+	if got := a.Pc(rid(1)); math.Abs(got-want) > 1e-12 {
+		t.Errorf("scaled Pc = %v, want %v", got, want)
+	}
+}
+
+func TestRecordsSortedByContention(t *testing.T) {
+	a := NewAggregate()
+	var samples []TxnSample
+	for i := 0; i < 10; i++ {
+		samples = append(samples, TxnSample{Writes: []storage.RID{rid(1)}})
+	}
+	samples = append(samples, TxnSample{Writes: []storage.RID{rid(2)}})
+	samples = append(samples, TxnSample{Reads: []storage.RID{rid(3)}})
+	a.Add(samples)
+	a.Finalize(1, 1)
+	recs := a.Records()
+	if recs[0].RID != rid(1) {
+		t.Fatalf("hottest record = %v, want rid(1)", recs[0].RID)
+	}
+	if recs[len(recs)-1].RID != rid(3) {
+		t.Fatalf("coldest record = %v, want rid(3)", recs[len(recs)-1].RID)
+	}
+}
+
+func TestHotSetThreshold(t *testing.T) {
+	a := NewAggregate()
+	var samples []TxnSample
+	for i := 0; i < 20; i++ {
+		samples = append(samples, TxnSample{Writes: []storage.RID{rid(1)}})
+	}
+	samples = append(samples, TxnSample{Writes: []storage.RID{rid(2)}})
+	a.Add(samples)
+	a.Finalize(1, 10) // rid1: λw=2, rid2: λw=0.1
+	hot := a.HotSet(0.3)
+	if len(hot) != 1 || hot[0] != rid(1) {
+		t.Fatalf("HotSet = %v, want [rid(1)]", hot)
+	}
+	// Threshold 0 admits every written record.
+	if got := len(a.HotSet(0)); got != 2 {
+		t.Fatalf("HotSet(0) = %d records", got)
+	}
+}
+
+func TestTxnsTraceRetained(t *testing.T) {
+	a := NewAggregate()
+	a.Add([]TxnSample{{Reads: []storage.RID{rid(5)}}, {Writes: []storage.RID{rid(6)}}})
+	if got := len(a.Txns()); got != 2 {
+		t.Fatalf("Txns = %d", got)
+	}
+}

@@ -1,0 +1,326 @@
+// Package storage implements the partition-local in-memory storage engine
+// described in §6 of the Chiller paper (the NAM-DB layout): each partition
+// is a set of tables, each table a fixed array of hash buckets with
+// overflow chaining, and each bucket embeds its own shared/exclusive lock
+// word so that a remote engine can lock it with a single RDMA atomic
+// instead of talking to a centralized lock manager.
+//
+// Locking granularity is the bucket, exactly as in the paper: "buckets are
+// locked when any of their records are being accessed, and the lock
+// remains until the transaction commits or aborts."
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// TableID identifies a table within a store.
+type TableID uint32
+
+// Key is a 64-bit primary key. Workloads compose multi-column keys into
+// one 64-bit value (e.g. TPC-C packs warehouse/district/customer ids).
+type Key uint64
+
+// RID names a record globally: table plus key.
+type RID struct {
+	Table TableID
+	Key   Key
+}
+
+func (r RID) String() string { return fmt.Sprintf("t%d/k%d", r.Table, r.Key) }
+
+// ErrNotFound is returned when a key does not exist.
+var ErrNotFound = errors.New("storage: key not found")
+
+// ErrExists is returned by Insert when the key is already present.
+var ErrExists = errors.New("storage: key already exists")
+
+// Store is one partition's storage engine. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[TableID]*Table
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[TableID]*Table)}
+}
+
+// CreateTable creates a table with nBuckets hash buckets. It returns the
+// existing table if one with the same id exists (idempotent, so replicas
+// and primaries can share loader code).
+func (s *Store) CreateTable(id TableID, nBuckets int) *Table {
+	if nBuckets <= 0 {
+		nBuckets = 1024
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tables[id]; ok {
+		return t
+	}
+	t := &Table{
+		id:      id,
+		buckets: make([]Bucket, nBuckets),
+	}
+	s.tables[id] = t
+	return t
+}
+
+// Table returns the table with the given id, or nil.
+func (s *Store) Table(id TableID) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[id]
+}
+
+// Tables returns a snapshot of all table IDs.
+func (s *Store) Tables() []TableID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]TableID, 0, len(s.tables))
+	for id := range s.tables {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Bucket looks up the bucket that owns key in table id. It returns nil if
+// the table does not exist.
+func (s *Store) Bucket(id TableID, key Key) *Bucket {
+	t := s.Table(id)
+	if t == nil {
+		return nil
+	}
+	return t.Bucket(key)
+}
+
+// Table is a hash table of records with per-bucket locks.
+type Table struct {
+	id      TableID
+	buckets []Bucket
+}
+
+// ID returns the table's identifier.
+func (t *Table) ID() TableID { return t.id }
+
+// NumBuckets returns the size of the primary bucket array.
+func (t *Table) NumBuckets() int { return len(t.buckets) }
+
+// Bucket returns the bucket that owns key.
+func (t *Table) Bucket(key Key) *Bucket {
+	return &t.buckets[t.bucketIndex(key)]
+}
+
+// BucketIndex exposes the key→bucket mapping for diagnostics and for
+// contention accounting (two keys in one bucket share a lock).
+func (t *Table) BucketIndex(key Key) int { return t.bucketIndex(key) }
+
+func (t *Table) bucketIndex(key Key) int {
+	return int(mix64(uint64(key)) % uint64(len(t.buckets)))
+}
+
+// mix64 is a Fibonacci/xorshift finalizer giving a well-spread bucket
+// index even for dense sequential keys.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// entry is one record slot inside a bucket.
+type entry struct {
+	key     Key
+	value   []byte
+	version uint64
+	dead    bool // tombstone left by Delete
+}
+
+// Bucket holds a small set of records plus an embedded lock word. Buckets
+// never split; an over-full bucket chains to an overflow bucket, as in the
+// paper.
+type Bucket struct {
+	Lock LockWord
+
+	mu       sync.Mutex // protects entries + overflow pointer
+	entries  []entry
+	overflow *Bucket
+}
+
+const bucketCapacity = 8
+
+func (b *Bucket) find(key Key) (*Bucket, int) {
+	for cur := b; cur != nil; cur = cur.overflow {
+		for i := range cur.entries {
+			if cur.entries[i].key == key && !cur.entries[i].dead {
+				return cur, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// Get returns a copy of the value and its version. The caller is expected
+// to hold the bucket lock in at least shared mode when running under 2PL;
+// OCC calls Get without a lock and validates the version later.
+func (b *Bucket) Get(key Key) (value []byte, version uint64, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, i := b.find(key)
+	if cur == nil {
+		return nil, 0, ErrNotFound
+	}
+	v := make([]byte, len(cur.entries[i].value))
+	copy(v, cur.entries[i].value)
+	return v, cur.entries[i].version, nil
+}
+
+// Version returns the record's current version without copying the value.
+func (b *Bucket) Version(key Key) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, i := b.find(key)
+	if cur == nil {
+		return 0, ErrNotFound
+	}
+	return cur.entries[i].version, nil
+}
+
+// Put updates an existing record in place, bumping its version.
+func (b *Bucket) Put(key Key, value []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, i := b.find(key)
+	if cur == nil {
+		return ErrNotFound
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	cur.entries[i].value = v
+	cur.entries[i].version++
+	return nil
+}
+
+// Insert adds a new record. It fails with ErrExists if key is present.
+func (b *Bucket) Insert(key Key, value []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if cur, _ := b.find(key); cur != nil {
+		return ErrExists
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	// Reuse a tombstone slot anywhere in the chain first.
+	for cur := b; cur != nil; cur = cur.overflow {
+		for i := range cur.entries {
+			if cur.entries[i].dead {
+				cur.entries[i] = entry{key: key, value: v, version: 1}
+				return nil
+			}
+		}
+	}
+	// Append to the first bucket in the chain with room.
+	cur := b
+	for {
+		if len(cur.entries) < bucketCapacity {
+			cur.entries = append(cur.entries, entry{key: key, value: v, version: 1})
+			return nil
+		}
+		if cur.overflow == nil {
+			cur.overflow = &Bucket{}
+		}
+		cur = cur.overflow
+	}
+}
+
+// Upsert inserts or overwrites.
+func (b *Bucket) Upsert(key Key, value []byte) {
+	if err := b.Put(key, value); err == nil {
+		return
+	}
+	_ = b.Insert(key, value)
+}
+
+// Delete tombstones a record.
+func (b *Bucket) Delete(key Key) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cur, i := b.find(key)
+	if cur == nil {
+		return ErrNotFound
+	}
+	cur.entries[i].dead = true
+	cur.entries[i].value = nil
+	cur.entries[i].version++
+	return nil
+}
+
+// Len reports the number of live records in the bucket chain.
+func (b *Bucket) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for cur := b; cur != nil; cur = cur.overflow {
+		for i := range cur.entries {
+			if !cur.entries[i].dead {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ChainLength reports how many buckets are in the overflow chain
+// (1 = no overflow).
+func (b *Bucket) ChainLength() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for cur := b; cur != nil; cur = cur.overflow {
+		n++
+	}
+	return n
+}
+
+// Range calls fn for every live record in the table. fn must not call back
+// into the same bucket. Iteration order is unspecified.
+func (t *Table) Range(fn func(key Key, value []byte, version uint64) bool) {
+	for i := range t.buckets {
+		b := &t.buckets[i]
+		b.mu.Lock()
+		type rec struct {
+			k Key
+			v []byte
+			n uint64
+		}
+		var recs []rec
+		for cur := b; cur != nil; cur = cur.overflow {
+			for j := range cur.entries {
+				if !cur.entries[j].dead {
+					v := make([]byte, len(cur.entries[j].value))
+					copy(v, cur.entries[j].value)
+					recs = append(recs, rec{cur.entries[j].key, v, cur.entries[j].version})
+				}
+			}
+		}
+		b.mu.Unlock()
+		for _, r := range recs {
+			if !fn(r.k, r.v, r.n) {
+				return
+			}
+		}
+	}
+}
+
+// Len reports the number of live records in the table.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.buckets {
+		n += t.buckets[i].Len()
+	}
+	return n
+}

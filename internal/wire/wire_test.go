@@ -1,0 +1,200 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripScalars(t *testing.T) {
+	w := NewWriter(64)
+	w.Uint8(0xAB)
+	w.Bool(true)
+	w.Bool(false)
+	w.Uint16(0xBEEF)
+	w.Uint32(0xDEADBEEF)
+	w.Uint64(math.MaxUint64)
+	w.Int64(-42)
+	w.Float64(3.14159)
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %x, want ab", got)
+	}
+	if !r.Bool() {
+		t.Error("first Bool = false, want true")
+	}
+	if r.Bool() {
+		t.Error("second Bool = true, want false")
+	}
+	if got := r.Uint16(); got != 0xBEEF {
+		t.Errorf("Uint16 = %x, want beef", got)
+	}
+	if got := r.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %x, want deadbeef", got)
+	}
+	if got := r.Uint64(); got != math.MaxUint64 {
+		t.Errorf("Uint64 = %d, want max", got)
+	}
+	if got := r.Int64(); got != -42 {
+		t.Errorf("Int64 = %d, want -42", got)
+	}
+	if got := r.Float64(); got != 3.14159 {
+		t.Errorf("Float64 = %v, want 3.14159", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestRoundTripComposites(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes32([]byte("hello"))
+	w.String("world")
+	w.Uint64s([]uint64{1, 2, 3})
+	w.Int64s([]int64{-1, 0, 1})
+	w.Ints([]int{10, 20})
+
+	r := NewReader(w.Bytes())
+	if got := string(r.Bytes32()); got != "hello" {
+		t.Errorf("Bytes32 = %q", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	u := r.Uint64s()
+	if len(u) != 3 || u[0] != 1 || u[2] != 3 {
+		t.Errorf("Uint64s = %v", u)
+	}
+	i := r.Int64s()
+	if len(i) != 3 || i[0] != -1 {
+		t.Errorf("Int64s = %v", i)
+	}
+	ii := r.Ints()
+	if len(ii) != 2 || ii[1] != 20 {
+		t.Errorf("Ints = %v", ii)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes32(nil)
+	w.Uint64s(nil)
+	r := NewReader(w.Bytes())
+	if got := r.Bytes32(); len(got) != 0 {
+		t.Errorf("empty Bytes32 = %v", got)
+	}
+	if got := r.Uint64s(); got != nil {
+		t.Errorf("empty Uint64s = %v", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestShortBuffer(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	_ = r.Uint64()
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatalf("want ErrShort, got %v", r.Err())
+	}
+	// Sticky: further reads keep returning the error and zero values.
+	if got := r.Uint32(); got != 0 {
+		t.Errorf("post-error Uint32 = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatal("error not sticky")
+	}
+}
+
+func TestCorruptLengthPrefix(t *testing.T) {
+	w := NewWriter(0)
+	w.Uint32(1 << 30) // absurd length with no payload
+	r := NewReader(w.Bytes())
+	if got := r.Bytes32(); got != nil {
+		t.Errorf("Bytes32 on corrupt prefix = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrShort) {
+		t.Fatalf("want ErrShort, got %v", r.Err())
+	}
+	// Same guard for integer slices.
+	w2 := NewWriter(0)
+	w2.Uint32(1 << 30)
+	r2 := NewReader(w2.Bytes())
+	if got := r2.Uint64s(); got != nil {
+		t.Errorf("Uint64s on corrupt prefix = %v", got)
+	}
+	if !errors.Is(r2.Err(), ErrShort) {
+		t.Fatalf("want ErrShort, got %v", r2.Err())
+	}
+}
+
+func TestBytesCopyDoesNotAlias(t *testing.T) {
+	w := NewWriter(0)
+	w.Bytes32([]byte{9, 9, 9})
+	buf := w.Bytes()
+	r := NewReader(buf)
+	c := r.BytesCopy()
+	buf[4] = 0 // mutate underlying storage (after the 4-byte length prefix)
+	if c[0] != 9 {
+		t.Fatal("BytesCopy aliases the source buffer")
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(16)
+	w.Uint64(7)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", w.Len())
+	}
+	w.Uint64(9)
+	r := NewReader(w.Bytes())
+	if got := r.Uint64(); got != 9 {
+		t.Fatalf("after reset got %d, want 9", got)
+	}
+}
+
+// Property: any sequence of (uint64, bytes, string, int64 slice) values round-trips.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a uint64, b []byte, s string, vs []int64) bool {
+		w := NewWriter(0)
+		w.Uint64(a)
+		w.Bytes32(b)
+		w.String(s)
+		w.Int64s(vs)
+		r := NewReader(w.Bytes())
+		ga := r.Uint64()
+		gb := r.Bytes32()
+		gs := r.String()
+		gv := r.Int64s()
+		if r.Err() != nil {
+			return false
+		}
+		if ga != a || gs != s {
+			return false
+		}
+		if string(gb) != string(b) {
+			return false
+		}
+		if len(gv) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if gv[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

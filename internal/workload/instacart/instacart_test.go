@@ -1,0 +1,172 @@
+package instacart
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+func TestBasketsMatchPublishedMarginals(t *testing.T) {
+	w := NewWorkload(Config{Products: 10000, Partitions: 4, Seed: 1})
+	rng := rand.New(rand.NewSource(5))
+	const n = 20000
+	var totalItems int
+	bananaBaskets, strawberryBaskets := 0, 0
+	for i := 0; i < n; i++ {
+		b := w.Basket(rng)
+		totalItems += len(b)
+		seen := map[int64]bool{}
+		for _, p := range b {
+			if seen[p] {
+				t.Fatal("duplicate product in basket")
+			}
+			seen[p] = true
+			if p < 0 || int(p) >= 10000 {
+				t.Fatalf("product %d out of range", p)
+			}
+		}
+		if seen[0] {
+			bananaBaskets++
+		}
+		if seen[1] {
+			strawberryBaskets++
+		}
+	}
+	avg := float64(totalItems) / n
+	if avg < 8 || avg > 12 {
+		t.Errorf("average basket size %.1f, want ~10", avg)
+	}
+	// Banana ≈ 15% (plus incidental category-0 draws), strawberries ≈ 8%.
+	if share := float64(bananaBaskets) / n; share < 0.13 || share > 0.30 {
+		t.Errorf("banana share %.3f, want ≈ 0.15+", share)
+	}
+	if share := float64(strawberryBaskets) / n; share < 0.07 || share > 0.25 {
+		t.Errorf("strawberry share %.3f, want ≈ 0.08+", share)
+	}
+}
+
+func TestCategoryCoherence(t *testing.T) {
+	w := NewWorkload(Config{Products: 10000, Partitions: 2, Seed: 1})
+	rng := rand.New(rand.NewSource(9))
+	// Most items of a basket should share a category (the co-purchase
+	// structure that makes contention-aware partitioning effective).
+	coherent := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		b := w.Basket(rng)
+		counts := map[int]int{}
+		for _, p := range b {
+			counts[w.CategoryOf(p)]++
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		if float64(best) >= 0.5*float64(len(b)) {
+			coherent++
+		}
+	}
+	if float64(coherent)/n < 0.6 {
+		t.Errorf("only %d/%d baskets category-coherent", coherent, n)
+	}
+}
+
+func TestOrderKeyHomesPartition(t *testing.T) {
+	for part := 0; part < 8; part++ {
+		k := OrderKey(part, 12345)
+		p := DefaultPartitioner(8).Partition(storage.RID{Table: TableOrders, Key: k})
+		if int(p) != part {
+			t.Fatalf("order key for partition %d routed to %d", part, p)
+		}
+	}
+	// Product routing spreads.
+	dp := DefaultPartitioner(4)
+	counts := make([]int, 4)
+	for k := storage.Key(0); k < 4000; k++ {
+		counts[dp.Partition(storage.RID{Table: TableProducts, Key: k})]++
+	}
+	for i, c := range counts {
+		if c < 700 {
+			t.Errorf("partition %d got %d/4000 products", i, c)
+		}
+	}
+}
+
+func TestRegisterAllAndProcedureShapes(t *testing.T) {
+	reg := txn.NewRegistry()
+	if err := RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	for n := MinBasket; n <= MaxBasket; n++ {
+		p := reg.Lookup(BasketProc(n))
+		if p == nil {
+			t.Fatalf("missing %s", BasketProc(n))
+		}
+		if len(p.Ops) != n+1 {
+			t.Fatalf("%s has %d ops", BasketProc(n), len(p.Ops))
+		}
+		if p.Ops[n].Type != txn.OpInsert {
+			t.Fatalf("%s last op is %v, want insert", BasketProc(n), p.Ops[n].Type)
+		}
+	}
+}
+
+func TestStockMutatorRestocks(t *testing.T) {
+	reg := txn.NewRegistry()
+	if err := RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	p := reg.Lookup(BasketProc(MinBasket))
+	out, err := p.Ops[0].Mutate(EncodeStock(1), txn.Args{0, 42, 1, 2, 3, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DecodeStock(out); got <= 0 {
+		t.Fatalf("stock %d after restock, want positive", got)
+	}
+}
+
+func TestTraceAndAggregate(t *testing.T) {
+	w := NewWorkload(Config{Products: 1000, Partitions: 2, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	trace := w.Trace(500, rng)
+	if len(trace) != 500 {
+		t.Fatalf("trace len %d", len(trace))
+	}
+	agg := w.BuildAggregate(500, rng, 40)
+	if agg.NumRecords() == 0 {
+		t.Fatal("empty aggregate")
+	}
+	// The banana must be the most contended record.
+	recs := agg.Records()
+	if recs[0].RID.Key != 0 {
+		t.Errorf("hottest record is %v, want product 0", recs[0].RID)
+	}
+}
+
+func TestNextProducesValidRequest(t *testing.T) {
+	w := NewWorkload(Config{Products: 1000, Partitions: 4, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	seen := map[storage.Key]bool{}
+	for i := 0; i < 100; i++ {
+		req := w.Next(2, rng)
+		if req.Proc == "" || len(req.Args) < MinBasket+1 {
+			t.Fatalf("bad request %+v", req)
+		}
+		ok := storage.Key(req.Args[0])
+		if seen[ok] {
+			t.Fatal("order key reused")
+		}
+		seen[ok] = true
+	}
+}
+
+func TestDecodeStockShortBuffer(t *testing.T) {
+	if DecodeStock(nil) != 0 || DecodeStock([]byte{1}) != 0 {
+		t.Fatal("short decode should be 0")
+	}
+}

@@ -1,0 +1,292 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/chillerdb/chiller/internal/depgraph"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+func TestKeyPackingRoundTrip(t *testing.T) {
+	cases := []struct {
+		table storage.TableID
+		key   storage.Key
+		wantW int
+	}{
+		{TableWarehouse, WarehouseKey(7), 7},
+		{TableDistrict, DistrictKey(7, 9), 7},
+		{TableCustomer, CustomerKey(7, 9, 2999), 7},
+		{TableStock, StockKey(7, 99999), 7},
+		{TableOrder, OrderKey(7, 9, 9_999_999), 7},
+		{TableNewOrder, OrderKey(7, 9, 123), 7},
+		{TableOrderLine, OrderLineKey(OrderKey(7, 9, 123), 14), 7},
+		{TableHistory, HistoryKey(7, 999_999), 7},
+	}
+	for _, c := range cases {
+		if got := WarehouseOf(c.table, c.key); got != c.wantW {
+			t.Errorf("WarehouseOf(t%d, %d) = %d, want %d", c.table, c.key, got, c.wantW)
+		}
+	}
+}
+
+func TestKeysDistinctAcrossDistricts(t *testing.T) {
+	seen := make(map[storage.Key]bool)
+	for w := 0; w < 3; w++ {
+		for d := 0; d < DistrictsPerWarehouse; d++ {
+			for c := 0; c < 5; c++ {
+				k := CustomerKey(w, d, c)
+				if seen[k] {
+					t.Fatalf("duplicate customer key %d", k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func TestPartitionerStripesWarehouses(t *testing.T) {
+	p := Partitioner(8, 4)
+	if got := p.Partition(storage.RID{Table: TableWarehouse, Key: WarehouseKey(0)}); got != 0 {
+		t.Errorf("w0 → %d", got)
+	}
+	if got := p.Partition(storage.RID{Table: TableWarehouse, Key: WarehouseKey(7)}); got != 3 {
+		t.Errorf("w7 → %d", got)
+	}
+	if got := p.Partition(storage.RID{Table: TableStock, Key: StockKey(5, 42)}); got != 2 {
+		t.Errorf("stock w5 → %d", got)
+	}
+	// Order co-located with its district.
+	o := p.Partition(storage.RID{Table: TableOrder, Key: OrderKey(3, 4, 77)})
+	d := p.Partition(storage.RID{Table: TableDistrict, Key: DistrictKey(3, 4)})
+	if o != d {
+		t.Errorf("order %d vs district %d", o, d)
+	}
+}
+
+func TestRecordEncodings(t *testing.T) {
+	w := Warehouse{YTD: 5, Tax: 1999}
+	if got := DecodeWarehouse(w.Encode()); got != w {
+		t.Errorf("warehouse: %+v", got)
+	}
+	d := District{NextOID: 42, YTD: -7, Tax: 3}
+	if got := DecodeDistrict(d.Encode()); got != d {
+		t.Errorf("district: %+v", got)
+	}
+	c := Customer{Balance: -100, YTDPayment: 5, PaymentCnt: 2, Discount: 100}
+	if got := DecodeCustomer(c.Encode()); got != c {
+		t.Errorf("customer: %+v", got)
+	}
+	s := Stock{Quantity: 50, YTD: 1, OrderCnt: 2, RemoteCnt: 3}
+	if got := DecodeStock(s.Encode()); got != s {
+		t.Errorf("stock: %+v", got)
+	}
+	o := Order{CustomerID: 9, OLCnt: 10, CarrierID: 3, EntryDate: 1}
+	if got := DecodeOrder(o.Encode()); got != o {
+		t.Errorf("order: %+v", got)
+	}
+	l := OrderLine{ItemID: 4, SupplyW: 2, Quantity: 6, Amount: 600}
+	if got := DecodeOrderLine(l.Encode()); got != l {
+		t.Errorf("orderline: %+v", got)
+	}
+	// Decoding short buffers yields zero values, never panics.
+	if got := DecodeDistrict(nil); got != (District{}) {
+		t.Errorf("nil decode: %+v", got)
+	}
+}
+
+func TestItemPriceRange(t *testing.T) {
+	for i := int64(0); i < 1000; i++ {
+		p := ItemPrice(i)
+		if p < 100 || p >= 10000 {
+			t.Fatalf("ItemPrice(%d) = %d out of range", i, p)
+		}
+		if p != ItemPrice(i) {
+			t.Fatal("ItemPrice not deterministic")
+		}
+	}
+}
+
+func TestRegisterAllValidates(t *testing.T) {
+	reg := txn.NewRegistry()
+	if err := RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	for n := MinOrderLines; n <= MaxOrderLines; n++ {
+		if reg.Lookup(NewOrderProc(n)) == nil {
+			t.Fatalf("missing %s", NewOrderProc(n))
+		}
+	}
+	for _, p := range []string{ProcPayment, ProcOrderStatus, ProcDelivery, ProcStockLevel} {
+		if reg.Lookup(p) == nil {
+			t.Fatalf("missing %s", p)
+		}
+	}
+}
+
+// Every TPC-C procedure must produce a valid dependency graph, and the
+// NewOrder graph must have the pk-dep structure the paper's analysis
+// relies on: inserts depend on the district update.
+func TestDependencyGraphs(t *testing.T) {
+	reg := txn.NewRegistry()
+	if err := RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range reg.Names() {
+		proc := reg.Lookup(name)
+		g, err := depgraph.Build(proc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		_ = g
+	}
+	no := reg.Lookup(NewOrderProc(10))
+	g, _ := depgraph.Build(no)
+	// Op 1 is the district update; its pk-children are the 12 inserts.
+	children := g.PKChildren(1)
+	if len(children) != 12 {
+		t.Fatalf("district pk-children = %d, want 12 (order, neworder, 10 lines)", len(children))
+	}
+}
+
+// The region decision for NewOrder with hot district must put the
+// district update and all inserts in the inner region, stock updates and
+// reads outer.
+func TestNewOrderRegionSplit(t *testing.T) {
+	reg := txn.NewRegistry()
+	if err := RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Warehouses: 4, Partitions: 4, CustomersPerDistrict: 10, Items: 100}.Defaults()
+	part := Partitioner(4, 4)
+
+	proc := reg.Lookup(NewOrderProc(5))
+	g, _ := depgraph.Build(proc)
+
+	hotDistricts := map[storage.Key]bool{}
+	for w := 0; w < 4; w++ {
+		for d := 0; d < DistrictsPerWarehouse; d++ {
+			hotDistricts[DistrictKey(w, d)] = true
+		}
+	}
+	resolve := func(op *txn.OpSpec, args txn.Args) (int, bool) {
+		if key, ok := op.Key(args, nil); ok {
+			return int(part.Partition(storage.RID{Table: op.Table, Key: key})), true
+		}
+		if op.PartKey != nil {
+			if pk, ok := op.PartKey(args, nil); ok {
+				return int(part.Partition(storage.RID{Table: op.PartTable, Key: pk})), true
+			}
+		}
+		return 0, false
+	}
+	hot := func(op *txn.OpSpec, args txn.Args) bool {
+		key, ok := op.Key(args, nil)
+		if !ok {
+			return false
+		}
+		return op.Table == TableDistrict && hotDistricts[key] ||
+			op.Table == TableWarehouse
+	}
+
+	// Home warehouse 2, all items local.
+	args := txn.Args{2, 3, 1,
+		10, 2, 1,
+		11, 2, 2,
+		12, 2, 3,
+		13, 2, 4,
+		14, 2, 5,
+	}
+	dec := depgraph.Decide(g, args, resolve, hot)
+	if !dec.TwoRegion {
+		t.Fatal("NewOrder with hot district should use two-region execution")
+	}
+	if dec.InnerHost != 2 {
+		t.Fatalf("inner host = %d, want 2 (home warehouse partition)", dec.InnerHost)
+	}
+	inner := dec.InnerSet()
+	// District update (1), order insert (8), neworder insert (9), lines
+	// (10..14), and the warehouse read (0, hot + co-located).
+	for _, want := range []int{0, 1, 8, 9, 10, 11, 12, 13, 14} {
+		if !inner[want] {
+			t.Errorf("op %d not in inner region; inner = %v", want, dec.InnerOps)
+		}
+	}
+	// Stock updates and the customer read stay outer.
+	for _, wantOuter := range []int{2, 3, 4, 5, 6, 7} {
+		if inner[wantOuter] {
+			t.Errorf("op %d should be outer; inner = %v", wantOuter, dec.InnerOps)
+		}
+	}
+	if err := depgraph.CheckDecision(g, &dec); err != nil {
+		t.Fatal(err)
+	}
+	_ = cfg
+}
+
+func TestWorkloadMixAndHoming(t *testing.T) {
+	cfg := Config{Warehouses: 8, Partitions: 4}.Defaults()
+	w, err := NewWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		part := i % 4
+		req := w.Next(part, rng)
+		counts[baseName(req.Proc)]++
+		// Home warehouse must belong to the requesting partition.
+		home := int(req.Args[0])
+		if home/2 != part {
+			t.Fatalf("home warehouse %d not owned by partition %d", home, part)
+		}
+	}
+	// Rough mix check (45/43/4/4/4 ±5 points).
+	if pct := counts["neworder"] * 100 / 5000; pct < 40 || pct > 50 {
+		t.Errorf("neworder = %d%%", pct)
+	}
+	if pct := counts["payment"] * 100 / 5000; pct < 38 || pct > 48 {
+		t.Errorf("payment = %d%%", pct)
+	}
+}
+
+func baseName(proc string) string {
+	switch proc {
+	case ProcPayment:
+		return "payment"
+	case ProcOrderStatus:
+		return "orderstatus"
+	case ProcDelivery:
+		return "delivery"
+	case ProcStockLevel:
+		return "stocklevel"
+	}
+	return "neworder"
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := (Config{Warehouses: 7, Partitions: 4}.Defaults()).Validate(); err == nil {
+		t.Error("non-divisible warehouses accepted")
+	}
+	bad := Config{}.Defaults()
+	bad.NewOrderPct = 50 // mix now sums to 105
+	if err := bad.Validate(); err == nil {
+		t.Error("bad mix accepted")
+	}
+	if err := (Config{}.Defaults()).Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+}
+
+func TestCountBelowThreshold(t *testing.T) {
+	reads := txn.ReadSet{}
+	for i := 1; i <= 10; i++ {
+		q := int64(i * 5) // 5,10,...,50
+		reads[i] = Stock{Quantity: q}.Encode()
+	}
+	if got := CountBelowThreshold(reads, 20); got != 3 {
+		t.Fatalf("CountBelowThreshold = %d, want 3 (5,10,15)", got)
+	}
+}

@@ -1,0 +1,170 @@
+// Package ycsb is a YCSB-flavoured micro-workload over a single table
+// with Zipfian access skew: each transaction performs a fixed number of
+// reads and read-modify-writes. It exists for ablations (sampling-rate
+// sensitivity, skew sweeps) rather than any figure of the paper.
+package ycsb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// Table is the single YCSB table.
+const Table storage.TableID = 1
+
+// Config shapes the workload.
+type Config struct {
+	// Records is the table size.
+	Records int
+	// OpsPerTxn is the number of operations per transaction.
+	OpsPerTxn int
+	// WriteFraction of operations are read-modify-writes.
+	WriteFraction float64
+	// Theta is the Zipfian skew (0 = uniform; typical hot skew 0.99).
+	Theta float64
+}
+
+// Defaults fills zero fields.
+func (c Config) Defaults() Config {
+	if c.Records == 0 {
+		c.Records = 100000
+	}
+	if c.OpsPerTxn == 0 {
+		c.OpsPerTxn = 8
+	}
+	if c.WriteFraction == 0 {
+		c.WriteFraction = 0.5
+	}
+	return c
+}
+
+// ProcName returns the registered procedure name for the given op count
+// and write mask.
+func ProcName(ops int, writeMask uint32) string {
+	return fmt.Sprintf("ycsb.%d.%x", ops, writeMask)
+}
+
+// Encode/Decode the 8-byte counter value.
+
+// EncodeValue serializes a counter.
+func EncodeValue(v int64) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, uint64(v))
+	return out
+}
+
+// DecodeValue parses a counter.
+func DecodeValue(p []byte) int64 {
+	if len(p) < 8 {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(p))
+}
+
+// procedure builds a YCSB transaction shape: ops operations, op i a
+// read-modify-write iff bit i of writeMask is set, keys from args.
+func procedure(ops int, writeMask uint32) *txn.Procedure {
+	specs := make([]txn.OpSpec, 0, ops)
+	for i := 0; i < ops; i++ {
+		i := i
+		if writeMask&(1<<uint(i)) != 0 {
+			specs = append(specs, txn.OpSpec{
+				ID: i, Type: txn.OpUpdate, Table: Table,
+				Key: func(args txn.Args, _ txn.ReadSet) (storage.Key, bool) {
+					return storage.Key(args[i]), true
+				},
+				Mutate: func(old []byte, _ txn.Args, _ txn.ReadSet) ([]byte, error) {
+					return EncodeValue(DecodeValue(old) + 1), nil
+				},
+			})
+		} else {
+			specs = append(specs, txn.OpSpec{
+				ID: i, Type: txn.OpRead, Table: Table,
+				Key: func(args txn.Args, _ txn.ReadSet) (storage.Key, bool) {
+					return storage.Key(args[i]), true
+				},
+			})
+		}
+	}
+	return &txn.Procedure{Name: ProcName(ops, writeMask), Ops: specs}
+}
+
+// Workload generates YCSB transactions. It lazily registers the shape
+// variants it draws, so construct it with the registry before running.
+type Workload struct {
+	cfg Config
+	reg *txn.Registry
+}
+
+// NewWorkload builds a generator bound to a registry.
+func NewWorkload(cfg Config, reg *txn.Registry) *Workload {
+	return &Workload{cfg: cfg.Defaults(), reg: reg}
+}
+
+// Name implements bench.Workload.
+func (w *Workload) Name() string { return "ycsb" }
+
+// RegisterShapes pre-registers every write-mask variant for the
+// configured op count (2^ops shapes — keep OpsPerTxn small).
+func (w *Workload) RegisterShapes() error {
+	if w.cfg.OpsPerTxn > 12 {
+		return fmt.Errorf("ycsb: OpsPerTxn %d too large to enumerate shapes", w.cfg.OpsPerTxn)
+	}
+	for mask := uint32(0); mask < 1<<uint(w.cfg.OpsPerTxn); mask++ {
+		if err := w.reg.Register(procedure(w.cfg.OpsPerTxn, mask)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Loader matches bench.Cluster's loading surface.
+type Loader interface {
+	CreateTable(id storage.TableID, buckets int)
+	LoadRecord(table storage.TableID, key storage.Key, value []byte) error
+}
+
+// Load creates and populates the table.
+func Load(l Loader, cfg Config) error {
+	cfg = cfg.Defaults()
+	l.CreateTable(Table, 1<<15)
+	for i := 0; i < cfg.Records; i++ {
+		if err := l.LoadRecord(Table, storage.Key(i), EncodeValue(0)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// zipfKey draws a key with the configured skew.
+func (w *Workload) zipfKey(rng *rand.Rand) int64 {
+	if w.cfg.Theta <= 0 {
+		return int64(rng.Intn(w.cfg.Records))
+	}
+	z := rand.NewZipf(rng, 1+w.cfg.Theta, 2, uint64(w.cfg.Records-1))
+	return int64(z.Uint64())
+}
+
+// Next implements bench.Workload.
+func (w *Workload) Next(_ int, rng *rand.Rand) *txn.Request {
+	ops := w.cfg.OpsPerTxn
+	args := make(txn.Args, ops)
+	var mask uint32
+	seen := make(map[int64]bool, ops)
+	for i := 0; i < ops; i++ {
+		k := w.zipfKey(rng)
+		for seen[k] {
+			k = (k + 1) % int64(w.cfg.Records)
+		}
+		seen[k] = true
+		args[i] = k
+		if rng.Float64() < w.cfg.WriteFraction {
+			mask |= 1 << uint(i)
+		}
+	}
+	return &txn.Request{Proc: ProcName(ops, mask), Args: args}
+}

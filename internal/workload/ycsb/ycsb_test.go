@@ -1,0 +1,110 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+func TestRegisterShapesAndNext(t *testing.T) {
+	reg := txn.NewRegistry()
+	w := NewWorkload(Config{Records: 1000, OpsPerTxn: 4, WriteFraction: 0.5, Theta: 0.9}, reg)
+	if err := w.RegisterShapes(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		req := w.Next(0, rng)
+		proc := reg.Lookup(req.Proc)
+		if proc == nil {
+			t.Fatalf("unregistered shape %s", req.Proc)
+		}
+		if len(req.Args) != 4 {
+			t.Fatalf("args = %v", req.Args)
+		}
+		seen := map[int64]bool{}
+		for _, k := range req.Args {
+			if k < 0 || k >= 1000 {
+				t.Fatalf("key %d out of range", k)
+			}
+			if seen[k] {
+				t.Fatal("duplicate key in txn")
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestRegisterShapesTooLarge(t *testing.T) {
+	w := NewWorkload(Config{OpsPerTxn: 13}, txn.NewRegistry())
+	if err := w.RegisterShapes(); err == nil {
+		t.Fatal("13 ops should refuse shape enumeration")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	reg := txn.NewRegistry()
+	w := NewWorkload(Config{Records: 10000, OpsPerTxn: 1, WriteFraction: 1, Theta: 0.99}, reg)
+	if err := w.RegisterShapes(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	head := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		req := w.Next(0, rng)
+		if req.Args[0] < 100 {
+			head++
+		}
+	}
+	// With theta 0.99 the top 1% of keys should absorb far more than 1%
+	// of accesses.
+	if float64(head)/n < 0.10 {
+		t.Errorf("head share %.3f, want skewed", float64(head)/n)
+	}
+}
+
+func TestUniformWhenThetaZero(t *testing.T) {
+	reg := txn.NewRegistry()
+	w := NewWorkload(Config{Records: 1000, OpsPerTxn: 1, WriteFraction: 1, Theta: -1}, reg)
+	_ = w.RegisterShapes()
+	rng := rand.New(rand.NewSource(3))
+	head := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if w.Next(0, rng).Args[0] < 10 {
+			head++
+		}
+	}
+	// Uniform: top 1% of keys ≈ 1% of accesses.
+	if float64(head)/n > 0.05 {
+		t.Errorf("uniform head share %.3f too high", float64(head)/n)
+	}
+}
+
+func TestValueCodec(t *testing.T) {
+	if DecodeValue(EncodeValue(-7)) != -7 {
+		t.Fatal("round trip failed")
+	}
+	if DecodeValue(nil) != 0 {
+		t.Fatal("nil decode")
+	}
+}
+
+func TestProcedureMutatorsIncrement(t *testing.T) {
+	p := ProcName(2, 0b11)
+	reg := txn.NewRegistry()
+	w := NewWorkload(Config{Records: 10, OpsPerTxn: 2, WriteFraction: 1}, reg)
+	if err := w.RegisterShapes(); err != nil {
+		t.Fatal(err)
+	}
+	proc := reg.Lookup(p)
+	if proc == nil {
+		t.Fatalf("missing %s", p)
+	}
+	out, err := proc.Ops[0].Mutate(EncodeValue(41), txn.Args{0, 1}, nil)
+	if err != nil || DecodeValue(out) != 42 {
+		t.Fatalf("mutate: %v %d", err, DecodeValue(out))
+	}
+}
