@@ -7,7 +7,7 @@
 //
 // Figure benches print the same rows/series the paper plots and report
 // the headline number via b.ReportMetric. Absolute values depend on the
-// simulated network (see DESIGN.md); the shapes are what reproduce.
+// simulated network (see README.md); the shapes are what reproduce.
 package chiller_test
 
 import (

@@ -1,17 +1,20 @@
 // Command chiller-bench regenerates the tables and figures of the
-// paper's evaluation (§7) on the simulated cluster. See EXPERIMENTS.md
-// for the experiment index and expected shapes.
+// paper's evaluation (§7) on the simulated cluster. See README.md for
+// the experiment index and expected shapes.
 //
 // Usage:
 //
 //	chiller-bench -exp fig7                 # one experiment
 //	chiller-bench -exp all -duration 2s     # everything, longer windows
+//	chiller-bench -exp fig10 -json out.json # machine-readable results
 //
 // Experiments: fig7, fig8, lookup, fig9, fig10, a1 (reorder-only
-// ablation), a2 (min-edge-weight ablation), a3 (sampling ablation), all.
+// ablation), a2 (min-edge-weight ablation), a3 (sampling ablation), a4
+// (latency ablation), all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +38,7 @@ func main() {
 		customers  = flag.Int("customers", 300, "TPC-C customers per district")
 		items      = flag.Int("items", 2000, "TPC-C items per warehouse")
 		maxConc    = flag.Int("max-concurrency", 8, "Figure 9 concurrency sweep upper bound")
+		jsonOut    = flag.String("json", "", "also write all figures as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 
@@ -53,108 +57,101 @@ func main() {
 		MaxConcurrency: *maxConc,
 	}
 
-	run := func(name string, fn func() error) {
+	var figures []*bench.Figure
+	run := func(name string, fn func() ([]*bench.Figure, error)) {
 		start := time.Now()
 		fmt.Printf("=== %s ===\n", name)
-		if err := fn(); err != nil {
+		figs, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
 			os.Exit(1)
 		}
+		for _, f := range figs {
+			f.Fprint(os.Stdout)
+			figures = append(figures, f)
+		}
 		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	one := func(fn func(bench.Options) (*bench.Figure, error)) func() ([]*bench.Figure, error) {
+		return func() ([]*bench.Figure, error) {
+			f, err := fn(opt)
+			if err != nil {
+				return nil, err
+			}
+			return []*bench.Figure{f}, nil
+		}
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 
 	if want("fig7") {
-		run("Figure 7", func() error {
-			fig, err := bench.Figure7(opt)
-			if err != nil {
-				return err
-			}
-			fig.Fprint(os.Stdout)
-			return nil
-		})
+		run("Figure 7", one(bench.Figure7))
 	}
 	if want("fig8") {
-		run("Figure 8", func() error {
-			fig, err := bench.Figure8(opt)
-			if err != nil {
-				return err
-			}
-			fig.Fprint(os.Stdout)
-			return nil
-		})
+		run("Figure 8", one(bench.Figure8))
 	}
 	if want("lookup") {
-		run("Lookup table sizes (§7.2.2)", func() error {
-			fig, err := bench.LookupTableSizes(opt)
-			if err != nil {
-				return err
-			}
-			fig.Fprint(os.Stdout)
-			return nil
-		})
+		run("Lookup table sizes (§7.2.2)", one(bench.LookupTableSizes))
 	}
 	if want("fig9") {
-		run("Figure 9", func() error {
+		run("Figure 9", func() ([]*bench.Figure, error) {
 			thr, abr, brk, err := bench.Figure9(opt)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			thr.Fprint(os.Stdout)
-			abr.Fprint(os.Stdout)
-			brk.Fprint(os.Stdout)
-			return nil
+			return []*bench.Figure{thr, abr, brk}, nil
 		})
 	}
 	if want("fig10") {
-		run("Figure 10", func() error {
-			fig, err := bench.Figure10(opt)
-			if err != nil {
-				return err
-			}
-			fig.Fprint(os.Stdout)
-			return nil
-		})
+		run("Figure 10", one(bench.Figure10))
 	}
 	if want("a1") {
-		run("Ablation A1 (reorder-only)", func() error {
-			fig, err := bench.AblationReorderOnly(4, opt)
+		run("Ablation A1 (reorder-only)", func() ([]*bench.Figure, error) {
+			f, err := bench.AblationReorderOnly(4, opt)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fig.Fprint(os.Stdout)
-			return nil
+			return []*bench.Figure{f}, nil
 		})
 	}
 	if want("a2") {
-		run("Ablation A2 (min edge weight)", func() error {
-			fig, err := bench.AblationMinEdgeWeight(4, opt)
+		run("Ablation A2 (min edge weight)", func() ([]*bench.Figure, error) {
+			f, err := bench.AblationMinEdgeWeight(4, opt)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fig.Fprint(os.Stdout)
-			return nil
+			return []*bench.Figure{f}, nil
 		})
 	}
 	if want("a3") {
-		run("Ablation A3 (sampling rate)", func() error {
-			fig, err := bench.AblationSamplingRate(opt)
-			if err != nil {
-				return err
-			}
-			fig.Fprint(os.Stdout)
-			return nil
-		})
+		run("Ablation A3 (sampling rate)", one(bench.AblationSamplingRate))
 	}
 	if want("a4") {
-		run("Ablation A4 (latency sweep)", func() error {
-			fig, err := bench.AblationLatency(4, opt)
+		run("Ablation A4 (latency sweep)", func() ([]*bench.Figure, error) {
+			f, err := bench.AblationLatency(4, opt)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			fig.Fprint(os.Stdout)
-			return nil
+			return []*bench.Figure{f}, nil
 		})
+	}
+
+	if *jsonOut != "" {
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "json output: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(figures); err != nil {
+			fmt.Fprintf(os.Stderr, "json encode: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -14,8 +14,9 @@
 //
 // Start with the examples/ directory, the chiller-bench command, or the
 // benchmark harness in bench_test.go, which regenerates every table and
-// figure of the paper's evaluation. DESIGN.md maps paper sections to
-// modules; EXPERIMENTS.md records paper-vs-measured results.
+// figure of the paper's evaluation. README.md maps paper sections to
+// modules and records which evaluation shapes reproduce;
+// internal/bench/experiments.go defines the experiments themselves.
 package chiller
 
 // Version identifies the reproduction release.

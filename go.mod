@@ -1,0 +1,3 @@
+module github.com/chillerdb/chiller
+
+go 1.24

@@ -1,7 +1,7 @@
 // Package bench is the experiment harness: it assembles simulated
 // clusters, loads workloads, drives closed-loop clients, and prints the
 // rows and series of every table and figure in the paper's evaluation
-// (§7). See EXPERIMENTS.md for the experiment index.
+// (§7). See README.md for the experiment index.
 package bench
 
 import (
@@ -122,8 +122,24 @@ func (c *Cluster) Engine(kind EngineKind, node int) cc.Engine {
 	return c.engines[kind][node]
 }
 
-// Close tears the cluster down.
-func (c *Cluster) Close() { c.Net.Close() }
+// Drain joins every engine's outstanding background work (async commit
+// tails), after which the cluster's lock state is stable.
+func (c *Cluster) Drain() {
+	for _, engines := range c.engines {
+		for _, e := range engines {
+			if d, ok := e.(cc.Drainer); ok {
+				d.Drain()
+			}
+		}
+	}
+}
+
+// Close tears the cluster down, draining in-flight engine work first so
+// no background commit hits a closed fabric.
+func (c *Cluster) Close() {
+	c.Drain()
+	c.Net.Close()
+}
 
 // CreateTable creates the table on every node (primaries and replicas
 // share loader code; a node stores primary data of its own partition and

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/chillerdb/chiller/internal/cc"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -37,6 +38,13 @@ type RunConfig struct {
 	// they commit. Aborts are still counted. This is the closed-loop
 	// behaviour the paper's throughput numbers imply.
 	Retry bool
+	// Outstanding switches a client to open-loop issuance with the given
+	// window: the client keeps up to Outstanding transactions in flight
+	// at once, modelling the paper's single-threaded execution engines
+	// that switch to another open transaction while one waits on the
+	// network — throughput is then no longer capped by per-transaction
+	// latency. 0 or 1 is the classic closed loop.
+	Outstanding int
 }
 
 // Metrics aggregates a run's outcome.
@@ -93,9 +101,62 @@ func (m *Metrics) ProcAbortRate(proc string) float64 {
 	return float64(pm.Aborted) / float64(pm.Committed+pm.Aborted)
 }
 
-// Run drives the workload closed-loop: Concurrency clients per partition,
-// each bound to its partition's engine, issuing transactions back to back
-// for the configured duration.
+type shard struct {
+	committed   uint64
+	aborted     uint64
+	distributed uint64
+	byReason    map[txn.AbortReason]uint64
+	byProc      map[string]*ProcMetrics
+}
+
+// runOne executes one request to completion (with retry policy) against
+// an engine, recording outcomes into sh. It returns when the request
+// committed, retry is off, or the run stopped.
+func runOne(engine cc.Engine, req *txn.Request, sh *shard, rng *rand.Rand, cfg *RunConfig, counting, stop *atomic.Bool) {
+	backoff := time.Duration(0)
+	for {
+		res := engine.Run(req)
+		count := counting.Load()
+		pm := sh.byProc[req.Proc]
+		if pm == nil {
+			pm = &ProcMetrics{}
+			sh.byProc[req.Proc] = pm
+		}
+		if res.Committed {
+			if count {
+				sh.committed++
+				pm.Committed++
+				if res.Distributed {
+					sh.distributed++
+				}
+			}
+			return
+		}
+		if count {
+			sh.aborted++
+			pm.Aborted++
+			sh.byReason[res.Reason]++
+		}
+		if !cfg.Retry || stop.Load() {
+			return
+		}
+		// Randomized exponential backoff between retries (standard
+		// NO_WAIT practice): identical requests replayed at spin speed
+		// livelock against each other and flood the fabric.
+		if backoff == 0 {
+			backoff = 2 * time.Microsecond
+		} else if backoff < time.Millisecond {
+			backoff *= 2
+		}
+		time.Sleep(time.Duration(rng.Int63n(int64(backoff)) + 1))
+	}
+}
+
+// Run drives the workload: Concurrency clients per partition, each bound
+// to its partition's engine, issuing transactions back to back for the
+// configured duration — closed-loop by default, or keeping
+// cfg.Outstanding transactions in flight per client when set (open
+// loop).
 func (c *Cluster) Run(w Workload, cfg RunConfig) *Metrics {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 1
@@ -103,17 +164,17 @@ func (c *Cluster) Run(w Workload, cfg RunConfig) *Metrics {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 500 * time.Millisecond
 	}
-
-	type shard struct {
-		committed   uint64
-		aborted     uint64
-		distributed uint64
-		byReason    map[txn.AbortReason]uint64
-		byProc      map[string]*ProcMetrics
+	lanes := cfg.Outstanding
+	if lanes <= 0 {
+		lanes = 1
 	}
 
 	nClients := c.Cfg.Partitions * cfg.Concurrency
-	shards := make([]shard, nClients)
+	shards := make([]shard, nClients*lanes)
+	for i := range shards {
+		shards[i].byReason = make(map[txn.AbortReason]uint64)
+		shards[i].byProc = make(map[string]*ProcMetrics)
+	}
 	var counting atomic.Bool
 	var stop atomic.Bool
 
@@ -122,45 +183,45 @@ func (c *Cluster) Run(w Workload, cfg RunConfig) *Metrics {
 	for p := 0; p < c.Cfg.Partitions; p++ {
 		engine := c.Engine(cfg.Engine, p)
 		for k := 0; k < cfg.Concurrency; k++ {
+			id, part := clientID, p
+			clientID++
+			if lanes == 1 {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sh := &shards[id]
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+					for !stop.Load() {
+						runOne(engine, w.Next(part, rng), sh, rng, &cfg, &counting, &stop)
+					}
+				}()
+				continue
+			}
+			// Open loop: one generator feeds `lanes` executor lanes
+			// through an unbuffered channel, so requests are issued in
+			// generation order with at most `lanes` in flight.
+			reqCh := make(chan *txn.Request)
 			wg.Add(1)
-			go func(id, part int) {
+			go func() {
 				defer wg.Done()
-				sh := &shards[id]
-				sh.byReason = make(map[txn.AbortReason]uint64)
-				sh.byProc = make(map[string]*ProcMetrics)
+				defer close(reqCh)
 				rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
 				for !stop.Load() {
-					req := w.Next(part, rng)
-					for {
-						res := engine.Run(req)
-						count := counting.Load()
-						pm := sh.byProc[req.Proc]
-						if pm == nil {
-							pm = &ProcMetrics{}
-							sh.byProc[req.Proc] = pm
-						}
-						if res.Committed {
-							if count {
-								sh.committed++
-								pm.Committed++
-								if res.Distributed {
-									sh.distributed++
-								}
-							}
-							break
-						}
-						if count {
-							sh.aborted++
-							pm.Aborted++
-							sh.byReason[res.Reason]++
-						}
-						if !cfg.Retry || stop.Load() {
-							break
-						}
-					}
+					reqCh <- w.Next(part, rng)
 				}
-			}(clientID, p)
-			clientID++
+			}()
+			for l := 0; l < lanes; l++ {
+				sh := &shards[id*lanes+l]
+				laneSeed := cfg.Seed + int64(id*lanes+l)*104729
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(laneSeed))
+					for req := range reqCh {
+						runOne(engine, req, sh, rng, &cfg, &counting, &stop)
+					}
+				}()
+			}
 		}
 	}
 
@@ -173,6 +234,7 @@ func (c *Cluster) Run(w Workload, cfg RunConfig) *Metrics {
 	elapsed := time.Since(start)
 	stop.Store(true)
 	wg.Wait()
+	c.Drain()
 
 	m := &Metrics{
 		Engine:   cfg.Engine,
@@ -248,5 +310,6 @@ func (c *Cluster) RunN(w Workload, kind EngineKind, nPerPartition int, seed int6
 		}(p)
 	}
 	wg.Wait()
+	c.Drain()
 	return m
 }

@@ -4,6 +4,8 @@ import (
 	"testing"
 	"time"
 
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/storage"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -64,5 +66,66 @@ func TestRunCountsAbortReasons(t *testing.T) {
 	}
 	if m.ByReason[txn.AbortLockConflict] == 0 {
 		t.Fatalf("expected lock-conflict aborts, got %v", m.ByReason)
+	}
+}
+
+// Open-loop issuance: with Outstanding > 1 a single client keeps a
+// window of transactions in flight, so throughput on a latency-bound
+// workload must clearly exceed the closed-loop equivalent, and the
+// metrics bookkeeping must stay exact across the per-lane shards.
+func TestRunOpenLoopOutstanding(t *testing.T) {
+	// Every transfer crosses partitions over a deliberately slow fabric,
+	// so a single closed-loop client is hard latency-bound and a window
+	// of outstanding transactions pays regardless of host CPU noise.
+	b := &Bank{AccountsPerPartition: 4096, RemoteProb: 1}
+	def := cluster.RangePartitioner{
+		N:      2,
+		MaxKey: map[storage.TableID]storage.Key{BankTable: storage.Key(2 * b.AccountsPerPartition)},
+	}
+	c := NewCluster(ClusterConfig{
+		Partitions:  2,
+		Replication: 1,
+		Latency:     300 * time.Microsecond,
+		Seed:        7,
+	}, def)
+	if err := SetupBank(c, b, true); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	closed := c.Run(b, RunConfig{
+		Engine:      Engine2PL,
+		Concurrency: 1,
+		Duration:    150 * time.Millisecond,
+		Retry:       true,
+		Seed:        7,
+	})
+	open := c.Run(b, RunConfig{
+		Engine:      Engine2PL,
+		Concurrency: 1,
+		Outstanding: 8,
+		Duration:    150 * time.Millisecond,
+		Retry:       true,
+		Seed:        7,
+	})
+	if open.Committed == 0 {
+		t.Fatal("open-loop run committed nothing")
+	}
+	// With a 300µs one-way latency the closed loop is capped near
+	// 1/RTT·clients while eight outstanding lanes overlap their waits;
+	// require a conservative 2x. Skipped in short mode, where the race
+	// detector's overhead can make even this configuration CPU-bound.
+	if !testing.Short() && open.Throughput() < 2*closed.Throughput() {
+		t.Errorf("open-loop %.0f tps not ahead of closed-loop %.0f tps",
+			open.Throughput(), closed.Throughput())
+	}
+	var sum uint64
+	for _, pm := range open.ByProc {
+		sum += pm.Committed + pm.Aborted
+	}
+	if sum != open.Committed+open.Aborted {
+		t.Fatalf("per-proc totals %d != %d committed+aborted", sum, open.Committed+open.Aborted)
+	}
+	if !c.Quiesced() {
+		t.Fatal("cluster not quiesced after open-loop run")
 	}
 }

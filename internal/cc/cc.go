@@ -18,3 +18,10 @@ type Engine interface {
 	// to the caller.
 	Run(req *txn.Request) txn.Result
 }
+
+// Drainer is implemented by engines that complete committed transactions
+// asynchronously (background commit waves). Callers must Drain before
+// asserting a quiesced cluster or tearing the fabric down.
+type Drainer interface {
+	Drain()
+}

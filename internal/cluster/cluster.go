@@ -156,11 +156,20 @@ type Directory struct {
 	def  DefaultPartitioner
 
 	mu  sync.RWMutex
-	hot map[storage.RID]PartitionID
+	hot map[storage.RID]hotEntry
 	// full, when non-nil, is a complete record→partition map as built by
 	// Schism-style partitioners; it takes precedence over def but not
 	// over hot. Chiller itself never populates it.
 	full map[storage.RID]PartitionID
+}
+
+// hotEntry is one lookup-table row: the record's home partition plus its
+// contention weight (§4.3's contention likelihood). The weight lets the
+// run-time region decision pick the inner host with the largest
+// contention mass instead of merely the most hot records.
+type hotEntry struct {
+	p PartitionID
+	w float64
 }
 
 // NewDirectory creates a directory over the topology with the given
@@ -169,7 +178,7 @@ func NewDirectory(topo *Topology, def DefaultPartitioner) *Directory {
 	return &Directory{
 		topo: topo,
 		def:  def,
-		hot:  make(map[storage.RID]PartitionID),
+		hot:  make(map[storage.RID]hotEntry),
 	}
 }
 
@@ -182,9 +191,9 @@ func (d *Directory) Default() DefaultPartitioner { return d.def }
 // Partition routes a record.
 func (d *Directory) Partition(rid storage.RID) PartitionID {
 	d.mu.RLock()
-	if p, ok := d.hot[rid]; ok {
+	if e, ok := d.hot[rid]; ok {
 		d.mu.RUnlock()
-		return p
+		return e.p
 	}
 	if d.full != nil {
 		if p, ok := d.full[rid]; ok {
@@ -209,21 +218,44 @@ func (d *Directory) IsHot(rid storage.RID) bool {
 	return ok
 }
 
-// SetHot places a hot record on a partition (a lookup-table entry).
+// SetHot places a hot record on a partition (a lookup-table entry) with
+// a neutral contention weight of 1.
 func (d *Directory) SetHot(rid storage.RID, p PartitionID) {
+	d.SetHotWeight(rid, p, 1)
+}
+
+// SetHotWeight places a hot record on a partition with an explicit
+// contention weight (its contention likelihood from the statistics
+// service). Weights bias the run-time inner-host decision toward the
+// partition carrying the most contention mass.
+func (d *Directory) SetHotWeight(rid storage.RID, p PartitionID, w float64) {
 	if int(p) < 0 || int(p) >= d.topo.NumPartitions() {
 		panic(fmt.Sprintf("cluster: partition %d out of range", p))
 	}
+	if w <= 0 {
+		w = 1
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.hot[rid] = p
+	d.hot[rid] = hotEntry{p: p, w: w}
+}
+
+// HotWeight returns the record's contention weight, or 0 when the record
+// is not in the lookup table.
+func (d *Directory) HotWeight(rid storage.RID) float64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if e, ok := d.hot[rid]; ok {
+		return e.w
+	}
+	return 0
 }
 
 // ClearHot empties the lookup table (before installing a new layout).
 func (d *Directory) ClearHot() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.hot = make(map[storage.RID]PartitionID)
+	d.hot = make(map[storage.RID]hotEntry)
 }
 
 // LookupTableSize returns the number of hot entries — the metadata cost
@@ -244,7 +276,7 @@ func (d *Directory) HotEntries() map[storage.RID]PartitionID {
 	defer d.mu.RUnlock()
 	out := make(map[storage.RID]PartitionID, len(d.hot))
 	for k, v := range d.hot {
-		out[k] = v
+		out[k] = v.p
 	}
 	return out
 }

@@ -18,7 +18,10 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
+	"sort"
 	"sync"
+	"time"
 
 	"github.com/chillerdb/chiller/internal/cc/twopl"
 	"github.com/chillerdb/chiller/internal/cluster"
@@ -29,12 +32,6 @@ import (
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
-// innerIDBit distinguishes the inner region's lock namespace from the
-// outer region's on the inner host. The inner host may already hold outer
-// locks for the same transaction (a cold record on the hot partition);
-// those must survive the inner region's unilateral commit.
-const innerIDBit = uint64(1) << 63
-
 // Engine is Chiller's coordinator. Safe for concurrent Run calls.
 type Engine struct {
 	node     *server.Node
@@ -42,20 +39,49 @@ type Engine struct {
 
 	gmu    sync.RWMutex
 	graphs map[string]*depgraph.Graph
+
+	// tails tracks background commit waves: once the inner region has
+	// committed and its replicas have acked, the outer commit messages
+	// are fire-and-forget from the transaction's perspective (2PC with
+	// presumed commit needs no second-phase acks), so Run hands them to a
+	// tail and returns. Drain joins them for tests and shutdown.
+	tails sync.WaitGroup
 }
 
 // New creates a Chiller engine on a node. RegisterVerbs must have been
 // called on every node in the cluster.
 func New(n *server.Node) *Engine {
-	return &Engine{
+	e := &Engine{
 		node:     n,
 		fallback: twopl.New(n),
 		graphs:   make(map[string]*depgraph.Graph),
 	}
+	// Transaction placement (§4.2): the partitioner's star graph assigns
+	// every transaction's t-vertex to the partition of its inner region,
+	// i.e. transactions execute where their hot records live. A request
+	// originating elsewhere is routed here and coordinated by this
+	// engine. The handler runs a full transaction, so it must not block
+	// the fabric's dispatcher.
+	n.Endpoint().HandleAsync(server.VerbTxnRoute, func(_ simnet.NodeID, raw []byte, reply func([]byte, error)) {
+		go func() {
+			req, err := decodeRouteRequest(raw)
+			if err != nil {
+				reply(nil, err)
+				return
+			}
+			res := e.runPlaced(req)
+			reply(encodeRouteResult(&res), nil)
+		}()
+	})
+	return e
 }
 
 // Name implements cc.Engine.
 func (e *Engine) Name() string { return "Chiller" }
+
+// Drain blocks until every background commit tail has finished. Call
+// before tearing the fabric down or asserting a quiesced cluster.
+func (e *Engine) Drain() { e.tails.Wait() }
 
 // Node returns the engine's node.
 func (e *Engine) Node() *server.Node { return e.node }
@@ -103,15 +129,16 @@ func (e *Engine) resolver() depgraph.PartitionResolver {
 	}
 }
 
-// hotFunc consults the lookup table of §4.4.
+// hotFunc consults the lookup table of §4.4, yielding each record's
+// contention weight (0 for cold records).
 func (e *Engine) hotFunc() depgraph.HotFunc {
 	dir := e.node.Directory()
-	return func(op *txn.OpSpec, args txn.Args) bool {
+	return func(op *txn.OpSpec, args txn.Args) float64 {
 		key, ok := op.Key(args, nil)
 		if !ok {
-			return false
+			return 0
 		}
-		return dir.IsHot(storage.RID{Table: op.Table, Key: key})
+		return dir.HotWeight(storage.RID{Table: op.Table, Key: key})
 	}
 }
 
@@ -129,7 +156,11 @@ func (e *Engine) Decide(req *txn.Request) (depgraph.Decision, error) {
 	return depgraph.Decide(g, req.Args, e.resolver(), e.hotFunc()), nil
 }
 
-// Run implements cc.Engine: steps 1-5 of §3.3.
+// Run implements cc.Engine: steps 1-5 of §3.3, preceded by the
+// transaction-placement step of §4.2 — a two-region transaction whose
+// inner host is another partition is routed there, so that its inner
+// region executes as local work and the hot-record span never contains
+// the delegation round trip.
 func (e *Engine) Run(req *txn.Request) txn.Result {
 	n := e.node
 	proc := n.Registry().Lookup(req.Proc)
@@ -151,7 +182,44 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 		}
 		return e.fallback.RunOrdered(req, proc, order)
 	}
+	if host := n.Directory().Topology().Primary(cluster.PartitionID(dec.InnerHost)); host != n.ID() {
+		if res, ok := e.route(host, req); ok {
+			return res
+		}
+		// Routing unavailable (e.g. fabric closing): coordinate from
+		// here; the inner region falls back to remote delegation.
+	}
+	return e.runTwoRegion(req, proc, g, dec)
+}
 
+// runPlaced coordinates a routed request on this node (the request's
+// inner host). The placement decision is recomputed — the directory is
+// identical cluster-wide, so the result is the same, and a stale route
+// (layout change mid-flight) degrades to remote delegation rather than
+// a loop: requests are routed at most once.
+func (e *Engine) runPlaced(req *txn.Request) txn.Result {
+	proc := e.node.Registry().Lookup(req.Proc)
+	if proc == nil {
+		return txn.Result{Reason: txn.AbortInternal}
+	}
+	g, err := e.graph(proc)
+	if err != nil {
+		return txn.Result{Reason: txn.AbortInternal}
+	}
+	dec := depgraph.Decide(g, req.Args, e.resolver(), e.hotFunc())
+	if !dec.TwoRegion {
+		order := make([]int, len(proc.Ops))
+		for i := range order {
+			order[i] = i
+		}
+		return e.fallback.RunOrdered(req, proc, order)
+	}
+	return e.runTwoRegion(req, proc, g, dec)
+}
+
+// runTwoRegion executes steps 3-5 of §3.3 with this node coordinating.
+func (e *Engine) runTwoRegion(req *txn.Request, proc *txn.Procedure, g *depgraph.Graph, dec depgraph.Decision) txn.Result {
+	n := e.node
 	txnID := req.ID
 	if txnID == 0 {
 		txnID = n.NextTxnID()
@@ -163,29 +231,28 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 	innerNode := topo.Primary(innerPID)
 
 	st := outerState{
-		reads:        make(txn.ReadSet, len(proc.Ops)),
-		pending:      make(map[storage.RID][]byte),
-		participants: make(map[simnet.NodeID]bool),
-		partOfNode:   make(map[simnet.NodeID]cluster.PartitionID),
-		ridOf:        make(map[int]storage.RID),
-		pids:         map[cluster.PartitionID]bool{innerPID: true},
+		reads:    make(txn.ReadSet, len(proc.Ops)),
+		innerPID: innerPID,
+		sample:   n.Sampler() != nil,
 	}
 
 	// Step 3: read and lock the outer region. Within the outer region the
 	// lock order is itself re-ordered hot-last (§3: locks on the most
 	// contended records are acquired last "if possible"): a hot record
 	// that could not join the inner region still gets the shortest span
-	// the outer region can give it.
+	// the outer region can give it. Lock acquisition is pipelined: every
+	// op the hot-last partial order allows to proceed is batched per
+	// participant and fanned out in one concurrent wave.
 	outerOrder := e.hotLastOrder(g, req.Args, dec.OuterOps)
 	if reason, ok := e.lockOuter(proc, req.Args, txnID, outerOrder, &st); !ok {
-		n.AbortAll(st.participants, txnID)
+		st.abortLocked(n, txnID)
 		return txn.Result{Reason: reason, Distributed: st.isDistributed()}
 	}
 
 	// Step 4: delegate, execute, and commit the inner region. Register
 	// the replica-ack waiter first so acks cannot race registration.
 	replicas := topo.Replicas(innerPID)
-	ackCh := n.ExpectInnerAcks(txnID, len(replicas))
+	ack := n.ExpectInnerAcks(txnID, len(replicas))
 
 	ireq := &innerRequest{
 		TxnID:    txnID,
@@ -196,9 +263,22 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 		Reads:    st.reads,
 	}
 	iresp := e.execInner(innerNode, ireq)
+	// A lock conflict inside the inner region means some other
+	// transaction's outer region holds one of our hot records — a window
+	// of at most a couple of round trips. The outer locks we already
+	// hold are cold (uncontended), so tearing the transaction down and
+	// re-acquiring them costs far more than briefly re-requesting the
+	// inner region; as with the hot-wave re-request, the bound keeps
+	// cross-transaction stalls finite and participants stay NO_WAIT.
+	for attempt := 0; attempt < hotWaveRetries &&
+		!iresp.OK && iresp.Reason == txn.AbortLockConflict; attempt++ {
+		sleepJittered(hotWaveRetryBase << attempt)
+		iresp = e.execInner(innerNode, ireq)
+	}
 	if !iresp.OK {
 		n.CancelInnerAcks(txnID)
-		n.AbortAll(st.participants, txnID)
+		n.ReleaseInnerWaiter(ack)
+		st.abortLocked(n, txnID)
 		return txn.Result{Reason: iresp.Reason, Distributed: st.isDistributed()}
 	}
 	for id, v := range iresp.Reads {
@@ -210,7 +290,10 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 	// violation, not a transaction abort.
 
 	// Step 5: commit the outer region. Compute the deferred outer writes
-	// — their mutators may consume values produced by the inner region.
+	// — their mutators may consume values produced by the inner region —
+	// and start streaming them to the outer partitions' replicas
+	// immediately, so the replica round trip overlaps the wait for the
+	// inner region's acks instead of following it.
 	writes, err := e.materializeOuterWrites(proc, req.Args, dec.OuterOps, &st)
 	if err != nil {
 		// Mutators of outer write ops must be infallible once the inner
@@ -218,18 +301,41 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 		// Check hooks or inner mutators). Surface loudly.
 		panic(fmt.Sprintf("core: outer mutate failed after inner commit (txn %d, proc %s): %v", txnID, proc.Name, err))
 	}
+	repl := n.ReplicateAsync(txnID, writes)
 
 	// Wait for the inner region's replicas to acknowledge (to us, the
 	// coordinator — Figure 6) before completing the transaction.
-	<-ackCh
+	<-ack.Done()
+	n.ReleaseInnerWaiter(ack)
 
-	if err := e.replicateOuter(txnID, writes); err != nil {
-		panic(fmt.Sprintf("core: outer replication failed after inner commit: %v", err))
+	// Final step: join the outer replica acks, then one parallel commit
+	// wave over every outer participant. The transaction's outcome and
+	// read set are already final, so the wave runs as a detached tail
+	// when it would otherwise block on the network — the client gets its
+	// result one round trip earlier, while the protocol order (replica
+	// acks before any lock release) is preserved inside the tail.
+	targets := make([]server.CommitTarget, len(st.parts))
+	for i, p := range st.parts {
+		targets[i] = server.CommitTarget{Node: p.node, PID: p.pid}
 	}
-	if err := e.commitOuter(txnID, writes, &st); err != nil {
-		panic(fmt.Sprintf("core: outer commit failed after inner commit: %v", err))
+	finish := func() {
+		if err := repl.Wait(); err != nil {
+			panic(fmt.Sprintf("core: outer replication failed after inner commit: %v", err))
+		}
+		if err := n.CommitAll(txnID, targets, writes); err != nil {
+			panic(fmt.Sprintf("core: outer commit failed after inner commit: %v", err))
+		}
+		n.SampleCommit(st.readRIDs, st.writeRIDs)
 	}
-	n.SampleCommit(st.readRIDs, st.writeRIDs)
+	if repl.Empty() && !st.hasRemoteParticipant(n.ID()) {
+		finish() // purely local: no network to wait on
+	} else {
+		e.tails.Add(1)
+		go func() {
+			defer e.tails.Done()
+			finish()
+		}()
+	}
 	return txn.Result{Committed: true, Reads: st.reads, Distributed: st.isDistributed()}
 }
 
@@ -242,7 +348,7 @@ func (e *Engine) hotLastOrder(g *depgraph.Graph, args txn.Args, outerOps []int) 
 	proc := g.Proc()
 	anyHot := false
 	for _, op := range outerOps {
-		if hot(&proc.Ops[op], args) {
+		if hot(&proc.Ops[op], args) > 0 {
 			anyHot = true
 			break
 		}
@@ -253,7 +359,7 @@ func (e *Engine) hotLastOrder(g *depgraph.Graph, args txn.Args, outerOps []int) 
 	reordered := make([]int, 0, len(outerOps))
 	var hotOps []int
 	for _, op := range outerOps {
-		if hot(&proc.Ops[op], args) {
+		if hot(&proc.Ops[op], args) > 0 {
 			hotOps = append(hotOps, op)
 		} else {
 			reordered = append(reordered, op)
@@ -263,13 +369,16 @@ func (e *Engine) hotLastOrder(g *depgraph.Graph, args txn.Args, outerOps []int) 
 	// Legality check over the full execution order implied for this
 	// transaction: reordered outer ops must still respect pk-deps among
 	// themselves (inner ops run after and are unaffected).
-	pos := make(map[int]int, len(reordered))
+	pos := make([]int, len(proc.Ops))
+	for i := range pos {
+		pos[i] = -1 // not an outer op
+	}
 	for i, op := range reordered {
 		pos[op] = i
 	}
 	for _, op := range reordered {
 		for _, dep := range proc.Ops[op].PKDeps {
-			if p, ok := pos[dep]; ok && p > pos[op] {
+			if p := pos[dep]; p >= 0 && p > pos[op] {
 				return outerOps // illegal: keep original order
 			}
 		}
@@ -277,107 +386,328 @@ func (e *Engine) hotLastOrder(g *depgraph.Graph, args txn.Args, outerOps []int) 
 	return reordered
 }
 
-type outerState struct {
-	reads        txn.ReadSet
-	pending      map[storage.RID][]byte
-	participants map[simnet.NodeID]bool
-	partOfNode   map[simnet.NodeID]cluster.PartitionID
-	ridOf        map[int]storage.RID
-	pids         map[cluster.PartitionID]bool
-	readRIDs     []storage.RID
-	writeRIDs    []storage.RID
+// participant is one outer-region node the coordinator has contacted.
+// The list is tiny (a handful of nodes), so all lookups are linear scans
+// over a slice rather than map operations — this is the per-transaction
+// hot path.
+type participant struct {
+	node simnet.NodeID
+	pid  cluster.PartitionID
+	// locked marks the node as known to hold locks for this txn (a batch
+	// succeeded there, or failed in a way that may have left state
+	// behind); only such nodes need an abort RPC.
+	locked bool
 }
 
-func (st *outerState) isDistributed() bool { return len(st.pids) > 1 }
+type outerState struct {
+	reads    txn.ReadSet
+	parts    []participant
+	innerPID cluster.PartitionID
+	// sample gates access-set collection: the RID slices are only needed
+	// when a statistics observer is installed.
+	sample    bool
+	readRIDs  []storage.RID
+	writeRIDs []storage.RID
+}
 
-// lockOuter acquires locks and performs reads for the outer ops, batching
-// consecutive same-participant ops into one round trip. Writes are not
-// materialized here — outer mutators may depend on inner reads.
-func (e *Engine) lockOuter(proc *txn.Procedure, args txn.Args, txnID uint64, outerOps []int, st *outerState) (txn.AbortReason, bool) {
-	n := e.node
-	dir := n.Directory()
-	topo := dir.Topology()
-
-	for idx := 0; idx < len(outerOps); {
-		var batch []server.LockEntry
-		var batchOps []int
-		var target simnet.NodeID
-		var pid cluster.PartitionID
-		for j := idx; j < len(outerOps); j++ {
-			op := &proc.Ops[outerOps[j]]
-			key, ok := op.Key(args, st.reads)
-			if !ok {
-				if j == idx {
-					return txn.AbortInternal, false
-				}
-				break
-			}
-			rid := storage.RID{Table: op.Table, Key: key}
-			p := dir.Partition(rid)
-			t := topo.Primary(p)
-			if j == idx {
-				target, pid = t, p
-			} else if t != target {
-				break
-			}
-			batch = append(batch, server.LockEntry{
-				OpID:      op.ID,
-				Table:     op.Table,
-				Key:       key,
-				Mode:      op.Type.LockMode(),
-				Read:      op.Type == txn.OpRead || op.Type == txn.OpUpdate,
-				MustExist: op.Type != txn.OpInsert,
-			})
-			batchOps = append(batchOps, outerOps[j])
-			st.ridOf[op.ID] = rid
+func (st *outerState) isDistributed() bool {
+	for _, p := range st.parts {
+		if p.pid != st.innerPID {
+			return true
 		}
-		st.participants[target] = true
-		st.partOfNode[target] = pid
-		st.pids[pid] = true
+	}
+	return false
+}
 
-		resp, err := n.LockRead(target, txnID, batch)
-		if err != nil {
+func (st *outerState) hasRemoteParticipant(self simnet.NodeID) bool {
+	for _, p := range st.parts {
+		if p.node != self {
+			return true
+		}
+	}
+	return false
+}
+
+// addParticipant records a contacted node, deduplicating by node id.
+func (st *outerState) addParticipant(node simnet.NodeID, pid cluster.PartitionID) *participant {
+	for i := range st.parts {
+		if st.parts[i].node == node {
+			return &st.parts[i]
+		}
+	}
+	st.parts = append(st.parts, participant{node: node, pid: pid})
+	return &st.parts[len(st.parts)-1]
+}
+
+// abortLocked sends the cleanup RPC to every node known to hold locks.
+func (st *outerState) abortLocked(n *server.Node, txnID uint64) {
+	for _, p := range st.parts {
+		if p.locked {
+			n.AbortAt(p.node, txnID)
+		}
+	}
+}
+
+// lockOuter acquires locks and performs reads for the outer ops in
+// concurrent waves. Each wave takes every remaining op the hot-last
+// partial order admits — an op is held back only while its key is still
+// unresolvable (a pk-dep on an earlier outer read) or while it belongs to
+// the trailing hot block and cold ops are still pending — groups the wave
+// by participant node, and fans the per-node batches out as simultaneous
+// lock-and-read calls. Writes are not materialized here — outer mutators
+// may depend on inner reads.
+func (e *Engine) lockOuter(proc *txn.Procedure, args txn.Args, txnID uint64, outerOps []int, st *outerState) (txn.AbortReason, bool) {
+	hot := e.hotFunc()
+
+	// hotLastOrder produces ...cold..., ...hot...; sequencing applies only
+	// to that trailing all-hot block (when the reorder was illegal the
+	// order is ascending and hot ops sit mid-list, carrying no barrier).
+	barrier := len(outerOps)
+	for barrier > 0 && hot(&proc.Ops[outerOps[barrier-1]], args) > 0 {
+		barrier--
+	}
+
+	type pendingOp struct {
+		op   int
+		late bool // trailing hot block: locked only after all cold ops
+	}
+	pend := make([]pendingOp, len(outerOps))
+	for i, op := range outerOps {
+		pend[i] = pendingOp{op: op, late: i >= barrier}
+	}
+
+	for len(pend) > 0 {
+		anyEarly := false
+		for _, p := range pend {
+			if !p.late {
+				anyEarly = true
+				break
+			}
+		}
+		var wave []int
+		next := pend[:0]
+		for _, p := range pend {
+			if p.late && anyEarly {
+				next = append(next, p)
+				continue
+			}
+			if _, ok := proc.Ops[p.op].Key(args, st.reads); !ok {
+				next = append(next, p)
+				continue
+			}
+			wave = append(wave, p.op)
+		}
+		if len(wave) == 0 {
+			// Remaining keys depend on reads that can never arrive.
 			return txn.AbortInternal, false
 		}
-		if !resp.OK {
-			return resp.Reason, false
-		}
-		for _, opID := range batchOps {
-			op := &proc.Ops[opID]
-			if op.Type == txn.OpRead || op.Type == txn.OpUpdate {
-				rid := st.ridOf[opID]
-				if pv, ok := st.pending[rid]; ok {
-					st.reads[opID] = pv
-				} else {
-					st.reads[opID] = resp.Reads[opID]
-				}
-				st.readRIDs = append(st.readRIDs, rid)
+		lateWave := !anyEarly
+		failed, reason, ok := e.lockWave(proc, args, txnID, wave, st)
+		// Bounded re-request of a failed trailing hot wave: the cold
+		// locks already held are uncontended by definition, so tearing
+		// everything down on a NO_WAIT conflict only to re-acquire the
+		// same cold locks wastes round trips and lengthens every span.
+		// The coordinator instead re-issues just the failed hot batches a
+		// few times (participants never block — this is still NO_WAIT at
+		// the lock table; the bound keeps cross-transaction stalls from
+		// turning into deadlock).
+		if !ok && lateWave {
+			for attempt := 0; attempt < hotWaveRetries &&
+				!ok && reason == txn.AbortLockConflict && len(failed) > 0; attempt++ {
+				sleepJittered(hotWaveRetryBase << attempt)
+				failed, reason, ok = e.lockWave(proc, args, txnID, failed, st)
 			}
+		}
+		if !ok {
+			return reason, false
+		}
+		// Checks run once the whole wave's reads are in, in wave op
+		// order, so a Check may consult any read the wave produced.
+		for _, opID := range wave {
+			op := &proc.Ops[opID]
 			if op.Check != nil {
 				if err := op.Check(st.reads[opID], args, st.reads); err != nil {
 					return txn.AbortConstraint, false
 				}
 			}
 		}
-		idx += len(batch)
+		pend = next
 	}
 	return txn.AbortNone, true
+}
+
+// Hot-wave re-request policy: a few exponentially spaced, jittered
+// attempts whose total window (~600µs) covers a typical holder's
+// remaining span (the couple of round trips between its hot-lock
+// acquisition and its commit).
+const (
+	hotWaveRetries   = 5
+	hotWaveRetryBase = 20 // microseconds; attempt k sleeps ~base<<k
+)
+
+// sleepJittered sleeps a uniformly jittered duration in [us, 2*us) µs.
+func sleepJittered(us int64) {
+	time.Sleep(time.Duration(us+rand.Int63n(us)) * time.Microsecond)
+}
+
+// lockWave groups one wave of ops by participant node and issues every
+// batch concurrently: remote batches are started first so their round
+// trips overlap, the local batch (if any) executes while they are in
+// flight, and all responses are gathered before reads are absorbed. On
+// failure every outstanding call is still drained — its target already
+// holds locks that only the caller's abort can release — and the ops of
+// conflict-failed batches are returned so the caller may re-request
+// them. Successful sibling batches keep their locks and reads either
+// way. Checks are the caller's job (they must run only after the whole
+// wave, including re-requests, has succeeded).
+func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave []int, st *outerState) (failedOps []int, failReason txn.AbortReason, ok bool) {
+	n := e.node
+	dir := n.Directory()
+	topo := dir.Topology()
+
+	type nodeBatch struct {
+		target  simnet.NodeID
+		entries []server.LockEntry
+		ops     []int
+		pending *server.PendingLock
+	}
+	// Group by participant; the common case is one or two nodes, so a
+	// linear scan over the batch list beats a map.
+	var batches []*nodeBatch
+	for _, opID := range wave {
+		op := &proc.Ops[opID]
+		key, keyOK := op.Key(args, st.reads)
+		if !keyOK {
+			return nil, txn.AbortInternal, false
+		}
+		rid := storage.RID{Table: op.Table, Key: key}
+		pid := dir.Partition(rid)
+		target := topo.Primary(pid)
+		var b *nodeBatch
+		for _, cand := range batches {
+			if cand.target == target {
+				b = cand
+				break
+			}
+		}
+		if b == nil {
+			b = &nodeBatch{target: target}
+			batches = append(batches, b)
+		}
+		b.entries = append(b.entries, server.LockEntry{
+			OpID:      op.ID,
+			Table:     op.Table,
+			Key:       key,
+			Mode:      op.Type.LockMode(),
+			Read:      op.Type == txn.OpRead || op.Type == txn.OpUpdate,
+			MustExist: op.Type != txn.OpInsert,
+		})
+		b.ops = append(b.ops, opID)
+		st.addParticipant(target, pid)
+	}
+
+	// Canonical acquisition order within each batch: two transactions
+	// whose batches list the same records in opposite orders would
+	// otherwise each grab one and NO_WAIT-fail on the other, in lockstep
+	// on every retry (an ABBA livelock the re-request ladder amplifies).
+	// Sorting makes the first requester win both. Response semantics are
+	// order-independent (reads are keyed by op id), and a wave is never
+	// mixed cold/hot, so hot-last ordering is unaffected.
+	for _, b := range batches {
+		sort.Sort(&batchSorter{entries: b.entries, ops: b.ops})
+	}
+
+	// Scatter: remote batches first, local last (it runs synchronously
+	// while the remote round trips are in flight).
+	for _, b := range batches {
+		if b.target != n.ID() {
+			b.pending = n.LockReadAsync(b.target, txnID, b.entries)
+		}
+	}
+	for _, b := range batches {
+		if b.target == n.ID() {
+			b.pending = n.LockReadAsync(b.target, txnID, b.entries)
+		}
+	}
+
+	// Gather every response before judging the wave: a batch that failed
+	// fast must not leave sibling calls (and the locks they acquired)
+	// untracked behind an early return.
+	failReason, failed := txn.AbortNone, false
+	for _, b := range batches {
+		resp, err := b.pending.Wait()
+		if err != nil {
+			// Transport failure: assume the worst (locks may be held)
+			// and report a non-retryable reason.
+			st.addParticipant(b.target, 0).locked = true
+			failReason, failed = txn.AbortInternal, true
+			failedOps = nil
+			continue
+		}
+		if !resp.OK {
+			// A failed batch rolled itself back; the node holds locks
+			// only if an earlier wave succeeded there (flag already set).
+			if !failed {
+				failReason, failed = resp.Reason, true
+			}
+			if failReason == txn.AbortLockConflict {
+				failedOps = append(failedOps, b.ops...)
+			}
+			continue
+		}
+		st.addParticipant(b.target, 0).locked = true
+		for i, opID := range b.ops {
+			op := &proc.Ops[opID]
+			if op.Type == txn.OpRead || op.Type == txn.OpUpdate {
+				st.reads[opID] = resp.Reads[opID]
+				if st.sample {
+					st.readRIDs = append(st.readRIDs,
+						storage.RID{Table: b.entries[i].Table, Key: b.entries[i].Key})
+				}
+			}
+		}
+	}
+	if failed {
+		return failedOps, failReason, false
+	}
+	return nil, txn.AbortNone, true
+}
+
+// batchSorter orders a batch's lock entries (and the parallel op-id
+// slice) by (table, key).
+type batchSorter struct {
+	entries []server.LockEntry
+	ops     []int
+}
+
+func (b *batchSorter) Len() int { return len(b.entries) }
+func (b *batchSorter) Less(i, j int) bool {
+	if b.entries[i].Table != b.entries[j].Table {
+		return b.entries[i].Table < b.entries[j].Table
+	}
+	return b.entries[i].Key < b.entries[j].Key
+}
+func (b *batchSorter) Swap(i, j int) {
+	b.entries[i], b.entries[j] = b.entries[j], b.entries[i]
+	b.ops[i], b.ops[j] = b.ops[j], b.ops[i]
 }
 
 // materializeOuterWrites runs the deferred outer mutators, now that both
 // outer and inner reads are available, and groups writes by partition.
 func (e *Engine) materializeOuterWrites(proc *txn.Procedure, args txn.Args, outerOps []int, st *outerState) (map[cluster.PartitionID][]server.WriteOp, error) {
 	dir := e.node.Directory()
-	writes := make(map[cluster.PartitionID][]server.WriteOp)
+	var writes map[cluster.PartitionID][]server.WriteOp
 	for _, opID := range outerOps {
 		op := &proc.Ops[opID]
 		if !op.Type.IsWrite() {
 			continue
 		}
-		rid, ok := st.ridOf[opID]
+		// Every outer key resolved during lockOuter, so it resolves now.
+		key, ok := op.Key(args, st.reads)
 		if !ok {
-			return nil, fmt.Errorf("core: outer write op %d has no resolved rid", opID)
+			return nil, fmt.Errorf("core: outer write op %d has no resolvable key", opID)
 		}
+		rid := storage.RID{Table: op.Table, Key: key}
 		var newVal []byte
 		if op.Type != txn.OpDelete {
 			var old []byte
@@ -390,52 +720,16 @@ func (e *Engine) materializeOuterWrites(proc *txn.Procedure, args txn.Args, oute
 			}
 			newVal = nv
 		}
-		st.pending[rid] = newVal
 		pid := dir.Partition(rid)
+		if writes == nil {
+			writes = make(map[cluster.PartitionID][]server.WriteOp, 2)
+		}
 		writes[pid] = append(writes[pid], server.WriteOp{
 			Table: op.Table, Key: rid.Key, Type: op.Type, Value: newVal,
 		})
-		st.writeRIDs = append(st.writeRIDs, rid)
+		if st.sample {
+			st.writeRIDs = append(st.writeRIDs, rid)
+		}
 	}
 	return writes, nil
-}
-
-func (e *Engine) replicateOuter(txnID uint64, writes map[cluster.PartitionID][]server.WriteOp) error {
-	if len(writes) == 0 {
-		return nil
-	}
-	var wg sync.WaitGroup
-	errs := make(chan error, len(writes))
-	for pid, ws := range writes {
-		wg.Add(1)
-		go func(pid cluster.PartitionID, ws []server.WriteOp) {
-			defer wg.Done()
-			if err := e.node.Replicate(pid, txnID, ws); err != nil {
-				errs <- err
-			}
-		}(pid, ws)
-	}
-	wg.Wait()
-	close(errs)
-	return <-errs
-}
-
-func (e *Engine) commitOuter(txnID uint64, writes map[cluster.PartitionID][]server.WriteOp, st *outerState) error {
-	var calls []*simnet.Call
-	for target := range st.participants {
-		pid := st.partOfNode[target]
-		c, err := e.node.CommitAsync(target, txnID, writes[pid])
-		if err != nil {
-			return err
-		}
-		if c != nil {
-			calls = append(calls, c)
-		}
-	}
-	for _, c := range calls {
-		if _, err := c.Wait(); err != nil {
-			return err
-		}
-	}
-	return nil
 }

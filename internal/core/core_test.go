@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"testing"
 
 	"github.com/chillerdb/chiller/internal/cluster"
@@ -111,7 +112,7 @@ func TestExecInnerLocalCommitsUnilaterally(t *testing.T) {
 	if err := node.Registry().Register(proc); err != nil {
 		t.Fatal(err)
 	}
-	resp := ExecInnerLocal(node, 100, node.ID(), "inner", nil, []int{0}, nil)
+	resp := ExecInnerLocal(node, 100, node.ID(), "inner", nil, []int{0}, nil, nil)
 	if !resp.OK {
 		t.Fatalf("inner aborted: %v", resp.Reason)
 	}
@@ -144,7 +145,7 @@ func TestExecInnerLocalAbortsOnConflict(t *testing.T) {
 		t.Fatal("setup")
 	}
 	defer b.Lock.Unlock(storage.LockExclusive)
-	resp := ExecInnerLocal(node, 101, node.ID(), "conflict", nil, []int{0}, nil)
+	resp := ExecInnerLocal(node, 101, node.ID(), "conflict", nil, []int{0}, nil, nil)
 	if resp.OK || resp.Reason != txn.AbortLockConflict {
 		t.Fatalf("resp = %+v", resp)
 	}
@@ -179,7 +180,7 @@ func TestInnerLockNamespaceIsolation(t *testing.T) {
 		t.Fatal(lr.Reason)
 	}
 	// Inner region executes and commits under the same txn id.
-	resp := ExecInnerLocal(node, txnID, node.ID(), "ns", nil, []int{1}, txn.ReadSet{0: []byte{2}})
+	resp := ExecInnerLocal(node, txnID, node.ID(), "ns", nil, []int{1}, txn.ReadSet{0: []byte{2}}, nil)
 	if !resp.OK {
 		t.Fatalf("inner: %v", resp.Reason)
 	}
@@ -250,5 +251,152 @@ func TestRunUnknownProc(t *testing.T) {
 	}
 	if _, err := e.Decide(&txn.Request{Proc: "ghost"}); err == nil {
 		t.Fatal("Decide accepted unknown proc")
+	}
+}
+
+// multiHarness builds a 3-node cluster with table 1 range-partitioned:
+// keys [0,100) on node 0, [100,200) on node 1, [200,300) on node 2.
+func multiHarness(t *testing.T) ([]*Engine, []*server.Node, *simnet.Network) {
+	t.Helper()
+	net := simnet.New(simnet.Config{})
+	t.Cleanup(net.Close)
+	topo := cluster.NewTopology(3, 1)
+	dir := cluster.NewDirectory(topo, cluster.RangePartitioner{
+		N: 3, MaxKey: map[storage.TableID]storage.Key{1: 300},
+	})
+	reg := txn.NewRegistry()
+	nodes := make([]*server.Node, 3)
+	engines := make([]*Engine, 3)
+	for i := 0; i < 3; i++ {
+		st := storage.NewStore()
+		tbl := st.CreateTable(1, 64)
+		for k := storage.Key(i * 100); k < storage.Key(i*100+100); k += 10 {
+			if err := tbl.Bucket(k).Insert(k, []byte{byte(k)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		nodes[i] = server.New(net.Endpoint(simnet.NodeID(i)), st, reg, dir, cluster.PartitionID(i))
+		RegisterVerbs(nodes[i])
+		engines[i] = New(nodes[i])
+	}
+	return engines, nodes, net
+}
+
+// drainAll joins every engine's background commit tails.
+func drainAll(engines []*Engine) {
+	for _, e := range engines {
+		e.Drain()
+	}
+}
+
+// lockRecorder interposes a node's lock-and-read verb, recording each
+// batch's keys while delegating to the real handler.
+func lockRecorder(t *testing.T, n *server.Node) *[][]storage.Key {
+	t.Helper()
+	var mu sync.Mutex
+	batches := &[][]storage.Key{}
+	n.Endpoint().Handle(server.VerbLockRead, func(_ simnet.NodeID, req []byte) ([]byte, error) {
+		txnID, entries, err := server.DecodeLockRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]storage.Key, len(entries))
+		for i, e := range entries {
+			keys[i] = e.Key
+		}
+		mu.Lock()
+		*batches = append(*batches, keys)
+		mu.Unlock()
+		return n.LockReadLocal(txnID, entries).Encode(), nil
+	})
+	return batches
+}
+
+// The outer region's ops must reach each participant as one batched
+// lock-and-read call per wave (not one round trip per op), fanned out to
+// all participants concurrently in the same wave.
+func TestLockOuterBatchGrouping(t *testing.T) {
+	engines, nodes, _ := multiHarness(t)
+	engine := engines[0]
+	b1 := lockRecorder(t, nodes[1])
+	b2 := lockRecorder(t, nodes[2])
+
+	// Hot record on node 0 (the coordinator) forms the inner region;
+	// two cold ops on node 1 and two on node 2 form the outer region.
+	nodes[0].Directory().SetHot(storage.RID{Table: 1, Key: 10}, 0)
+	proc := &txn.Procedure{
+		Name: "grouped",
+		Ops: []txn.OpSpec{
+			{ID: 0, Type: txn.OpRead, Table: 1, Key: key(110)},
+			{ID: 1, Type: txn.OpRead, Table: 1, Key: key(210)},
+			{ID: 2, Type: txn.OpRead, Table: 1, Key: key(120)},
+			{ID: 3, Type: txn.OpRead, Table: 1, Key: key(220)},
+			{ID: 4, Type: txn.OpUpdate, Table: 1, Key: key(10), Mutate: setVal(1)}, // hot, inner
+		},
+	}
+	if err := nodes[0].Registry().Register(proc); err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Run(&txn.Request{Proc: "grouped"})
+	if !res.Committed {
+		t.Fatalf("txn aborted: %v", res.Reason)
+	}
+	drainAll(engines)
+	for name, got := range map[string][][]storage.Key{"node1": *b1, "node2": *b2} {
+		if len(got) != 1 {
+			t.Fatalf("%s received %d lock calls, want 1 batched call (%v)", name, len(got), got)
+		}
+		if len(got[0]) != 2 {
+			t.Fatalf("%s batch = %v, want 2 entries", name, got[0])
+		}
+	}
+	if string(res.Reads[0]) != string([]byte{110}) || string(res.Reads[3]) != string([]byte{220}) {
+		t.Fatalf("reads = %v", res.Reads)
+	}
+}
+
+// A hot record that could not join the inner region is locked strictly
+// after every cold outer op (hot-last), in its own later wave.
+func TestLockOuterHotWaveOrdering(t *testing.T) {
+	engines, nodes, _ := multiHarness(t)
+	engine := engines[0]
+	b1 := lockRecorder(t, nodes[1])
+
+	// Two hot records on different partitions: node 2's (two candidates)
+	// wins the inner region, node 1's stays outer-hot.
+	dir := nodes[0].Directory()
+	dir.SetHot(storage.RID{Table: 1, Key: 110}, 1)
+	dir.SetHot(storage.RID{Table: 1, Key: 210}, 2)
+	dir.SetHot(storage.RID{Table: 1, Key: 220}, 2)
+	proc := &txn.Procedure{
+		Name: "hotlast",
+		Ops: []txn.OpSpec{
+			{ID: 0, Type: txn.OpUpdate, Table: 1, Key: key(110), Mutate: setVal(2)}, // hot, outer
+			{ID: 1, Type: txn.OpRead, Table: 1, Key: key(120)},                      // cold, same node
+			{ID: 2, Type: txn.OpUpdate, Table: 1, Key: key(210), Mutate: setVal(3)}, // hot, inner
+			{ID: 3, Type: txn.OpUpdate, Table: 1, Key: key(220), Mutate: setVal(4)}, // hot, inner
+		},
+	}
+	if err := nodes[0].Registry().Register(proc); err != nil {
+		t.Fatal(err)
+	}
+	res := engine.Run(&txn.Request{Proc: "hotlast"})
+	if !res.Committed {
+		t.Fatalf("txn aborted: %v", res.Reason)
+	}
+	drainAll(engines)
+	got := *b1
+	if len(got) != 2 {
+		t.Fatalf("node1 received %d lock calls, want 2 (cold wave, then hot wave): %v", len(got), got)
+	}
+	if len(got[0]) != 1 || got[0][0] != 120 {
+		t.Fatalf("first wave = %v, want the cold op (key 120)", got[0])
+	}
+	if len(got[1]) != 1 || got[1][0] != 110 {
+		t.Fatalf("second wave = %v, want the hot op (key 110)", got[1])
+	}
+	v, _, _ := nodes[1].Store().Table(1).Bucket(110).Get(110)
+	if v[0] != 2 {
+		t.Fatalf("outer-hot write lost: %v", v)
 	}
 }

@@ -71,32 +71,92 @@ func decodeInnerResponse(p []byte) (*innerResponse, error) {
 	return resp, r.Err()
 }
 
+// encodeRouteRequest serializes a transaction-placement request.
+func encodeRouteRequest(req *txn.Request) []byte {
+	w := wire.NewWriter(64 + len(req.Args)*8)
+	w.Uint64(req.ID)
+	w.String(req.Proc)
+	w.Int64s(req.Args)
+	return w.Bytes()
+}
+
+func decodeRouteRequest(p []byte) (*txn.Request, error) {
+	r := wire.NewReader(p)
+	req := &txn.Request{}
+	req.ID = r.Uint64()
+	req.Proc = r.String()
+	req.Args = r.Int64s()
+	return req, r.Err()
+}
+
+// encodeRouteResult serializes the routed transaction's outcome.
+func encodeRouteResult(res *txn.Result) []byte {
+	w := wire.NewWriter(64)
+	w.Bool(res.Committed)
+	w.Uint8(uint8(res.Reason))
+	w.Bool(res.Distributed)
+	res.Reads.Encode(w)
+	return w.Bytes()
+}
+
+func decodeRouteResult(p []byte) (txn.Result, error) {
+	r := wire.NewReader(p)
+	res := txn.Result{}
+	res.Committed = r.Bool()
+	res.Reason = txn.AbortReason(r.Uint8())
+	res.Distributed = r.Bool()
+	res.Reads = txn.DecodeReadSet(r)
+	return res, r.Err()
+}
+
+// route ships the request to its inner host for coordination there
+// (§4.2's transaction placement). ok=false means routing could not be
+// attempted and the caller should coordinate locally.
+func (e *Engine) route(host simnet.NodeID, req *txn.Request) (txn.Result, bool) {
+	raw, err := e.node.Endpoint().Call(host, server.VerbTxnRoute, encodeRouteRequest(req))
+	if err != nil {
+		return txn.Result{}, false
+	}
+	res, derr := decodeRouteResult(raw)
+	if derr != nil {
+		return txn.Result{Reason: txn.AbortInternal}, true
+	}
+	return res, true
+}
+
 // RegisterVerbs installs the inner-region execution handler on a node.
 // Every node that can host an inner region needs it.
 func RegisterVerbs(n *server.Node) {
-	n.Endpoint().Handle(server.VerbInnerExec, func(_ simnet.NodeID, raw []byte) ([]byte, error) {
-		req, err := decodeInnerRequest(raw)
-		if err != nil {
-			return nil, err
-		}
-		// The handler runs on the fabric's delivery goroutine; inner
-		// execution is purely local and fast (that is the whole point),
-		// so executing inline preserves per-link ordering without
-		// stalling other traffic meaningfully. Long-running handlers
-		// would spawn; this one must not, because the one-way
-		// replication stream it emits must stay ordered with respect to
-		// subsequent inner regions on this host.
-		resp := ExecInnerLocal(n, req.TxnID, req.Coord, req.Proc, req.Args, req.InnerOps, req.Reads)
-		return resp.encode(), nil
+	n.Endpoint().HandleAsync(server.VerbInnerExec, func(_ simnet.NodeID, raw []byte, reply func([]byte, error)) {
+		// Inner execution is the heaviest handler in the system, so it
+		// must not run inline on the fabric's dispatcher. Ordering of
+		// the replication stream it emits is guaranteed by the node's
+		// inner-execution mutex (commit order == stream order), not by
+		// delivery order, so running on a fresh goroutine is safe.
+		go func() {
+			req, err := decodeInnerRequest(raw)
+			if err != nil {
+				reply(nil, err)
+				return
+			}
+			// req.Reads was freshly decoded, so the inner region extends
+			// it in place; collect gathers the inner reads for the
+			// response.
+			collect := make(txn.ReadSet, len(req.InnerOps))
+			resp := ExecInnerLocal(n, req.TxnID, req.Coord, req.Proc, req.Args, req.InnerOps, req.Reads, collect)
+			reply(resp.encode(), nil)
+		}()
 	})
 }
 
 // execInner delegates the inner region: a direct call when the inner host
 // is this node (the common case after contention-aware partitioning — the
-// coordinator was placed with the hot data), an RPC otherwise.
+// coordinator was placed with the hot data), an RPC otherwise. On the
+// direct path the coordinator's read set is extended in place and the
+// response carries no separate read set.
 func (e *Engine) execInner(innerNode simnet.NodeID, req *innerRequest) *innerResponse {
 	if innerNode == e.node.ID() {
-		return ExecInnerLocal(e.node, req.TxnID, req.Coord, req.Proc, req.Args, req.InnerOps, req.Reads)
+		return ExecInnerLocal(e.node, req.TxnID, req.Coord, req.Proc, req.Args, req.InnerOps, req.Reads, nil)
 	}
 	raw, err := e.node.Endpoint().Call(innerNode, server.VerbInnerExec, req.encode())
 	if err != nil {
@@ -117,24 +177,87 @@ func (e *Engine) execInner(innerNode simnet.NodeID, req *innerRequest) *innerRes
 // paper's "general execution model", end of §3.3): static analysis alone
 // cannot guarantee that no other transaction touches these records in an
 // outer region, and the lock cost is negligible next to a message delay.
-// The locks live in a separate namespace (innerIDBit) so committing the
-// inner region does not release outer locks the coordinator may hold on
-// this same node under the same transaction id.
-func ExecInnerLocal(n *server.Node, txnID uint64, coord simnet.NodeID, procName string, args txn.Args, innerOps []int, shipped txn.ReadSet) *innerResponse {
+// The inner region's locks are tracked privately (never in the node's
+// participant-state map), so committing the inner region cannot release
+// outer locks the coordinator may hold on this same node under the same
+// transaction id.
+//
+// reads is the working read set (the outer region's values on entry); it
+// is extended IN PLACE with the inner region's reads, which lets a
+// co-located coordinator hand over its own read set and skip both the
+// defensive copy and the merge. The returned response's Reads aliases
+// collect when non-nil (the RPC path's response set) and is nil
+// otherwise.
+func ExecInnerLocal(n *server.Node, txnID uint64, coord simnet.NodeID, procName string, args txn.Args, innerOps []int, reads txn.ReadSet, collect txn.ReadSet) *innerResponse {
 	proc := n.Registry().Lookup(procName)
 	if proc == nil {
 		return &innerResponse{Reason: txn.AbortInternal}
 	}
-	innerID := txnID | innerIDBit
+	if reads == nil {
+		reads = make(txn.ReadSet, len(innerOps))
+	}
+	// The whole inner region — lock, execute, commit, stream — runs under
+	// the node's inner-execution mutex, modelling the paper's
+	// single-threaded execution engine per partition: inner regions on
+	// the same host never abort each other on hot records, and the
+	// replication stream leaves in commit order.
+	var resp *innerResponse
+	n.WithInnerSerial(func() {
+		resp = execInnerLocked(n, txnID, coord, proc, args, innerOps, reads, collect)
+	})
+	return resp
+}
 
-	reads := shipped.Clone()
-	innerReads := make(txn.ReadSet)
-	pending := make(map[storage.RID][]byte)
-	var writes []server.WriteOp
+// innerLockRef is one bucket lock held by an in-flight inner region.
+// Inner regions keep their lock set in a local slice instead of the
+// node's participant-state map: they never outlive the call (commit or
+// abort happens before returning, under the inner-execution mutex), so
+// the map bookkeeping, its locking, and the per-op LockResponse
+// allocations of the general path are pure overhead here — and on the
+// coordinator hot path that overhead dominated the profile.
+type innerLockRef struct {
+	b    *storage.Bucket
+	mode storage.LockMode
+}
 
+func execInnerLocked(n *server.Node, txnID uint64, coord simnet.NodeID, proc *txn.Procedure, args txn.Args, innerOps []int, reads txn.ReadSet, collect txn.ReadSet) *innerResponse {
+	var pending map[storage.RID][]byte // read-your-own-writes, lazily built
+	writes := make([]server.WriteOp, 0, len(innerOps))
+	locks := make([]innerLockRef, 0, len(innerOps))
+
+	release := func() {
+		for _, l := range locks {
+			l.b.Lock.Unlock(l.mode)
+		}
+	}
 	abort := func(reason txn.AbortReason) *innerResponse {
-		n.AbortLocal(innerID)
+		release()
 		return &innerResponse{Reason: reason}
+	}
+	// lock acquires b in the requested mode, deduplicating against locks
+	// this inner region already holds (same semantics as the participant
+	// state's hasLock: shared is covered by exclusive, shared→exclusive
+	// upgrades in place). The lock word still arbitrates against outer
+	// regions and remote coordinators.
+	lock := func(b *storage.Bucket, mode storage.LockMode) bool {
+		for i := range locks {
+			if locks[i].b != b {
+				continue
+			}
+			if locks[i].mode == storage.LockExclusive || mode == storage.LockShared {
+				return true
+			}
+			if !b.Lock.Upgrade() {
+				return false
+			}
+			locks[i].mode = storage.LockExclusive
+			return true
+		}
+		if !b.Lock.TryLock(mode) {
+			return false
+		}
+		locks = append(locks, innerLockRef{b: b, mode: mode})
+		return true
 	}
 
 	for _, opID := range innerOps {
@@ -146,29 +269,35 @@ func ExecInnerLocal(n *server.Node, txnID uint64, coord simnet.NodeID, procName 
 		if !ok {
 			return abort(txn.AbortInternal)
 		}
-		rid := storage.RID{Table: op.Table, Key: key}
+		tbl := n.Store().Table(op.Table)
+		if tbl == nil {
+			return abort(txn.AbortInternal)
+		}
+		b := tbl.Bucket(key)
+		if !lock(b, op.Type.LockMode()) {
+			return abort(txn.AbortLockConflict)
+		}
 
-		entry := server.LockEntry{
-			OpID:      opID,
-			Table:     op.Table,
-			Key:       key,
-			Mode:      op.Type.LockMode(),
-			Read:      op.Type == txn.OpRead || op.Type == txn.OpUpdate,
-			MustExist: op.Type != txn.OpInsert,
-		}
-		resp := n.LockReadLocal(innerID, []server.LockEntry{entry})
-		if !resp.OK {
-			return abort(resp.Reason)
-		}
-		if entry.Read {
-			var v []byte
-			if pv, ok := pending[rid]; ok {
-				v = pv
-			} else {
-				v = resp.Reads[opID]
+		read := op.Type == txn.OpRead || op.Type == txn.OpUpdate
+		if read || op.Type != txn.OpInsert {
+			rid := storage.RID{Table: op.Table, Key: key}
+			v, pend := pending[rid]
+			if !pend {
+				var err error
+				v, _, err = b.Get(key)
+				if err != nil {
+					if op.Type != txn.OpInsert {
+						return abort(txn.AbortNotFound)
+					}
+					v = nil
+				}
 			}
-			reads[opID] = v
-			innerReads[opID] = v
+			if read {
+				reads[opID] = v
+				if collect != nil {
+					collect[opID] = v
+				}
+			}
 		}
 		if op.Check != nil {
 			if err := op.Check(reads[opID], args, reads); err != nil {
@@ -188,7 +317,10 @@ func ExecInnerLocal(n *server.Node, txnID uint64, coord simnet.NodeID, procName 
 				}
 				newVal = nv
 			}
-			pending[rid] = newVal
+			if pending == nil {
+				pending = make(map[storage.RID][]byte, len(innerOps))
+			}
+			pending[storage.RID{Table: op.Table, Key: key}] = newVal
 			writes = append(writes, server.WriteOp{
 				Table: op.Table, Key: key, Type: op.Type, Value: newVal,
 			})
@@ -198,10 +330,19 @@ func ExecInnerLocal(n *server.Node, txnID uint64, coord simnet.NodeID, procName 
 	// Unilateral commit: apply the writes and release the inner locks.
 	// From this instant the transaction is committed (§3.3 step 4); the
 	// outer region can no longer abort it.
-	if err := n.CommitLocal(innerID, writes); err != nil {
-		// CommitLocal only fails on engine invariant violations.
+	if n.FaultInjector != nil {
+		if err := n.FaultInjector(server.VerbCommit, txnID); err != nil {
+			release()
+			return &innerResponse{Reason: txn.AbortInternal}
+		}
+	}
+	if err := server.ApplyWrites(n.Store(), writes); err != nil {
+		// A write to a locked, verified record cannot legitimately fail;
+		// engine invariant violation.
+		release()
 		return &innerResponse{Reason: txn.AbortInternal}
 	}
+	release()
 
 	// Stream the new values to this partition's replicas without
 	// waiting; replicas acknowledge to the coordinator (Figure 6).
@@ -216,5 +357,5 @@ func ExecInnerLocal(n *server.Node, txnID uint64, coord simnet.NodeID, procName 
 			_ = n.Endpoint().Send(coord, server.VerbInnerAck, server.EncodeAbort(txnID))
 		}
 	}
-	return &innerResponse{OK: true, Reads: innerReads}
+	return &innerResponse{OK: true, Reads: collect}
 }

@@ -127,10 +127,14 @@ func (g *Graph) ValidOrder(order []int) bool {
 // determined statically (the op has an unresolvable pk-dep and no hint).
 type PartitionResolver func(op *txn.OpSpec, args txn.Args) (partition int, ok bool)
 
-// HotFunc reports whether an operation targets a hot record. Hotness is
-// decided against the lookup table of §4.4; ops whose key is unresolvable
-// are never hot (hot records are by definition identifiable up front).
-type HotFunc func(op *txn.OpSpec, args txn.Args) bool
+// HotFunc reports an operation's contention weight: 0 means the record
+// is cold, any positive value marks it hot. Hotness is decided against
+// the lookup table of §4.4, and the weight is the record's contention
+// likelihood (§4.3), which lets Decide place the inner region on the
+// partition carrying the largest contention mass rather than merely the
+// most hot records. Ops whose key is unresolvable are never hot (hot
+// records are by definition identifiable up front).
+type HotFunc func(op *txn.OpSpec, args txn.Args) float64
 
 // Decision is the outcome of the run-time region split (§3.3 steps 1-2).
 type Decision struct {
@@ -173,12 +177,14 @@ func (d *Decision) InnerSet() map[int]bool {
 func Decide(g *Graph, args txn.Args, resolve PartitionResolver, hot HotFunc) Decision {
 	ops := g.proc.Ops
 	type cand struct {
-		op   int
-		part int
+		op     int
+		part   int
+		weight float64
 	}
-	var candidates []cand
+	candidates := make([]cand, 0, len(ops))
 	for i := range ops {
-		if !hot(&ops[i], args) {
+		w := hot(&ops[i], args)
+		if w <= 0 {
 			continue
 		}
 		hp, ok := resolve(&ops[i], args)
@@ -194,7 +200,7 @@ func Decide(g *Graph, args txn.Args, resolve PartitionResolver, hot HotFunc) Dec
 			}
 		}
 		if eligible {
-			candidates = append(candidates, cand{op: i, part: hp})
+			candidates = append(candidates, cand{op: i, part: hp, weight: w})
 		}
 	}
 	if len(candidates) == 0 {
@@ -205,19 +211,26 @@ func Decide(g *Graph, args txn.Args, resolve PartitionResolver, hot HotFunc) Dec
 		return Decision{TwoRegion: false, InnerHost: -1, OuterOps: all}
 	}
 
-	// Step 2: pick the partition hosting the most hot candidates.
-	counts := make(map[int]int)
-	for _, c := range candidates {
-		counts[c.part]++
-	}
-	best, bestN := -1, 0
-	for p, n := range counts {
-		if n > bestN || (n == bestN && (best == -1 || p < best)) {
-			best, bestN = p, n
+	// Step 2: pick the partition carrying the largest hot contention
+	// mass (§4.3's objective, evaluated at run time): a single
+	// very-contended record outweighs several mildly hot ones, so the
+	// records most likely to abort the transaction end up in the inner
+	// region. The candidate list is tiny (bounded by the op count), so
+	// sum by linear rescan instead of allocating a map.
+	best, bestW := -1, 0.0
+	for i, c := range candidates {
+		w := 0.0
+		for _, o := range candidates[i:] {
+			if o.part == c.part {
+				w += o.weight
+			}
+		}
+		if w > bestW || (w == bestW && (best == -1 || c.part < best)) {
+			best, bestW = c.part, w
 		}
 	}
 
-	inner := make(map[int]bool)
+	inner := make([]bool, len(ops))
 	for _, c := range candidates {
 		if c.part != best {
 			continue

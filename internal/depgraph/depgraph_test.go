@@ -129,7 +129,12 @@ func hotOps(ids ...int) HotFunc {
 	for _, id := range ids {
 		set[id] = true
 	}
-	return func(op *txn.OpSpec, _ txn.Args) bool { return set[op.ID] }
+	return func(op *txn.OpSpec, _ txn.Args) float64 {
+		if set[op.ID] {
+			return 1
+		}
+		return 0
+	}
 }
 
 // Paper scenario: flight (table 1) hot, seats (table 4) co-located with

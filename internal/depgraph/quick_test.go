@@ -65,8 +65,11 @@ func TestDecideAlwaysValid(t *testing.T) {
 			m := models[op.ID]
 			return m.part, m.resolvable
 		}
-		hot := func(op *txn.OpSpec, _ txn.Args) bool {
-			return models[op.ID].resolvable && models[op.ID].hot
+		hot := func(op *txn.OpSpec, _ txn.Args) float64 {
+			if models[op.ID].resolvable && models[op.ID].hot {
+				return 1
+			}
+			return 0
 		}
 		dec := Decide(g, nil, resolve, hot)
 		if err := CheckDecision(g, &dec); err != nil {
@@ -85,7 +88,7 @@ func TestDecideAlwaysValid(t *testing.T) {
 			// two-region).
 			anyHot := false
 			for _, op := range dec.InnerOps {
-				if hot(&proc.Ops[op], nil) {
+				if hot(&proc.Ops[op], nil) > 0 {
 					anyHot = true
 				}
 			}

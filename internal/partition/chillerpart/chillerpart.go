@@ -174,8 +174,10 @@ func Partition(agg *stats.Aggregate, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	// Lookup table: hot records only.
+	// Lookup table: hot records only, carrying their contention
+	// likelihood so the run-time inner-host decision can weigh mass.
 	hot := make(map[storage.RID]cluster.PartitionID)
+	weight := make(map[storage.RID]float64)
 	var hotStats []stats.RecordStats
 	for _, rs := range agg.Records() {
 		if rs.Pc <= cfg.HotThreshold {
@@ -183,6 +185,7 @@ func Partition(agg *stats.Aggregate, cfg Config) (*Result, error) {
 		}
 		if v, ok := index[rs.RID]; ok {
 			hot[rs.RID] = cluster.PartitionID(res.Assign[v])
+			weight[rs.RID] = rs.Pc
 			hotStats = append(hotStats, rs)
 		}
 	}
@@ -192,7 +195,7 @@ func Partition(agg *stats.Aggregate, cfg Config) (*Result, error) {
 		hosts[i] = cluster.PartitionID(res.Assign[nR+i])
 	}
 	return &Result{
-		Layout:  &partition.Layout{Hot: hot, Cut: res.Cut},
+		Layout:  &partition.Layout{Hot: hot, Weight: weight, Cut: res.Cut},
 		TxnHost: hosts,
 		Hot:     hotStats,
 		Edges:   edges,

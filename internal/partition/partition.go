@@ -17,6 +17,10 @@ type Layout struct {
 	// Hot maps relocated hot records to partitions — the lookup table of
 	// §4.4 (Chiller populates only this).
 	Hot map[storage.RID]cluster.PartitionID
+	// Weight carries each hot record's contention likelihood; when set,
+	// Install hands it to the directory so the run-time inner-host
+	// decision can weigh contention mass.
+	Weight map[storage.RID]float64
 	// Full is a complete record→partition map (Schism-style tools
 	// produce one entry per record seen in the trace).
 	Full map[storage.RID]cluster.PartitionID
@@ -40,7 +44,11 @@ func (l *Layout) Install(dir *cluster.Directory) {
 		dir.InstallFullMap(nil)
 	}
 	for rid, p := range l.Hot {
-		dir.SetHot(rid, p)
+		if w, ok := l.Weight[rid]; ok {
+			dir.SetHotWeight(rid, p, w)
+		} else {
+			dir.SetHot(rid, p)
+		}
 	}
 }
 

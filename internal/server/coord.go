@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/chillerdb/chiller/internal/cluster"
@@ -23,6 +24,45 @@ func (n *Node) LockRead(target simnet.NodeID, txnID uint64, entries []LockEntry)
 		return nil, err
 	}
 	return DecodeLockResponse(resp)
+}
+
+// PendingLock is an in-flight lock-and-read request started by
+// LockReadAsync. Wait gathers the response.
+type PendingLock struct {
+	resp *LockResponse
+	err  error
+	call *simnet.Call
+}
+
+// LockReadAsync starts a lock-and-read against target without blocking on
+// the network, so a coordinator can fan out one batch per participant and
+// gather the responses in a single round trip. A local target is served
+// immediately by a direct call (the co-located fast path has no network
+// wait to overlap); issue remote batches first to keep them in flight
+// while the local one executes.
+func (n *Node) LockReadAsync(target simnet.NodeID, txnID uint64, entries []LockEntry) *PendingLock {
+	if target == n.ID() {
+		return &PendingLock{resp: n.LockReadLocal(txnID, entries)}
+	}
+	c, err := n.ep.Go(target, VerbLockRead, EncodeLockRequest(txnID, entries))
+	if err != nil {
+		return &PendingLock{err: err}
+	}
+	return &PendingLock{call: c}
+}
+
+// Wait blocks until the lock-and-read response arrives. It is idempotent.
+func (p *PendingLock) Wait() (*LockResponse, error) {
+	if p.call != nil {
+		raw, err := p.call.Wait()
+		p.call = nil
+		if err != nil {
+			p.err = err
+		} else {
+			p.resp, p.err = DecodeLockResponse(raw)
+		}
+	}
+	return p.resp, p.err
 }
 
 // CommitAt applies writes and releases locks at the target participant.
@@ -88,6 +128,97 @@ func (n *Node) Replicate(pid cluster.PartitionID, txnID uint64, writes []WriteOp
 		}
 	}
 	return nil
+}
+
+// PendingReplication is an in-flight replication fan-out started by
+// ReplicateAsync. Wait gathers every replica acknowledgement.
+type PendingReplication struct {
+	calls []*simnet.Call
+	errs  []error
+}
+
+// ReplicateAsync ships every partition's write set to all replicas of
+// that partition in one scatter, without waiting for acknowledgements.
+// The caller overlaps the replica round trip with other work (Chiller's
+// coordinator runs it under the inner-replica-ack wait) and joins the
+// acks with Wait before releasing any lock.
+func (n *Node) ReplicateAsync(txnID uint64, writes map[cluster.PartitionID][]WriteOp) *PendingReplication {
+	pr := &PendingReplication{}
+	topo := n.dir.Topology()
+	for pid, ws := range writes {
+		if len(ws) == 0 {
+			continue
+		}
+		replicas := topo.Replicas(pid)
+		if len(replicas) == 0 {
+			continue
+		}
+		payload := EncodeWrites(txnID, ws)
+		for _, r := range replicas {
+			c, err := n.ep.Go(r, VerbReplApply, payload)
+			if err != nil {
+				pr.errs = append(pr.errs, fmt.Errorf("server: replicate to node %d: %w", r, err))
+				continue
+			}
+			pr.calls = append(pr.calls, c)
+		}
+	}
+	return pr
+}
+
+// Empty reports whether the fan-out has nothing in flight and no errors.
+func (pr *PendingReplication) Empty() bool { return len(pr.calls) == 0 && len(pr.errs) == 0 }
+
+// Wait drains every outstanding replica acknowledgement and returns the
+// join of all errors (not just the first), so a multi-replica failure is
+// reported in full.
+func (pr *PendingReplication) Wait() error {
+	for _, c := range pr.calls {
+		if _, err := c.Wait(); err != nil {
+			pr.errs = append(pr.errs, fmt.Errorf("server: replica ack: %w", err))
+		}
+	}
+	pr.calls = nil
+	return errors.Join(pr.errs...)
+}
+
+// CommitTarget names one participant of a commit wave.
+type CommitTarget struct {
+	Node simnet.NodeID
+	PID  cluster.PartitionID
+}
+
+// CommitAll runs the commit phase at every participant as one parallel
+// wave: remote commits fan out as async RPCs, the local participant (if
+// any) applies while they are in flight, and every completion is
+// gathered, joining all errors.
+func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluster.PartitionID][]WriteOp) error {
+	var calls []*simnet.Call
+	var errs []error
+	localPID, local := cluster.PartitionID(0), false
+	for _, t := range targets {
+		if t.Node == n.ID() {
+			localPID, local = t.PID, true
+			continue
+		}
+		c, err := n.ep.Go(t.Node, VerbCommit, EncodeWrites(txnID, writes[t.PID]))
+		if err != nil {
+			errs = append(errs, fmt.Errorf("server: commit at node %d: %w", t.Node, err))
+			continue
+		}
+		calls = append(calls, c)
+	}
+	if local {
+		if err := n.CommitLocal(txnID, writes[localPID]); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, c := range calls {
+		if _, err := c.Wait(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // StreamInnerRepl sends the inner-region write set to each replica of the

@@ -45,17 +45,36 @@ type Node struct {
 	// Pending inner-region replication acks awaited by local
 	// coordinators: txnID → countdown channel.
 	ackMu   sync.Mutex
-	acks    map[uint64]*ackWaiter
+	acks    map[uint64]*AckWaiter
 	sampler AccessObserver
+
+	// innerMu serializes inner-region execution on this node, modelling
+	// the paper's single-threaded execution engine per partition (§6).
+	// Inner regions are pure local work, so running them back to back
+	// costs no network wait, eliminates NO_WAIT aborts between
+	// concurrent inner regions over the same hot records, and guarantees
+	// the one-way replication stream leaves in commit order.
+	innerMu sync.Mutex
 
 	// FaultInjector, when non-nil, is consulted before commits; tests
 	// use it to simulate participant failures.
 	FaultInjector func(verb string, txnID uint64) error
 }
 
-type ackWaiter struct {
+// AckWaiter tracks one transaction's pending inner-replica acks. Waiters
+// are pooled: at benchmark rates the per-transaction waiter+channel pair
+// was measurable allocation churn.
+type AckWaiter struct {
 	remaining int
-	done      chan struct{}
+	ch        chan struct{} // buffered(1): signalled when remaining hits 0
+}
+
+// Done returns the channel that receives exactly one token when every
+// expected ack has arrived.
+func (w *AckWaiter) Done() <-chan struct{} { return w.ch }
+
+var ackPool = sync.Pool{
+	New: func() any { return &AckWaiter{ch: make(chan struct{}, 1)} },
 }
 
 // partState tracks one transaction's footprint on this participant.
@@ -78,7 +97,7 @@ func New(ep *simnet.Endpoint, st *storage.Store, reg *txn.Registry, dir *cluster
 		dir:      dir,
 		part:     part,
 		state:    make(map[uint64]*partState),
-		acks:     make(map[uint64]*ackWaiter),
+		acks:     make(map[uint64]*AckWaiter),
 	}
 	ep.Handle(VerbLockRead, n.handleLockRead)
 	ep.Handle(VerbCommit, n.handleCommit)
@@ -160,28 +179,48 @@ func (st *partState) hasLock(b *storage.Bucket, mode storage.LockMode) (held boo
 	return false, -1
 }
 
+// WithInnerSerial runs f under the node's inner-execution mutex. Chiller
+// inner regions execute and unilaterally commit inside it, so two inner
+// regions on this node never race each other's hot locks (see innerMu).
+func (n *Node) WithInnerSerial(f func()) {
+	n.innerMu.Lock()
+	defer n.innerMu.Unlock()
+	f()
+}
+
 // LockReadLocal is the participant lock-and-read step, callable directly
 // by a local coordinator or via VerbLockRead. On failure everything this
 // call acquired is rolled back, but locks from earlier calls for the same
 // txn remain until an explicit AbortLocal (the coordinator owns cleanup).
 func (n *Node) LockReadLocal(txnID uint64, entries []LockEntry) *LockResponse {
 	st := n.getState(txnID, true)
-	acquired := make([]lockRef, 0, len(entries))
+	acquired := 0 // locks appended to st.locks by this call
 	rollback := func() {
-		for _, l := range acquired {
+		// Release and remove the suffix this call acquired.
+		n.stMu.Lock()
+		for _, l := range st.locks[len(st.locks)-acquired:] {
 			l.bucket.Lock.Unlock(l.mode)
 		}
-		// Remove the acquired suffix from state.
-		n.stMu.Lock()
-		st.locks = st.locks[:len(st.locks)-len(acquired)]
+		st.locks = st.locks[:len(st.locks)-acquired]
 		n.stMu.Unlock()
 	}
-	reads := make(txn.ReadSet)
+	fail := func(reason txn.AbortReason) *LockResponse {
+		rollback()
+		// A transaction that holds nothing here needs no abort round
+		// trip: drop the empty state now so the coordinator can skip the
+		// cleanup RPC on the NO_WAIT retry path.
+		n.stMu.Lock()
+		if len(st.locks) == 0 {
+			delete(n.state, txnID)
+		}
+		n.stMu.Unlock()
+		return &LockResponse{OK: false, Reason: reason}
+	}
+	var reads txn.ReadSet // lazily built: many batches are write-only
 	for _, e := range entries {
 		tbl := n.store.Table(e.Table)
 		if tbl == nil {
-			rollback()
-			return &LockResponse{OK: false, Reason: txn.AbortInternal}
+			return fail(txn.AbortInternal)
 		}
 		b := tbl.Bucket(e.Key)
 
@@ -194,34 +233,33 @@ func (n *Node) LockReadLocal(txnID uint64, entries []LockEntry) *LockResponse {
 		case idx >= 0:
 			// Held shared, exclusive requested: try upgrade.
 			if !b.Lock.Upgrade() {
-				rollback()
-				return &LockResponse{OK: false, Reason: txn.AbortLockConflict}
+				return fail(txn.AbortLockConflict)
 			}
 			n.stMu.Lock()
 			st.locks[idx].mode = storage.LockExclusive
 			n.stMu.Unlock()
 		default:
 			if !b.Lock.TryLock(e.Mode) {
-				rollback()
-				return &LockResponse{OK: false, Reason: txn.AbortLockConflict}
+				return fail(txn.AbortLockConflict)
 			}
-			ref := lockRef{bucket: b, mode: e.Mode}
-			acquired = append(acquired, ref)
 			n.stMu.Lock()
-			st.locks = append(st.locks, ref)
+			st.locks = append(st.locks, lockRef{bucket: b, mode: e.Mode})
 			n.stMu.Unlock()
+			acquired++
 		}
 
 		if e.Read || e.MustExist {
 			v, _, err := b.Get(e.Key)
 			if err != nil {
 				if e.MustExist {
-					rollback()
-					return &LockResponse{OK: false, Reason: txn.AbortNotFound}
+					return fail(txn.AbortNotFound)
 				}
 				v = nil
 			}
 			if e.Read {
+				if reads == nil {
+					reads = make(txn.ReadSet, len(entries))
+				}
 				reads[e.OpID] = v
 			}
 		}
@@ -386,7 +424,7 @@ func (n *Node) handleInnerAck(_ simnet.NodeID, req []byte) ([]byte, error) {
 		w.remaining--
 		if w.remaining <= 0 {
 			delete(n.acks, txnID)
-			close(w.done)
+			w.ch <- struct{}{} // cap 1, single signaller: never blocks
 		}
 	}
 	n.ackMu.Unlock()
@@ -396,17 +434,20 @@ func (n *Node) handleInnerAck(_ simnet.NodeID, req []byte) ([]byte, error) {
 // ExpectInnerAcks registers that the local coordinator will wait for
 // `count` replica acks for txnID. It must be called *before* the inner
 // RPC is sent, so acks can never race past registration. The returned
-// channel closes when all acks arrive; if count <= 0 it is already closed.
-func (n *Node) ExpectInnerAcks(txnID uint64, count int) <-chan struct{} {
-	done := make(chan struct{})
+// waiter's Done channel receives when all acks arrive (immediately if
+// count <= 0). Hand the waiter back with ReleaseInnerWaiter when done.
+func (n *Node) ExpectInnerAcks(txnID uint64, count int) *AckWaiter {
+	w := ackPool.Get().(*AckWaiter)
 	if count <= 0 {
-		close(done)
-		return done
+		w.remaining = 0
+		w.ch <- struct{}{}
+		return w
 	}
+	w.remaining = count
 	n.ackMu.Lock()
-	n.acks[txnID] = &ackWaiter{remaining: count, done: done}
+	n.acks[txnID] = w
 	n.ackMu.Unlock()
-	return done
+	return w
 }
 
 // CancelInnerAcks discards a registered waiter (inner region aborted, so
@@ -415,4 +456,15 @@ func (n *Node) CancelInnerAcks(txnID uint64) {
 	n.ackMu.Lock()
 	delete(n.acks, txnID)
 	n.ackMu.Unlock()
+}
+
+// ReleaseInnerWaiter returns a waiter to the pool. The caller must have
+// either received from Done or cancelled the registration; any stale
+// token is drained here so the waiter is reusable.
+func (n *Node) ReleaseInnerWaiter(w *AckWaiter) {
+	select {
+	case <-w.ch:
+	default:
+	}
+	ackPool.Put(w)
 }

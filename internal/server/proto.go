@@ -15,6 +15,7 @@ const (
 	VerbAbort     = "ab"    // roll back, release locks
 	VerbReplApply = "repl"  // primary→replica write-set apply (outer region)
 	VerbInnerExec = "inner" // coordinator→inner-host delegation (Chiller)
+	VerbTxnRoute  = "route" // client→coordinator transaction placement (Chiller)
 	VerbInnerRepl = "irepl" // inner-primary→replica stream (one-way)
 	VerbInnerAck  = "irack" // inner-replica→coordinator ack (one-way)
 	VerbOCCRead   = "ord"   // OCC unlocked read
@@ -120,7 +121,9 @@ func EncodeWrites(txnID uint64, writes []WriteOp) []byte {
 	return w.Bytes()
 }
 
-// DecodeWrites parses a write-set payload.
+// DecodeWrites parses a write-set payload. Values alias the payload
+// buffer: every apply path copies into storage (Bucket.Put/Insert), so
+// an extra copy here would only feed the garbage collector.
 func DecodeWrites(p []byte) (txnID uint64, writes []WriteOp, err error) {
 	r := wire.NewReader(p)
 	txnID = r.Uint64()
@@ -132,7 +135,7 @@ func DecodeWrites(p []byte) (txnID uint64, writes []WriteOp, err error) {
 			Key:   storage.Key(r.Uint64()),
 			Type:  txn.OpType(r.Uint8()),
 		}
-		wr.Value = r.BytesCopy()
+		wr.Value = r.Bytes32()
 		writes = append(writes, wr)
 	}
 	return txnID, writes, r.Err()

@@ -198,10 +198,10 @@ func TestInnerReplEncodeDecode(t *testing.T) {
 
 func TestExpectInnerAcks(t *testing.T) {
 	n, _ := newTestNode(t)
-	done := n.ExpectInnerAcks(9, 2)
+	w := n.ExpectInnerAcks(9, 2)
 	select {
-	case <-done:
-		t.Fatal("closed before acks")
+	case <-w.Done():
+		t.Fatal("signalled before acks")
 	default:
 	}
 	// Deliver two acks through the handler path.
@@ -209,27 +209,32 @@ func TestExpectInnerAcks(t *testing.T) {
 		t.Fatal(err)
 	}
 	select {
-	case <-done:
-		t.Fatal("closed after one ack")
+	case <-w.Done():
+		t.Fatal("signalled after one ack")
 	default:
 	}
 	if _, err := n.handleInnerAck(0, EncodeAbort(9)); err != nil {
 		t.Fatal(err)
 	}
 	select {
-	case <-done:
+	case <-w.Done():
 	case <-time.After(time.Second):
-		t.Fatal("not closed after all acks")
+		t.Fatal("not signalled after all acks")
 	}
-	// Zero expected acks: immediately closed.
+	n.ReleaseInnerWaiter(w)
+	// Zero expected acks: immediately ready.
+	w0 := n.ExpectInnerAcks(10, 0)
 	select {
-	case <-n.ExpectInnerAcks(10, 0):
+	case <-w0.Done():
 	default:
-		t.Fatal("zero-count waiter not pre-closed")
+		t.Fatal("zero-count waiter not pre-signalled")
 	}
-	// Cancel discards.
-	n.ExpectInnerAcks(11, 1)
+	n.ReleaseInnerWaiter(w0)
+	// Cancel discards; a released waiter must come back reusable even if
+	// it was never signalled.
+	wc := n.ExpectInnerAcks(11, 1)
 	n.CancelInnerAcks(11)
+	n.ReleaseInnerWaiter(wc)
 	if _, err := n.handleInnerAck(0, EncodeAbort(11)); err != nil {
 		t.Fatal("late ack after cancel should be ignored, not error")
 	}

@@ -64,6 +64,16 @@ type Network struct {
 	links  map[linkKey]*link
 	closed bool
 	wg     sync.WaitGroup
+
+	// Delivery is driven by a single dispatcher goroutine over all
+	// links: per-message timer wake-ups (one goroutine per link) were
+	// the fabric's dominant CPU cost at benchmark message rates. The
+	// dispatcher sleeps until the earliest pending delivery across the
+	// fabric, then drains every due message in per-link FIFO order.
+	dmu    sync.Mutex
+	active []*link // links with queued messages
+	nudge  chan struct{}
+	done   chan struct{}
 }
 
 type linkKey struct{ from, to NodeID }
@@ -73,11 +83,16 @@ func New(cfg Config) *Network {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 1024
 	}
-	return &Network{
+	n := &Network{
 		cfg:   cfg,
 		nodes: make(map[NodeID]*Endpoint),
 		links: make(map[linkKey]*link),
+		nudge: make(chan struct{}, 1),
+		done:  make(chan struct{}),
 	}
+	n.wg.Add(1)
+	go n.dispatch()
+	return n
 }
 
 // Stats returns the fabric counters.
@@ -91,19 +106,13 @@ func (n *Network) Close() {
 		return
 	}
 	n.closed = true
-	links := make([]*link, 0, len(n.links))
-	for _, l := range n.links {
-		links = append(links, l)
-	}
 	eps := make([]*Endpoint, 0, len(n.nodes))
 	for _, e := range n.nodes {
 		eps = append(eps, e)
 	}
 	n.mu.Unlock()
 
-	for _, l := range links {
-		l.close()
-	}
+	close(n.done)
 	n.wg.Wait()
 	for _, e := range eps {
 		e.failPending(ErrClosed)
@@ -149,26 +158,33 @@ func (n *Network) endpoint(id NodeID) (*Endpoint, bool) {
 	return e, ok
 }
 
-// link is a directed FIFO channel between two nodes. One goroutine drains
-// the queue in order, enforcing per-link ordered delivery even with jitter:
-// a message never overtakes an earlier one on the same link.
+// link is a directed FIFO queue between two nodes, drained by the
+// fabric's dispatcher in order: a message never overtakes an earlier one
+// on the same link, even with jitter (the load-bearing property for the
+// §5 replication stream).
 type link struct {
 	net   *Network
 	from  NodeID
 	to    NodeID
-	ch    chan *envelope
-	done  chan struct{}
-	once  sync.Once
 	local bool
-	rng   *rand.Rand // owned by the drain goroutine
+	rng   *rand.Rand
 	rngMu sync.Mutex // protects jitter draws made on the send path
+
+	qmu    sync.Mutex
+	q      []*envelope
+	head   int
+	queued bool // registered in net.active
 }
 
 type envelope struct {
-	msg      message
-	deliver  time.Time
-	enqueued time.Time
+	msg     message
+	deliver time.Time
 }
+
+// envPool recycles envelopes: at benchmark rates the fabric moves
+// hundreds of thousands of messages per second and per-message envelope
+// garbage showed up in allocation profiles.
+var envPool = sync.Pool{New: func() any { return new(envelope) }}
 
 type message struct {
 	kind    uint8 // kindRequest or kindResponse
@@ -212,43 +228,105 @@ func (n *Network) getLink(from, to NodeID) (*link, error) {
 		net:   n,
 		from:  from,
 		to:    to,
-		ch:    make(chan *envelope, n.cfg.QueueDepth),
-		done:  make(chan struct{}),
 		local: from == to,
 		rng:   rand.New(rand.NewSource(seed ^ int64(from)<<32 ^ int64(to))),
 	}
 	n.links[key] = l
-	n.wg.Add(1)
-	go l.run()
 	return l, nil
 }
 
-func (l *link) close() { l.once.Do(func() { close(l.done) }) }
-
-// run drains the link in FIFO order, delaying each message until its
-// delivery time. Because delivery times are computed monotonically per
-// link, ordering is preserved.
-func (l *link) run() {
-	defer l.net.wg.Done()
+// dispatch is the fabric's delivery loop: one goroutine, one timer. It
+// wakes at the earliest pending delivery time (or when a sender nudges
+// it with new work), drains every due message across all links in
+// per-link FIFO order, and runs the request handlers inline — which
+// serializes handler starts exactly as the per-link drain goroutines
+// did, just without a timer wake-up per message.
+func (n *Network) dispatch() {
+	defer n.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	var scratch []*link
 	for {
+		now := time.Now()
+		var next time.Time
+
+		n.dmu.Lock()
+		scratch = append(scratch[:0], n.active...)
+		n.dmu.Unlock()
+
+		for _, l := range scratch {
+			for {
+				l.qmu.Lock()
+				if l.head >= len(l.q) {
+					// Drained; keep the registration (`queued`) until the
+					// de-registration pass below so a concurrent sender
+					// cannot double-register the link.
+					l.q = l.q[:0]
+					l.head = 0
+					l.qmu.Unlock()
+					break
+				}
+				env := l.q[l.head]
+				if env.deliver.After(now) {
+					if next.IsZero() || env.deliver.Before(next) {
+						next = env.deliver
+					}
+					l.qmu.Unlock()
+					break
+				}
+				l.q[l.head] = nil
+				l.head++
+				l.qmu.Unlock()
+
+				msg := env.msg
+				*env = envelope{}
+				envPool.Put(env)
+				if dst, ok := n.endpoint(l.to); ok {
+					dst.dispatch(msg)
+				}
+				now = time.Now()
+			}
+		}
+
+		// De-register links that drained; senders re-register on the
+		// next enqueue. queued flips only here (under both locks), so a
+		// link is in the active list exactly once.
+		n.dmu.Lock()
+		kept := n.active[:0]
+		for _, l := range n.active {
+			l.qmu.Lock()
+			if l.head >= len(l.q) {
+				l.queued = false
+			} else {
+				kept = append(kept, l)
+			}
+			l.qmu.Unlock()
+		}
+		for i := len(kept); i < len(n.active); i++ {
+			n.active[i] = nil
+		}
+		n.active = kept
+		n.dmu.Unlock()
+
+		wait := time.Hour
+		if !next.IsZero() {
+			wait = time.Until(next)
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		timer.Reset(wait)
 		select {
-		case <-l.done:
+		case <-n.done:
 			return
-		case env := <-l.ch:
-			if d := time.Until(env.deliver); d > 0 {
-				timer := time.NewTimer(d)
+		case <-n.nudge:
+			if !timer.Stop() {
 				select {
 				case <-timer.C:
-				case <-l.done:
-					timer.Stop()
-					return
+				default:
 				}
 			}
-			dst, ok := l.net.endpoint(l.to)
-			if !ok {
-				continue
-			}
-			dst.dispatch(env.msg)
+		case <-timer.C:
 		}
 	}
 }
@@ -268,25 +346,47 @@ func (l *link) latency() time.Duration {
 }
 
 func (l *link) send(msg message) error {
-	env := &envelope{
-		msg:      msg,
-		enqueued: time.Now(),
-	}
-	env.deliver = env.enqueued.Add(l.latency())
 	select {
-	case l.ch <- env:
-		l.net.stats.MessagesSent.Add(1)
-		l.net.stats.BytesSent.Add(uint64(len(msg.payload)))
-		return nil
-	case <-l.done:
+	case <-l.net.done:
 		return ErrClosed
+	default:
 	}
+	env := envPool.Get().(*envelope)
+	env.msg = msg
+	env.deliver = time.Now().Add(l.latency())
+
+	l.qmu.Lock()
+	l.q = append(l.q, env)
+	register := !l.queued
+	if register {
+		l.queued = true
+	}
+	l.qmu.Unlock()
+	if register {
+		l.net.dmu.Lock()
+		l.net.active = append(l.net.active, l)
+		l.net.dmu.Unlock()
+	}
+	// Wake the dispatcher; a pending nudge already covers us.
+	select {
+	case l.net.nudge <- struct{}{}:
+	default:
+	}
+	l.net.stats.MessagesSent.Add(1)
+	l.net.stats.BytesSent.Add(uint64(len(msg.payload)))
+	return nil
 }
 
 // RPCHandler serves a two-sided RPC. from identifies the caller. The
 // returned bytes are shipped back as the response; a non-nil error is
 // delivered to the caller as a string-wrapped remote error.
 type RPCHandler func(from NodeID, req []byte) ([]byte, error)
+
+// AsyncRPCHandler serves a two-sided RPC without blocking the fabric's
+// dispatcher: it must arrange for reply to be called exactly once
+// (typically from its own goroutine). Use it for handlers that do real
+// work — a slow inline handler stalls delivery for the whole fabric.
+type AsyncRPCHandler func(from NodeID, req []byte, reply func([]byte, error))
 
 // Memory is a region that remote nodes can access with one-sided verbs.
 // Implementations must be safe for concurrent use: in real RDMA the NIC
@@ -309,6 +409,7 @@ type Endpoint struct {
 
 	mu       sync.RWMutex
 	handlers map[string]RPCHandler
+	async    map[string]AsyncRPCHandler
 	regions  map[string]Memory
 
 	pmu     sync.Mutex
@@ -319,6 +420,10 @@ type Endpoint struct {
 type rpcResult struct {
 	payload []byte
 	err     error
+	// at is the simulated arrival time of the response; Call.Wait sleeps
+	// out any residual so callers observe a full round trip even though
+	// the result is handed over directly (see deliverResponse).
+	at time.Time
 }
 
 // ID returns the endpoint's node ID.
@@ -330,6 +435,19 @@ func (e *Endpoint) Handle(method string, h RPCHandler) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.handlers[method] = h
+}
+
+// HandleAsync registers an asynchronous handler for method: the fabric
+// invokes it inline (preserving per-link ordering of handler starts) but
+// does not wait for the response, which the handler delivers through the
+// reply callback whenever it is ready.
+func (e *Endpoint) HandleAsync(method string, h AsyncRPCHandler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.async == nil {
+		e.async = make(map[string]AsyncRPCHandler)
+	}
+	e.async[method] = h
 }
 
 // RegisterMemory exposes m under the given region name for one-sided
@@ -361,15 +479,27 @@ func (e *Endpoint) Call(to NodeID, method string, req []byte) ([]byte, error) {
 	return c.Wait()
 }
 
-// Call is an in-flight asynchronous RPC created by Endpoint.Go.
+// Call is an in-flight asynchronous RPC created by Endpoint.Go. Calls
+// are pooled: Wait recycles the call, so a Call must not be used again
+// after Wait returns.
 type Call struct {
 	method string
 	ch     chan rpcResult
 }
 
-// Wait blocks until the response (or failure) arrives.
+var callPool = sync.Pool{
+	New: func() any { return &Call{ch: make(chan rpcResult, 1)} },
+}
+
+// Wait blocks until the response (or failure) arrives, sleeping out any
+// residual simulated latency so the caller observes the configured round
+// trip. Wait must be called exactly once; it recycles the Call.
 func (c *Call) Wait() ([]byte, error) {
 	res := <-c.ch
+	callPool.Put(c)
+	if d := time.Until(res.at); d > 0 {
+		time.Sleep(d)
+	}
 	if res.err != nil {
 		return nil, res.err
 	}
@@ -388,9 +518,10 @@ func (e *Endpoint) Go(to NodeID, method string, req []byte) (*Call, error) {
 		return nil, err
 	}
 	id := e.rpcSeq.Add(1)
-	ch := make(chan rpcResult, 1)
+	c := callPool.Get().(*Call)
+	c.method = method
 	e.pmu.Lock()
-	e.pending[id] = ch
+	e.pending[id] = c.ch
 	e.pmu.Unlock()
 
 	msg := message{
@@ -404,10 +535,11 @@ func (e *Endpoint) Go(to NodeID, method string, req []byte) (*Call, error) {
 		e.pmu.Lock()
 		delete(e.pending, id)
 		e.pmu.Unlock()
+		callPool.Put(c)
 		return nil, err
 	}
 	e.net.stats.RPCs.Add(1)
-	return &Call{method: method, ch: ch}, nil
+	return c, nil
 }
 
 // dispatch runs on the link drain goroutine of the *incoming* link.
@@ -417,56 +549,74 @@ func (e *Endpoint) Go(to NodeID, method string, req []byte) (*Call, error) {
 // invocation happens inline (preserving per-link ordering of handler
 // starts) and handlers that need concurrency spawn their own goroutines.
 func (e *Endpoint) dispatch(msg message) {
-	switch msg.kind {
-	case kindRequest:
+	if msg.kind == kindRequest {
 		e.serve(msg)
-	case kindResponse:
-		e.pmu.Lock()
-		ch, ok := e.pending[msg.rpcID]
-		if ok {
-			delete(e.pending, msg.rpcID)
-		}
-		e.pmu.Unlock()
-		if !ok {
-			return
-		}
-		if msg.err != "" {
-			ch <- rpcResult{err: &RemoteError{Method: msg.method, Msg: msg.err}}
-		} else {
-			ch <- rpcResult{payload: msg.payload}
-		}
 	}
 }
 
+// serve runs the handler and hands the response directly to the caller's
+// completion channel, stamped with its simulated arrival time (Call.Wait
+// sleeps out the residual). Responses never traverse a link: each RPC's
+// response is independent, so per-link FIFO — which the replication
+// protocol needs for *requests* — buys nothing here, and skipping the
+// reverse-link queue halves the scheduling cost of every round trip.
 func (e *Endpoint) serve(msg message) {
 	e.mu.RLock()
 	h, ok := e.handlers[msg.method]
+	var ah AsyncRPCHandler
+	if !ok && e.async != nil {
+		ah, ok = e.async[msg.method]
+	}
 	e.mu.RUnlock()
 
-	var resp []byte
-	var errStr string
-	if !ok {
-		errStr = ErrNoSuchMethod.Error() + ": " + msg.method
-	} else {
-		r, err := h(msg.from, msg.payload)
-		if err != nil {
-			errStr = err.Error()
-		} else {
-			resp = r
-		}
-	}
-	back, err := e.net.getLink(e.id, msg.from)
-	if err != nil {
+	if ah != nil {
+		from, rpcID, method := msg.from, msg.rpcID, msg.method
+		ah(from, msg.payload, func(resp []byte, err error) {
+			e.respond(from, rpcID, method, resp, err)
+		})
 		return
 	}
-	_ = back.send(message{
-		kind:    kindResponse,
-		rpcID:   msg.rpcID,
-		from:    e.id,
-		method:  msg.method,
-		payload: resp,
-		err:     errStr,
-	})
+	var resp []byte
+	var err error
+	if !ok {
+		err = fmt.Errorf("%w: %s", ErrNoSuchMethod, msg.method)
+	} else {
+		resp, err = h(msg.from, msg.payload)
+	}
+	e.respond(msg.from, msg.rpcID, msg.method, resp, err)
+}
+
+// respond ships an RPC response back to the caller, stamped with the
+// reverse link's latency.
+func (e *Endpoint) respond(from NodeID, rpcID uint64, method string, resp []byte, err error) {
+	caller, okc := e.net.endpoint(from)
+	if !okc {
+		return
+	}
+	back, lerr := e.net.getLink(e.id, from)
+	if lerr != nil {
+		return
+	}
+	e.net.stats.MessagesSent.Add(1)
+	e.net.stats.BytesSent.Add(uint64(len(resp)))
+	res := rpcResult{payload: resp, at: time.Now().Add(back.latency())}
+	if err != nil {
+		res = rpcResult{err: &RemoteError{Method: method, Msg: err.Error()}, at: res.at}
+	}
+	caller.deliverResponse(rpcID, res)
+}
+
+// deliverResponse completes a pending RPC.
+func (e *Endpoint) deliverResponse(rpcID uint64, res rpcResult) {
+	e.pmu.Lock()
+	ch, ok := e.pending[rpcID]
+	if ok {
+		delete(e.pending, rpcID)
+	}
+	e.pmu.Unlock()
+	if ok {
+		ch <- res
+	}
 }
 
 // Send delivers a one-way message (no response) to node `to`. Used by the

@@ -348,3 +348,70 @@ func TestSelfCall(t *testing.T) {
 		t.Logf("self call took %v; local latency should be ~0", e)
 	}
 }
+
+func TestDoorbellBatch(t *testing.T) {
+	const lat = 2 * time.Millisecond
+	n := New(Config{Latency: lat})
+	defer n.Close()
+	a := n.Endpoint(1)
+	b := n.Endpoint(2)
+	mem := &sliceMemory{buf: make([]byte, 64)}
+	b.RegisterMemory("heap", mem)
+
+	var prev uint64
+	var swapped bool
+	out := make([]byte, 4)
+	batch := a.NewBatch(2).
+		Write("heap", 0, []byte{9, 8, 7, 6}).
+		Read("heap", 0, out).
+		CompareAndSwap("heap", 8, 0, 42, &prev, &swapped)
+	if batch.Len() != 3 {
+		t.Fatalf("Len = %d", batch.Len())
+	}
+	start := time.Now()
+	if err := batch.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// One doorbell: the whole batch costs a single round trip, not one
+	// per verb.
+	if elapsed < 2*lat {
+		t.Fatalf("batch finished in %v, want >= one round trip %v", elapsed, 2*lat)
+	}
+	if elapsed > 3*2*lat {
+		t.Logf("batch took %v (>1 RTT is scheduling noise, informational)", elapsed)
+	}
+	if out[0] != 9 || out[3] != 6 {
+		t.Fatalf("read back %v", out)
+	}
+	if !swapped || prev != 0 {
+		t.Fatalf("cas prev=%d swapped=%v", prev, swapped)
+	}
+	var v [8]byte
+	if err := mem.ReadAt(8, v[:]); err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 42 {
+		t.Fatalf("cas did not apply: %v", v)
+	}
+	// Batch resets for reuse; empty execute is free.
+	if batch.Len() != 0 {
+		t.Fatalf("batch not reset: %d", batch.Len())
+	}
+	if err := batch.Execute(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoorbellBatchErrors(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a := n.Endpoint(1)
+	n.Endpoint(2)
+	if err := a.NewBatch(2).Read("ghost", 0, make([]byte, 1)).Execute(); !errors.Is(err, ErrNoSuchRegion) {
+		t.Fatalf("want ErrNoSuchRegion, got %v", err)
+	}
+	if err := a.NewBatch(99).Read("x", 0, nil).Execute(); !errors.Is(err, ErrNoSuchNode) {
+		t.Fatalf("want ErrNoSuchNode, got %v", err)
+	}
+}

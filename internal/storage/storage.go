@@ -164,9 +164,14 @@ func (b *Bucket) find(key Key) (*Bucket, int) {
 	return nil, -1
 }
 
-// Get returns a copy of the value and its version. The caller is expected
-// to hold the bucket lock in at least shared mode when running under 2PL;
-// OCC calls Get without a lock and validates the version later.
+// Get returns the value and its version. The caller is expected to hold
+// the bucket lock in at least shared mode when running under 2PL; OCC
+// calls Get without a lock and validates the version later.
+//
+// The returned slice is IMMUTABLE and never changes after the call: Put
+// replaces a record's value slice with a fresh copy instead of mutating
+// it in place, so readers hold a consistent snapshot without paying a
+// defensive copy on the hottest path in the system.
 func (b *Bucket) Get(key Key) (value []byte, version uint64, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -174,9 +179,7 @@ func (b *Bucket) Get(key Key) (value []byte, version uint64, err error) {
 	if cur == nil {
 		return nil, 0, ErrNotFound
 	}
-	v := make([]byte, len(cur.entries[i].value))
-	copy(v, cur.entries[i].value)
-	return v, cur.entries[i].version, nil
+	return cur.entries[i].value, cur.entries[i].version, nil
 }
 
 // Version returns the record's current version without copying the value.

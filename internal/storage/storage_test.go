@@ -92,17 +92,36 @@ func TestOverflowChaining(t *testing.T) {
 	}
 }
 
-func TestGetReturnsCopy(t *testing.T) {
+// Get returns the stored slice without copying; the store's guarantee is
+// that the slice is immutable — Put must replace the value slice, never
+// mutate it, so a snapshot taken before a write stays intact.
+func TestGetSnapshotSurvivesPut(t *testing.T) {
 	s := NewStore()
 	b := s.CreateTable(1, 4).Bucket(9)
 	if err := b.Insert(9, []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	v, _, _ := b.Get(9)
-	v[0] = 99
+	if err := b.Put(9, []byte{7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Fatalf("snapshot mutated by Put: %v", v)
+	}
 	v2, _, _ := b.Get(9)
-	if v2[0] != 1 {
-		t.Fatal("Get does not copy; caller mutation leaked into store")
+	if v2[0] != 7 {
+		t.Fatalf("Put lost: %v", v2)
+	}
+	// Put must copy its input: mutating the written slice afterwards must
+	// not leak into the store.
+	in := []byte{5, 5}
+	if err := b.Put(9, in); err != nil {
+		t.Fatal(err)
+	}
+	in[0] = 99
+	v3, _, _ := b.Get(9)
+	if v3[0] != 5 {
+		t.Fatal("Put aliases caller buffer")
 	}
 }
 

@@ -95,7 +95,9 @@ func (rs ReadSet) Encode(w *wire.Writer) {
 	}
 }
 
-// DecodeReadSet deserializes a read set.
+// DecodeReadSet deserializes a read set. Values alias the decode buffer:
+// read-set values are treated as immutable everywhere (mutators build new
+// slices), so the copy would be pure garbage-collector feed.
 func DecodeReadSet(r *wire.Reader) ReadSet {
 	n := r.Uint32()
 	if r.Err() != nil {
@@ -104,7 +106,7 @@ func DecodeReadSet(r *wire.Reader) ReadSet {
 	rs := make(ReadSet, n)
 	for i := uint32(0); i < n; i++ {
 		id := int(r.Uint32())
-		rs[id] = r.BytesCopy()
+		rs[id] = r.Bytes32()
 		if r.Err() != nil {
 			return nil
 		}

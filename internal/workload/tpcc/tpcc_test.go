@@ -181,13 +181,16 @@ func TestNewOrderRegionSplit(t *testing.T) {
 		}
 		return 0, false
 	}
-	hot := func(op *txn.OpSpec, args txn.Args) bool {
+	hot := func(op *txn.OpSpec, args txn.Args) float64 {
 		key, ok := op.Key(args, nil)
 		if !ok {
-			return false
+			return 0
 		}
-		return op.Table == TableDistrict && hotDistricts[key] ||
-			op.Table == TableWarehouse
+		if op.Table == TableDistrict && hotDistricts[key] ||
+			op.Table == TableWarehouse {
+			return 1
+		}
+		return 0
 	}
 
 	// Home warehouse 2, all items local.
