@@ -1,16 +1,15 @@
 // Command chiller-bench regenerates the tables and figures of the
-// paper's evaluation (§7) on the simulated cluster. See README.md for
-// the experiment index and expected shapes.
+// paper's evaluation (§7) on the simulated cluster. See docs/FIGURES.md
+// for the experiment index, the JSON output schema, and the expected
+// qualitative shapes.
 //
 // Usage:
 //
+//	chiller-bench -exp list                 # name every experiment
 //	chiller-bench -exp fig7                 # one experiment
 //	chiller-bench -exp all -duration 2s     # everything, longer windows
 //	chiller-bench -exp fig10 -json out.json # machine-readable results
-//
-// Experiments: fig7, fig8, lookup, fig9, fig10, a1 (reorder-only
-// ablation), a2 (min-edge-weight ablation), a3 (sampling ablation), a4
-// (latency ablation), all.
+//	chiller-bench -exp fig9lanes -lanes 4   # intra-node lane scaling
 package main
 
 import (
@@ -23,13 +22,69 @@ import (
 	"github.com/chillerdb/chiller/internal/bench"
 )
 
+// experiment names one runnable experiment. Descriptions are one line
+// each because `-exp list` prints them as the CLI's index.
+type experiment struct {
+	name string
+	desc string
+	run  func(bench.Options) ([]*bench.Figure, error)
+}
+
+func one(fn func(bench.Options) (*bench.Figure, error)) func(bench.Options) ([]*bench.Figure, error) {
+	return func(opt bench.Options) ([]*bench.Figure, error) {
+		f, err := fn(opt)
+		if err != nil {
+			return nil, err
+		}
+		return []*bench.Figure{f}, nil
+	}
+}
+
+var experiments = []experiment{
+	{"fig7", "Instacart throughput per partitioning scheme (Hashing vs Schism vs Chiller), 2..N partitions", one(bench.Figure7)},
+	{"fig8", "distributed-transaction ratio of each scheme on the Instacart trace", one(bench.Figure8)},
+	{"lookup", "routing-metadata size: Schism's full map vs Chiller's hot-only lookup table (§7.2.2)", one(bench.LookupTableSizes)},
+	{"fig9", "TPC-C mix: throughput, abort rate, and 2PL per-procedure aborts vs concurrency per warehouse", func(opt bench.Options) ([]*bench.Figure, error) {
+		thr, abr, brk, err := bench.Figure9(opt)
+		if err != nil {
+			return nil, err
+		}
+		return []*bench.Figure{thr, abr, brk}, nil
+	}},
+	{"fig9lanes", "TPC-C throughput vs execution lanes per node (intra-node scale-out, Figure 9a companion)", one(bench.Figure9Lanes)},
+	{"fig10", "NewOrder+Payment throughput as the distributed fraction sweeps 0..100%", one(bench.Figure10)},
+	{"a1", "ablation: hot-record reordering alone vs reordering plus contention-aware placement", func(opt bench.Options) ([]*bench.Figure, error) {
+		f, err := bench.AblationReorderOnly(4, opt)
+		if err != nil {
+			return nil, err
+		}
+		return []*bench.Figure{f}, nil
+	}},
+	{"a2", "ablation: min-edge-weight knob trading contention cost against distributed ratio (§4.4)", func(opt bench.Options) ([]*bench.Figure, error) {
+		f, err := bench.AblationMinEdgeWeight(4, opt)
+		if err != nil {
+			return nil, err
+		}
+		return []*bench.Figure{f}, nil
+	}},
+	{"a3", "ablation: hot-set recall vs statistics sampling rate (§4.1)", one(bench.AblationSamplingRate)},
+	{"a4", "ablation: Chiller's advantage over 2PL as one-way network latency sweeps 0..100µs", func(opt bench.Options) ([]*bench.Figure, error) {
+		f, err := bench.AblationLatency(4, opt)
+		if err != nil {
+			return nil, err
+		}
+		return []*bench.Figure{f}, nil
+	}},
+}
+
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: fig7|fig8|lookup|fig9|fig10|a1|a2|a3|a4|all")
+		exp        = flag.String("exp", "all", "experiment name, `all`, or `list` to print the index")
 		duration   = flag.Duration("duration", 800*time.Millisecond, "measurement window per data point")
 		latency    = flag.Duration("latency", 5*time.Microsecond, "one-way network latency")
 		replicas   = flag.Int("replication", 2, "replication degree (1 = none)")
 		seed       = flag.Int64("seed", 42, "random seed")
+		lanes      = flag.Int("lanes", 0, "execution lanes per node (0 = derive from host CPUs)")
 		products   = flag.Int("products", 20000, "Instacart catalogue size")
 		traceTxns  = flag.Int("trace", 4000, "partitioner trace size (transactions)")
 		maxParts   = flag.Int("max-partitions", 8, "Figure 7/8 partition sweep upper bound")
@@ -42,11 +97,32 @@ func main() {
 	)
 	flag.Parse()
 
+	if *exp == "list" {
+		for _, e := range experiments {
+			fmt.Printf("%-10s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	if *exp != "all" {
+		found := false
+		for _, e := range experiments {
+			if e.name == *exp {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; run -exp list for the index\n", *exp)
+			os.Exit(2)
+		}
+	}
+
 	opt := bench.Options{
 		Duration:       *duration,
 		Latency:        *latency,
 		Replication:    *replicas,
 		Seed:           *seed,
+		Lanes:          *lanes,
 		Products:       *products,
 		TraceTxns:      *traceTxns,
 		MaxPartitions:  *maxParts,
@@ -58,82 +134,22 @@ func main() {
 	}
 
 	var figures []*bench.Figure
-	run := func(name string, fn func() ([]*bench.Figure, error)) {
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.name {
+			continue
+		}
 		start := time.Now()
-		fmt.Printf("=== %s ===\n", name)
-		figs, err := fn()
+		fmt.Printf("=== %s — %s ===\n", e.name, e.desc)
+		figs, err := e.run(opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
 			os.Exit(1)
 		}
 		for _, f := range figs {
 			f.Fprint(os.Stdout)
 			figures = append(figures, f)
 		}
-		fmt.Printf("(%s in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
-	}
-	one := func(fn func(bench.Options) (*bench.Figure, error)) func() ([]*bench.Figure, error) {
-		return func() ([]*bench.Figure, error) {
-			f, err := fn(opt)
-			if err != nil {
-				return nil, err
-			}
-			return []*bench.Figure{f}, nil
-		}
-	}
-
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-
-	if want("fig7") {
-		run("Figure 7", one(bench.Figure7))
-	}
-	if want("fig8") {
-		run("Figure 8", one(bench.Figure8))
-	}
-	if want("lookup") {
-		run("Lookup table sizes (§7.2.2)", one(bench.LookupTableSizes))
-	}
-	if want("fig9") {
-		run("Figure 9", func() ([]*bench.Figure, error) {
-			thr, abr, brk, err := bench.Figure9(opt)
-			if err != nil {
-				return nil, err
-			}
-			return []*bench.Figure{thr, abr, brk}, nil
-		})
-	}
-	if want("fig10") {
-		run("Figure 10", one(bench.Figure10))
-	}
-	if want("a1") {
-		run("Ablation A1 (reorder-only)", func() ([]*bench.Figure, error) {
-			f, err := bench.AblationReorderOnly(4, opt)
-			if err != nil {
-				return nil, err
-			}
-			return []*bench.Figure{f}, nil
-		})
-	}
-	if want("a2") {
-		run("Ablation A2 (min edge weight)", func() ([]*bench.Figure, error) {
-			f, err := bench.AblationMinEdgeWeight(4, opt)
-			if err != nil {
-				return nil, err
-			}
-			return []*bench.Figure{f}, nil
-		})
-	}
-	if want("a3") {
-		run("Ablation A3 (sampling rate)", one(bench.AblationSamplingRate))
-	}
-	if want("a4") {
-		run("Ablation A4 (latency sweep)", func() ([]*bench.Figure, error) {
-			f, err := bench.AblationLatency(4, opt)
-			if err != nil {
-				return nil, err
-			}
-			return []*bench.Figure{f}, nil
-		})
+		fmt.Printf("(%s in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
 
 	if *jsonOut != "" {

@@ -8,16 +8,23 @@
 // substrate they need: a simulated RDMA fabric (internal/simnet), a
 // NAM-DB-style bucket storage engine (internal/storage), 2PL/2PC and OCC
 // baseline engines (internal/cc/...), primary-backup and inner-region
-// replication (internal/server), the statistics service (internal/stats),
-// a multilevel graph partitioner (internal/metis), and TPC-C, Instacart
-// and YCSB workloads (internal/workload/...).
+// replication plus per-core execution lanes (internal/server), the
+// statistics service (internal/stats), a multilevel graph partitioner
+// (internal/metis), and TPC-C, Instacart and YCSB workloads
+// (internal/workload/...). Every node shards its execution engine into
+// single-threaded lanes — the paper's one-engine-per-core deployment —
+// so per-node throughput scales with cores while same-record work stays
+// serialized.
 //
-// Start with the examples/ directory, the chiller-bench command, or the
-// benchmark harness in bench_test.go, which regenerates every table and
-// figure of the paper's evaluation. README.md maps paper sections to
-// modules and records which evaluation shapes reproduce;
-// internal/bench/experiments.go defines the experiments themselves.
+// docs/ARCHITECTURE.md walks a transaction through the whole stack and
+// maps each package to its paper section; docs/FIGURES.md indexes the
+// reproduced evaluation (experiments, JSON schema, expected shapes).
+// Start with the examples/ directory, the chiller-bench command
+// (-exp list prints the experiment index), or the benchmark harness in
+// bench_test.go, which regenerates every table and figure of the
+// paper's evaluation; internal/bench/experiments.go defines the
+// experiments themselves.
 package chiller
 
 // Version identifies the reproduction release.
-const Version = "1.0.0"
+const Version = "1.1.0"

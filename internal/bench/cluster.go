@@ -6,6 +6,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cc"
@@ -49,6 +50,25 @@ type ClusterConfig struct {
 	// SampleRate enables access sampling on every node at the given rate
 	// (0 disables; the paper samples ~0.1%).
 	SampleRate float64
+	// Lanes is the number of single-threaded execution lanes per node —
+	// the paper's one-engine-per-core deployment (§2, §5). 0 derives a
+	// default from the host's CPU count (see DefaultLanes); 1 restores
+	// the single-engine-per-node behaviour.
+	Lanes int
+}
+
+// DefaultLanes derives the per-node lane count from the host CPU count,
+// capped so a many-node simulated cluster on one machine does not
+// oversubscribe itself (every node's lanes share the same cores).
+func DefaultLanes() int {
+	n := runtime.NumCPU()
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Cluster is a fully-wired simulated deployment: fabric, nodes, routing
@@ -76,6 +96,9 @@ func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
 	if cfg.Latency == 0 {
 		cfg.Latency = 5 * time.Microsecond
 	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = DefaultLanes()
+	}
 
 	net := simnet.New(simnet.Config{
 		Latency: cfg.Latency,
@@ -84,6 +107,7 @@ func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
 	})
 	topo := cluster.NewTopology(cfg.Partitions, cfg.Replication)
 	dir := cluster.NewDirectory(topo, def)
+	dir.SetLanes(cfg.Lanes) // before node construction: nodes size their lane executors from the directory
 	reg := txn.NewRegistry()
 
 	c := &Cluster{
@@ -134,11 +158,16 @@ func (c *Cluster) Drain() {
 	}
 }
 
-// Close tears the cluster down, draining in-flight engine work first so
-// no background commit hits a closed fabric.
+// Close tears the cluster down: drain in-flight engine work first so no
+// background commit hits a closed fabric, stop the fabric, then stop
+// every node's lane executors (in that order — a closed fabric delivers
+// no new lane work, so the lanes drain deterministically).
 func (c *Cluster) Close() {
 	c.Drain()
 	c.Net.Close()
+	for _, n := range c.Nodes {
+		n.Close()
+	}
 }
 
 // CreateTable creates the table on every node (primaries and replicas

@@ -26,6 +26,9 @@ type Options struct {
 	Replication int
 	// Seed for reproducibility.
 	Seed int64
+	// Lanes is the number of execution lanes per node (0 = host-derived
+	// default, see DefaultLanes). Figure 9a's lane sweep varies this.
+	Lanes int
 
 	// Instacart experiments (Figures 7, 8, lookup table).
 	Products      int // catalogue size
@@ -107,7 +110,7 @@ func SetupInstacart(scheme string, partitions int, opt Options) (*InstacartDeplo
 		layout, dep.Engine = l, Engine2PL
 	case SchemeChiller:
 		res, err := chillerpart.Partition(agg, chillerpart.Config{
-			K: partitions, Seed: opt.Seed, HotThreshold: 0.05,
+			K: partitions, Lanes: opt.laneCount(), Seed: opt.Seed, HotThreshold: 0.05,
 		})
 		if err != nil {
 			return nil, err
@@ -123,6 +126,7 @@ func SetupInstacart(scheme string, partitions int, opt Options) (*InstacartDeplo
 		Replication: opt.Replication,
 		Latency:     opt.Latency,
 		Seed:        opt.Seed,
+		Lanes:       opt.laneCount(),
 	}, instacart.DefaultPartitioner(partitions))
 	if layout != nil {
 		layout.Install(c.Dir)
@@ -149,6 +153,7 @@ func Figure7(opt Options) (*Figure, error) {
 		Title:  "Throughput of partitioning schemes (Instacart baskets)",
 		XLabel: "partitions",
 		YLabel: "txns/sec",
+		Lanes:  opt.laneCount(),
 	}
 	for parts := 2; parts <= opt.MaxPartitions; parts++ {
 		for _, scheme := range []string{SchemeHash, SchemeSchism, SchemeChiller} {
@@ -238,6 +243,7 @@ func SetupTPCC(opt Options, cfg tpcc.Config) (*TPCCDeployment, error) {
 		Replication: opt.Replication,
 		Latency:     opt.Latency,
 		Seed:        opt.Seed,
+		Lanes:       opt.laneCount(),
 	}, tpcc.Partitioner(cfg.Warehouses, cfg.Partitions))
 	if err := tpcc.RegisterAll(c.Registry); err != nil {
 		c.Close()
@@ -256,6 +262,14 @@ func SetupTPCC(opt Options, cfg tpcc.Config) (*TPCCDeployment, error) {
 	return &TPCCDeployment{Cluster: c, W: w, Cfg: cfg}, nil
 }
 
+// laneCount resolves the per-node lane count (0 = host default).
+func (o Options) laneCount() int {
+	if o.Lanes > 0 {
+		return o.Lanes
+	}
+	return DefaultLanes()
+}
+
 func (o Options) tpccConfig() tpcc.Config {
 	return tpcc.Config{
 		Warehouses:           o.Warehouses,
@@ -269,9 +283,9 @@ func (o Options) tpccConfig() tpcc.Config {
 // throughput (9a), abort rate (9b) for 2PL/OCC/Chiller, and the 2PL
 // per-procedure abort breakdown (9c), as three figures.
 func Figure9(opt Options) (thr, abr, breakdown *Figure, err error) {
-	thr = &Figure{Name: "Figure 9a", Title: "TPC-C throughput", XLabel: "concurrent txns/warehouse", YLabel: "txns/sec"}
-	abr = &Figure{Name: "Figure 9b", Title: "TPC-C abort rate", XLabel: "concurrent txns/warehouse", YLabel: "abort rate"}
-	breakdown = &Figure{Name: "Figure 9c", Title: "2PL abort rate by transaction type", XLabel: "concurrent txns/warehouse", YLabel: "abort rate"}
+	thr = &Figure{Name: "Figure 9a", Title: "TPC-C throughput", XLabel: "concurrent txns/warehouse", YLabel: "txns/sec", Lanes: opt.laneCount()}
+	abr = &Figure{Name: "Figure 9b", Title: "TPC-C abort rate", XLabel: "concurrent txns/warehouse", YLabel: "abort rate", Lanes: opt.laneCount()}
+	breakdown = &Figure{Name: "Figure 9c", Title: "2PL abort rate by transaction type", XLabel: "concurrent txns/warehouse", YLabel: "abort rate", Lanes: opt.laneCount()}
 
 	for conc := 1; conc <= opt.MaxConcurrency; conc++ {
 		for _, kind := range []EngineKind{Engine2PL, EngineOCC, EngineChiller} {
@@ -300,6 +314,50 @@ func Figure9(opt Options) (thr, abr, breakdown *Figure, err error) {
 	return thr, abr, breakdown, nil
 }
 
+// Figure9Lanes extends Figure 9a with the intra-node scale-out sweep:
+// the multi-warehouse TPC-C mix at a fixed client count, per-node lane
+// count swept from 1 up to max(4, Options.Lanes) — so `-lanes 8` on an
+// 8-core host extends the sweep to 8. With one lane every node is the
+// paper's single-threaded engine and per-node throughput is capped by
+// it; each added lane is another single-threaded engine over a stable
+// shard of the key space, so Chiller's throughput rises with the lane
+// count until the host runs out of cores. 2PL is included as the
+// contrast series: it never enters an inner region, so it gains only
+// the lane-aware verb dispatch.
+func Figure9Lanes(opt Options) (*Figure, error) {
+	fig := &Figure{
+		Name:   "Figure 9a (lanes)",
+		Title:  "TPC-C throughput vs execution lanes per node",
+		XLabel: "lanes per node",
+		YLabel: "txns/sec",
+	}
+	top := 4
+	if opt.Lanes > top {
+		top = opt.Lanes
+	}
+	for lanes := 1; lanes <= top; lanes++ {
+		lopt := opt
+		lopt.Lanes = lanes
+		for _, kind := range []EngineKind{Engine2PL, EngineChiller} {
+			dep, err := SetupTPCC(lopt, lopt.tpccConfig())
+			if err != nil {
+				return nil, err
+			}
+			m := dep.Cluster.Run(dep.W, RunConfig{
+				Engine:         kind,
+				Concurrency:    opt.MaxConcurrency,
+				Duration:       opt.Duration,
+				Retry:          true,
+				WarmupFraction: 0.25,
+				Seed:           opt.Seed,
+			})
+			dep.Cluster.Close()
+			fig.Add(string(kind), float64(lanes), m.Throughput())
+		}
+	}
+	return fig, nil
+}
+
 // newOrderAbortRate aggregates the per-cart-size NewOrder variants.
 func newOrderAbortRate(m *Metrics) float64 {
 	var committed, aborted uint64
@@ -325,6 +383,7 @@ func Figure10(opt Options) (*Figure, error) {
 		Title:  "Impact of distributed transactions (NewOrder+Payment 50/50)",
 		XLabel: "% distributed txns",
 		YLabel: "txns/sec",
+		Lanes:  opt.laneCount(),
 	}
 	type variant struct {
 		kind EngineKind
@@ -372,6 +431,7 @@ func AblationReorderOnly(parts int, opt Options) (*Figure, error) {
 		Title:  "Reordering vs. reordering + contention-aware partitioning",
 		XLabel: "variant (1=2PL/hash 2=reorder-only 3=chiller)",
 		YLabel: "txns/sec",
+		Lanes:  opt.laneCount(),
 	}
 	run := func(dep *InstacartDeployment, kind EngineKind, x float64, label string) {
 		m := dep.Cluster.Run(dep.W, RunConfig{
@@ -521,6 +581,7 @@ func AblationLatency(parts int, opt Options) (*Figure, error) {
 		Title:  "Chiller advantage vs one-way network latency",
 		XLabel: "latency (µs)",
 		YLabel: "txns/sec",
+		Lanes:  opt.laneCount(),
 	}
 	for _, lat := range []time.Duration{0, 5 * time.Microsecond, 20 * time.Microsecond, 100 * time.Microsecond} {
 		for _, kind := range []EngineKind{Engine2PL, EngineChiller} {
@@ -539,6 +600,7 @@ func AblationLatency(parts int, opt Options) (*Figure, error) {
 				Replication: opt.Replication,
 				Latency:     lat,
 				Seed:        opt.Seed,
+				Lanes:       opt.laneCount(),
 			}, def)
 			if err := SetupBank(c, b, true); err != nil {
 				c.Close()

@@ -25,6 +25,11 @@ type Figure struct {
 	Title  string
 	XLabel string
 	YLabel string
+	// Lanes records the per-node execution-lane count the experiment ran
+	// with, so figure JSON is self-describing about intra-node
+	// parallelism. 0 means the lane count varies within the figure (the
+	// lane-sweep figure encodes it on the X axis instead).
+	Lanes  int
 	Series []Series
 }
 

@@ -51,6 +51,7 @@ type RunConfig struct {
 type Metrics struct {
 	Engine      EngineKind
 	Workload    string
+	Lanes       int // execution lanes per node the cluster ran with
 	Committed   uint64
 	Aborted     uint64
 	Distributed uint64 // committed transactions that spanned partitions
@@ -239,6 +240,7 @@ func (c *Cluster) Run(w Workload, cfg RunConfig) *Metrics {
 	m := &Metrics{
 		Engine:   cfg.Engine,
 		Workload: w.Name(),
+		Lanes:    c.Cfg.Lanes,
 		Elapsed:  elapsed,
 		ByReason: make(map[txn.AbortReason]uint64),
 		ByProc:   make(map[string]*ProcMetrics),
@@ -271,6 +273,7 @@ func (c *Cluster) RunN(w Workload, kind EngineKind, nPerPartition int, seed int6
 	m := &Metrics{
 		Engine:   kind,
 		Workload: w.Name(),
+		Lanes:    c.Cfg.Lanes,
 		ByReason: make(map[txn.AbortReason]uint64),
 		ByProc:   make(map[string]*ProcMetrics),
 	}

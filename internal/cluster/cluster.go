@@ -155,6 +155,12 @@ type Directory struct {
 	topo *Topology
 	def  DefaultPartitioner
 
+	// lanes is the number of single-threaded execution lanes per node
+	// (sub-partitions of a partition). It is fixed at deployment time and
+	// identical cluster-wide, so every coordinator derives the same
+	// record→lane mapping without consulting the record's home node.
+	lanes int
+
 	mu  sync.RWMutex
 	hot map[storage.RID]hotEntry
 	// full, when non-nil, is a complete record→partition map as built by
@@ -166,24 +172,61 @@ type Directory struct {
 // hotEntry is one lookup-table row: the record's home partition plus its
 // contention weight (§4.3's contention likelihood). The weight lets the
 // run-time region decision pick the inner host with the largest
-// contention mass instead of merely the most hot records.
+// contention mass instead of merely the most hot records. lane, when
+// >= 0, pins the record to one of its node's execution lanes (the
+// partitioner treats lanes as sub-partitions); -1 defers to the stable
+// hash mapping.
 type hotEntry struct {
-	p PartitionID
-	w float64
+	p    PartitionID
+	w    float64
+	lane int
 }
 
 // NewDirectory creates a directory over the topology with the given
 // default partitioner.
 func NewDirectory(topo *Topology, def DefaultPartitioner) *Directory {
 	return &Directory{
-		topo: topo,
-		def:  def,
-		hot:  make(map[storage.RID]hotEntry),
+		topo:  topo,
+		def:   def,
+		lanes: 1,
+		hot:   make(map[storage.RID]hotEntry),
 	}
 }
 
 // Topology returns the directory's topology.
 func (d *Directory) Topology() *Topology { return d.topo }
+
+// SetLanes fixes the number of execution lanes per node. Call once at
+// deployment time, before traffic, with the same value on every node's
+// directory (the bench harness shares one directory cluster-wide).
+func (d *Directory) SetLanes(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.lanes = n
+}
+
+// Lanes returns the number of execution lanes per node (>= 1).
+func (d *Directory) Lanes() int { return d.lanes }
+
+// Lane maps a record to the execution lane that serializes it on its
+// home node. Hot records with an explicit lane placement (from the
+// contention-centric partitioner's sub-partition assignment) use it;
+// everything else uses the stable storage-layer hash, so the mapping
+// needs no per-record metadata for cold data — the same economy the
+// §4.4 lookup table applies to partition routing.
+func (d *Directory) Lane(rid storage.RID) int {
+	if d.lanes <= 1 {
+		return 0
+	}
+	d.mu.RLock()
+	e, ok := d.hot[rid]
+	d.mu.RUnlock()
+	if ok && e.lane >= 0 {
+		return e.lane % d.lanes
+	}
+	return storage.LaneOf(rid, d.lanes)
+}
 
 // Default returns the default partitioner.
 func (d *Directory) Default() DefaultPartitioner { return d.def }
@@ -227,17 +270,30 @@ func (d *Directory) SetHot(rid storage.RID, p PartitionID) {
 // SetHotWeight places a hot record on a partition with an explicit
 // contention weight (its contention likelihood from the statistics
 // service). Weights bias the run-time inner-host decision toward the
-// partition carrying the most contention mass.
+// partition carrying the most contention mass. The lane stays on the
+// stable hash mapping; use SetHotPlacement to pin one.
 func (d *Directory) SetHotWeight(rid storage.RID, p PartitionID, w float64) {
+	d.SetHotPlacement(rid, p, w, -1)
+}
+
+// SetHotPlacement places a hot record on a partition with an explicit
+// contention weight and, when lane >= 0, an explicit execution lane on
+// that partition's node — the full sub-partition placement emitted by
+// the contention-centric partitioner when it treats lanes as
+// sub-partitions.
+func (d *Directory) SetHotPlacement(rid storage.RID, p PartitionID, w float64, lane int) {
 	if int(p) < 0 || int(p) >= d.topo.NumPartitions() {
 		panic(fmt.Sprintf("cluster: partition %d out of range", p))
 	}
 	if w <= 0 {
 		w = 1
 	}
+	if lane < 0 {
+		lane = -1
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.hot[rid] = hotEntry{p: p, w: w}
+	d.hot[rid] = hotEntry{p: p, w: w, lane: lane}
 }
 
 // HotWeight returns the record's contention weight, or 0 when the record

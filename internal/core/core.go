@@ -550,10 +550,14 @@ func sleepJittered(us int64) {
 	time.Sleep(time.Duration(us+rand.Int63n(us)) * time.Microsecond)
 }
 
-// lockWave groups one wave of ops by participant node and issues every
-// batch concurrently: remote batches are started first so their round
-// trips overlap, the local batch (if any) executes while they are in
-// flight, and all responses are gathered before reads are absorbed. On
+// lockWave groups one wave of ops by participant (node, lane) and issues
+// every batch concurrently: remote batches are started first so their
+// round trips overlap, the local batches (if any) execute while they are
+// in flight, and all responses are gathered before reads are absorbed.
+// Grouping by lane — not just node — keeps every batch single-lane, so
+// the participant can run it wholesale on the owning lane's serial
+// executor (preserving the batch's all-or-nothing rollback) and batches
+// for independent lanes of one node are processed in parallel. On
 // failure every outstanding call is still drained — its target already
 // holds locks that only the caller's abort can release — and the ops of
 // conflict-failed batches are returned so the caller may re-request
@@ -567,12 +571,13 @@ func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave
 
 	type nodeBatch struct {
 		target  simnet.NodeID
+		lane    int
 		entries []server.LockEntry
 		ops     []int
 		pending *server.PendingLock
 	}
-	// Group by participant; the common case is one or two nodes, so a
-	// linear scan over the batch list beats a map.
+	// Group by participant (node, lane); the common case is a handful of
+	// batches, so a linear scan over the batch list beats a map.
 	var batches []*nodeBatch
 	for _, opID := range wave {
 		op := &proc.Ops[opID]
@@ -583,15 +588,16 @@ func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave
 		rid := storage.RID{Table: op.Table, Key: key}
 		pid := dir.Partition(rid)
 		target := topo.Primary(pid)
+		lane := dir.Lane(rid)
 		var b *nodeBatch
 		for _, cand := range batches {
-			if cand.target == target {
+			if cand.target == target && cand.lane == lane {
 				b = cand
 				break
 			}
 		}
 		if b == nil {
-			b = &nodeBatch{target: target}
+			b = &nodeBatch{target: target, lane: lane}
 			batches = append(batches, b)
 		}
 		b.entries = append(b.entries, server.LockEntry{
@@ -610,9 +616,14 @@ func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave
 	// whose batches list the same records in opposite orders would
 	// otherwise each grab one and NO_WAIT-fail on the other, in lockstep
 	// on every retry (an ABBA livelock the re-request ladder amplifies).
-	// Sorting makes the first requester win both. Response semantics are
-	// order-independent (reads are keyed by op id), and a wave is never
-	// mixed cold/hot, so hot-last ordering is unaffected.
+	// Sorting makes the first requester win every record *within a
+	// batch*. Across same-node batches on different lanes the guarantee
+	// is weaker — the lane executors run them concurrently, so two
+	// transactions can still split a cross-lane record pair ABBA-style;
+	// the jittered backoff (here and in the closed-loop runner) is what
+	// desynchronizes those, the standard NO_WAIT answer. Response
+	// semantics are order-independent (reads are keyed by op id), and a
+	// wave is never mixed cold/hot, so hot-last ordering is unaffected.
 	for _, b := range batches {
 		sort.Sort(&batchSorter{entries: b.entries, ops: b.ops})
 	}

@@ -128,25 +128,85 @@ func (e *Engine) route(host simnet.NodeID, req *txn.Request) (txn.Result, bool) 
 // Every node that can host an inner region needs it.
 func RegisterVerbs(n *server.Node) {
 	n.Endpoint().HandleAsync(server.VerbInnerExec, func(_ simnet.NodeID, raw []byte, reply func([]byte, error)) {
-		// Inner execution is the heaviest handler in the system, so it
-		// must not run inline on the fabric's dispatcher. Ordering of
-		// the replication stream it emits is guaranteed by the node's
-		// inner-execution mutex (commit order == stream order), not by
-		// delivery order, so running on a fresh goroutine is safe.
-		go func() {
+		// Inner execution is the heaviest handler in the system, so
+		// neither it nor its request decode may run inline on the
+		// fabric's dispatcher. On a single-lane node the lane is known
+		// without decoding, so the whole request (decode included)
+		// ships straight to lane 0; on a multi-lane node a fresh
+		// goroutine decodes and decides the lane, then submits the
+		// region to the owning lane's serial executor with the reply
+		// firing from the lane (pre-submission order is irrelevant —
+		// same-lane order is established by the submission itself).
+		// Ordering of the replication stream is guaranteed per lane
+		// (commit order == stream order on a lane; cross-lane conflicts
+		// are ordered by the bucket locks held across the stream send),
+		// not by delivery order.
+		serve := func(raw []byte) {
 			req, err := decodeInnerRequest(raw)
 			if err != nil {
 				reply(nil, err)
 				return
 			}
-			// req.Reads was freshly decoded, so the inner region extends
-			// it in place; collect gathers the inner reads for the
-			// response.
+			proc := n.Registry().Lookup(req.Proc)
+			if proc == nil {
+				reply((&innerResponse{Reason: txn.AbortInternal}).encode(), nil)
+				return
+			}
+			// req.Reads was freshly decoded, so the inner region
+			// extends it in place; collect gathers the inner reads for
+			// the response.
 			collect := make(txn.ReadSet, len(req.InnerOps))
-			resp := ExecInnerLocal(n, req.TxnID, req.Coord, req.Proc, req.Args, req.InnerOps, req.Reads, collect)
-			reply(resp.encode(), nil)
-		}()
+			exec := func() {
+				resp := execInnerLocked(n, req.TxnID, req.Coord, proc, req.Args, req.InnerOps, req.Reads, collect)
+				reply(resp.encode(), nil)
+			}
+			if n.NumLanes() <= 1 {
+				exec() // already on lane 0
+				return
+			}
+			n.SubmitLane(innerLane(n, proc, req.Args, req.InnerOps, req.Reads), exec)
+		}
+		if n.NumLanes() <= 1 {
+			n.SubmitLane(0, func() { serve(raw) })
+			return
+		}
+		go serve(raw)
 	})
+}
+
+// innerLane picks the execution lane that serializes an inner region:
+// the lane owning the region's most contended record (by the §4.4
+// lookup table's weight), so all inner regions competing for the same
+// hot record land on the same single-threaded lane and never NO_WAIT-
+// abort each other — the per-lane restatement of the paper's
+// single-threaded-engine argument. Records whose keys depend on inner
+// reads are skipped (unresolvable pre-execution); a region with no
+// resolvable key runs on lane 0. Conflicts between regions placed on
+// different lanes (overlap on a record that is hottest in neither) are
+// still arbitrated by the bucket lock words, backed by the
+// coordinator's bounded re-request ladder.
+func innerLane(n *server.Node, proc *txn.Procedure, args txn.Args, innerOps []int, reads txn.ReadSet) int {
+	dir := n.Directory()
+	if dir.Lanes() <= 1 {
+		return 0
+	}
+	lane, bestW := 0, -1.0
+	for _, opID := range innerOps {
+		if opID < 0 || opID >= len(proc.Ops) {
+			continue
+		}
+		op := &proc.Ops[opID]
+		key, ok := op.Key(args, reads)
+		if !ok {
+			continue
+		}
+		rid := storage.RID{Table: op.Table, Key: key}
+		if w := dir.HotWeight(rid); w > bestW {
+			bestW = w
+			lane = dir.Lane(rid)
+		}
+	}
+	return lane
 }
 
 // execInner delegates the inner region: a direct call when the inner host
@@ -196,13 +256,15 @@ func ExecInnerLocal(n *server.Node, txnID uint64, coord simnet.NodeID, procName 
 	if reads == nil {
 		reads = make(txn.ReadSet, len(innerOps))
 	}
-	// The whole inner region — lock, execute, commit, stream — runs under
-	// the node's inner-execution mutex, modelling the paper's
-	// single-threaded execution engine per partition: inner regions on
-	// the same host never abort each other on hot records, and the
-	// replication stream leaves in commit order.
+	// The whole inner region — lock, execute, commit, stream — runs on
+	// the serial executor of the lane owning its hottest record,
+	// modelling the paper's single-threaded execution engines (one per
+	// core, several per node): inner regions competing for the same hot
+	// record never abort each other, regions on distinct lanes proceed
+	// in parallel, and the replication stream leaves each lane in commit
+	// order.
 	var resp *innerResponse
-	n.WithInnerSerial(func() {
+	n.WithLaneSerial(innerLane(n, proc, args, innerOps, reads), func() {
 		resp = execInnerLocked(n, txnID, coord, proc, args, innerOps, reads, collect)
 	})
 	return resp
@@ -342,15 +404,31 @@ func execInnerLocked(n *server.Node, txnID uint64, coord simnet.NodeID, proc *tx
 		release()
 		return &innerResponse{Reason: txn.AbortInternal}
 	}
-	release()
 
 	// Stream the new values to this partition's replicas without
-	// waiting; replicas acknowledge to the coordinator (Figure 6).
-	if len(writes) > 0 {
-		if _, err := n.StreamInnerRepl(n.Partition(), txnID, coord, writes); err != nil {
-			return &innerResponse{Reason: txn.AbortInternal}
-		}
-	} else {
+	// waiting; replicas acknowledge to the coordinator (Figure 6). On a
+	// multi-lane node the stream is enqueued *before* the bucket locks
+	// release: two conflicting inner regions on different lanes are
+	// serialized only by these locks, so sending under them is what
+	// keeps stream order equal to commit order for any given record
+	// (per-link FIFO delivery and per-lane replica apply do the rest).
+	// The send is a local enqueue — it never waits on the network — but
+	// it still costs a queue pass, so a single-lane node (where the
+	// lane itself orders the stream) releases first to keep the hot
+	// span minimal.
+	var streamErr error
+	multiLane := n.NumLanes() > 1
+	if len(writes) > 0 && multiLane {
+		_, streamErr = n.StreamInnerRepl(n.Partition(), txnID, coord, writes)
+	}
+	release()
+	if len(writes) > 0 && !multiLane {
+		_, streamErr = n.StreamInnerRepl(n.Partition(), txnID, coord, writes)
+	}
+	if streamErr != nil {
+		return &innerResponse{Reason: txn.AbortInternal}
+	}
+	if len(writes) == 0 {
 		// Nothing to replicate: satisfy the coordinator's ack
 		// expectation directly so it does not wait forever.
 		for range n.Directory().Topology().Replicas(n.Partition()) {

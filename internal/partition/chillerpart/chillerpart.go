@@ -55,6 +55,14 @@ func (m LoadMetric) String() string {
 type Config struct {
 	// K is the number of partitions.
 	K int
+	// Lanes is the number of execution lanes per node (default 1). When
+	// > 1 the partitioner treats each lane as a sub-partition: the graph
+	// is cut into K×Lanes parts, sub-partition s maps to partition s/Lanes
+	// and lane s%Lanes, and hot records receive explicit lane placements.
+	// A transaction is thereby co-located with its hot *lane* — the
+	// single-threaded engine that serializes its inner region — not just
+	// its hot node, extending the §4.2 placement argument one level down.
+	Lanes int
 	// Epsilon is the balance slack (default 0.1).
 	Epsilon float64
 	// Seed drives the randomized phases.
@@ -77,6 +85,9 @@ type Result struct {
 	// TxnHost[i] is the partition chosen for trace transaction i's
 	// t-vertex — the transaction's planned inner host.
 	TxnHost []cluster.PartitionID
+	// TxnLane[i] is the execution lane chosen for transaction i on its
+	// inner host (all zeros when Config.Lanes <= 1).
+	TxnLane []int
 	// Hot lists the records that crossed the threshold, hottest first.
 	Hot []stats.RecordStats
 	// Edges is the number of graph edges (n per n-record transaction —
@@ -100,6 +111,10 @@ func Partition(agg *stats.Aggregate, cfg Config) (*Result, error) {
 	}
 	if cfg.HotThreshold <= 0 {
 		cfg.HotThreshold = 0.05
+	}
+	lanes := cfg.Lanes
+	if lanes < 1 {
+		lanes = 1
 	}
 	trace := agg.Txns()
 
@@ -168,35 +183,52 @@ func Partition(agg *stats.Aggregate, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Cut at sub-partition granularity: each node contributes one part
+	// per execution lane, so the min-cut keeps a transaction's hot
+	// records not only on one node but on one single-threaded lane of
+	// that node. Sub-partition s maps to (partition s/lanes, lane
+	// s%lanes); metis balances the K×lanes parts, which balances both
+	// nodes and the lanes within them.
 	g := b.Build()
-	res, err := metis.Partition(g, cfg.K, cfg.Epsilon, cfg.Seed)
+	res, err := metis.Partition(g, cfg.K*lanes, cfg.Epsilon, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
 
 	// Lookup table: hot records only, carrying their contention
-	// likelihood so the run-time inner-host decision can weigh mass.
+	// likelihood so the run-time inner-host decision can weigh mass,
+	// plus (with lanes) the record's lane placement.
 	hot := make(map[storage.RID]cluster.PartitionID)
 	weight := make(map[storage.RID]float64)
+	var laneMap map[storage.RID]int
+	if lanes > 1 {
+		laneMap = make(map[storage.RID]int)
+	}
 	var hotStats []stats.RecordStats
 	for _, rs := range agg.Records() {
 		if rs.Pc <= cfg.HotThreshold {
 			break // Records() is sorted hottest-first
 		}
 		if v, ok := index[rs.RID]; ok {
-			hot[rs.RID] = cluster.PartitionID(res.Assign[v])
+			hot[rs.RID] = cluster.PartitionID(res.Assign[v] / lanes)
 			weight[rs.RID] = rs.Pc
+			if lanes > 1 {
+				laneMap[rs.RID] = res.Assign[v] % lanes
+			}
 			hotStats = append(hotStats, rs)
 		}
 	}
 
 	hosts := make([]cluster.PartitionID, nT)
+	txnLanes := make([]int, nT)
 	for i := 0; i < nT; i++ {
-		hosts[i] = cluster.PartitionID(res.Assign[nR+i])
+		hosts[i] = cluster.PartitionID(res.Assign[nR+i] / lanes)
+		txnLanes[i] = res.Assign[nR+i] % lanes
 	}
 	return &Result{
-		Layout:  &partition.Layout{Hot: hot, Weight: weight, Cut: res.Cut},
+		Layout:  &partition.Layout{Hot: hot, Weight: weight, Lane: laneMap, Cut: res.Cut},
 		TxnHost: hosts,
+		TxnLane: txnLanes,
 		Hot:     hotStats,
 		Edges:   edges,
 	}, nil

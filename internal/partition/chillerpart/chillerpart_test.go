@@ -163,3 +163,58 @@ func TestInvalidK(t *testing.T) {
 		t.Fatal("K=0 accepted")
 	}
 }
+
+// With Lanes > 1 the partitioner cuts at sub-partition granularity:
+// partitions stay in range, hot records carry lane placements in
+// [0, Lanes), transaction hosts/lanes are consistent, and installing
+// the layout routes Lane() through the placement.
+func TestLanesAsSubPartitions(t *testing.T) {
+	agg := figure5Aggregate(40)
+	const k, lanes = 2, 3
+	res, err := Partition(agg, Config{K: k, Lanes: lanes, Seed: 9, HotThreshold: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Layout.Hot) == 0 {
+		t.Fatal("no hot records with lanes enabled")
+	}
+	for r, p := range res.Layout.Hot {
+		if int(p) < 0 || int(p) >= k {
+			t.Fatalf("record %v on partition %d (K=%d)", r, p, k)
+		}
+		lane, ok := res.Layout.Lane[r]
+		if !ok {
+			t.Fatalf("hot record %v has no lane placement", r)
+		}
+		if lane < 0 || lane >= lanes {
+			t.Fatalf("record %v on lane %d (Lanes=%d)", r, lane, lanes)
+		}
+	}
+	// t2 writes both hot records: co-location should now hold at lane
+	// granularity — same partition AND same lane, so one single-threaded
+	// engine serializes the pair.
+	if res.Layout.Hot[rid(3)] == res.Layout.Hot[rid(4)] &&
+		res.Layout.Lane[rid(3)] != res.Layout.Lane[rid(4)] {
+		t.Fatalf("hot pair split across lanes: 3→%d, 4→%d",
+			res.Layout.Lane[rid(3)], res.Layout.Lane[rid(4)])
+	}
+	for i, h := range res.TxnHost {
+		if int(h) < 0 || int(h) >= k {
+			t.Fatalf("txn %d hosted on partition %d", i, h)
+		}
+		if res.TxnLane[i] < 0 || res.TxnLane[i] >= lanes {
+			t.Fatalf("txn %d on lane %d", i, res.TxnLane[i])
+		}
+	}
+	// Install routes the directory's Lane() through the placement.
+	topo := cluster.NewTopology(k, 1)
+	dir := cluster.NewDirectory(topo, cluster.HashPartitioner{N: k})
+	dir.SetLanes(lanes)
+	res.Layout.Install(dir)
+	for r, lane := range res.Layout.Lane {
+		if got := dir.Lane(r); got != lane {
+			t.Fatalf("directory lane for %v = %d, want placed %d", r, got, lane)
+		}
+	}
+	_ = partition.RouterFor(res.Layout, cluster.HashPartitioner{N: k})
+}

@@ -21,6 +21,12 @@ type Layout struct {
 	// Install hands it to the directory so the run-time inner-host
 	// decision can weigh contention mass.
 	Weight map[storage.RID]float64
+	// Lane pins a hot record to an execution lane on its partition's
+	// node (a sub-partition): the contention-centric partitioner emits
+	// these when it places records at lane granularity, so transactions
+	// co-locate with their hot *lane*, not just their hot node. Records
+	// absent from the map use the stable hash lane.
+	Lane map[storage.RID]int
 	// Full is a complete record→partition map (Schism-style tools
 	// produce one entry per record seen in the trace).
 	Full map[storage.RID]cluster.PartitionID
@@ -44,11 +50,15 @@ func (l *Layout) Install(dir *cluster.Directory) {
 		dir.InstallFullMap(nil)
 	}
 	for rid, p := range l.Hot {
-		if w, ok := l.Weight[rid]; ok {
-			dir.SetHotWeight(rid, p, w)
-		} else {
-			dir.SetHot(rid, p)
+		w, haveW := l.Weight[rid]
+		if !haveW {
+			w = 1
 		}
+		lane, haveLane := l.Lane[rid]
+		if !haveLane {
+			lane = -1
+		}
+		dir.SetHotPlacement(rid, p, w, lane)
 	}
 }
 

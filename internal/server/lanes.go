@@ -1,0 +1,240 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+// Execution lanes: each node shards its execution engine into N
+// single-threaded lanes, modelling the paper's "one execution engine per
+// core" deployment (§2, §5) — many engines per server instead of one.
+// A lane is a goroutine draining an unbounded FIFO of closures; work
+// submitted to the same lane runs strictly in submission order and never
+// overlaps, while distinct lanes run concurrently. The record→lane
+// mapping lives in the routing directory (Directory.Lane), so every
+// layer — inner-region execution, lane-aware verb dispatch, the
+// partitioner's sub-partition placement — agrees on which lane owns a
+// record.
+//
+// The queue is deliberately unbounded: lane work is submitted from the
+// fabric's single dispatcher goroutine, which must never block (a
+// blocked dispatcher stalls delivery for the whole cluster, and a
+// bounded queue could deadlock it against a lane blocked on a full
+// fabric send queue). Backpressure comes from the closed-loop clients
+// upstream, exactly as it did when handlers ran inline.
+
+// laneExec is one single-threaded execution lane.
+type laneExec struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []func()
+	head   int
+	closed bool
+}
+
+func newLaneExec() *laneExec {
+	l := &laneExec{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// run drains the lane until closed; remaining queued work is executed
+// before exit so no submitter is left waiting on a dropped closure.
+func (l *laneExec) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		l.mu.Lock()
+		for l.head >= len(l.q) && !l.closed {
+			l.cond.Wait()
+		}
+		if l.head >= len(l.q) {
+			l.mu.Unlock()
+			return
+		}
+		f := l.q[l.head]
+		l.q[l.head] = nil
+		l.head++
+		if l.head == len(l.q) {
+			l.q = l.q[:0]
+			l.head = 0
+		}
+		l.mu.Unlock()
+		f()
+	}
+}
+
+// submit enqueues f; ok=false means the lane is closed and f was NOT
+// run (the caller decides whether to run it inline).
+func (l *laneExec) submit(f func()) bool {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return false
+	}
+	l.q = append(l.q, f)
+	l.mu.Unlock()
+	l.cond.Signal()
+	return true
+}
+
+func (l *laneExec) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// NumLanes reports the node's execution-lane count (>= 1).
+func (n *Node) NumLanes() int { return len(n.lanes) }
+
+// laneIndex clamps an arbitrary lane id into the node's lane range.
+func (n *Node) laneIndex(lane int) int {
+	if lane < 0 {
+		lane = -lane
+	}
+	if len(n.lanes) == 0 {
+		return 0
+	}
+	return lane % len(n.lanes)
+}
+
+// SubmitLane enqueues f on the given lane's serial executor and returns
+// immediately. Work on one lane runs in submission order and never
+// overlaps; distinct lanes run concurrently. After Close, f runs inline
+// (teardown degradation: nothing may be dropped, because RPC replies and
+// waiter signals ride on these closures).
+func (n *Node) SubmitLane(lane int, f func()) {
+	if !n.lanes[n.laneIndex(lane)].submit(f) {
+		f()
+	}
+}
+
+// submitVerb routes a verb handler body: on a multi-lane node it goes to
+// the owning lane's executor; on a single-lane node it runs inline on
+// the caller (the fabric dispatcher), exactly as the pre-lane node did.
+// Inline is the right call at one lane because the only lane is shared
+// with inner-region execution — queueing a cheap lock or replica apply
+// behind a backlog of inner regions would stretch every outer lock hold
+// by the queue depth, the inverse of what lanes are for. With several
+// lanes the dispatcher must not do the work itself (it would serialize
+// the whole fabric), and verbs for busy lanes queue precisely because
+// that lane's records demand serialization.
+func (n *Node) submitVerb(lane int, f func()) {
+	if len(n.lanes) <= 1 {
+		f()
+		return
+	}
+	n.SubmitLane(lane, f)
+}
+
+// doneChanPool recycles the rendezvous channels WithLaneSerial blocks
+// on; at benchmark rates a fresh channel per inner region was measurable
+// allocation churn (same reasoning as the AckWaiter pool).
+var doneChanPool = sync.Pool{
+	New: func() any { return make(chan struct{}, 1) },
+}
+
+// WithLaneSerial runs f on the given lane's serial executor and waits
+// for it to finish. Chiller inner regions execute and unilaterally
+// commit inside it, so two inner regions on the same lane never race
+// each other's hot locks, while inner regions on distinct lanes proceed
+// in parallel — the multi-core replacement for the old node-wide
+// inner-execution mutex. f must not itself submit-and-wait on the same
+// lane (self-deadlock, as with any reentrant serial executor).
+func (n *Node) WithLaneSerial(lane int, f func()) {
+	done := doneChanPool.Get().(chan struct{})
+	n.SubmitLane(lane, func() {
+		f()
+		done <- struct{}{}
+	})
+	<-done
+	doneChanPool.Put(done)
+}
+
+// Close stops the node's lane executors, draining queued work first.
+// Call after the fabric is closed and engines are drained; submissions
+// arriving after Close degrade to inline execution.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() {
+		for _, l := range n.lanes {
+			l.close()
+		}
+		n.laneWG.Wait()
+	})
+}
+
+// Lane returns the execution lane that owns a record on this node
+// (shorthand for the directory mapping).
+func (n *Node) Lane(rid storage.RID) int {
+	return n.laneIndex(n.dir.Lane(rid))
+}
+
+// applyByLane applies a replicated write set with each record's writes
+// executed on the record's owning lane, then invokes done exactly once
+// with the join of all apply errors. Grouping preserves per-lane
+// submission order, which equals fabric arrival order when called from
+// a verb handler — the in-order-apply property the §5 replication
+// stream relies on, now maintained per lane instead of per node: two
+// stream messages writing the same record always land on the same lane
+// (the mapping is stable), so they apply in arrival order, while
+// messages for independent lanes no longer serialize on each other.
+func (n *Node) applyByLane(writes []WriteOp, done func(error)) {
+	if len(writes) == 0 || len(n.lanes) <= 1 {
+		var err error
+		if len(writes) > 0 {
+			err = ApplyWrites(n.store, writes)
+		}
+		done(err)
+		return
+	}
+	// Group by lane; write sets are small, so a linear scan over a tiny
+	// slice of groups beats a map (same reasoning as core's lock waves).
+	type group struct {
+		lane   int
+		writes []WriteOp
+	}
+	var groups []*group
+	for _, w := range writes {
+		lane := n.Lane(storage.RID{Table: w.Table, Key: w.Key})
+		var g *group
+		for _, cand := range groups {
+			if cand.lane == lane {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &group{lane: lane}
+			groups = append(groups, g)
+		}
+		g.writes = append(g.writes, w)
+	}
+	if len(groups) == 1 {
+		g := groups[0]
+		n.SubmitLane(g.lane, func() { done(ApplyWrites(n.store, g.writes)) })
+		return
+	}
+	var pending atomic.Int32
+	pending.Store(int32(len(groups)))
+	var errMu sync.Mutex
+	var errs []error
+	for _, g := range groups {
+		g := g
+		n.SubmitLane(g.lane, func() {
+			if err := ApplyWrites(n.store, g.writes); err != nil {
+				errMu.Lock()
+				errs = append(errs, err)
+				errMu.Unlock()
+			}
+			if pending.Add(-1) == 0 {
+				errMu.Lock()
+				err := errors.Join(errs...)
+				errMu.Unlock()
+				done(err)
+			}
+		})
+	}
+}

@@ -48,13 +48,16 @@ type Node struct {
 	acks    map[uint64]*AckWaiter
 	sampler AccessObserver
 
-	// innerMu serializes inner-region execution on this node, modelling
-	// the paper's single-threaded execution engine per partition (§6).
-	// Inner regions are pure local work, so running them back to back
-	// costs no network wait, eliminates NO_WAIT aborts between
-	// concurrent inner regions over the same hot records, and guarantees
-	// the one-way replication stream leaves in commit order.
-	innerMu sync.Mutex
+	// lanes are the node's single-threaded execution lanes (see
+	// lanes.go), modelling the paper's one-execution-engine-per-core
+	// deployment (§2, §5): inner regions and lane-routed verbs on the
+	// same lane never race each other's hot locks and the replication
+	// stream leaves each lane in commit order, while independent lanes
+	// run in parallel. The count comes from the directory (fixed at
+	// deployment, identical cluster-wide).
+	lanes     []*laneExec
+	laneWG    sync.WaitGroup
+	closeOnce sync.Once
 
 	// FaultInjector, when non-nil, is consulted before commits; tests
 	// use it to simulate participant failures.
@@ -79,7 +82,22 @@ var ackPool = sync.Pool{
 
 // partState tracks one transaction's footprint on this participant.
 type partState struct {
+	// mu serializes LockReadLocal calls for this transaction on this
+	// participant. With lane-aware fan-out a coordinator may issue
+	// several per-lane batches of ONE wave to the same node
+	// concurrently; the suffix-based rollback below is only correct
+	// while a single batch mutates locks at a time. Different
+	// transactions' batches still run fully in parallel — that is where
+	// lanes earn their throughput — and same-transaction batches on one
+	// node are a handful of local lock words, so the serialization is
+	// invisible next to a network round trip.
+	mu    sync.Mutex
 	locks []lockRef
+	// dropped marks a state the empty-fail fast path removed from the
+	// node's map while another same-transaction batch was already
+	// holding the pointer and queueing on mu; the late batch must
+	// re-fetch a live state or its locks would be orphaned.
+	dropped bool
 }
 
 type lockRef struct {
@@ -88,7 +106,10 @@ type lockRef struct {
 }
 
 // New creates a node bound to an endpoint, owning the primary store for
-// partition part, and registers the common verbs.
+// partition part, and registers the common verbs. The node starts one
+// execution lane per directory lane (Directory.SetLanes must have been
+// called before node construction); callers that are done with a node
+// should Close it to stop the lane goroutines.
 func New(ep *simnet.Endpoint, st *storage.Store, reg *txn.Registry, dir *cluster.Directory, part cluster.PartitionID) *Node {
 	n := &Node{
 		ep:       ep,
@@ -99,11 +120,28 @@ func New(ep *simnet.Endpoint, st *storage.Store, reg *txn.Registry, dir *cluster
 		state:    make(map[uint64]*partState),
 		acks:     make(map[uint64]*AckWaiter),
 	}
-	ep.Handle(VerbLockRead, n.handleLockRead)
-	ep.Handle(VerbCommit, n.handleCommit)
+	nLanes := dir.Lanes()
+	if nLanes < 1 {
+		nLanes = 1
+	}
+	n.lanes = make([]*laneExec, nLanes)
+	for i := range n.lanes {
+		n.lanes[i] = newLaneExec()
+		n.laneWG.Add(1)
+		go n.lanes[i].run(&n.laneWG)
+	}
+	// Lock/read, commit, and replica-apply verbs dispatch lane-aware on
+	// multi-lane nodes: the handler body runs on the owning record's
+	// lane executor instead of inline on the fabric's single dispatcher
+	// goroutine, so work for independent lanes (and independent nodes)
+	// never serializes on the dispatcher or on another lane's inner
+	// region. Single-lane nodes keep the pre-lane inline dispatch (see
+	// submitVerb).
+	ep.HandleAsync(VerbLockRead, n.handleLockRead)
+	ep.HandleAsync(VerbCommit, n.handleCommit)
 	ep.Handle(VerbAbort, n.handleAbort)
-	ep.Handle(VerbReplApply, n.handleReplApply)
-	ep.Handle(VerbInnerRepl, n.handleInnerRepl)
+	ep.HandleAsync(VerbReplApply, n.handleReplApply)
+	ep.HandleAsync(VerbInnerRepl, n.handleInnerRepl)
 	ep.Handle(VerbInnerAck, n.handleInnerAck)
 	return n
 }
@@ -179,21 +217,21 @@ func (st *partState) hasLock(b *storage.Bucket, mode storage.LockMode) (held boo
 	return false, -1
 }
 
-// WithInnerSerial runs f under the node's inner-execution mutex. Chiller
-// inner regions execute and unilaterally commit inside it, so two inner
-// regions on this node never race each other's hot locks (see innerMu).
-func (n *Node) WithInnerSerial(f func()) {
-	n.innerMu.Lock()
-	defer n.innerMu.Unlock()
-	f()
-}
-
 // LockReadLocal is the participant lock-and-read step, callable directly
 // by a local coordinator or via VerbLockRead. On failure everything this
 // call acquired is rolled back, but locks from earlier calls for the same
 // txn remain until an explicit AbortLocal (the coordinator owns cleanup).
 func (n *Node) LockReadLocal(txnID uint64, entries []LockEntry) *LockResponse {
-	st := n.getState(txnID, true)
+	var st *partState
+	for {
+		st = n.getState(txnID, true)
+		st.mu.Lock()
+		if !st.dropped {
+			break
+		}
+		st.mu.Unlock() // raced the empty-fail delete: fetch a live state
+	}
+	defer st.mu.Unlock()
 	acquired := 0 // locks appended to st.locks by this call
 	rollback := func() {
 		// Release and remove the suffix this call acquired.
@@ -208,10 +246,14 @@ func (n *Node) LockReadLocal(txnID uint64, entries []LockEntry) *LockResponse {
 		rollback()
 		// A transaction that holds nothing here needs no abort round
 		// trip: drop the empty state now so the coordinator can skip the
-		// cleanup RPC on the NO_WAIT retry path.
+		// cleanup RPC on the NO_WAIT retry path. Deleting only this
+		// exact state (and flagging it) keeps a concurrent sibling
+		// batch — queued on st.mu with the stale pointer — from
+		// appending locks to an orphan.
 		n.stMu.Lock()
-		if len(st.locks) == 0 {
+		if len(st.locks) == 0 && n.state[txnID] == st {
 			delete(n.state, txnID)
+			st.dropped = true
 		}
 		n.stMu.Unlock()
 		return &LockResponse{OK: false, Reason: reason}
@@ -329,24 +371,45 @@ func ApplyWrites(st *storage.Store, writes []WriteOp) error {
 }
 
 // --- RPC handlers ---
+//
+// Lane-aware handlers decode on the dispatcher (cheap) and run the
+// participant logic on the owning lane's executor. A lock batch runs
+// wholesale on the lane of its first entry: Chiller's coordinator
+// groups waves per (node, lane), so its batches are single-lane; other
+// engines (2PL/OCC) may send mixed batches, which then execute on the
+// first entry's lane — still correct, since bucket lock words arbitrate
+// across lanes, just without lane affinity. Either way the batch stays
+// whole, preserving LockReadLocal's all-or-nothing rollback.
 
-func (n *Node) handleLockRead(_ simnet.NodeID, req []byte) ([]byte, error) {
+func (n *Node) handleLockRead(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
 	txnID, entries, err := DecodeLockRequest(req)
 	if err != nil {
-		return nil, err
+		reply(nil, err)
+		return
 	}
-	return n.LockReadLocal(txnID, entries).Encode(), nil
+	if len(entries) == 0 {
+		reply((&LockResponse{OK: true}).Encode(), nil)
+		return
+	}
+	lane := n.Lane(storage.RID{Table: entries[0].Table, Key: entries[0].Key})
+	n.submitVerb(lane, func() {
+		reply(n.LockReadLocal(txnID, entries).Encode(), nil)
+	})
 }
 
-func (n *Node) handleCommit(_ simnet.NodeID, req []byte) ([]byte, error) {
+func (n *Node) handleCommit(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
 	txnID, writes, err := DecodeWrites(req)
 	if err != nil {
-		return nil, err
+		reply(nil, err)
+		return
 	}
-	if err := n.CommitLocal(txnID, writes); err != nil {
-		return nil, err
+	lane := 0
+	if len(writes) > 0 {
+		lane = n.Lane(storage.RID{Table: writes[0].Table, Key: writes[0].Key})
 	}
-	return nil, nil
+	n.submitVerb(lane, func() {
+		reply(nil, n.CommitLocal(txnID, writes))
+	})
 }
 
 func (n *Node) handleAbort(_ simnet.NodeID, req []byte) ([]byte, error) {
@@ -358,18 +421,18 @@ func (n *Node) handleAbort(_ simnet.NodeID, req []byte) ([]byte, error) {
 	return nil, nil
 }
 
-// handleReplApply applies an outer-region write set on a replica. The
-// primary waits for this RPC's response before committing, giving
-// synchronous primary-backup replication for cold data.
-func (n *Node) handleReplApply(_ simnet.NodeID, req []byte) ([]byte, error) {
+// handleReplApply applies an outer-region write set on a replica, each
+// record's writes on its owning lane. The primary waits for this RPC's
+// response before committing, giving synchronous primary-backup
+// replication for cold data; the reply fires only after every lane
+// group has applied.
+func (n *Node) handleReplApply(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
 	_, writes, err := DecodeWrites(req)
 	if err != nil {
-		return nil, err
+		reply(nil, err)
+		return
 	}
-	if err := ApplyWrites(n.store, writes); err != nil {
-		return nil, err
-	}
-	return nil, nil
+	n.applyByLane(writes, func(aerr error) { reply(nil, aerr) })
 }
 
 // --- Inner-region replication (§5, Figure 6) ---
@@ -398,18 +461,24 @@ func DecodeInnerRepl(p []byte) (txnID uint64, coordinator simnet.NodeID, writes 
 }
 
 // handleInnerRepl runs on a replica of the inner partition: apply the
-// inner write set, then notify the *coordinator* (not the inner primary —
-// the primary has already moved on, Fig 6).
-func (n *Node) handleInnerRepl(_ simnet.NodeID, req []byte) ([]byte, error) {
+// inner write set — each record on its owning lane, preserving the
+// stream's per-record arrival order (see applyByLane) — then notify the
+// *coordinator* (not the inner primary — the primary has already moved
+// on, Fig 6).
+func (n *Node) handleInnerRepl(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
 	txnID, coord, writes, err := DecodeInnerRepl(req)
 	if err != nil {
-		return nil, err
+		reply(nil, err)
+		return
 	}
-	if err := ApplyWrites(n.store, writes); err != nil {
-		return nil, err
-	}
-	_ = n.ep.Send(coord, VerbInnerAck, EncodeAbort(txnID))
-	return nil, nil
+	n.applyByLane(writes, func(aerr error) {
+		if aerr != nil {
+			reply(nil, aerr)
+			return
+		}
+		_ = n.ep.Send(coord, VerbInnerAck, EncodeAbort(txnID))
+		reply(nil, nil)
+	})
 }
 
 // handleInnerAck runs on the coordinator: count down the waiter.

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# checkdocs.sh — documentation gates, run by the CI docs job and locally.
+#
+#   1. Every internal/ and cmd/ package must carry a package doc comment
+#      (go/doc extracts it; an empty .Doc means the comment is missing).
+#   2. Every relative markdown link in README.md and docs/ must point at
+#      a file or directory that exists (anchors are stripped; external
+#      http(s)/mailto links are skipped).
+#
+# Exits non-zero with a list of offenders on failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+fail=0
+
+# --- 1. package doc comments -------------------------------------------
+missing=$(go list -f '{{if not .Doc}}{{.Dir}}{{end}}' ./internal/... ./cmd/...)
+if [ -n "$missing" ]; then
+    echo "packages missing a package doc comment:" >&2
+    echo "$missing" >&2
+    fail=1
+fi
+
+# --- 2. markdown links --------------------------------------------------
+# Pull out ](target) occurrences, keep relative targets, strip anchors.
+for md in README.md docs/*.md; do
+    [ -f "$md" ] || continue
+    dir=$(dirname "$md")
+    links=$(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//') || true
+    for link in $links; do
+        case "$link" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+            echo "$md: broken link -> $link" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "checkdocs: FAILED" >&2
+    exit 1
+fi
+echo "checkdocs: OK"
