@@ -11,6 +11,7 @@
 package chiller_test
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"testing"
@@ -266,7 +267,7 @@ func benchmarkEngineTxn(b *testing.B, kind bench.EngineKind) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		req := bank.Next(0, rng)
-		res := eng.Run(req)
+		res := eng.Run(context.Background(), req)
 		if !res.Committed && res.Reason != txn.AbortLockConflict {
 			b.Fatalf("unexpected abort: %v", res.Reason)
 		}

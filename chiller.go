@@ -1,0 +1,433 @@
+package chiller
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/cc"
+	"github.com/chillerdb/chiller/internal/cc/occ"
+	"github.com/chillerdb/chiller/internal/cc/twopl"
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/core"
+	"github.com/chillerdb/chiller/internal/partition/chillerpart"
+	"github.com/chillerdb/chiller/internal/server"
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/stats"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// DB is an embedded Chiller deployment: a simulated multi-partition
+// cluster with one coordinator engine per node, executing registered
+// stored procedures. It is the one supported way to embed the system;
+// the internal packages carry no compatibility promise.
+//
+// A DB is safe for concurrent use. Execute calls may run from any number
+// of goroutines; each is an independent coordinator.
+type DB struct {
+	cfg      config
+	net      *simnet.Network
+	topo     *cluster.Topology
+	dir      *cluster.Directory
+	registry *txn.Registry
+	nodes    []*server.Node
+	engines  []cc.Engine
+	sampler  *stats.Sampler
+
+	next   atomic.Uint64 // round-robin coordinator choice
+	closed atomic.Bool
+	mu     sync.Mutex // serializes Close and Repartition
+}
+
+// Open assembles a cluster and returns the embedded database handle.
+// With no options it is a single-partition, single-replica deployment of
+// the Chiller engine with a hash partitioner and 5µs simulated one-way
+// latency.
+//
+//	db, err := chiller.Open(
+//		chiller.WithPartitions(4),
+//		chiller.WithReplication(2),
+//		chiller.WithEngine(chiller.EngineChiller),
+//	)
+//
+// The caller owns the handle and must Close it; Close drains in-flight
+// background commit work before tearing the fabric down, so a returned
+// Close means the cluster is quiesced.
+func Open(opts ...Option) (*DB, error) {
+	cfg := config{
+		partitions:  1,
+		replication: 1,
+		latency:     5 * time.Microsecond,
+		engine:      EngineChiller,
+	}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.lanes <= 0 {
+		cfg.lanes = defaultLanes()
+	}
+	switch p := cfg.partitioner.(type) {
+	case nil:
+		cfg.partitioner = cluster.HashPartitioner{N: cfg.partitions}
+	case rangePartitioner:
+		p.n = cfg.partitions
+		cfg.partitioner = p
+	}
+
+	net := simnet.New(simnet.Config{
+		Latency: cfg.latency,
+		Jitter:  cfg.jitter,
+		Seed:    cfg.seed,
+	})
+	topo := cluster.NewTopology(cfg.partitions, cfg.replication)
+	dir := cluster.NewDirectory(topo, cfg.partitioner)
+	dir.SetLanes(cfg.lanes) // before node construction: nodes size their lane executors from the directory
+
+	db := &DB{
+		cfg:      cfg,
+		net:      net,
+		topo:     topo,
+		dir:      dir,
+		registry: txn.NewRegistry(),
+	}
+	if cfg.sampleRate > 0 {
+		db.sampler = stats.NewSampler(cfg.sampleRate, cfg.seed+1)
+	}
+	for p := 0; p < cfg.partitions; p++ {
+		node := server.New(net.Endpoint(simnet.NodeID(p)), storage.NewStore(),
+			db.registry, dir, cluster.PartitionID(p))
+		if db.sampler != nil {
+			node.SetSampler(db.sampler)
+		}
+		occ.RegisterVerbs(node)
+		core.RegisterVerbs(node)
+		db.nodes = append(db.nodes, node)
+	}
+	for _, n := range db.nodes {
+		switch cfg.engine {
+		case Engine2PL:
+			db.engines = append(db.engines, twopl.New(n))
+		case EngineOCC:
+			db.engines = append(db.engines, occ.New(n))
+		default:
+			db.engines = append(db.engines, core.New(n))
+		}
+	}
+	return db, nil
+}
+
+// defaultLanes derives the per-node lane count from the host CPU count,
+// capped so a many-node simulated cluster on one machine does not
+// oversubscribe itself.
+func defaultLanes() int {
+	n := runtime.NumCPU()
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Close quiesces and tears the cluster down: every engine's outstanding
+// background commit work is drained first (so no async commit tail hits
+// a closed fabric and no lock outlives the handle), then the fabric and
+// the nodes' lane executors stop. Close is idempotent; after it every
+// other method returns ErrClosed.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed.Swap(true) {
+		return nil
+	}
+	db.drain()
+	db.net.Close()
+	for _, n := range db.nodes {
+		n.Close()
+	}
+	return nil
+}
+
+// Partitions returns the partition count the DB was opened with.
+func (db *DB) Partitions() int { return db.cfg.partitions }
+
+// CreateTable creates a table on every node with the given bucket count
+// (buckets are the unit of locking; size generously for hot tables).
+// Create all tables before loading or executing.
+func (db *DB) CreateTable(t Table, buckets int) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	for _, n := range db.nodes {
+		n.Store().CreateTable(storage.TableID(t), buckets)
+	}
+	return nil
+}
+
+// Register validates and registers a stored procedure on every node.
+func (db *DB) Register(p *Proc) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	proc, err := p.build()
+	if err != nil {
+		return err
+	}
+	return db.registry.Register(proc)
+}
+
+// Load inserts a record directly, bypassing transaction execution: it
+// routes by the current directory state and writes the primary and every
+// replica copy. Use it for initial data loading, before traffic.
+func (db *DB) Load(t Table, key Key, value []byte) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	rid := storage.RID{Table: storage.TableID(t), Key: storage.Key(key)}
+	pid := db.dir.Partition(rid)
+	// Defensive copy: the store treats value slices as immutable, so one
+	// copy shared by primary and replicas suffices — but it must not
+	// alias the caller's buffer, which the caller is free to reuse.
+	v := append([]byte(nil), value...)
+	targets := append([]simnet.NodeID{db.topo.Primary(pid)}, db.topo.Replicas(pid)...)
+	for _, target := range targets {
+		tbl := db.nodes[int(target)].Store().Table(rid.Table)
+		if tbl == nil {
+			return fmt.Errorf("chiller: load into missing table %d (CreateTable first)", t)
+		}
+		if err := tbl.Bucket(rid.Key).Insert(rid.Key, v); err != nil {
+			return fmt.Errorf("chiller: load %d/%d: %w", t, key, err)
+		}
+	}
+	return nil
+}
+
+// drain joins every engine's outstanding background commit work (async
+// commit tails), after which the cluster's lock state is stable.
+func (db *DB) drain() {
+	for _, e := range db.engines {
+		if d, ok := e.(cc.Drainer); ok {
+			d.Drain()
+		}
+	}
+}
+
+// Get reads a record's current value from its primary store, outside
+// any transaction — a point-in-time peek for tooling and tests, not a
+// consistent read (use a Read op in a procedure for that). Background
+// commit tails of already-committed transactions are drained first, so
+// a Get after a committed Execute observes that transaction's writes.
+func (db *DB) Get(t Table, key Key) ([]byte, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
+	db.drain()
+	rid := storage.RID{Table: storage.TableID(t), Key: storage.Key(key)}
+	tbl := db.nodes[int(db.topo.Primary(db.dir.Partition(rid)))].Store().Table(rid.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("chiller: table %d: %w", t, ErrNotFound)
+	}
+	v, _, err := tbl.Bucket(rid.Key).Get(rid.Key)
+	if err != nil {
+		return nil, fmt.Errorf("chiller: get %d/%d: %w", t, key, ErrNotFound)
+	}
+	// Copy out: the store's value buffers are shared with concurrent
+	// readers and replicas; handing one to the caller would let writes
+	// through the returned slice corrupt the database.
+	return append([]byte(nil), v...), nil
+}
+
+// Result reports a committed transaction's outcome.
+type Result struct {
+	// Distributed reports whether the transaction touched more than one
+	// partition.
+	Distributed bool
+
+	reads txn.ReadSet
+}
+
+// Read returns a copy of the value read by the operation with the
+// given ID (Op.ID), ok=false if the op read nothing.
+func (r Result) Read(opID int) (val []byte, ok bool) {
+	v, ok := r.reads[opID]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// Execute runs one transaction of the named registered procedure to a
+// single commit-or-abort outcome; it does not retry (see
+// ExecuteWithRetry). On commit the error is nil. On abort the error
+// wraps the typed taxonomy — errors.Is(err, ErrAborted) is true, along
+// with the specific reason sentinel (ErrLockConflict, ErrConstraint,
+// ErrNotFound, ...).
+//
+// ctx cancellation or deadline expiry aborts the transaction cleanly at
+// the next protocol boundary before its commit point: all locks it
+// acquired are released and the error wraps ctx.Err(). A ctx that is
+// already done returns before any network verb is issued. Once a
+// transaction passes its commit point it completes regardless of ctx.
+func (db *DB) Execute(ctx context.Context, proc string, args ...int64) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("chiller: %s not started: %w", proc, err)
+	}
+	if db.closed.Load() {
+		return Result{}, ErrClosed
+	}
+	if db.registry.Lookup(proc) == nil {
+		return Result{}, fmt.Errorf("chiller: %q: %w", proc, ErrUnknownProc)
+	}
+	engine := db.engines[int(db.next.Add(1)%uint64(len(db.engines)))]
+	res := engine.Run(ctx, &txn.Request{Proc: proc, Args: txn.Args(args)})
+	if !res.Committed {
+		return Result{Distributed: res.Distributed},
+			abortError(ctx, proc, res.Reason, res.Distributed)
+	}
+	return Result{Distributed: res.Distributed, reads: res.Reads}, nil
+}
+
+// MarkHot adds the record to the hot lookup table at its current home
+// partition, enabling the two-region execution path for transactions
+// touching it. Equivalent to what Repartition derives from sampled
+// statistics, for workloads that know their celebrities up front.
+func (db *DB) MarkHot(t Table, key Key) error {
+	return db.MarkHotWeight(t, key, 1)
+}
+
+// MarkHotWeight is MarkHot with an explicit contention weight: when a
+// transaction touches several hot records on different partitions, the
+// engine places its inner region on the partition carrying the most
+// contention mass.
+func (db *DB) MarkHotWeight(t Table, key Key, weight float64) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if weight <= 0 {
+		return fmt.Errorf("chiller: hot weight %v must be positive", weight)
+	}
+	rid := storage.RID{Table: storage.TableID(t), Key: storage.Key(key)}
+	db.dir.SetHotWeight(rid, db.dir.Partition(rid), weight)
+	return nil
+}
+
+// RepartitionReport summarizes one Repartition pass.
+type RepartitionReport struct {
+	// SampledTxns is the number of transaction samples consumed.
+	SampledTxns int
+	// HotRecords is the number of records whose contention likelihood
+	// crossed the threshold and earned a lookup-table entry.
+	HotRecords int
+	// Moved is the number of hot records physically relocated to a new
+	// home partition.
+	Moved int
+	// LookupTableSize is the routing-metadata size after the pass.
+	LookupTableSize int
+}
+
+// Repartition runs the contention-centric partitioner (§4.2-4.4 of the
+// paper) over the access samples collected since the last pass: records
+// whose contention likelihood crosses the threshold are placed — and
+// physically moved — so transactions co-locate with their contended
+// data, and the hot lookup table is rewritten. Requires WithSampling.
+//
+// Call it from a maintenance window: in-flight transactions racing a
+// repartition pass may abort against moving records. ctx is consulted
+// between phases; a cancelled pass leaves the previous layout intact.
+func (db *DB) Repartition(ctx context.Context) (RepartitionReport, error) {
+	if db.closed.Load() {
+		return RepartitionReport{}, ErrClosed
+	}
+	if db.sampler == nil {
+		return RepartitionReport{}, fmt.Errorf("chiller: repartition needs sampling: Open with WithSampling")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return RepartitionReport{}, fmt.Errorf("chiller: repartition: %w", err)
+	}
+
+	samples := db.sampler.Drain()
+	if len(samples) == 0 {
+		return RepartitionReport{}, fmt.Errorf("chiller: repartition: no samples collected yet")
+	}
+	agg := stats.NewAggregate()
+	agg.Add(samples)
+	// Lock windows: treat the sampling frame as ~5 samples per window,
+	// the same heuristic the benchmark harness uses.
+	agg.Finalize(db.cfg.sampleRate, float64(len(samples))/5)
+
+	res, err := chillerpart.Partition(agg, chillerpart.Config{
+		K:     db.cfg.partitions,
+		Lanes: db.cfg.lanes,
+		Seed:  db.cfg.seed,
+	})
+	if err != nil {
+		return RepartitionReport{}, fmt.Errorf("chiller: repartition: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return RepartitionReport{}, fmt.Errorf("chiller: repartition: %w", err)
+	}
+
+	// Relocate hot records whose new home differs from their current
+	// partition: copy primary value out under the old routing, install
+	// the layout, then write every copy at the new home and delete the
+	// old ones. Load-time replicas of unmoved records are untouched.
+	type move struct {
+		rid      storage.RID
+		val      []byte
+		from, to cluster.PartitionID
+	}
+	var moves []move
+	for rid, newPID := range res.Layout.Hot {
+		oldPID := db.dir.Partition(rid)
+		if oldPID == newPID {
+			continue
+		}
+		tbl := db.nodes[int(db.topo.Primary(oldPID))].Store().Table(rid.Table)
+		if tbl == nil {
+			continue
+		}
+		v, _, err := tbl.Bucket(rid.Key).Get(rid.Key)
+		if err != nil {
+			continue // sampled but since deleted
+		}
+		moves = append(moves, move{rid: rid, val: v, from: oldPID, to: newPID})
+	}
+	res.Layout.Install(db.dir)
+	for _, m := range moves {
+		// With few nodes the old and new homes may share physical
+		// machines (a node primaries one partition and replicates
+		// another); delete only from nodes that hold no copy under the
+		// new placement.
+		holds := make(map[simnet.NodeID]bool)
+		for _, target := range append([]simnet.NodeID{db.topo.Primary(m.to)}, db.topo.Replicas(m.to)...) {
+			if tbl := db.nodes[int(target)].Store().Table(m.rid.Table); tbl != nil {
+				tbl.Bucket(m.rid.Key).Upsert(m.rid.Key, m.val)
+				holds[target] = true
+			}
+		}
+		for _, target := range append([]simnet.NodeID{db.topo.Primary(m.from)}, db.topo.Replicas(m.from)...) {
+			if holds[target] {
+				continue
+			}
+			if tbl := db.nodes[int(target)].Store().Table(m.rid.Table); tbl != nil {
+				_ = tbl.Bucket(m.rid.Key).Delete(m.rid.Key)
+			}
+		}
+	}
+
+	return RepartitionReport{
+		SampledTxns:     len(samples),
+		HotRecords:      len(res.Layout.Hot),
+		Moved:           len(moves),
+		LookupTableSize: db.dir.LookupTableSize(),
+	}, nil
+}

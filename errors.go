@@ -1,0 +1,110 @@
+package chiller
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// Sentinel errors returned (wrapped) by DB methods. Match them with
+// errors.Is; every abort matches ErrAborted in addition to its specific
+// reason, so callers can handle "the transaction did not commit" without
+// enumerating causes:
+//
+//	_, err := db.Execute(ctx, "bank.transfer", 1, 2, 25)
+//	switch {
+//	case errors.Is(err, chiller.ErrLockConflict):
+//		// retryable: another transaction held a lock (NO_WAIT denial)
+//	case errors.Is(err, chiller.ErrAborted):
+//		// any other abort: constraint, missing record, ...
+//	}
+var (
+	// ErrAborted matches every aborted transaction, whatever the reason.
+	ErrAborted = errors.New("transaction aborted")
+	// ErrLockConflict is a NO_WAIT lock denial (or an OCC validation
+	// lock failure). Retryable: see Retry.
+	ErrLockConflict = errors.New("lock conflict")
+	// ErrValidation is an OCC read-set validation failure. Retryable.
+	ErrValidation = errors.New("validation failed")
+	// ErrConstraint is an application value-constraint violation: a
+	// Check hook or a mutator returned an error. Not retryable — the
+	// same inputs will fail again.
+	ErrConstraint = errors.New("constraint violation")
+	// ErrNotFound means an operation referenced a key that does not
+	// exist.
+	ErrNotFound = errors.New("record not found")
+	// ErrInternal covers transport and engine faults.
+	ErrInternal = errors.New("internal error")
+	// ErrUnknownProc means Execute named a procedure that was never
+	// registered.
+	ErrUnknownProc = errors.New("unknown procedure")
+	// ErrClosed is returned by operations on a closed DB.
+	ErrClosed = errors.New("database closed")
+)
+
+// AbortError is the concrete error type Execute returns for aborted
+// transactions. It wraps the sentinel taxonomy above — errors.Is is the
+// supported way to classify it; the type itself is exported for callers
+// that want the reason string or procedure name in logs.
+type AbortError struct {
+	// Proc is the procedure that aborted.
+	Proc string
+	// Distributed reports whether the transaction had touched more than
+	// one partition when it aborted.
+	Distributed bool
+
+	reason txn.AbortReason
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("chiller: %s aborted: %s", e.Proc, e.reason)
+}
+
+// Reason returns the abort classification as a stable string
+// ("lock-conflict", "validation", "constraint", "not-found",
+// "internal") — the same labels the benchmark JSON uses.
+func (e *AbortError) Reason() string { return e.reason.String() }
+
+// Is makes the sentinel taxonomy errors.Is-able.
+func (e *AbortError) Is(target error) bool {
+	switch target {
+	case ErrAborted:
+		return true
+	case ErrLockConflict:
+		return e.reason == txn.AbortLockConflict
+	case ErrValidation:
+		return e.reason == txn.AbortValidation
+	case ErrConstraint:
+		return e.reason == txn.AbortConstraint
+	case ErrNotFound:
+		return e.reason == txn.AbortNotFound
+	case ErrInternal:
+		return e.reason == txn.AbortInternal
+	}
+	return false
+}
+
+// abortError converts an engine abort reason into the public error. ctx
+// supplies the cause for cancellation aborts, so errors.Is(err,
+// context.Canceled / context.DeadlineExceeded) works as callers expect.
+func abortError(ctx context.Context, proc string, reason txn.AbortReason, distributed bool) error {
+	if reason == txn.AbortCancelled {
+		cause := ctx.Err()
+		if cause == nil {
+			cause = context.Canceled
+		}
+		return fmt.Errorf("chiller: %s cancelled: %w", proc, cause)
+	}
+	return &AbortError{Proc: proc, Distributed: distributed, reason: reason}
+}
+
+// Retryable reports whether the error is a transient conflict that a
+// retry with backoff may resolve: a NO_WAIT lock denial or an OCC
+// validation failure. Constraint violations, missing records, unknown
+// procedures, and cancellations are not retryable.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrLockConflict) || errors.Is(err, ErrValidation)
+}

@@ -1,0 +1,77 @@
+package chiller_test
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"github.com/chillerdb/chiller"
+)
+
+// Example embeds a two-partition cluster, registers a transfer
+// procedure with the fluent builder, marks a celebrity account hot, and
+// executes a distributed transaction whose contended record is locked
+// only for its inner region's local execution time.
+func Example() {
+	const accounts chiller.Table = 1
+
+	enc := func(v int64) []byte {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, uint64(v))
+		return b
+	}
+	dec := func(b []byte) int64 { return int64(binary.LittleEndian.Uint64(b)) }
+
+	db, err := chiller.Open(
+		chiller.WithPartitions(2),
+		chiller.WithReplication(2),
+		chiller.WithRangePartitioner(map[chiller.Table]chiller.Key{accounts: 200}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.CreateTable(accounts, 1024); err != nil {
+		log.Fatal(err)
+	}
+	for k := chiller.Key(0); k < 200; k++ {
+		if err := db.Load(accounts, k, enc(1000)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// bank.transfer(src, dst, amount): debit aborts on overdraft.
+	transfer := chiller.NewProc("bank.transfer")
+	transfer.Update(accounts, chiller.Arg(0),
+		func(old []byte, args chiller.Args, _ chiller.Reads) ([]byte, error) {
+			if dec(old) < args[2] {
+				return nil, fmt.Errorf("insufficient funds")
+			}
+			return enc(dec(old) - args[2]), nil
+		})
+	transfer.Update(accounts, chiller.Arg(1),
+		func(old []byte, args chiller.Args, _ chiller.Reads) ([]byte, error) {
+			return enc(dec(old) + args[2]), nil
+		})
+	if err := db.Register(transfer); err != nil {
+		log.Fatal(err)
+	}
+
+	// Account 0 is partition 0's celebrity: transactions touching it
+	// run two-region, committing the hot update in an inner region.
+	if err := db.MarkHot(accounts, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.ExecuteWithRetry(context.Background(), chiller.Retry{},
+		"bank.transfer", 0, 150, 25)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, _ := db.Get(accounts, 0)
+	dst, _ := db.Get(accounts, 150)
+	fmt.Printf("distributed=%v src=%d dst=%d\n", res.Distributed, dec(src), dec(dst))
+	// Output: distributed=true src=975 dst=1025
+}

@@ -1,38 +1,39 @@
-// Flight booking: the paper's running example (Figure 4). A ticket
-// purchase reads a flight, the customer, and the customer's tax record,
-// checks the balance and seat availability, then decrements seats,
-// debits the customer, and inserts a seat assignment.
+// Flight booking: the paper's running example (Figure 4), written
+// against the public chiller API. A ticket purchase reads a flight, the
+// customer, and the customer's tax record, checks the balance and seat
+// availability, then decrements seats, debits the customer, and inserts
+// a seat assignment.
 //
 // The flight record is hot (everyone books the same popular flights), so
 // the static analysis and run-time decision place the flight update and
 // the seat insert — which has a pk-dependency on the flight read — into
 // the inner region on the flight's partition, while the customer and tax
-// records are handled in the outer region.
+// records are handled in the outer region. The builder's KeyFrom,
+// ValueFrom and CoLocatedWith calls are exactly the declarations that
+// analysis consumes.
 //
 //	go run ./examples/flightbooking
 package main
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
-	"time"
+	"os"
 
-	"github.com/chillerdb/chiller/internal/bench"
-	"github.com/chillerdb/chiller/internal/cluster"
-	"github.com/chillerdb/chiller/internal/core"
-	"github.com/chillerdb/chiller/internal/storage"
-	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller"
 )
 
 // Tables.
 const (
-	tFlights   storage.TableID = 1
-	tCustomers storage.TableID = 2
-	tTax       storage.TableID = 3
-	tSeats     storage.TableID = 4
+	tFlights   chiller.Table = 1
+	tCustomers chiller.Table = 2
+	tTax       chiller.Table = 3
+	tSeats     chiller.Table = 4
 )
 
-// Fixed-layout records.
+// Fixed-layout records: two int64 fields.
 func enc2(a, b int64) []byte {
 	out := make([]byte, 16)
 	binary.LittleEndian.PutUint64(out, uint64(a))
@@ -47,7 +48,7 @@ func dec2(p []byte) (int64, int64) {
 	return int64(binary.LittleEndian.Uint64(p)), int64(binary.LittleEndian.Uint64(p[8:]))
 }
 
-// bookingProcedure mirrors Figure 4's stored procedure. args: [0]=flight,
+// bookingProc mirrors Figure 4's stored procedure. args: [0]=flight,
 // [1]=customer.
 //
 //	op 0 cread: read customer (balance, state)        — outer
@@ -55,152 +56,144 @@ func dec2(p []byte) (int64, int64) {
 //	op 2 fread+fupd: update flight (price, seats−1)   — inner (hot)
 //	op 3 cupd: debit customer, cost from flight & tax — outer, v-deps 1,2
 //	op 4 sins: insert seat, key from flight read      — inner, pk-dep 2
-func bookingProcedure() *txn.Procedure {
-	return &txn.Procedure{
-		Name: "flight.book",
-		Ops: []txn.OpSpec{
-			{
-				ID: 0, Type: txn.OpRead, Table: tCustomers,
-				Key: func(args txn.Args, _ txn.ReadSet) (storage.Key, bool) {
-					return storage.Key(args[1]), true
-				},
-			},
-			{
-				ID: 1, Type: txn.OpRead, Table: tTax, PKDeps: []int{0},
-				Key: func(_ txn.Args, reads txn.ReadSet) (storage.Key, bool) {
-					cv, ok := reads[0]
-					if !ok {
-						return 0, false
-					}
-					_, state := dec2(cv)
-					return storage.Key(state), true
-				},
-			},
-			{
-				ID: 2, Type: txn.OpUpdate, Table: tFlights,
-				Key: func(args txn.Args, _ txn.ReadSet) (storage.Key, bool) {
-					return storage.Key(args[0]), true
-				},
-				Check: func(val []byte, _ txn.Args, _ txn.ReadSet) error {
-					_, seats := dec2(val)
-					if seats <= 0 {
-						return fmt.Errorf("flight full")
-					}
-					return nil
-				},
-				Mutate: func(old []byte, _ txn.Args, _ txn.ReadSet) ([]byte, error) {
-					price, seats := dec2(old)
-					return enc2(price, seats-1), nil
-				},
-			},
-			{
-				ID: 3, Type: txn.OpUpdate, Table: tCustomers,
-				Key: func(args txn.Args, _ txn.ReadSet) (storage.Key, bool) {
-					return storage.Key(args[1]), true
-				},
-				VDeps: []int{1, 2},
-				Mutate: func(old []byte, _ txn.Args, reads txn.ReadSet) ([]byte, error) {
-					bal, state := dec2(old)
-					price, _ := dec2(reads[2])
-					taxBP, _ := dec2(reads[1])
-					cost := price * (10000 + taxBP) / 10000
-					return enc2(bal-cost, state), nil
-				},
-			},
-			{
-				ID: 4, Type: txn.OpInsert, Table: tSeats, PKDeps: []int{2},
-				// Seats co-partition with their flight: the affinity hint
-				// that lets the analysis put this insert in the inner
-				// region (§3.3 step 1b).
-				PartKey: func(args txn.Args, _ txn.ReadSet) (storage.Key, bool) {
-					return storage.Key(args[0]), true
-				},
-				PartTable: tFlights,
-				VDeps:     []int{0},
-				Key: func(args txn.Args, reads txn.ReadSet) (storage.Key, bool) {
-					fv, ok := reads[2]
-					if !ok {
-						return 0, false
-					}
-					_, seats := dec2(fv)
-					return storage.Key(args[0]*1_000_000 + seats), true
-				},
-				Mutate: func(_ []byte, args txn.Args, _ txn.ReadSet) ([]byte, error) {
-					return enc2(args[1], 0), nil
-				},
-			},
-		},
-	}
-}
+func bookingProc() *chiller.Proc {
+	p := chiller.NewProc("flight.book")
 
-// partitioner: flights and seats by flight id, customers and tax by key.
-func partitioner(n int) cluster.FuncPartitioner {
-	return cluster.FuncPartitioner{
-		Label: "flight-layout",
-		Fn: func(rid storage.RID) cluster.PartitionID {
-			switch rid.Table {
-			case tSeats:
-				return cluster.PartitionID(uint64(rid.Key) / 1_000_000 % uint64(n))
-			case tFlights:
-				return cluster.PartitionID(uint64(rid.Key) % uint64(n))
-			default:
-				return cluster.PartitionID(uint64(rid.Key) % uint64(n))
-			}
-		},
-	}
+	cread := p.Read(tCustomers, chiller.Arg(1))
+
+	tread := p.Read(tTax, func(_ chiller.Args, reads chiller.Reads) (chiller.Key, bool) {
+		cv, ok := reads[0]
+		if !ok {
+			return 0, false
+		}
+		_, state := dec2(cv)
+		return chiller.Key(state), true
+	}).KeyFrom(cread)
+
+	fupd := p.Update(tFlights, chiller.Arg(0),
+		func(old []byte, _ chiller.Args, _ chiller.Reads) ([]byte, error) {
+			price, seats := dec2(old)
+			return enc2(price, seats-1), nil
+		}).Check(func(val []byte, _ chiller.Args, _ chiller.Reads) error {
+		if _, seats := dec2(val); seats <= 0 {
+			return fmt.Errorf("flight full")
+		}
+		return nil
+	})
+
+	p.Update(tCustomers, chiller.Arg(1),
+		func(old []byte, _ chiller.Args, reads chiller.Reads) ([]byte, error) {
+			bal, state := dec2(old)
+			price, _ := dec2(reads[fupd.ID()])
+			taxBP, _ := dec2(reads[tread.ID()])
+			cost := price * (10000 + taxBP) / 10000
+			return enc2(bal-cost, state), nil
+		}).ValueFrom(tread, fupd)
+
+	// Seats co-partition with their flight: the affinity hint that lets
+	// the analysis put this insert in the inner region despite its
+	// pk-dependency (§3.3 step 1b).
+	p.Insert(tSeats, func(args chiller.Args, reads chiller.Reads) (chiller.Key, bool) {
+		fv, ok := reads[fupd.ID()]
+		if !ok {
+			return 0, false
+		}
+		_, seats := dec2(fv)
+		return chiller.Key(args[0]*1_000_000 + seats), true
+	}, func(_ []byte, args chiller.Args, _ chiller.Reads) ([]byte, error) {
+		return enc2(args[1], 0), nil
+	}).KeyFrom(fupd).ValueFrom(cread).CoLocatedWith(tFlights, chiller.Arg(0))
+
+	return p
 }
 
 func main() {
-	const partitions = 3
-	c := bench.NewCluster(bench.ClusterConfig{
-		Partitions:  partitions,
-		Replication: 2,
-		Latency:     5 * time.Microsecond,
-	}, partitioner(partitions))
-	defer c.Close()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "flightbooking:", err)
+		os.Exit(1)
+	}
+}
 
-	c.Registry.MustRegister(bookingProcedure())
-	c.CreateTable(tFlights, 64)
-	c.CreateTable(tCustomers, 256)
-	c.CreateTable(tTax, 64)
-	c.CreateTable(tSeats, 1024)
+func run() error {
+	const partitions = 3
+
+	// Flights and seats route by flight id, customers and tax by key.
+	db, err := chiller.Open(
+		chiller.WithPartitions(partitions),
+		chiller.WithReplication(2),
+		chiller.WithPartitionFunc("flight-layout", func(t chiller.Table, k chiller.Key) int {
+			if t == tSeats {
+				return int(uint64(k) / 1_000_000 % partitions)
+			}
+			return int(uint64(k) % partitions)
+		}),
+	)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	for t, buckets := range map[chiller.Table]int{
+		tFlights: 64, tCustomers: 256, tTax: 64, tSeats: 1024,
+	} {
+		if err := db.CreateTable(t, buckets); err != nil {
+			return err
+		}
+	}
+	if err := db.Register(bookingProc()); err != nil {
+		return err
+	}
 
 	// Flight 42 (partition 0) with 5 seats at $300; customers and tax
 	// tables spread over all partitions.
-	c.MustLoadRecord(tFlights, 42, enc2(30000, 5))
-	for cust := storage.Key(0); cust < 30; cust++ {
-		state := int64(cust % 7)
-		c.MustLoadRecord(tCustomers, cust, enc2(100000, state))
+	if err := db.Load(tFlights, 42, enc2(30000, 5)); err != nil {
+		return err
 	}
-	for state := storage.Key(0); state < 7; state++ {
-		c.MustLoadRecord(tTax, state, enc2(int64(state*50), 0))
+	for cust := chiller.Key(0); cust < 30; cust++ {
+		if err := db.Load(tCustomers, cust, enc2(100000, int64(cust%7))); err != nil {
+			return err
+		}
+	}
+	for state := chiller.Key(0); state < 7; state++ {
+		if err := db.Load(tTax, state, enc2(int64(state*50), 0)); err != nil {
+			return err
+		}
 	}
 
-	// The popular flight is hot.
-	frid := storage.RID{Table: tFlights, Key: 42}
-	c.Dir.SetHot(frid, c.Dir.Partition(frid))
-
-	engine := core.New(c.Nodes[1]) // coordinator on a *different* partition
-	req := &txn.Request{Proc: "flight.book", Args: txn.Args{42, 7}}
-
-	dec, err := engine.Decide(req)
-	if err != nil {
-		panic(err)
+	// The popular flight is hot: bookings run two-region, with the
+	// flight update and seat insert committing in an inner region on
+	// the flight's partition.
+	if err := db.MarkHot(tFlights, 42); err != nil {
+		return err
 	}
-	fmt.Printf("two-region: %v, inner host: partition %d\n", dec.TwoRegion, dec.InnerHost)
-	fmt.Printf("inner ops (flight update + seat insert): %v\n", dec.InnerOps)
-	fmt.Printf("outer ops (customer, tax, debit):        %v\n", dec.OuterOps)
 
 	// Book until the flight is full: five bookings commit, the sixth
 	// aborts on the seat-availability constraint — inside the inner
 	// region, before anything became visible.
+	ctx := context.Background()
 	for i := 0; i < 6; i++ {
-		res := engine.Run(&txn.Request{Proc: "flight.book", Args: txn.Args{42, int64(i)}})
-		fmt.Printf("booking %d: committed=%v reason=%v\n", i+1, res.Committed, res.Reason)
+		res, err := db.Execute(ctx, "flight.book", 42, int64(i))
+		switch {
+		case err == nil:
+			fmt.Printf("booking %d: committed, distributed=%v\n", i+1, res.Distributed)
+		case errors.Is(err, chiller.ErrConstraint):
+			fmt.Printf("booking %d: rejected (%v)\n", i+1, err)
+		default:
+			return err
+		}
 	}
 
-	fv, _, _ := c.Nodes[0].Store().Table(tFlights).Bucket(42).Get(42)
+	fv, err := db.Get(tFlights, 42)
+	if err != nil {
+		return err
+	}
 	_, seats := dec2(fv)
-	fmt.Printf("seats remaining: %d; seat records inserted: %d\n",
-		seats, c.Nodes[0].Store().Table(tSeats).Len())
+	inserted := 0
+	for s := int64(5); s > seats; s-- {
+		if _, err := db.Get(tSeats, chiller.Key(42*1_000_000+s)); err == nil {
+			inserted++
+		}
+	}
+	fmt.Printf("seats remaining: %d; seat records inserted: %d\n", seats, inserted)
+	return nil
 }

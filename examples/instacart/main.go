@@ -1,53 +1,177 @@
-// Instacart: the partitioning-scheme comparison of §7.2 in miniature.
-// Synthesizes a grocery-basket trace, partitions it three ways (hashing,
-// Schism, Chiller), and runs each layout on a live cluster.
+// Instacart: contention-centric repartitioning in miniature, through the
+// public chiller API. Grocery baskets update a handful of products per
+// checkout; a few celebrity products (bananas, milk) appear in a large
+// fraction of baskets. Under plain hash partitioning those hot products
+// are scattered away from the transactions that touch them. The demo
+// runs skewed traffic with access sampling on, calls db.Repartition —
+// the paper's §4 partitioner over the sampled statistics — and measures
+// again: the hot products earn lookup-table entries, transactions
+// co-locate with their contended records, and throughput rises even
+// though the distributed-transaction ratio does not fall (§2: on fast
+// networks the bottleneck is contention, not coordination).
 //
 //	go run ./examples/instacart
 package main
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"github.com/chillerdb/chiller/internal/bench"
+	"github.com/chillerdb/chiller"
 )
 
+const (
+	tProducts chiller.Table = 1
+
+	partitions  = 4
+	products    = 5000
+	celebrities = 8 // products in a large fraction of baskets
+)
+
+func encI(v int64) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, uint64(v))
+	return out
+}
+
+// checkoutProc: args [0..2] = three product keys; each product's
+// purchase count is incremented.
+func checkoutProc() *chiller.Proc {
+	p := chiller.NewProc("basket.checkout")
+	for i := 0; i < 3; i++ {
+		p.Update(tProducts, chiller.Arg(i),
+			func(old []byte, _ chiller.Args, _ chiller.Reads) ([]byte, error) {
+				return encI(int64(binary.LittleEndian.Uint64(old)) + 1), nil
+			})
+	}
+	return p
+}
+
 func main() {
-	opt := bench.DefaultOptions()
-	opt.Duration = 500 * time.Millisecond
-	opt.Products = 10000
-	opt.TraceTxns = 2500
-	const partitions = 4
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "instacart:", err)
+		os.Exit(1)
+	}
+}
 
-	fmt.Printf("Instacart-like baskets over %d products, %d partitions\n\n",
-		opt.Products, partitions)
-	fmt.Printf("%-10s %14s %12s %14s %14s\n",
-		"scheme", "txns/sec", "abort rate", "distributed", "lookup size")
+func run() error {
+	db, err := chiller.Open(
+		chiller.WithPartitions(partitions),
+		chiller.WithReplication(2),
+		chiller.WithSeed(42),
+		chiller.WithSampling(0.1), // feed the statistics service (§4.1)
+	)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
 
-	for _, scheme := range []string{bench.SchemeHash, bench.SchemeSchism, bench.SchemeChiller} {
-		dep, err := bench.SetupInstacart(scheme, partitions, opt)
-		if err != nil {
-			panic(err)
+	if err := db.CreateTable(tProducts, 8192); err != nil {
+		return err
+	}
+	for k := chiller.Key(0); k < products; k++ {
+		if err := db.Load(tProducts, k, encI(0)); err != nil {
+			return err
 		}
-		m := dep.Cluster.Run(dep.W, bench.RunConfig{
-			Engine:         dep.Engine,
-			Concurrency:    opt.Concurrency,
-			Duration:       opt.Duration,
-			WarmupFraction: 0.2,
-			Retry:          true,
-			Seed:           opt.Seed,
-		})
-		lookup := 0
-		if dep.Layout != nil {
-			lookup = dep.Layout.LookupTableSize()
-		}
-		fmt.Printf("%-10s %14.0f %11.1f%% %13.1f%% %14d\n",
-			scheme, m.Throughput(), m.AbortRate()*100, m.DistributedRatio()*100, lookup)
-		dep.Cluster.Close()
+	}
+	if err := db.Register(checkoutProc()); err != nil {
+		return err
 	}
 
-	fmt.Println("\nChiller accepts *more* distributed transactions than Schism yet commits")
-	fmt.Println("more per second: on fast networks the bottleneck is contention, not")
-	fmt.Println("coordination (§2 of the paper). Its lookup table is also far smaller —")
-	fmt.Println("only hot records need routing entries (§4.4).")
+	fmt.Printf("Instacart-like baskets over %d products, %d partitions\n\n", products, partitions)
+	fmt.Printf("%-22s %14s %14s %14s\n", "phase", "txns/sec", "distributed", "lookup size")
+
+	// Phase 1: hash layout, no hot records known.
+	before, distBefore, err := measure(db, 500*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %14.0f %13.1f%% %14d\n", "hash (before)", before, distBefore*100, 0)
+
+	// Repartition from the samples phase 1 collected.
+	rep, err := db.Repartition(context.Background())
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: same traffic over the contention-centric layout.
+	after, distAfter, err := measure(db, 500*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %14.0f %13.1f%% %14d\n", "chillerpart (after)", after, distAfter*100, rep.LookupTableSize)
+
+	fmt.Printf("\nrepartition: %d samples -> %d hot records, %d moved\n",
+		rep.SampledTxns, rep.HotRecords, rep.Moved)
+	fmt.Println("Only hot records need routing entries (§4.4): the lookup table stays a")
+	fmt.Println("fraction of a full record->partition map.")
+	return nil
+}
+
+// measure drives skewed checkout traffic for the window and returns
+// (throughput, distributed ratio).
+func measure(db *chiller.DB, window time.Duration) (float64, float64, error) {
+	var commits, distributed atomic.Uint64
+	var errMu sync.Mutex
+	var firstErr error
+	ctx := context.Background()
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for c := 0; c < 2*partitions; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := uint64(id*7919 + 1)
+			next := func(n uint64) int64 {
+				rng ^= rng << 13
+				rng ^= rng >> 7
+				rng ^= rng << 17
+				return int64(rng % n)
+			}
+			pick := func() int64 {
+				// ~40% of basket slots hit a celebrity product.
+				if next(10) < 4 {
+					return next(celebrities)
+				}
+				return celebrities + next(products-celebrities)
+			}
+			for time.Now().Before(deadline) {
+				// Three distinct products per basket.
+				a, b, c := pick(), pick(), pick()
+				if b == a {
+					b = (b + 1) % products
+				}
+				for c == a || c == b {
+					c = (c + 1) % products
+				}
+				res, err := db.ExecuteWithRetry(ctx, chiller.Retry{}, "basket.checkout", a, b, c)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				commits.Add(1)
+				if res.Distributed {
+					distributed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return 0, 0, firstErr
+	}
+	n := commits.Load()
+	if n == 0 {
+		return 0, 0, nil
+	}
+	return float64(n) / window.Seconds(), float64(distributed.Load()) / float64(n), nil
 }

@@ -1,79 +1,163 @@
-// Quickstart: build a two-partition cluster, register a stored
-// procedure, and execute transactions through Chiller's two-region
-// engine.
+// Quickstart: embed a two-partition cluster through the public chiller
+// package, register a stored procedure with the fluent builder, and
+// execute transactions through Chiller's two-region engine.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 
-	"github.com/chillerdb/chiller/internal/bench"
-	"github.com/chillerdb/chiller/internal/cluster"
-	"github.com/chillerdb/chiller/internal/storage"
-	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller"
 )
 
+// accounts is the bank's only table; keys 0..199 are striped over two
+// partitions by range, 100 accounts each.
+const (
+	accounts    chiller.Table = 1
+	numAccounts               = 200
+	initialBal  int64         = 10_000
+)
+
+func encBal(v int64) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, uint64(v))
+	return out
+}
+
+func decBal(p []byte) int64 {
+	if len(p) < 8 {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(p))
+}
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	// 1. A cluster: 2 partitions, replication factor 2, 5µs one-way
 	// latency — the RDMA-class fabric the paper assumes.
-	bank := &bench.Bank{AccountsPerPartition: 100, Amount: 25}
-	def := cluster.RangePartitioner{
-		N:      2,
-		MaxKey: map[storage.TableID]storage.Key{bench.BankTable: 200},
+	db, err := chiller.Open(
+		chiller.WithPartitions(2),
+		chiller.WithReplication(2),
+		chiller.WithLatency(5*time.Microsecond),
+		chiller.WithRangePartitioner(map[chiller.Table]chiller.Key{accounts: numAccounts}),
+	)
+	if err != nil {
+		return err
 	}
-	c := bench.NewCluster(bench.ClusterConfig{
-		Partitions:  2,
-		Replication: 2,
-		Latency:     5 * time.Microsecond,
-	}, def)
-	defer c.Close()
+	defer db.Close()
 
-	// 2. A workload: the bank schema registers a transfer procedure and
-	// loads 100 accounts per partition.
-	if err := bench.SetupBank(c, bank, true); err != nil {
-		panic(err)
+	// 2. Schema and data: one table, 200 accounts.
+	if err := db.CreateTable(accounts, 4096); err != nil {
+		return err
+	}
+	for k := chiller.Key(0); k < numAccounts; k++ {
+		if err := db.Load(accounts, k, encBal(initialBal)); err != nil {
+			return err
+		}
 	}
 
-	// 3. Tell the directory which records are hot. Account 0 and account
-	// 100 are each partition's celebrity; the run-time decision (§3.3)
-	// will put them into inner regions.
-	bank.MarkCelebritiesHot(c)
+	// 3. A stored procedure: transfer(src, dst, amount) debits one
+	// account and credits another, aborting on overdraft.
+	transfer := chiller.NewProc("bank.transfer")
+	transfer.Update(accounts, chiller.Arg(0),
+		func(old []byte, args chiller.Args, _ chiller.Reads) ([]byte, error) {
+			if decBal(old) < args[2] {
+				return nil, fmt.Errorf("insufficient funds: %d < %d", decBal(old), args[2])
+			}
+			return encBal(decBal(old) - args[2]), nil
+		})
+	transfer.Update(accounts, chiller.Arg(1),
+		func(old []byte, args chiller.Args, _ chiller.Reads) ([]byte, error) {
+			return encBal(decBal(old) + args[2]), nil
+		})
+	if err := db.Register(transfer); err != nil {
+		return err
+	}
 
-	// 4. Execute: a transfer from partition 0's hot account to a cold
+	// 4. Tell the directory which records are hot. Account 0 and account
+	// 100 are each partition's celebrity; the run-time decision (§3.3 of
+	// the paper) will put them into inner regions.
+	if err := db.MarkHot(accounts, 0); err != nil {
+		return err
+	}
+	if err := db.MarkHot(accounts, 100); err != nil {
+		return err
+	}
+
+	// 5. Execute: a transfer from partition 0's hot account to a cold
 	// account on partition 1 — a distributed transaction whose contended
 	// record is nevertheless locked only for the inner region's local
 	// execution time.
-	engine := c.Engine(bench.EngineChiller, 0)
-	res := engine.Run(&txn.Request{
-		Proc: bench.BankTransferProc,
-		Args: txn.Args{0 /* src: hot */, 150 /* dst: remote cold */, 25},
-	})
-	fmt.Printf("committed=%v distributed=%v\n", res.Committed, res.Distributed)
-
-	// 5. Verify the effects.
-	fmt.Printf("source balance now: %d (started %d)\n",
-		readBalance(c, 0), bench.InitialBalance)
-	fmt.Printf("destination balance now: %d\n", readBalance(c, 150))
-
-	// 6. Run a closed-loop measurement.
-	m := c.Run(bank, bench.RunConfig{
-		Engine:      bench.EngineChiller,
-		Concurrency: 2,
-		Duration:    300 * time.Millisecond,
-		Retry:       true,
-	})
-	fmt.Printf("closed loop: %.0f txns/sec, abort rate %.1f%%\n",
-		m.Throughput(), m.AbortRate()*100)
-}
-
-func readBalance(c *bench.Cluster, key storage.Key) int64 {
-	rid := storage.RID{Table: bench.BankTable, Key: key}
-	node := c.Nodes[int(c.Topo.Primary(c.Dir.Partition(rid)))]
-	v, _, err := node.Store().Table(bench.BankTable).Bucket(key).Get(key)
+	ctx := context.Background()
+	res, err := db.Execute(ctx, "bank.transfer", 0 /* src: hot */, 150 /* dst: remote cold */, 25)
 	if err != nil {
-		panic(err)
+		return err
 	}
-	return bench.DecodeBalance(v)
+	fmt.Printf("committed=true distributed=%v\n", res.Distributed)
+
+	// 6. Verify the effects.
+	src, err := db.Get(accounts, 0)
+	if err != nil {
+		return err
+	}
+	dst, err := db.Get(accounts, 150)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("source balance now: %d (started %d)\n", decBal(src), initialBal)
+	fmt.Printf("destination balance now: %d\n", decBal(dst))
+
+	// 7. A small closed-loop measurement: four clients hammering skewed
+	// transfers, transient conflicts retried by the Retry policy.
+	var committed atomic.Uint64
+	deadline := time.Now().Add(300 * time.Millisecond)
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := int64(0); time.Now().Before(deadline); i++ {
+				srcKey := int64(0) // always the celebrity: worst-case contention
+				dstKey := (seed*7919 + i*104729) % numAccounts
+				if dstKey == srcKey {
+					dstKey++
+				}
+				_, err := db.ExecuteWithRetry(ctx, chiller.Retry{}, "bank.transfer",
+					srcKey, dstKey, 1)
+				if err == nil {
+					committed.Add(1)
+				}
+			}
+		}(int64(c))
+	}
+	wg.Wait()
+	fmt.Printf("closed loop: %d transfers committed by 4 clients in 300ms\n", committed.Load())
+
+	// 8. Conservation: the money is all still there.
+	var total int64
+	for k := chiller.Key(0); k < numAccounts; k++ {
+		v, err := db.Get(accounts, k)
+		if err != nil {
+			return err
+		}
+		total += decBal(v)
+	}
+	if total != numAccounts*initialBal {
+		return fmt.Errorf("conservation violated: total %d != %d", total, numAccounts*initialBal)
+	}
+	fmt.Println("conservation check: OK")
+	return nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/binary"
 	"sync"
 	"sync/atomic"
@@ -67,7 +68,7 @@ func TestNoLostUpdatesOnHotCounter(t *testing.T) {
 						defer wg.Done()
 						for i := 0; i < 80; i++ {
 							for {
-								res := eng.Run(&txn.Request{Proc: "counter.inc"})
+								res := eng.Run(context.Background(), &txn.Request{Proc: "counter.inc"})
 								if res.Committed {
 									commits.Add(1)
 									break

@@ -171,6 +171,7 @@ func Figure7(opt Options) (*Figure, error) {
 			})
 			dep.Cluster.Close()
 			fig.Add(scheme, float64(parts), m.Throughput())
+			fig.AddAborts(scheme, m)
 		}
 	}
 	return fig, nil
@@ -304,6 +305,7 @@ func Figure9(opt Options) (thr, abr, breakdown *Figure, err error) {
 			dep.Cluster.Close()
 			thr.Add(string(kind), float64(conc), m.Throughput())
 			abr.Add(string(kind), float64(conc), m.AbortRate())
+			abr.AddAborts(string(kind), m)
 			if kind == Engine2PL {
 				breakdown.Add("New-order", float64(conc), newOrderAbortRate(m))
 				breakdown.Add("Payment", float64(conc), m.ProcAbortRate(tpcc.ProcPayment))
@@ -353,6 +355,7 @@ func Figure9Lanes(opt Options) (*Figure, error) {
 			})
 			dep.Cluster.Close()
 			fig.Add(string(kind), float64(lanes), m.Throughput())
+			fig.AddAborts(string(kind), m)
 		}
 	}
 	return fig, nil
@@ -414,7 +417,9 @@ func Figure10(opt Options) (*Figure, error) {
 				Seed:           opt.Seed,
 			})
 			dep.Cluster.Close()
-			fig.Add(fmt.Sprintf("%s (%d txn)", v.kind, v.conc), float64(pct), m.Throughput())
+			label := fmt.Sprintf("%s (%d txn)", v.kind, v.conc)
+			fig.Add(label, float64(pct), m.Throughput())
+			fig.AddAborts(label, m)
 		}
 	}
 	return fig, nil
@@ -617,6 +622,7 @@ func AblationLatency(parts int, opt Options) (*Figure, error) {
 			})
 			c.Close()
 			fig.Add(string(kind), float64(lat.Microseconds()), m.Throughput())
+			fig.AddAborts(string(kind), m)
 		}
 	}
 	return fig, nil

@@ -31,7 +31,17 @@ type Figure struct {
 	// lane-sweep figure encodes it on the X axis instead).
 	Lanes  int
 	Series []Series
+	// Aborts breaks each series' aborts down by reason, summed over the
+	// figure's measurement points: series label → reason label
+	// ("lock-conflict", "validation", "constraint", ...) → count. Only
+	// present for figures backed by live cluster runs (a partitioning
+	// metric sweep has no aborts to report).
+	Aborts map[string]AbortProfile `json:",omitempty"`
 }
+
+// AbortProfile is a per-reason abort count map (keys are
+// txn.AbortReason string labels).
+type AbortProfile map[string]uint64
 
 // Add appends a point to the named series, creating it if needed.
 func (f *Figure) Add(label string, x, y float64) {
@@ -42,6 +52,26 @@ func (f *Figure) Add(label string, x, y float64) {
 		}
 	}
 	f.Series = append(f.Series, Series{Label: label, Points: []Point{{x, y}}})
+}
+
+// AddAborts folds a run's per-reason abort counts into the named
+// series' profile.
+func (f *Figure) AddAborts(label string, m *Metrics) {
+	counts := m.AbortsByReason()
+	if len(counts) == 0 {
+		return
+	}
+	if f.Aborts == nil {
+		f.Aborts = make(map[string]AbortProfile)
+	}
+	prof := f.Aborts[label]
+	if prof == nil {
+		prof = make(AbortProfile)
+		f.Aborts[label] = prof
+	}
+	for reason, n := range counts {
+		prof[reason] += n
+	}
 }
 
 // Get returns the Y value of the named series at x (NaN-free: ok=false
@@ -92,6 +122,27 @@ func (f *Figure) Fprint(w io.Writer) {
 			} else {
 				fmt.Fprintf(w, "%16s", "-")
 			}
+		}
+		fmt.Fprintln(w)
+	}
+	if len(f.Aborts) == 0 {
+		return
+	}
+	// Per-reason abort breakdown, one line per series with aborts, in
+	// series order for stable output.
+	for _, s := range f.Series {
+		prof := f.Aborts[s.Label]
+		if len(prof) == 0 {
+			continue
+		}
+		reasons := make([]string, 0, len(prof))
+		for r := range prof {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		fmt.Fprintf(w, "aborts %-16s", s.Label)
+		for _, r := range reasons {
+			fmt.Fprintf(w, "  %s=%d", r, prof[r])
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -98,7 +99,7 @@ func TestChillerUsesTwoRegion(t *testing.T) {
 	// Request: transfer from partition 0's celebrity (hot) to a cold
 	// remote account.
 	ce, ok := eng.(interface {
-		Run(*txn.Request) txn.Result
+		Run(context.Context, *txn.Request) txn.Result
 	})
 	if !ok {
 		t.Fatal("engine lost its Run method?!")
@@ -107,7 +108,7 @@ func TestChillerUsesTwoRegion(t *testing.T) {
 		Proc: BankTransferProc,
 		Args: txn.Args{int64(b.CelebrityKey(0)), int64(b.CelebrityKey(1) + 5), 7},
 	}
-	res := ce.Run(req)
+	res := ce.Run(context.Background(), req)
 	if !res.Committed {
 		t.Fatalf("hot transfer aborted: %v", res.Reason)
 	}
@@ -152,7 +153,7 @@ func TestConstraintAbortNoPartialEffects(t *testing.T) {
 				Proc: BankTransferProc,
 				Args: txn.Args{0, 15, InitialBalance + 1}, // more than the balance
 			}
-			res := c.Engine(kind, 0).Run(req)
+			res := c.Engine(kind, 0).Run(context.Background(), req)
 			if res.Committed {
 				t.Fatal("overdraft committed")
 			}
@@ -188,7 +189,7 @@ func TestNoWaitConflictAborts(t *testing.T) {
 	defer bkt.Lock.Unlock(storage.LockExclusive)
 
 	req := &txn.Request{Proc: BankTransferProc, Args: txn.Args{0, 5, 1}}
-	res := c.Engine(Engine2PL, 0).Run(req)
+	res := c.Engine(Engine2PL, 0).Run(context.Background(), req)
 	if res.Committed {
 		t.Fatal("transaction committed through a held lock")
 	}
@@ -204,7 +205,7 @@ func TestAuditReadsConsistentSnapshot(t *testing.T) {
 	defer c.Close()
 	for _, kind := range []EngineKind{Engine2PL, EngineOCC, EngineChiller} {
 		req := &txn.Request{Proc: BankAuditProc, Args: txn.Args{0, 5, 15}}
-		res := c.Engine(kind, 0).Run(req)
+		res := c.Engine(kind, 0).Run(context.Background(), req)
 		if !res.Committed {
 			t.Fatalf("%s: audit aborted: %v", kind, res.Reason)
 		}

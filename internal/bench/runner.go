@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -93,6 +94,21 @@ func (m *Metrics) DistributedRatio() float64 {
 	return float64(m.Distributed) / float64(m.Committed)
 }
 
+// AbortsByReason returns the per-reason abort counts keyed by the
+// reason's stable string label ("lock-conflict", "validation",
+// "constraint", "not-found", "internal", "cancelled") — the
+// JSON-friendly view of ByReason.
+func (m *Metrics) AbortsByReason() map[string]uint64 {
+	if len(m.ByReason) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m.ByReason))
+	for r, n := range m.ByReason {
+		out[r.String()] += n
+	}
+	return out
+}
+
 // ProcAbortRate returns the abort rate of one procedure.
 func (m *Metrics) ProcAbortRate(proc string) float64 {
 	pm := m.ByProc[proc]
@@ -116,7 +132,7 @@ type shard struct {
 func runOne(engine cc.Engine, req *txn.Request, sh *shard, rng *rand.Rand, cfg *RunConfig, counting, stop *atomic.Bool) {
 	backoff := time.Duration(0)
 	for {
-		res := engine.Run(req)
+		res := engine.Run(context.Background(), req)
 		count := counting.Load()
 		pm := sh.byProc[req.Proc]
 		if pm == nil {
@@ -288,7 +304,7 @@ func (c *Cluster) RunN(w Workload, kind EngineKind, nPerPartition int, seed int6
 			for i := 0; i < nPerPartition; i++ {
 				req := w.Next(part, rng)
 				for {
-					res := engine.Run(req)
+					res := engine.Run(context.Background(), req)
 					mu.Lock()
 					pm := m.ByProc[req.Proc]
 					if pm == nil {

@@ -1,6 +1,7 @@
 package bench_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -128,7 +129,7 @@ func TestTPCCNewOrderSequence(t *testing.T) {
 			4, 0, 1,
 			5, 0, 1,
 		}
-		res := eng.Run(&txn.Request{Proc: tpcc.NewOrderProc(5), Args: args})
+		res := eng.Run(context.Background(), &txn.Request{Proc: tpcc.NewOrderProc(5), Args: args})
 		if !res.Committed {
 			t.Fatalf("neworder %d aborted: %v", i, res.Reason)
 		}
@@ -178,7 +179,7 @@ func TestTPCCRemoteStock(t *testing.T) {
 			10, 1, 2,
 			11, 1, 2,
 		}
-		res := eng.Run(&txn.Request{Proc: tpcc.NewOrderProc(5), Args: args})
+		res := eng.Run(context.Background(), &txn.Request{Proc: tpcc.NewOrderProc(5), Args: args})
 		if !res.Committed {
 			t.Fatalf("%s: remote neworder aborted: %v", kind, res.Reason)
 		}
@@ -208,7 +209,7 @@ func TestTPCCAuxiliaryProcedures(t *testing.T) {
 	defer c.Close()
 	eng := c.Engine(bench.EngineChiller, 0)
 
-	res := eng.Run(&txn.Request{Proc: tpcc.ProcOrderStatus, Args: txn.Args{0, 0, 0}})
+	res := eng.Run(context.Background(), &txn.Request{Proc: tpcc.ProcOrderStatus, Args: txn.Args{0, 0, 0}})
 	if !res.Committed {
 		t.Fatalf("orderstatus aborted: %v", res.Reason)
 	}
@@ -216,7 +217,7 @@ func TestTPCCAuxiliaryProcedures(t *testing.T) {
 		t.Fatalf("orderstatus read wrong order: %+v", tpcc.DecodeOrder(res.Reads[2]))
 	}
 
-	res = eng.Run(&txn.Request{Proc: tpcc.ProcDelivery, Args: txn.Args{0, 0, 7}})
+	res = eng.Run(context.Background(), &txn.Request{Proc: tpcc.ProcDelivery, Args: txn.Args{0, 0, 7}})
 	if !res.Committed {
 		t.Fatalf("delivery aborted: %v", res.Reason)
 	}
@@ -226,7 +227,7 @@ func TestTPCCAuxiliaryProcedures(t *testing.T) {
 		t.Fatalf("delivery did not stamp carrier: %+v", tpcc.DecodeOrder(ov))
 	}
 
-	res = eng.Run(&txn.Request{Proc: tpcc.ProcStockLevel,
+	res = eng.Run(context.Background(), &txn.Request{Proc: tpcc.ProcStockLevel,
 		Args: txn.Args{0, 0, 1000, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}})
 	if !res.Committed {
 		t.Fatalf("stocklevel aborted: %v", res.Reason)

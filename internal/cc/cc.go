@@ -4,7 +4,11 @@
 // (cc/occ), and Chiller's two-region engine (internal/core).
 package cc
 
-import "github.com/chillerdb/chiller/internal/txn"
+import (
+	"context"
+
+	"github.com/chillerdb/chiller/internal/txn"
+)
 
 // Engine executes transactions to completion on behalf of a client.
 // Implementations are safe for concurrent use: each Run call is an
@@ -16,7 +20,14 @@ type Engine interface {
 	// Run executes one transaction and reports its outcome. Aborted
 	// transactions are not retried by the engine; retry policy belongs
 	// to the caller.
-	Run(req *txn.Request) txn.Result
+	//
+	// Cancellation or deadline expiry of ctx aborts the transaction at
+	// the next protocol boundary (between lock waves / before the commit
+	// point), releasing every lock it holds and reporting
+	// txn.AbortCancelled. Once a transaction passes its commit point it
+	// completes regardless of ctx — a committed transaction is never
+	// half-applied.
+	Run(ctx context.Context, req *txn.Request) txn.Result
 }
 
 // Drainer is implemented by engines that complete committed transactions
@@ -24,4 +35,16 @@ type Engine interface {
 // asserting a quiesced cluster or tearing the fabric down.
 type Drainer interface {
 	Drain()
+}
+
+// Cancelled reports whether ctx is done, as an abort reason: AbortNone
+// while the context is live, AbortCancelled once it is cancelled or past
+// its deadline. Engines call this at protocol boundaries.
+func Cancelled(ctx context.Context) (txn.AbortReason, bool) {
+	select {
+	case <-ctx.Done():
+		return txn.AbortCancelled, true
+	default:
+		return txn.AbortNone, false
+	}
 }

@@ -9,6 +9,9 @@
 package occ
 
 import (
+	"context"
+
+	"github.com/chillerdb/chiller/internal/cc"
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/server"
 	"github.com/chillerdb/chiller/internal/simnet"
@@ -244,8 +247,10 @@ func New(n *server.Node) *Engine { return &Engine{node: n} }
 // Name implements cc.Engine.
 func (e *Engine) Name() string { return "OCC" }
 
-// Run implements cc.Engine.
-func (e *Engine) Run(req *txn.Request) txn.Result {
+// Run implements cc.Engine. Cancellation is honored during the
+// execution phase and before each validation phase; once validation has
+// succeeded the transaction commits regardless of ctx.
+func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 	n := e.node
 	proc := n.Registry().Lookup(req.Proc)
 	if proc == nil {
@@ -266,6 +271,11 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 
 	// --- execution phase: unlocked reads, buffered writes ---
 	for i := range proc.Ops {
+		if reason, done := cc.Cancelled(ctx); done {
+			// Nothing locked yet: the execution phase holds no state on
+			// any participant.
+			return txn.Result{Reason: reason, Distributed: len(partsTouched) > 1}
+		}
 		op := &proc.Ops[i]
 		key, ok := op.Key(req.Args, reads)
 		if !ok {
@@ -324,6 +334,10 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 	lockedNodes := make(map[simnet.NodeID]bool)
 	writeNodeOf := make(map[simnet.NodeID]cluster.PartitionID)
 	for pid, ws := range writes {
+		if reason, done := cc.Cancelled(ctx); done {
+			n.AbortAll(lockedNodes, txnID)
+			return txn.Result{Reason: reason, Distributed: distributed}
+		}
 		target := topo.Primary(pid)
 		keys := make([]storage.RID, 0, len(ws))
 		for _, w := range ws {
@@ -359,6 +373,13 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 			}
 			return txn.Result{Reason: reason, Distributed: distributed}
 		}
+	}
+
+	// Last cancellation point: validation succeeded but nothing is
+	// applied yet, so aborting here is still clean.
+	if reason, done := cc.Cancelled(ctx); done {
+		n.AbortAll(lockedNodes, txnID)
+		return txn.Result{Reason: reason, Distributed: distributed}
 	}
 
 	// --- commit: replicate then apply+release at each write participant ---

@@ -1,6 +1,7 @@
 package occ_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -40,11 +41,11 @@ func TestEngineName(t *testing.T) {
 func TestCommitLocalAndRemote(t *testing.T) {
 	c := newBankCluster(t, 2)
 	e := occ.New(c.Nodes[0])
-	res := e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, 2, 5}})
+	res := e.Run(context.Background(), &txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, 2, 5}})
 	if !res.Committed || res.Distributed {
 		t.Fatalf("local: %+v", res)
 	}
-	res = e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, 30, 5}})
+	res = e.Run(context.Background(), &txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, 30, 5}})
 	if !res.Committed || !res.Distributed {
 		t.Fatalf("remote: %+v", res)
 	}
@@ -89,7 +90,7 @@ func TestValidationDetectsStaleRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := occ.New(node)
-	res := e.Run(&txn.Request{Proc: "occ.interfere"})
+	res := e.Run(context.Background(), &txn.Request{Proc: "occ.interfere"})
 	if res.Committed {
 		t.Fatal("stale read committed")
 	}
@@ -111,7 +112,7 @@ func TestValidationWriteLockConflict(t *testing.T) {
 	}
 	defer b.Lock.Unlock(storage.LockExclusive)
 	e := occ.New(node)
-	res := e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{3, 4, 1}})
+	res := e.Run(context.Background(), &txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{3, 4, 1}})
 	if res.Committed || res.Reason != txn.AbortValidation {
 		t.Fatalf("res = %+v", res)
 	}
@@ -123,7 +124,7 @@ func TestValidationWriteLockConflict(t *testing.T) {
 func TestNotFoundAbort(t *testing.T) {
 	c := newBankCluster(t, 1)
 	e := occ.New(c.Nodes[0])
-	res := e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{9999, 1, 1}})
+	res := e.Run(context.Background(), &txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{9999, 1, 1}})
 	if res.Committed || res.Reason != txn.AbortNotFound {
 		t.Fatalf("res = %+v", res)
 	}
@@ -143,7 +144,7 @@ func TestConstraintAbortBeforeValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := occ.New(c.Nodes[0])
-	res := e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{0, 1, bench.InitialBalance + 1}})
+	res := e.Run(context.Background(), &txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{0, 1, bench.InitialBalance + 1}})
 	if res.Committed || res.Reason != txn.AbortConstraint {
 		t.Fatalf("res = %+v", res)
 	}

@@ -10,9 +10,11 @@
 package twopl
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"github.com/chillerdb/chiller/internal/cc"
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/server"
 	"github.com/chillerdb/chiller/internal/simnet"
@@ -42,7 +44,7 @@ func (e *Engine) Node() *server.Node { return e.node }
 
 // Run executes the transaction with operations in their original
 // procedure order.
-func (e *Engine) Run(req *txn.Request) txn.Result {
+func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 	proc := e.node.Registry().Lookup(req.Proc)
 	if proc == nil {
 		return txn.Result{Reason: txn.AbortInternal}
@@ -51,13 +53,15 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 	for i := range order {
 		order[i] = i
 	}
-	return e.RunOrdered(req, proc, order)
+	return e.RunOrdered(ctx, req, proc, order)
 }
 
 // RunOrdered executes the transaction's operations in the given order
 // (which must respect the procedure's pk-deps). Chiller's engine reuses
-// this for its normal-execution fallback.
-func (e *Engine) RunOrdered(req *txn.Request, proc *txn.Procedure, order []int) txn.Result {
+// this for its normal-execution fallback. Cancellation is honored
+// between lock batches — before the implicit prepare point — after which
+// the transaction commits regardless of ctx.
+func (e *Engine) RunOrdered(ctx context.Context, req *txn.Request, proc *txn.Procedure, order []int) txn.Result {
 	n := e.node
 	txnID := req.ID
 	if txnID == 0 {
@@ -73,6 +77,10 @@ func (e *Engine) RunOrdered(req *txn.Request, proc *txn.Procedure, order []int) 
 	}
 
 	for idx := 0; idx < len(order); {
+		if reason, done := cc.Cancelled(ctx); done {
+			n.AbortAll(st.participants, txnID)
+			return txn.Result{Reason: reason, Distributed: st.distributed()}
+		}
 		batch, target, pid, err := e.nextBatch(proc, req.Args, order, idx, &st)
 		if err != nil {
 			n.AbortAll(st.participants, txnID)

@@ -1,6 +1,7 @@
 package twopl_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -45,12 +46,12 @@ func TestLocalAndRemoteTransfer(t *testing.T) {
 	e := twopl.New(c.Nodes[0])
 
 	// Local transfer.
-	res := e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, 2, 5}})
+	res := e.Run(context.Background(), &txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, 2, 5}})
 	if !res.Committed || res.Distributed {
 		t.Fatalf("local: %+v", res)
 	}
 	// Remote transfer: partition 0 → 1.
-	res = e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, 25, 5}})
+	res = e.Run(context.Background(), &txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, 25, 5}})
 	if !res.Committed || !res.Distributed {
 		t.Fatalf("remote: %+v", res)
 	}
@@ -63,7 +64,7 @@ func TestBatchingEquivalence(t *testing.T) {
 		c, _ := newBankCluster(t, 2)
 		e := twopl.New(c.Nodes[0])
 		e.DisableBatching = disable
-		res := e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{0, 1, 7}})
+		res := e.Run(context.Background(), &txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{0, 1, 7}})
 		if !res.Committed {
 			t.Fatalf("disable=%v: aborted %v", disable, res.Reason)
 		}
@@ -80,7 +81,7 @@ func TestRunOrderedCustomOrder(t *testing.T) {
 	proc := c.Registry.Lookup(bench.BankTransferProc)
 	// Credit before debit: legal (no pk-deps) and must commit with the
 	// same net effect.
-	res := e.RunOrdered(&txn.Request{
+	res := e.RunOrdered(context.Background(), &txn.Request{
 		Proc: bench.BankTransferProc, Args: txn.Args{3, 4, 9},
 	}, proc, []int{1, 0})
 	if !res.Committed {
@@ -102,7 +103,7 @@ func TestAbortReleasesRemoteLocks(t *testing.T) {
 	if !b.Lock.TryLock(storage.LockExclusive) {
 		t.Fatal("setup")
 	}
-	res := e.Run(&txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, int64(dst), 5}})
+	res := e.Run(context.Background(), &txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{1, int64(dst), 5}})
 	if res.Committed || res.Reason != txn.AbortLockConflict {
 		t.Fatalf("res = %+v", res)
 	}
@@ -119,7 +120,7 @@ func TestAbortReleasesRemoteLocks(t *testing.T) {
 func TestUnknownProcedure(t *testing.T) {
 	c, _ := newBankCluster(t, 1)
 	e := twopl.New(c.Nodes[0])
-	res := e.Run(&txn.Request{Proc: "nope"})
+	res := e.Run(context.Background(), &txn.Request{Proc: "nope"})
 	if res.Committed || res.Reason != txn.AbortInternal {
 		t.Fatalf("res = %+v", res)
 	}

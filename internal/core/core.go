@@ -17,12 +17,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
+	"github.com/chillerdb/chiller/internal/cc"
 	"github.com/chillerdb/chiller/internal/cc/twopl"
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/depgraph"
@@ -69,7 +71,11 @@ func New(n *server.Node) *Engine {
 				reply(nil, err)
 				return
 			}
-			res := e.runPlaced(req)
+			// A routed request is coordinated on behalf of a remote
+			// client whose context does not travel on the wire; the
+			// originating engine stops routing once its context is done,
+			// and a routed transaction runs to completion here.
+			res := e.runPlaced(context.Background(), req)
 			reply(encodeRouteResult(&res), nil)
 		}()
 	})
@@ -161,7 +167,14 @@ func (e *Engine) Decide(req *txn.Request) (depgraph.Decision, error) {
 // inner host is another partition is routed there, so that its inner
 // region executes as local work and the hot-record span never contains
 // the delegation round trip.
-func (e *Engine) Run(req *txn.Request) txn.Result {
+//
+// Cancellation of ctx is honored at every protocol boundary before the
+// inner region commits: between outer lock waves, inside the hot-wave
+// and inner re-request ladders, and before delegation. A cancelled
+// transaction releases every outer lock it holds and reports
+// txn.AbortCancelled. Once the inner host has committed, the transaction
+// is committed; the remaining steps run to completion regardless of ctx.
+func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 	n := e.node
 	proc := n.Registry().Lookup(req.Proc)
 	if proc == nil {
@@ -180,16 +193,21 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 		for i := range order {
 			order[i] = i
 		}
-		return e.fallback.RunOrdered(req, proc, order)
+		return e.fallback.RunOrdered(ctx, req, proc, order)
 	}
 	if host := n.Directory().Topology().Primary(cluster.PartitionID(dec.InnerHost)); host != n.ID() {
+		// A routed transaction executes remotely and cannot be cancelled
+		// mid-flight; don't start one on a context that is already done.
+		if reason, done := cc.Cancelled(ctx); done {
+			return txn.Result{Reason: reason}
+		}
 		if res, ok := e.route(host, req); ok {
 			return res
 		}
 		// Routing unavailable (e.g. fabric closing): coordinate from
 		// here; the inner region falls back to remote delegation.
 	}
-	return e.runTwoRegion(req, proc, g, dec)
+	return e.runTwoRegion(ctx, req, proc, g, dec)
 }
 
 // runPlaced coordinates a routed request on this node (the request's
@@ -197,7 +215,7 @@ func (e *Engine) Run(req *txn.Request) txn.Result {
 // identical cluster-wide, so the result is the same, and a stale route
 // (layout change mid-flight) degrades to remote delegation rather than
 // a loop: requests are routed at most once.
-func (e *Engine) runPlaced(req *txn.Request) txn.Result {
+func (e *Engine) runPlaced(ctx context.Context, req *txn.Request) txn.Result {
 	proc := e.node.Registry().Lookup(req.Proc)
 	if proc == nil {
 		return txn.Result{Reason: txn.AbortInternal}
@@ -212,13 +230,13 @@ func (e *Engine) runPlaced(req *txn.Request) txn.Result {
 		for i := range order {
 			order[i] = i
 		}
-		return e.fallback.RunOrdered(req, proc, order)
+		return e.fallback.RunOrdered(ctx, req, proc, order)
 	}
-	return e.runTwoRegion(req, proc, g, dec)
+	return e.runTwoRegion(ctx, req, proc, g, dec)
 }
 
 // runTwoRegion executes steps 3-5 of §3.3 with this node coordinating.
-func (e *Engine) runTwoRegion(req *txn.Request, proc *txn.Procedure, g *depgraph.Graph, dec depgraph.Decision) txn.Result {
+func (e *Engine) runTwoRegion(ctx context.Context, req *txn.Request, proc *txn.Procedure, g *depgraph.Graph, dec depgraph.Decision) txn.Result {
 	n := e.node
 	txnID := req.ID
 	if txnID == 0 {
@@ -244,7 +262,14 @@ func (e *Engine) runTwoRegion(req *txn.Request, proc *txn.Procedure, g *depgraph
 	// op the hot-last partial order allows to proceed is batched per
 	// participant and fanned out in one concurrent wave.
 	outerOrder := e.hotLastOrder(g, req.Args, dec.OuterOps)
-	if reason, ok := e.lockOuter(proc, req.Args, txnID, outerOrder, &st); !ok {
+	if reason, ok := e.lockOuter(ctx, proc, req.Args, txnID, outerOrder, &st); !ok {
+		st.abortLocked(n, txnID)
+		return txn.Result{Reason: reason, Distributed: st.isDistributed()}
+	}
+
+	// Last cancellation point: the outer locks are held but the inner
+	// region has not been delegated, so aborting here is still clean.
+	if reason, done := cc.Cancelled(ctx); done {
 		st.abortLocked(n, txnID)
 		return txn.Result{Reason: reason, Distributed: st.isDistributed()}
 	}
@@ -272,7 +297,10 @@ func (e *Engine) runTwoRegion(req *txn.Request, proc *txn.Procedure, g *depgraph
 	// cross-transaction stalls finite and participants stay NO_WAIT.
 	for attempt := 0; attempt < hotWaveRetries &&
 		!iresp.OK && iresp.Reason == txn.AbortLockConflict; attempt++ {
-		sleepJittered(hotWaveRetryBase << attempt)
+		if !sleepJittered(ctx, hotWaveRetryBase<<attempt) {
+			iresp = &innerResponse{Reason: txn.AbortCancelled}
+			break
+		}
 		iresp = e.execInner(innerNode, ireq)
 	}
 	if !iresp.OK {
@@ -456,7 +484,7 @@ func (st *outerState) abortLocked(n *server.Node, txnID uint64) {
 // by participant node, and fans the per-node batches out as simultaneous
 // lock-and-read calls. Writes are not materialized here — outer mutators
 // may depend on inner reads.
-func (e *Engine) lockOuter(proc *txn.Procedure, args txn.Args, txnID uint64, outerOps []int, st *outerState) (txn.AbortReason, bool) {
+func (e *Engine) lockOuter(ctx context.Context, proc *txn.Procedure, args txn.Args, txnID uint64, outerOps []int, st *outerState) (txn.AbortReason, bool) {
 	hot := e.hotFunc()
 
 	// hotLastOrder produces ...cold..., ...hot...; sequencing applies only
@@ -477,6 +505,11 @@ func (e *Engine) lockOuter(proc *txn.Procedure, args txn.Args, txnID uint64, out
 	}
 
 	for len(pend) > 0 {
+		// Wave boundary: a cancelled coordinator stops acquiring and
+		// lets the caller release what earlier waves locked.
+		if reason, done := cc.Cancelled(ctx); done {
+			return reason, false
+		}
 		anyEarly := false
 		for _, p := range pend {
 			if !p.late {
@@ -514,7 +547,9 @@ func (e *Engine) lockOuter(proc *txn.Procedure, args txn.Args, txnID uint64, out
 		if !ok && lateWave {
 			for attempt := 0; attempt < hotWaveRetries &&
 				!ok && reason == txn.AbortLockConflict && len(failed) > 0; attempt++ {
-				sleepJittered(hotWaveRetryBase << attempt)
+				if !sleepJittered(ctx, hotWaveRetryBase<<attempt) {
+					return txn.AbortCancelled, false
+				}
 				failed, reason, ok = e.lockWave(proc, args, txnID, failed, st)
 			}
 		}
@@ -545,9 +580,23 @@ const (
 	hotWaveRetryBase = 20 // microseconds; attempt k sleeps ~base<<k
 )
 
-// sleepJittered sleeps a uniformly jittered duration in [us, 2*us) µs.
-func sleepJittered(us int64) {
-	time.Sleep(time.Duration(us+rand.Int63n(us)) * time.Microsecond)
+// sleepJittered sleeps a uniformly jittered duration in [us, 2*us) µs,
+// or until ctx is done — reporting false so re-request ladders stop
+// immediately on cancellation instead of burning their remaining rungs.
+func sleepJittered(ctx context.Context, us int64) bool {
+	d := time.Duration(us+rand.Int63n(us)) * time.Microsecond
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // lockWave groups one wave of ops by participant (node, lane) and issues

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -233,7 +234,7 @@ func TestRunFallsBackForColdTxn(t *testing.T) {
 	if dec.TwoRegion {
 		t.Fatal("cold txn classified two-region")
 	}
-	res := e.Run(&txn.Request{Proc: "cold"})
+	res := e.Run(context.Background(), &txn.Request{Proc: "cold"})
 	if !res.Committed {
 		t.Fatalf("cold txn aborted: %v", res.Reason)
 	}
@@ -245,7 +246,7 @@ func TestRunFallsBackForColdTxn(t *testing.T) {
 
 func TestRunUnknownProc(t *testing.T) {
 	e, _ := newHarness(t)
-	res := e.Run(&txn.Request{Proc: "ghost"})
+	res := e.Run(context.Background(), &txn.Request{Proc: "ghost"})
 	if res.Committed || res.Reason != txn.AbortInternal {
 		t.Fatalf("res = %+v", res)
 	}
@@ -337,7 +338,7 @@ func TestLockOuterBatchGrouping(t *testing.T) {
 	if err := nodes[0].Registry().Register(proc); err != nil {
 		t.Fatal(err)
 	}
-	res := engine.Run(&txn.Request{Proc: "grouped"})
+	res := engine.Run(context.Background(), &txn.Request{Proc: "grouped"})
 	if !res.Committed {
 		t.Fatalf("txn aborted: %v", res.Reason)
 	}
@@ -380,7 +381,7 @@ func TestLockOuterHotWaveOrdering(t *testing.T) {
 	if err := nodes[0].Registry().Register(proc); err != nil {
 		t.Fatal(err)
 	}
-	res := engine.Run(&txn.Request{Proc: "hotlast"})
+	res := engine.Run(context.Background(), &txn.Request{Proc: "hotlast"})
 	if !res.Committed {
 		t.Fatalf("txn aborted: %v", res.Reason)
 	}

@@ -315,10 +315,33 @@ func execInnerLocked(n *server.Node, txnID uint64, coord simnet.NodeID, proc *tx
 			locks[i].mode = storage.LockExclusive
 			return true
 		}
-		if !b.Lock.TryLock(mode) {
+		if b.Lock.TryLock(mode) {
+			locks = append(locks, innerLockRef{b: b, mode: mode})
+			return true
+		}
+		// Conflict — possibly with OURSELVES: an inner record may share
+		// a bucket with a record the same transaction's outer region has
+		// already locked on this node (records are disjoint, buckets are
+		// hashed), and NO_WAIT against our own outer lock would
+		// self-abort the transaction on every retry, forever. Borrow the
+		// outer hold instead: a sufficient mode is free; held-shared
+		// upgrades in place with the participant state's bookkeeping
+		// updated so the outer release matches. Borrowed buckets are not
+		// tracked in `locks` — they stay locked until the outer region
+		// commits or aborts, which is exactly the span the colliding
+		// outer record needs anyway. The check runs only on conflict, so
+		// the common no-collision path costs nothing.
+		heldMode, held := n.HeldLockMode(txnID, b)
+		if !held {
 			return false
 		}
-		locks = append(locks, innerLockRef{b: b, mode: mode})
+		if heldMode == storage.LockExclusive || mode == storage.LockShared {
+			return true
+		}
+		if !b.Lock.Upgrade() {
+			return false
+		}
+		n.PromoteHeldLock(txnID, b)
 		return true
 	}
 

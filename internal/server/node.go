@@ -537,3 +537,43 @@ func (n *Node) ReleaseInnerWaiter(w *AckWaiter) {
 	}
 	ackPool.Put(w)
 }
+
+// HeldLockMode reports whether txnID's participant state on this node
+// already holds bucket b, and in which mode. The inner-region executor
+// consults it to detect bucket sharing between a transaction's outer and
+// inner regions: records are disjoint by construction, but bucket-level
+// locking can hash an outer record and an inner record into one bucket,
+// and NO_WAIT would otherwise self-abort the transaction forever.
+func (n *Node) HeldLockMode(txnID uint64, b *storage.Bucket) (storage.LockMode, bool) {
+	n.stMu.Lock()
+	defer n.stMu.Unlock()
+	st := n.state[txnID]
+	if st == nil {
+		return 0, false
+	}
+	for _, l := range st.locks {
+		if l.bucket == b {
+			return l.mode, true
+		}
+	}
+	return 0, false
+}
+
+// PromoteHeldLock records that bucket b's lock, held by txnID's
+// participant state, was upgraded to exclusive (the lock word itself was
+// already upgraded by the caller), so the eventual release matches the
+// held mode.
+func (n *Node) PromoteHeldLock(txnID uint64, b *storage.Bucket) {
+	n.stMu.Lock()
+	defer n.stMu.Unlock()
+	st := n.state[txnID]
+	if st == nil {
+		return
+	}
+	for i := range st.locks {
+		if st.locks[i].bucket == b {
+			st.locks[i].mode = storage.LockExclusive
+			return
+		}
+	}
+}

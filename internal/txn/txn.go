@@ -290,6 +290,12 @@ const (
 	AbortNotFound
 	// AbortInternal covers transport or engine faults.
 	AbortInternal
+	// AbortCancelled means the caller's context was cancelled or its
+	// deadline expired before the transaction reached its commit point.
+	// Engines honor cancellation only up to that point: once the inner
+	// region (Chiller) or the commit phase (2PL/OCC) has decided commit,
+	// the transaction completes regardless of the context.
+	AbortCancelled
 )
 
 func (a AbortReason) String() string {
@@ -306,6 +312,8 @@ func (a AbortReason) String() string {
 		return "not-found"
 	case AbortInternal:
 		return "internal"
+	case AbortCancelled:
+		return "cancelled"
 	}
 	return fmt.Sprintf("abort(%d)", uint8(a))
 }

@@ -1,0 +1,201 @@
+package chiller
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+// EngineKind selects the concurrency-control engine a DB executes with.
+type EngineKind string
+
+// The three engines of the paper's evaluation. EngineChiller is the
+// default; the 2PL and OCC baselines exist for comparison.
+const (
+	EngineChiller EngineKind = "Chiller"
+	Engine2PL     EngineKind = "2PL"
+	EngineOCC     EngineKind = "OCC"
+)
+
+// config collects Open's settings; Options mutate it.
+type config struct {
+	partitions  int
+	replication int
+	latency     time.Duration
+	jitter      time.Duration
+	lanes       int
+	seed        int64
+	engine      EngineKind
+	partitioner cluster.DefaultPartitioner
+	sampleRate  float64
+}
+
+// Option configures Open.
+type Option func(*config) error
+
+// WithPartitions sets the number of partitions (each backed by one
+// simulated node). Default 1.
+func WithPartitions(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("chiller: partitions must be positive, got %d", n)
+		}
+		c.partitions = n
+		return nil
+	}
+}
+
+// WithReplication sets the replication degree: 1 means no replicas, 2
+// (the paper's evaluation setting) means one synchronous backup per
+// partition. Default 1.
+func WithReplication(degree int) Option {
+	return func(c *config) error {
+		if degree <= 0 {
+			return fmt.Errorf("chiller: replication degree must be positive, got %d", degree)
+		}
+		c.replication = degree
+		return nil
+	}
+}
+
+// WithLatency sets the simulated one-way network latency between nodes.
+// The paper's InfiniBand EDR testbed sits around 1-2µs; the default is
+// 5µs.
+func WithLatency(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("chiller: negative latency %v", d)
+		}
+		c.latency = d
+		return nil
+	}
+}
+
+// WithJitter adds random extra delay in [0, d) to every message.
+func WithJitter(d time.Duration) Option {
+	return func(c *config) error {
+		if d < 0 {
+			return fmt.Errorf("chiller: negative jitter %v", d)
+		}
+		c.jitter = d
+		return nil
+	}
+}
+
+// WithLanes sets the number of single-threaded execution lanes per node
+// — the paper's one-engine-per-core deployment. 0 (the default) derives
+// a count from the host's CPUs (capped at 4); 1 restores
+// single-engine-per-node behaviour.
+func WithLanes(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("chiller: negative lane count %d", n)
+		}
+		c.lanes = n
+		return nil
+	}
+}
+
+// WithSeed makes the simulated fabric's jitter and sampling
+// reproducible.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithEngine selects the concurrency-control engine. Default
+// EngineChiller.
+func WithEngine(kind EngineKind) Option {
+	return func(c *config) error {
+		switch kind {
+		case EngineChiller, Engine2PL, EngineOCC:
+			c.engine = kind
+			return nil
+		}
+		return fmt.Errorf("chiller: unknown engine kind %q", kind)
+	}
+}
+
+// WithHashPartitioner routes records by a hash of (table, key) — the
+// default when no partitioner option is given.
+func WithHashPartitioner() Option {
+	return func(c *config) error {
+		c.partitioner = nil // resolved against the partition count in Open
+		return nil
+	}
+}
+
+// WithRangePartitioner routes each table by dividing its key space
+// [0, maxKey) into contiguous per-partition ranges. Tables absent from
+// the map fall back to key modulo partitions.
+func WithRangePartitioner(maxKey map[Table]Key) Option {
+	return func(c *config) error {
+		mk := make(map[storage.TableID]storage.Key, len(maxKey))
+		for t, k := range maxKey {
+			mk[storage.TableID(t)] = storage.Key(k)
+		}
+		c.partitioner = rangePartitioner{maxKey: mk}
+		return nil
+	}
+}
+
+// WithPartitionFunc installs a custom default partitioner. fn must be
+// pure and total: every (table, key) maps to a partition in
+// [0, partitions). Hot records relocated by MarkHot or Repartition
+// override it through the lookup table.
+func WithPartitionFunc(name string, fn func(table Table, key Key) int) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("chiller: nil partition func")
+		}
+		c.partitioner = funcPartitioner{name: name, fn: fn}
+		return nil
+	}
+}
+
+// WithSampling enables transaction access-set sampling at the given
+// rate in (0, 1] (the paper samples ~0.1%, rate 0.001). Sampling feeds
+// Repartition; without it Repartition returns an error.
+func WithSampling(rate float64) Option {
+	return func(c *config) error {
+		if rate <= 0 || rate > 1 {
+			return fmt.Errorf("chiller: sampling rate %v outside (0, 1]", rate)
+		}
+		c.sampleRate = rate
+		return nil
+	}
+}
+
+// rangePartitioner adapts cluster.RangePartitioner to a deferred
+// partition count (Open fills n after options are applied).
+type rangePartitioner struct {
+	n      int
+	maxKey map[storage.TableID]storage.Key
+}
+
+func (r rangePartitioner) Partition(rid storage.RID) cluster.PartitionID {
+	return cluster.RangePartitioner{N: r.n, MaxKey: r.maxKey}.Partition(rid)
+}
+
+func (r rangePartitioner) Name() string { return "range" }
+
+// funcPartitioner adapts a public partition func.
+type funcPartitioner struct {
+	name string
+	fn   func(Table, Key) int
+}
+
+func (f funcPartitioner) Partition(rid storage.RID) cluster.PartitionID {
+	return cluster.PartitionID(f.fn(Table(rid.Table), Key(rid.Key)))
+}
+
+func (f funcPartitioner) Name() string {
+	if f.name == "" {
+		return "func"
+	}
+	return f.name
+}

@@ -1,0 +1,71 @@
+package chiller
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Retry is a jittered-exponential-backoff retry policy for transient
+// aborts (NO_WAIT lock conflicts, OCC validation failures). The zero
+// value is a sensible default: retry until the context is done, backing
+// off from 2µs doubling to 1ms, the same policy the benchmark harness's
+// closed-loop clients use. Identical requests replayed at spin speed
+// livelock against each other under NO_WAIT; the randomized backoff is
+// what desynchronizes them.
+type Retry struct {
+	// MaxAttempts bounds the total number of attempts (first try
+	// included). 0 means unbounded: retry until commit, a non-retryable
+	// abort, or ctx done.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff ceiling (default 2µs).
+	// Each retry sleeps a uniformly random duration in (0, backoff],
+	// and backoff doubles per attempt.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling (default 1ms).
+	MaxBackoff time.Duration
+}
+
+// Do runs fn until it commits, fails a non-retryable way, exhausts
+// MaxAttempts, or ctx is done — whichever comes first. The returned
+// Result and error are the last attempt's.
+func (r Retry) Do(ctx context.Context, fn func(context.Context) (Result, error)) (Result, error) {
+	base := r.BaseBackoff
+	if base <= 0 {
+		base = 2 * time.Microsecond
+	}
+	max := r.MaxBackoff
+	if max <= 0 {
+		max = time.Millisecond
+	}
+	backoff := base
+	for attempt := 1; ; attempt++ {
+		res, err := fn(ctx)
+		if err == nil || !Retryable(err) {
+			return res, err
+		}
+		if r.MaxAttempts > 0 && attempt >= r.MaxAttempts {
+			return res, err
+		}
+		t := time.NewTimer(time.Duration(rand.Int63n(int64(backoff)) + 1))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return res, fmt.Errorf("chiller: retry abandoned after %d attempts: %w", attempt, ctx.Err())
+		}
+		if backoff < max {
+			backoff *= 2
+		}
+	}
+}
+
+// ExecuteWithRetry is Execute wrapped in the retry policy: transient
+// aborts are retried with jittered backoff, every other outcome is
+// returned as-is.
+func (db *DB) ExecuteWithRetry(ctx context.Context, policy Retry, proc string, args ...int64) (Result, error) {
+	return policy.Do(ctx, func(ctx context.Context) (Result, error) {
+		return db.Execute(ctx, proc, args...)
+	})
+}

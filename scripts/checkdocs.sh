@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # checkdocs.sh — documentation gates, run by the CI docs job and locally.
 #
-#   1. Every internal/ and cmd/ package must carry a package doc comment
-#      (go/doc extracts it; an empty .Doc means the comment is missing).
+#   1. The root package and every internal/ and cmd/ package must carry
+#      a package doc comment (go/doc extracts it; an empty .Doc means
+#      the comment is missing).
 #   2. Every relative markdown link in README.md and docs/ must point at
 #      a file or directory that exists (anchors are stripped; external
 #      http(s)/mailto links are skipped).
@@ -14,7 +15,7 @@ cd "$(dirname "$0")/.."
 fail=0
 
 # --- 1. package doc comments -------------------------------------------
-missing=$(go list -f '{{if not .Doc}}{{.Dir}}{{end}}' ./internal/... ./cmd/...)
+missing=$(go list -f '{{if not .Doc}}{{.Dir}}{{end}}' . ./internal/... ./cmd/...)
 if [ -n "$missing" ]; then
     echo "packages missing a package doc comment:" >&2
     echo "$missing" >&2
