@@ -3,7 +3,6 @@ package chiller
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,7 +69,7 @@ func Open(opts ...Option) (*DB, error) {
 		}
 	}
 	if cfg.lanes <= 0 {
-		cfg.lanes = defaultLanes()
+		cfg.lanes = cluster.DefaultLanes()
 	}
 	switch p := cfg.partitioner.(type) {
 	case nil:
@@ -116,24 +115,12 @@ func Open(opts ...Option) (*DB, error) {
 		case EngineOCC:
 			db.engines = append(db.engines, occ.New(n))
 		default:
-			db.engines = append(db.engines, core.New(n))
+			eng := core.New(n)
+			eng.SetVerbBatching(cfg.verbBatching)
+			db.engines = append(db.engines, eng)
 		}
 	}
 	return db, nil
-}
-
-// defaultLanes derives the per-node lane count from the host CPU count,
-// capped so a many-node simulated cluster on one machine does not
-// oversubscribe itself.
-func defaultLanes() int {
-	n := runtime.NumCPU()
-	if n > 4 {
-		n = 4
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
 }
 
 // Close quiesces and tears the cluster down: every engine's outstanding
@@ -192,17 +179,16 @@ func (db *DB) Load(t Table, key Key, value []byte) error {
 	}
 	rid := storage.RID{Table: storage.TableID(t), Key: storage.Key(key)}
 	pid := db.dir.Partition(rid)
-	// Defensive copy: the store treats value slices as immutable, so one
-	// copy shared by primary and replicas suffices — but it must not
-	// alias the caller's buffer, which the caller is free to reuse.
-	v := append([]byte(nil), value...)
+	// No defensive copy needed: the store copies the value into fresh
+	// immutable storage on every Insert, so the caller's buffer is never
+	// aliased and may be reused immediately.
 	targets := append([]simnet.NodeID{db.topo.Primary(pid)}, db.topo.Replicas(pid)...)
 	for _, target := range targets {
 		tbl := db.nodes[int(target)].Store().Table(rid.Table)
 		if tbl == nil {
 			return fmt.Errorf("chiller: load into missing table %d (CreateTable first)", t)
 		}
-		if err := tbl.Bucket(rid.Key).Insert(rid.Key, v); err != nil {
+		if err := tbl.Bucket(rid.Key).Insert(rid.Key, value); err != nil {
 			return fmt.Errorf("chiller: load %d/%d: %w", t, key, err)
 		}
 	}

@@ -85,6 +85,7 @@ func main() {
 		replicas   = flag.Int("replication", 2, "replication degree (1 = none)")
 		seed       = flag.Int64("seed", 42, "random seed")
 		lanes      = flag.Int("lanes", 0, "execution lanes per node (0 = derive from host CPUs)")
+		batching   = flag.Bool("verb-batching", false, "route Chiller fan-outs over doorbell-batched one-sided verbs (A/B against the scalar default)")
 		products   = flag.Int("products", 20000, "Instacart catalogue size")
 		traceTxns  = flag.Int("trace", 4000, "partitioner trace size (transactions)")
 		maxParts   = flag.Int("max-partitions", 8, "Figure 7/8 partition sweep upper bound")
@@ -123,6 +124,7 @@ func main() {
 		Replication:    *replicas,
 		Seed:           *seed,
 		Lanes:          *lanes,
+		VerbBatching:   *batching,
 		Products:       *products,
 		TraceTxns:      *traceTxns,
 		MaxPartitions:  *maxParts,

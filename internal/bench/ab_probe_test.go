@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/server"
+)
+
+// TestABProbe is an opt-in transport A/B probe: it interleaves scalar
+// and doorbell-batched Figure-10-style runs (NewOrder+Payment 50/50 at
+// ABPCT% distributed, default 100) and prints throughput, abort counts,
+// fabric message/doorbell totals, and per-verb p50s per trial. Skipped
+// unless AB=1; tune with ABPCT, ABDUR, and ABMODE=scalar|batched.
+func TestABProbe(t *testing.T) {
+	if os.Getenv("AB") == "" {
+		t.Skip("set AB=1 to run the transport probe")
+	}
+	pct := 100.0
+	if v := os.Getenv("ABPCT"); v != "" {
+		fmt.Sscanf(v, "%f", &pct)
+	}
+	dur := 2500 * time.Millisecond
+	if v := os.Getenv("ABDUR"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			dur = d
+		}
+	}
+	modes := []bool{false, true, false, true, false, true}
+	switch os.Getenv("ABMODE") {
+	case "scalar":
+		modes = []bool{false, false}
+	case "batched":
+		modes = []bool{true, true}
+	}
+	for _, batched := range modes {
+		opt := DefaultOptions()
+		opt.Warehouses = 4
+		opt.Customers = 30
+		opt.Items = 200
+		opt.Duration = dur
+		opt.VerbBatching = batched
+		cfg := opt.tpccConfig()
+		cfg.NewOrderPct, cfg.PaymentPct = 50, 50
+		cfg.OrderStatusPct, cfg.DeliveryPct, cfg.StockLevelPct = 0, 0, 0
+		cfg.TxnLevelRemote = true
+		cfg.TxnRemoteProb = pct / 100
+		dep, err := SetupTPCC(opt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := dep.Cluster.Run(dep.W, RunConfig{
+			Engine:         EngineChiller,
+			Concurrency:    5,
+			Duration:       opt.Duration,
+			Retry:          true,
+			WarmupFraction: 0.25,
+			Seed:           42,
+		})
+		st := dep.Cluster.Net.Stats()
+		fmt.Printf("batched=%-5v tput=%8.0f aborts=%d msgs=%d doorbells=%d osv=%d",
+			batched, m.Throughput(), m.Aborted, st.MessagesSent.Load(), st.Doorbells.Load(), st.OneSidedVerbs.Load())
+		for _, k := range []string{server.KindLockRead, server.KindCommit, server.KindReplApply, server.KindDoorbell} {
+			if p := m.Verbs[k]; p != nil {
+				fmt.Printf("  %s{n=%d p50=%v}", k, p.Count, p.P50.Round(time.Microsecond))
+			}
+		}
+		fmt.Println()
+		dep.Cluster.Close()
+	}
+}

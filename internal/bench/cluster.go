@@ -6,7 +6,6 @@ package bench
 
 import (
 	"fmt"
-	"runtime"
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cc"
@@ -55,21 +54,18 @@ type ClusterConfig struct {
 	// default from the host's CPU count (see DefaultLanes); 1 restores
 	// the single-engine-per-node behaviour.
 	Lanes int
+	// VerbBatching routes the Chiller engine's remote fan-outs over the
+	// doorbell-batched one-sided verb path: one doorbell per destination
+	// node per lock wave / replica scatter / commit wave instead of one
+	// RPC per verb. 2PL and OCC always use the scalar path, so flipping
+	// this A/Bs the transport for the Chiller series only.
+	VerbBatching bool
 }
 
-// DefaultLanes derives the per-node lane count from the host CPU count,
-// capped so a many-node simulated cluster on one machine does not
-// oversubscribe itself (every node's lanes share the same cores).
-func DefaultLanes() int {
-	n := runtime.NumCPU()
-	if n > 4 {
-		n = 4
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
+// DefaultLanes derives the per-node lane count from the host CPU count
+// (shared with chiller.Open via cluster.DefaultLanes, so embedded
+// deployments and figure runs agree).
+func DefaultLanes() int { return cluster.DefaultLanes() }
 
 // Cluster is a fully-wired simulated deployment: fabric, nodes, routing
 // directory, and one engine of each kind per node.
@@ -136,9 +132,45 @@ func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
 	for _, n := range c.Nodes {
 		c.engines[Engine2PL] = append(c.engines[Engine2PL], twopl.New(n))
 		c.engines[EngineOCC] = append(c.engines[EngineOCC], occ.New(n))
-		c.engines[EngineChiller] = append(c.engines[EngineChiller], core.New(n))
+		chiller := core.New(n)
+		chiller.SetVerbBatching(cfg.VerbBatching)
+		c.engines[EngineChiller] = append(c.engines[EngineChiller], chiller)
 	}
 	return c
+}
+
+// ResetVerbMetrics zeroes every node's per-verb counters (called at the
+// warmup/measurement boundary so percentiles cover only the counted
+// window).
+func (c *Cluster) ResetVerbMetrics() {
+	for _, n := range c.Nodes {
+		n.VerbMetrics().Reset()
+	}
+}
+
+// VerbProfiles aggregates every node's per-verb metrics into one profile
+// per verb kind: summed counts, merged latency histograms, and the
+// p50/p95/p99 extracted from the merge.
+func (c *Cluster) VerbProfiles() map[string]*VerbProfile {
+	out := make(map[string]*VerbProfile)
+	for _, n := range c.Nodes {
+		for kind, snap := range n.VerbMetrics().Snapshot() {
+			p := out[kind]
+			if p == nil {
+				p = &VerbProfile{hist: &stats.LatencyHist{}}
+				out[kind] = p
+			}
+			p.Count += snap.Count
+			snap.Hist.AddTo(p.hist)
+		}
+	}
+	for _, p := range out {
+		p.refresh()
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Engine returns the engine of the given kind coordinated at node i.

@@ -29,6 +29,11 @@ type Options struct {
 	// Lanes is the number of execution lanes per node (0 = host-derived
 	// default, see DefaultLanes). Figure 9a's lane sweep varies this.
 	Lanes int
+	// VerbBatching routes the Chiller engine's fan-outs over the
+	// doorbell-batched one-sided path (chiller-bench -verb-batching).
+	// Regenerate a figure with both settings to A/B the transport; the
+	// 2PL/OCC series are scalar either way.
+	VerbBatching bool
 
 	// Instacart experiments (Figures 7, 8, lookup table).
 	Products      int // catalogue size
@@ -122,11 +127,12 @@ func SetupInstacart(scheme string, partitions int, opt Options) (*InstacartDeplo
 	dep.Layout = layout
 
 	c := NewCluster(ClusterConfig{
-		Partitions:  partitions,
-		Replication: opt.Replication,
-		Latency:     opt.Latency,
-		Seed:        opt.Seed,
-		Lanes:       opt.laneCount(),
+		Partitions:   partitions,
+		Replication:  opt.Replication,
+		Latency:      opt.Latency,
+		Seed:         opt.Seed,
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
 	}, instacart.DefaultPartitioner(partitions))
 	if layout != nil {
 		layout.Install(c.Dir)
@@ -149,11 +155,12 @@ func SetupInstacart(scheme string, partitions int, opt Options) (*InstacartDeplo
 // scales; Chiller scales near-linearly.
 func Figure7(opt Options) (*Figure, error) {
 	fig := &Figure{
-		Name:   "Figure 7",
-		Title:  "Throughput of partitioning schemes (Instacart baskets)",
-		XLabel: "partitions",
-		YLabel: "txns/sec",
-		Lanes:  opt.laneCount(),
+		Name:         "Figure 7",
+		Title:        "Throughput of partitioning schemes (Instacart baskets)",
+		XLabel:       "partitions",
+		YLabel:       "txns/sec",
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
 	}
 	for parts := 2; parts <= opt.MaxPartitions; parts++ {
 		for _, scheme := range []string{SchemeHash, SchemeSchism, SchemeChiller} {
@@ -172,6 +179,7 @@ func Figure7(opt Options) (*Figure, error) {
 			dep.Cluster.Close()
 			fig.Add(scheme, float64(parts), m.Throughput())
 			fig.AddAborts(scheme, m)
+			fig.AddVerbs(scheme, m)
 		}
 	}
 	return fig, nil
@@ -240,11 +248,12 @@ func SetupTPCC(opt Options, cfg tpcc.Config) (*TPCCDeployment, error) {
 		return nil, err
 	}
 	c := NewCluster(ClusterConfig{
-		Partitions:  cfg.Partitions,
-		Replication: opt.Replication,
-		Latency:     opt.Latency,
-		Seed:        opt.Seed,
-		Lanes:       opt.laneCount(),
+		Partitions:   cfg.Partitions,
+		Replication:  opt.Replication,
+		Latency:      opt.Latency,
+		Seed:         opt.Seed,
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
 	}, tpcc.Partitioner(cfg.Warehouses, cfg.Partitions))
 	if err := tpcc.RegisterAll(c.Registry); err != nil {
 		c.Close()
@@ -284,8 +293,8 @@ func (o Options) tpccConfig() tpcc.Config {
 // throughput (9a), abort rate (9b) for 2PL/OCC/Chiller, and the 2PL
 // per-procedure abort breakdown (9c), as three figures.
 func Figure9(opt Options) (thr, abr, breakdown *Figure, err error) {
-	thr = &Figure{Name: "Figure 9a", Title: "TPC-C throughput", XLabel: "concurrent txns/warehouse", YLabel: "txns/sec", Lanes: opt.laneCount()}
-	abr = &Figure{Name: "Figure 9b", Title: "TPC-C abort rate", XLabel: "concurrent txns/warehouse", YLabel: "abort rate", Lanes: opt.laneCount()}
+	thr = &Figure{Name: "Figure 9a", Title: "TPC-C throughput", XLabel: "concurrent txns/warehouse", YLabel: "txns/sec", Lanes: opt.laneCount(), VerbBatching: opt.VerbBatching}
+	abr = &Figure{Name: "Figure 9b", Title: "TPC-C abort rate", XLabel: "concurrent txns/warehouse", YLabel: "abort rate", Lanes: opt.laneCount(), VerbBatching: opt.VerbBatching}
 	breakdown = &Figure{Name: "Figure 9c", Title: "2PL abort rate by transaction type", XLabel: "concurrent txns/warehouse", YLabel: "abort rate", Lanes: opt.laneCount()}
 
 	for conc := 1; conc <= opt.MaxConcurrency; conc++ {
@@ -306,6 +315,7 @@ func Figure9(opt Options) (thr, abr, breakdown *Figure, err error) {
 			thr.Add(string(kind), float64(conc), m.Throughput())
 			abr.Add(string(kind), float64(conc), m.AbortRate())
 			abr.AddAborts(string(kind), m)
+			thr.AddVerbs(string(kind), m)
 			if kind == Engine2PL {
 				breakdown.Add("New-order", float64(conc), newOrderAbortRate(m))
 				breakdown.Add("Payment", float64(conc), m.ProcAbortRate(tpcc.ProcPayment))
@@ -328,10 +338,11 @@ func Figure9(opt Options) (thr, abr, breakdown *Figure, err error) {
 // the lane-aware verb dispatch.
 func Figure9Lanes(opt Options) (*Figure, error) {
 	fig := &Figure{
-		Name:   "Figure 9a (lanes)",
-		Title:  "TPC-C throughput vs execution lanes per node",
-		XLabel: "lanes per node",
-		YLabel: "txns/sec",
+		Name:         "Figure 9a (lanes)",
+		Title:        "TPC-C throughput vs execution lanes per node",
+		XLabel:       "lanes per node",
+		YLabel:       "txns/sec",
+		VerbBatching: opt.VerbBatching,
 	}
 	top := 4
 	if opt.Lanes > top {
@@ -356,6 +367,7 @@ func Figure9Lanes(opt Options) (*Figure, error) {
 			dep.Cluster.Close()
 			fig.Add(string(kind), float64(lanes), m.Throughput())
 			fig.AddAborts(string(kind), m)
+			fig.AddVerbs(string(kind), m)
 		}
 	}
 	return fig, nil
@@ -382,11 +394,12 @@ func newOrderAbortRate(m *Metrics) float64 {
 // shape: Chiller degrades < 20%; the others fall steeply.
 func Figure10(opt Options) (*Figure, error) {
 	fig := &Figure{
-		Name:   "Figure 10",
-		Title:  "Impact of distributed transactions (NewOrder+Payment 50/50)",
-		XLabel: "% distributed txns",
-		YLabel: "txns/sec",
-		Lanes:  opt.laneCount(),
+		Name:         "Figure 10",
+		Title:        "Impact of distributed transactions (NewOrder+Payment 50/50)",
+		XLabel:       "% distributed txns",
+		YLabel:       "txns/sec",
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
 	}
 	type variant struct {
 		kind EngineKind
@@ -420,6 +433,7 @@ func Figure10(opt Options) (*Figure, error) {
 			label := fmt.Sprintf("%s (%d txn)", v.kind, v.conc)
 			fig.Add(label, float64(pct), m.Throughput())
 			fig.AddAborts(label, m)
+			fig.AddVerbs(label, m)
 		}
 	}
 	return fig, nil
@@ -432,11 +446,12 @@ func Figure10(opt Options) (*Figure, error) {
 // relocated), and (c) Chiller layout + Chiller execution.
 func AblationReorderOnly(parts int, opt Options) (*Figure, error) {
 	fig := &Figure{
-		Name:   "Ablation A1",
-		Title:  "Reordering vs. reordering + contention-aware partitioning",
-		XLabel: "variant (1=2PL/hash 2=reorder-only 3=chiller)",
-		YLabel: "txns/sec",
-		Lanes:  opt.laneCount(),
+		Name:         "Ablation A1",
+		Title:        "Reordering vs. reordering + contention-aware partitioning",
+		XLabel:       "variant (1=2PL/hash 2=reorder-only 3=chiller)",
+		YLabel:       "txns/sec",
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
 	}
 	run := func(dep *InstacartDeployment, kind EngineKind, x float64, label string) {
 		m := dep.Cluster.Run(dep.W, RunConfig{
@@ -582,11 +597,12 @@ func (t txnRID) String() string { return t.s }
 // network approaches local-memory speed.
 func AblationLatency(parts int, opt Options) (*Figure, error) {
 	fig := &Figure{
-		Name:   "Ablation A4",
-		Title:  "Chiller advantage vs one-way network latency",
-		XLabel: "latency (µs)",
-		YLabel: "txns/sec",
-		Lanes:  opt.laneCount(),
+		Name:         "Ablation A4",
+		Title:        "Chiller advantage vs one-way network latency",
+		XLabel:       "latency (µs)",
+		YLabel:       "txns/sec",
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
 	}
 	for _, lat := range []time.Duration{0, 5 * time.Microsecond, 20 * time.Microsecond, 100 * time.Microsecond} {
 		for _, kind := range []EngineKind{Engine2PL, EngineChiller} {
@@ -601,11 +617,12 @@ func AblationLatency(parts int, opt Options) (*Figure, error) {
 				MaxKey: map[storage.TableID]storage.Key{BankTable: storage.Key(parts * 500)},
 			}
 			c := NewCluster(ClusterConfig{
-				Partitions:  parts,
-				Replication: opt.Replication,
-				Latency:     lat,
-				Seed:        opt.Seed,
-				Lanes:       opt.laneCount(),
+				Partitions:   parts,
+				Replication:  opt.Replication,
+				Latency:      lat,
+				Seed:         opt.Seed,
+				Lanes:        opt.laneCount(),
+				VerbBatching: opt.VerbBatching,
 			}, def)
 			if err := SetupBank(c, b, true); err != nil {
 				c.Close()
@@ -623,6 +640,7 @@ func AblationLatency(parts int, opt Options) (*Figure, error) {
 			c.Close()
 			fig.Add(string(kind), float64(lat.Microseconds()), m.Throughput())
 			fig.AddAborts(string(kind), m)
+			fig.AddVerbs(string(kind), m)
 		}
 	}
 	return fig, nil

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/stats"
 )
 
 // Point is one measurement.
@@ -29,14 +32,40 @@ type Figure struct {
 	// with, so figure JSON is self-describing about intra-node
 	// parallelism. 0 means the lane count varies within the figure (the
 	// lane-sweep figure encodes it on the X axis instead).
-	Lanes  int
-	Series []Series
+	Lanes int
+	// VerbBatching records whether the Chiller engine's fan-outs rode
+	// the doorbell-batched one-sided path for this figure's runs; 2PL
+	// and OCC series are scalar either way. A/B a figure by regenerating
+	// it with the flag flipped (chiller-bench -verb-batching).
+	VerbBatching bool
+	Series       []Series
 	// Aborts breaks each series' aborts down by reason, summed over the
 	// figure's measurement points: series label → reason label
 	// ("lock-conflict", "validation", "constraint", ...) → count. Only
 	// present for figures backed by live cluster runs (a partitioning
 	// metric sweep has no aborts to report).
 	Aborts map[string]AbortProfile `json:",omitempty"`
+	// Verbs carries each series' per-verb network profile, merged over
+	// the figure's measurement points: series label → verb kind →
+	// {count, p50/p95/p99 in microseconds}. Like Aborts, only present
+	// for figures backed by live cluster runs.
+	Verbs map[string]VerbProfileMap `json:",omitempty"`
+}
+
+// VerbProfileMap maps verb kind labels ("lock-read", "commit",
+// "doorbell", ...) to their aggregated summaries.
+type VerbProfileMap map[string]*VerbSummary
+
+// VerbSummary is the JSON view of one verb kind's aggregated traffic.
+// Percentiles are microseconds (the natural unit at simulated RDMA
+// latencies); one-way verb kinds report zero percentiles.
+type VerbSummary struct {
+	Count     uint64
+	P50Micros float64
+	P95Micros float64
+	P99Micros float64
+
+	hist *stats.LatencyHist
 }
 
 // AbortProfile is a per-reason abort count map (keys are
@@ -72,6 +101,41 @@ func (f *Figure) AddAborts(label string, m *Metrics) {
 	for reason, n := range counts {
 		prof[reason] += n
 	}
+}
+
+// AddVerbs folds a run's per-verb profiles into the named series' map,
+// merging latency histograms so percentiles stay exact across the
+// figure's measurement points.
+func (f *Figure) AddVerbs(label string, m *Metrics) {
+	if len(m.Verbs) == 0 {
+		return
+	}
+	if f.Verbs == nil {
+		f.Verbs = make(map[string]VerbProfileMap)
+	}
+	vm := f.Verbs[label]
+	if vm == nil {
+		vm = make(VerbProfileMap)
+		f.Verbs[label] = vm
+	}
+	for kind, p := range m.Verbs {
+		s := vm[kind]
+		if s == nil {
+			s = &VerbSummary{hist: &stats.LatencyHist{}}
+			vm[kind] = s
+		}
+		s.Count += p.Count
+		if p.hist != nil {
+			p.hist.AddTo(s.hist)
+		}
+		s.P50Micros = micros(s.hist.Percentile(0.50))
+		s.P95Micros = micros(s.hist.Percentile(0.95))
+		s.P99Micros = micros(s.hist.Percentile(0.99))
+	}
+}
+
+func micros(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
 }
 
 // Get returns the Y value of the named series at x (NaN-free: ok=false
@@ -125,9 +189,6 @@ func (f *Figure) Fprint(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
-	if len(f.Aborts) == 0 {
-		return
-	}
 	// Per-reason abort breakdown, one line per series with aborts, in
 	// series order for stable output.
 	for _, s := range f.Series {
@@ -145,5 +206,22 @@ func (f *Figure) Fprint(w io.Writer) {
 			fmt.Fprintf(w, "  %s=%d", r, prof[r])
 		}
 		fmt.Fprintln(w)
+	}
+	// Per-verb network profile, one line per (series, verb kind).
+	for _, s := range f.Series {
+		vm := f.Verbs[s.Label]
+		if len(vm) == 0 {
+			continue
+		}
+		kinds := make([]string, 0, len(vm))
+		for k := range vm {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			v := vm[k]
+			fmt.Fprintf(w, "verbs %-17s %-11s n=%-9d p50=%.1fµs p95=%.1fµs p99=%.1fµs\n",
+				s.Label, k, v.Count, v.P50Micros, v.P95Micros, v.P99Micros)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cc"
+	"github.com/chillerdb/chiller/internal/stats"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -59,6 +60,34 @@ type Metrics struct {
 	Elapsed     time.Duration
 	ByReason    map[txn.AbortReason]uint64
 	ByProc      map[string]*ProcMetrics
+	// Verbs is the per-verb network profile of the measurement window:
+	// verb kind (server.Kind* labels: "lock-read", "commit",
+	// "repl-apply", "doorbell", ...) → count and latency percentiles,
+	// aggregated over every node. This is where the doorbell-batched
+	// path's win shows up: batched runs ring fewer, equally fast
+	// doorbells where scalar runs pay one round trip per verb.
+	Verbs map[string]*VerbProfile
+}
+
+// VerbProfile summarizes one verb kind's traffic: how many completed and
+// the round-trip latency distribution (zero percentiles for one-way
+// kinds, which have no observable round trip).
+type VerbProfile struct {
+	Count         uint64
+	P50, P95, P99 time.Duration
+
+	hist *stats.LatencyHist
+}
+
+// refresh recomputes the exported percentiles from the backing
+// histogram.
+func (p *VerbProfile) refresh() {
+	if p.hist == nil {
+		return
+	}
+	p.P50 = p.hist.Percentile(0.50)
+	p.P95 = p.hist.Percentile(0.95)
+	p.P99 = p.hist.Percentile(0.99)
 }
 
 // ProcMetrics is the per-procedure breakdown (Figure 9c needs per-type
@@ -244,6 +273,7 @@ func (c *Cluster) Run(w Workload, cfg RunConfig) *Metrics {
 
 	warmup := time.Duration(float64(cfg.Duration) * cfg.WarmupFraction)
 	time.Sleep(warmup)
+	c.ResetVerbMetrics()
 	counting.Store(true)
 	start := time.Now()
 	time.Sleep(cfg.Duration - warmup)
@@ -260,6 +290,7 @@ func (c *Cluster) Run(w Workload, cfg RunConfig) *Metrics {
 		Elapsed:  elapsed,
 		ByReason: make(map[txn.AbortReason]uint64),
 		ByProc:   make(map[string]*ProcMetrics),
+		Verbs:    c.VerbProfiles(),
 	}
 	for i := range shards {
 		sh := &shards[i]

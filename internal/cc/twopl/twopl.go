@@ -253,22 +253,16 @@ func replicateAll(n *server.Node, txnID uint64, writes map[cluster.PartitionID][
 
 // commitAll fans the 2PC commit phase out to all participants.
 func commitAll(n *server.Node, txnID uint64, st *execState) error {
-	type pendingCommit struct{ call *simnet.Call }
-	var calls []pendingCommit
+	pending := make([]*server.PendingCommit, 0, len(st.participants))
 	for target := range st.participants {
 		pid := st.partOfNode[target]
-		c, err := n.CommitAsync(target, txnID, st.writes[pid])
-		if err != nil {
-			return err
-		}
-		if c != nil {
-			calls = append(calls, pendingCommit{call: c})
+		pending = append(pending, n.CommitAsync(target, txnID, st.writes[pid]))
+	}
+	var firstErr error
+	for _, pc := range pending {
+		if err := pc.Wait(); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	for _, pc := range calls {
-		if _, err := pc.call.Wait(); err != nil {
-			return err
-		}
-	}
-	return nil
+	return firstErr
 }

@@ -12,11 +12,29 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
 )
+
+// DefaultLanes derives the per-node execution-lane count from the host
+// CPU count, capped so a many-node simulated cluster on one machine
+// does not oversubscribe itself (every node's lanes share the same
+// cores). The benchmark harness and the public chiller.Open both
+// resolve their lane defaults here, so embedded deployments and figure
+// runs agree.
+func DefaultLanes() int {
+	n := runtime.NumCPU()
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // PartitionID identifies a horizontal partition.
 type PartitionID int32

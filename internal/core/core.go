@@ -39,6 +39,15 @@ type Engine struct {
 	node     *server.Node
 	fallback *twopl.Engine
 
+	// batched routes the engine's remote fan-outs — outer lock waves,
+	// the outer replica scatter, and the commit wave — over the
+	// doorbell-batched one-sided path: one doorbell per destination node
+	// per wave instead of one RPC per verb (§3's batched one-sided
+	// verbs; see docs/NETWORK.md). The 2PL fallback for cold
+	// transactions and the inner-region delegation stay two-sided either
+	// way.
+	batched bool
+
 	gmu    sync.RWMutex
 	graphs map[string]*depgraph.Graph
 
@@ -84,6 +93,16 @@ func New(n *server.Node) *Engine {
 
 // Name implements cc.Engine.
 func (e *Engine) Name() string { return "Chiller" }
+
+// SetVerbBatching selects the engine's fan-out transport: batched (one
+// doorbell per destination node per lock wave / replica scatter / commit
+// wave) or scalar (one RPC per verb, the default). Flip it before
+// serving traffic; concurrent Run calls observing a mid-flight change
+// would mix transports harmlessly but unhelpfully.
+func (e *Engine) SetVerbBatching(on bool) { e.batched = on }
+
+// VerbBatching reports the engine's current fan-out transport.
+func (e *Engine) VerbBatching() bool { return e.batched }
 
 // Drain blocks until every background commit tail has finished. Call
 // before tearing the fabric down or asserting a quiesced cluster.
@@ -329,7 +348,12 @@ func (e *Engine) runTwoRegion(ctx context.Context, req *txn.Request, proc *txn.P
 		// Check hooks or inner mutators). Surface loudly.
 		panic(fmt.Sprintf("core: outer mutate failed after inner commit (txn %d, proc %s): %v", txnID, proc.Name, err))
 	}
-	repl := n.ReplicateAsync(txnID, writes)
+	var repl *server.PendingReplication
+	if e.batched {
+		repl = n.ReplicateDoorbell(txnID, writes)
+	} else {
+		repl = n.ReplicateAsync(txnID, writes)
+	}
 
 	// Wait for the inner region's replicas to acknowledge (to us, the
 	// coordinator — Figure 6) before completing the transaction.
@@ -350,7 +374,7 @@ func (e *Engine) runTwoRegion(ctx context.Context, req *txn.Request, proc *txn.P
 		if err := repl.Wait(); err != nil {
 			panic(fmt.Sprintf("core: outer replication failed after inner commit: %v", err))
 		}
-		if err := n.CommitAll(txnID, targets, writes); err != nil {
+		if err := n.CommitAll(txnID, targets, writes, e.batched); err != nil {
 			panic(fmt.Sprintf("core: outer commit failed after inner commit: %v", err))
 		}
 		n.SampleCommit(st.readRIDs, st.writeRIDs)
@@ -613,6 +637,12 @@ func sleepJittered(ctx context.Context, us int64) bool {
 // them. Successful sibling batches keep their locks and reads either
 // way. Checks are the caller's job (they must run only after the whole
 // wave, including re-requests, has succeeded).
+//
+// With verb batching on, all of one destination node's lane batches ride
+// a single doorbell — one round trip per node per wave, however many
+// lanes the wave touches there. Each lane batch stays its own frame, so
+// failure granularity (a frame rolls back only itself) and the
+// per-(node, lane) retry bookkeeping are identical across transports.
 func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave []int, st *outerState) (failedOps []int, failReason txn.AbortReason, ok bool) {
 	n := e.node
 	dir := n.Directory()
@@ -624,6 +654,10 @@ func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave
 		entries []server.LockEntry
 		ops     []int
 		pending *server.PendingLock
+		// Doorbell transport (verb batching on): the batch is frame
+		// `frame` of the shared pending doorbell `bell`.
+		bell  *server.PendingDoorbell
+		frame int
 	}
 	// Group by participant (node, lane); the common case is a handful of
 	// batches, so a linear scan over the batch list beats a map.
@@ -678,10 +712,48 @@ func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave
 	}
 
 	// Scatter: remote batches first, local last (it runs synchronously
-	// while the remote round trips are in flight).
-	for _, b := range batches {
-		if b.target != n.ID() {
-			b.pending = n.LockReadAsync(b.target, txnID, b.entries)
+	// while the remote round trips are in flight). Batched transport
+	// rings one doorbell per remote node carrying that node's lane
+	// batches as separate frames; scalar transport issues one RPC per
+	// lane batch.
+	var rung []*server.PendingDoorbell
+	if e.batched {
+		type bellRef struct {
+			target simnet.NodeID
+			d      *server.Doorbell
+		}
+		var bells []bellRef
+		for _, b := range batches {
+			if b.target == n.ID() {
+				continue
+			}
+			var d *server.Doorbell
+			for _, br := range bells {
+				if br.target == b.target {
+					d = br.d
+					break
+				}
+			}
+			if d == nil {
+				d = n.NewDoorbell(b.target)
+				bells = append(bells, bellRef{target: b.target, d: d})
+			}
+			b.frame = d.PostLockRead(txnID, b.entries)
+		}
+		for _, br := range bells {
+			pd := br.d.Ring()
+			rung = append(rung, pd)
+			for _, b := range batches {
+				if b.target == br.target {
+					b.bell = pd
+				}
+			}
+		}
+	} else {
+		for _, b := range batches {
+			if b.target != n.ID() {
+				b.pending = n.LockReadAsync(b.target, txnID, b.entries)
+			}
 		}
 	}
 	for _, b := range batches {
@@ -690,12 +762,33 @@ func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave
 		}
 	}
 
+	// resolve yields a batch's lock response from whichever transport
+	// carried it. PendingDoorbell.Wait is idempotent, so every lane batch
+	// of one node reads its own frame from the shared completion. A frame
+	// error (undecodable payload, non-batchable verb) is a transport-level
+	// failure, exactly like a scalar call error — participant lock
+	// failures always travel inside a LockResponse.
+	resolve := func(b *nodeBatch) (*server.LockResponse, error) {
+		if b.bell == nil {
+			return b.pending.Wait()
+		}
+		results, err := b.bell.Wait()
+		if err != nil {
+			return nil, err
+		}
+		fr := results[b.frame]
+		if ferr := b.bell.Err(fr); ferr != nil {
+			return nil, ferr
+		}
+		return server.DecodeLockResponse(fr.Payload)
+	}
+
 	// Gather every response before judging the wave: a batch that failed
 	// fast must not leave sibling calls (and the locks they acquired)
 	// untracked behind an early return.
 	failReason, failed := txn.AbortNone, false
 	for _, b := range batches {
-		resp, err := b.pending.Wait()
+		resp, err := resolve(b)
 		if err != nil {
 			// Transport failure: assume the worst (locks may be held)
 			// and report a non-retryable reason.
@@ -726,6 +819,11 @@ func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave
 				}
 			}
 		}
+	}
+	// Every batch has been resolved: recycle the doorbell pendings (the
+	// absorbed reads alias the response buffers, not the pendings).
+	for _, pd := range rung {
+		pd.Release()
 	}
 	if failed {
 		return failedOps, failReason, false

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"github.com/chillerdb/chiller/internal/server"
 	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
@@ -113,7 +115,9 @@ func decodeRouteResult(p []byte) (txn.Result, error) {
 // (§4.2's transaction placement). ok=false means routing could not be
 // attempted and the caller should coordinate locally.
 func (e *Engine) route(host simnet.NodeID, req *txn.Request) (txn.Result, bool) {
+	start := time.Now()
 	raw, err := e.node.Endpoint().Call(host, server.VerbTxnRoute, encodeRouteRequest(req))
+	e.node.VerbMetrics().Observe(server.KindRoute, time.Since(start))
 	if err != nil {
 		return txn.Result{}, false
 	}
@@ -218,7 +222,9 @@ func (e *Engine) execInner(innerNode simnet.NodeID, req *innerRequest) *innerRes
 	if innerNode == e.node.ID() {
 		return ExecInnerLocal(e.node, req.TxnID, req.Coord, req.Proc, req.Args, req.InnerOps, req.Reads, nil)
 	}
+	start := time.Now()
 	raw, err := e.node.Endpoint().Call(innerNode, server.VerbInnerExec, req.encode())
+	e.node.VerbMetrics().Observe(server.KindInnerExec, time.Since(start))
 	if err != nil {
 		return &innerResponse{Reason: txn.AbortInternal}
 	}
@@ -455,6 +461,7 @@ func execInnerLocked(n *server.Node, txnID uint64, coord simnet.NodeID, proc *tx
 		// Nothing to replicate: satisfy the coordinator's ack
 		// expectation directly so it does not wait forever.
 		for range n.Directory().Topology().Replicas(n.Partition()) {
+			n.VerbMetrics().Add(server.KindInnerAck)
 			_ = n.Endpoint().Send(coord, server.VerbInnerAck, server.EncodeAbort(txnID))
 		}
 	}

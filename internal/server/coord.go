@@ -3,6 +3,8 @@ package server
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/simnet"
@@ -12,26 +14,25 @@ import (
 // Coordinator-side helpers. Every engine (2PL/2PC, OCC, Chiller) drives
 // participants through these; a participant that happens to be the local
 // node is short-circuited to a direct call, modelling the co-located
-// compute/storage fast path of the NAM-DB architecture.
+// compute/storage fast path of the NAM-DB architecture. Remote verbs are
+// timed into the node's VerbMetrics. The scalar helpers ship one RPC per
+// verb; the batched fan-outs (ReplicateDoorbell, CommitAll with batched
+// set) pack every verb bound for one node into a single doorbell — see
+// doorbell.go.
 
 // LockRead locks and reads entries at the target node.
 func (n *Node) LockRead(target simnet.NodeID, txnID uint64, entries []LockEntry) (*LockResponse, error) {
-	if target == n.ID() {
-		return n.LockReadLocal(txnID, entries), nil
-	}
-	resp, err := n.ep.Call(target, VerbLockRead, EncodeLockRequest(txnID, entries))
-	if err != nil {
-		return nil, err
-	}
-	return DecodeLockResponse(resp)
+	return n.LockReadAsync(target, txnID, entries).Wait()
 }
 
 // PendingLock is an in-flight lock-and-read request started by
 // LockReadAsync. Wait gathers the response.
 type PendingLock struct {
-	resp *LockResponse
-	err  error
-	call *simnet.Call
+	resp  *LockResponse
+	err   error
+	call  *simnet.Call
+	start time.Time
+	vm    *VerbMetrics
 }
 
 // LockReadAsync starts a lock-and-read against target without blocking on
@@ -48,7 +49,7 @@ func (n *Node) LockReadAsync(target simnet.NodeID, txnID uint64, entries []LockE
 	if err != nil {
 		return &PendingLock{err: err}
 	}
-	return &PendingLock{call: c}
+	return &PendingLock{call: c, start: time.Now(), vm: n.vm}
 }
 
 // Wait blocks until the lock-and-read response arrives. It is idempotent.
@@ -56,6 +57,7 @@ func (p *PendingLock) Wait() (*LockResponse, error) {
 	if p.call != nil {
 		raw, err := p.call.Wait()
 		p.call = nil
+		p.vm.Observe(KindLockRead, time.Since(p.start))
 		if err != nil {
 			p.err = err
 		} else {
@@ -67,21 +69,55 @@ func (p *PendingLock) Wait() (*LockResponse, error) {
 
 // CommitAt applies writes and releases locks at the target participant.
 func (n *Node) CommitAt(target simnet.NodeID, txnID uint64, writes []WriteOp) error {
-	if target == n.ID() {
-		return n.CommitLocal(txnID, writes)
-	}
-	_, err := n.ep.Call(target, VerbCommit, EncodeWrites(txnID, writes))
-	return err
+	return n.CommitAsync(target, txnID, writes).Wait()
 }
 
-// CommitAsync starts a commit RPC without waiting (used to fan out the
-// second phase of 2PC). The caller must Wait on the returned call; a nil
-// call means the commit was executed locally and synchronously.
-func (n *Node) CommitAsync(target simnet.NodeID, txnID uint64, writes []WriteOp) (*simnet.Call, error) {
+// PendingCommit is an in-flight commit started by CommitAsync (used to
+// fan out the second phase of 2PC). Its error carries the destination
+// node id. Pendings are pooled: Wait recycles the value, so call it
+// exactly once and do not touch the pending afterwards.
+type PendingCommit struct {
+	call   *simnet.Call
+	target simnet.NodeID
+	start  time.Time
+	vm     *VerbMetrics
+	err    error
+}
+
+var pendingCommitPool = sync.Pool{New: func() any { return new(PendingCommit) }}
+
+// CommitAsync starts a commit without waiting. A local target commits
+// synchronously before returning (its Wait just reports the outcome).
+func (n *Node) CommitAsync(target simnet.NodeID, txnID uint64, writes []WriteOp) *PendingCommit {
+	p := pendingCommitPool.Get().(*PendingCommit)
+	p.target = target
 	if target == n.ID() {
-		return nil, n.CommitLocal(txnID, writes)
+		p.err = n.CommitLocal(txnID, writes)
+		return p
 	}
-	return n.ep.Go(target, VerbCommit, EncodeWrites(txnID, writes))
+	c, err := n.ep.Go(target, VerbCommit, EncodeWrites(txnID, writes))
+	if err != nil {
+		p.err = fmt.Errorf("server: commit at node %d: %w", target, err)
+		return p
+	}
+	p.call, p.start, p.vm = c, time.Now(), n.vm
+	return p
+}
+
+// Wait blocks until the commit response arrives and recycles the
+// pending.
+func (p *PendingCommit) Wait() error {
+	if p.call != nil {
+		_, err := p.call.Wait()
+		p.vm.Observe(KindCommit, time.Since(p.start))
+		if err != nil {
+			p.err = fmt.Errorf("server: commit at node %d: %w", p.target, err)
+		}
+	}
+	err := p.err
+	*p = PendingCommit{}
+	pendingCommitPool.Put(p)
+	return err
 }
 
 // AbortAt rolls a participant back. Abort is best-effort fire-and-forget
@@ -92,7 +128,9 @@ func (n *Node) AbortAt(target simnet.NodeID, txnID uint64) {
 		n.AbortLocal(txnID)
 		return
 	}
+	start := time.Now()
 	_, _ = n.ep.Call(target, VerbAbort, EncodeAbort(txnID))
+	n.vm.Observe(KindAbort, time.Since(start))
 }
 
 // AbortAll rolls back every participant in the set.
@@ -114,36 +152,50 @@ func (n *Node) Replicate(pid cluster.PartitionID, txnID uint64, writes []WriteOp
 		return nil
 	}
 	payload := EncodeWrites(txnID, writes)
-	calls := make([]*simnet.Call, 0, len(replicas))
+	calls := make([]replCall, 0, len(replicas))
 	for _, r := range replicas {
 		c, err := n.ep.Go(r, VerbReplApply, payload)
 		if err != nil {
 			return fmt.Errorf("server: replicate to node %d: %w", r, err)
 		}
-		calls = append(calls, c)
+		calls = append(calls, replCall{call: c, target: r, start: time.Now()})
 	}
 	for _, c := range calls {
-		if _, err := c.Wait(); err != nil {
-			return fmt.Errorf("server: replica ack: %w", err)
+		_, err := c.call.Wait()
+		n.vm.Observe(KindReplApply, time.Since(c.start))
+		if err != nil {
+			return fmt.Errorf("server: replica ack from node %d: %w", c.target, err)
 		}
 	}
 	return nil
 }
 
+// replCall is one in-flight scalar replica-apply RPC.
+type replCall struct {
+	call   *simnet.Call
+	target simnet.NodeID
+	start  time.Time
+}
+
 // PendingReplication is an in-flight replication fan-out started by
-// ReplicateAsync. Wait gathers every replica acknowledgement.
+// ReplicateAsync or ReplicateDoorbell. Wait gathers every replica
+// acknowledgement.
 type PendingReplication struct {
-	calls []*simnet.Call
-	errs  []error
+	vm        *VerbMetrics
+	calls     []replCall
+	doorbells []*PendingDoorbell
+	errs      []error
 }
 
 // ReplicateAsync ships every partition's write set to all replicas of
 // that partition in one scatter, without waiting for acknowledgements.
 // The caller overlaps the replica round trip with other work (Chiller's
 // coordinator runs it under the inner-replica-ack wait) and joins the
-// acks with Wait before releasing any lock.
+// acks with Wait before releasing any lock. One RPC per (partition,
+// replica) pair — the scalar path; ReplicateDoorbell is the batched
+// equivalent.
 func (n *Node) ReplicateAsync(txnID uint64, writes map[cluster.PartitionID][]WriteOp) *PendingReplication {
-	pr := &PendingReplication{}
+	pr := &PendingReplication{vm: n.vm}
 	topo := n.dir.Topology()
 	for pid, ws := range writes {
 		if len(ws) == 0 {
@@ -160,25 +212,80 @@ func (n *Node) ReplicateAsync(txnID uint64, writes map[cluster.PartitionID][]Wri
 				pr.errs = append(pr.errs, fmt.Errorf("server: replicate to node %d: %w", r, err))
 				continue
 			}
-			pr.calls = append(pr.calls, c)
+			pr.calls = append(pr.calls, replCall{call: c, target: r, start: time.Now()})
 		}
 	}
 	return pr
 }
 
+// ReplicateDoorbell is ReplicateAsync over the doorbell path: every
+// write set bound for the same replica node — a node often replicates
+// several of the transaction's outer partitions — rides one doorbell, so
+// the fan-out costs one round trip per destination node instead of one
+// per (partition, replica) pair.
+func (n *Node) ReplicateDoorbell(txnID uint64, writes map[cluster.PartitionID][]WriteOp) *PendingReplication {
+	pr := &PendingReplication{vm: n.vm}
+	topo := n.dir.Topology()
+	// Group per destination node; the handful of replicas makes a linear
+	// scan over a tiny slice cheaper than a map (same reasoning as the
+	// lock waves).
+	var bells []*Doorbell
+	for pid, ws := range writes {
+		if len(ws) == 0 {
+			continue
+		}
+		for _, r := range topo.Replicas(pid) {
+			var d *Doorbell
+			for _, cand := range bells {
+				if cand.Target() == r {
+					d = cand
+					break
+				}
+			}
+			if d == nil {
+				d = n.NewDoorbell(r)
+				bells = append(bells, d)
+			}
+			d.PostReplApply(txnID, ws)
+		}
+	}
+	for _, d := range bells {
+		pr.doorbells = append(pr.doorbells, d.Ring())
+	}
+	return pr
+}
+
 // Empty reports whether the fan-out has nothing in flight and no errors.
-func (pr *PendingReplication) Empty() bool { return len(pr.calls) == 0 && len(pr.errs) == 0 }
+func (pr *PendingReplication) Empty() bool {
+	return len(pr.calls) == 0 && len(pr.doorbells) == 0 && len(pr.errs) == 0
+}
 
 // Wait drains every outstanding replica acknowledgement and returns the
 // join of all errors (not just the first), so a multi-replica failure is
-// reported in full.
+// reported in full. Every error names the replica node it came from.
 func (pr *PendingReplication) Wait() error {
 	for _, c := range pr.calls {
-		if _, err := c.Wait(); err != nil {
-			pr.errs = append(pr.errs, fmt.Errorf("server: replica ack: %w", err))
+		_, err := c.call.Wait()
+		pr.vm.Observe(KindReplApply, time.Since(c.start))
+		if err != nil {
+			pr.errs = append(pr.errs, fmt.Errorf("server: replica ack from node %d: %w", c.target, err))
 		}
 	}
 	pr.calls = nil
+	for _, pd := range pr.doorbells {
+		results, err := pd.Wait()
+		if err != nil {
+			pr.errs = append(pr.errs, err)
+			continue
+		}
+		for _, fr := range results {
+			if ferr := pd.Err(fr); ferr != nil {
+				pr.errs = append(pr.errs, fmt.Errorf("server: replica ack: %w", ferr))
+			}
+		}
+		pd.Release()
+	}
+	pr.doorbells = nil
 	return errors.Join(pr.errs...)
 }
 
@@ -189,11 +296,14 @@ type CommitTarget struct {
 }
 
 // CommitAll runs the commit phase at every participant as one parallel
-// wave: remote commits fan out as async RPCs, the local participant (if
-// any) applies while they are in flight, and every completion is
-// gathered, joining all errors.
-func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluster.PartitionID][]WriteOp) error {
-	var calls []*simnet.Call
+// wave: remote commits fan out (as async RPCs, or as one doorbell per
+// destination when batched is set), the local participant (if any)
+// applies while they are in flight, and every completion is gathered,
+// joining all errors. Every error names the participant node it came
+// from.
+func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluster.PartitionID][]WriteOp, batched bool) error {
+	var pending []*PendingCommit
+	var doorbells []*PendingDoorbell
 	var errs []error
 	localPID, local := cluster.PartitionID(0), false
 	for _, t := range targets {
@@ -201,22 +311,46 @@ func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluste
 			localPID, local = t.PID, true
 			continue
 		}
+		if batched {
+			d := n.NewDoorbell(t.Node)
+			d.PostCommit(txnID, writes[t.PID])
+			doorbells = append(doorbells, d.Ring())
+			continue
+		}
 		c, err := n.ep.Go(t.Node, VerbCommit, EncodeWrites(txnID, writes[t.PID]))
 		if err != nil {
 			errs = append(errs, fmt.Errorf("server: commit at node %d: %w", t.Node, err))
 			continue
 		}
-		calls = append(calls, c)
+		p := pendingCommitPool.Get().(*PendingCommit)
+		p.call, p.target, p.start, p.vm = c, t.Node, time.Now(), n.vm
+		pending = append(pending, p)
 	}
 	if local {
 		if err := n.CommitLocal(txnID, writes[localPID]); err != nil {
+			errs = append(errs, fmt.Errorf("server: commit at node %d: %w", n.ID(), err))
+		}
+	}
+	for _, p := range pending {
+		if err := p.Wait(); err != nil {
 			errs = append(errs, err)
 		}
 	}
-	for _, c := range calls {
-		if _, err := c.Wait(); err != nil {
+	for _, pd := range doorbells {
+		// Presumed commit: the locks released when the doorbell rang and
+		// no second-phase ack gates anything, so collect the results
+		// without sleeping out the round trip the caller doesn't observe.
+		results, err := pd.Reap()
+		if err != nil {
 			errs = append(errs, err)
+			continue
 		}
+		for _, fr := range results {
+			if ferr := pd.Err(fr); ferr != nil {
+				errs = append(errs, fmt.Errorf("server: commit: %w", ferr))
+			}
+		}
+		pd.Release()
 	}
 	return errors.Join(errs...)
 }
@@ -224,7 +358,10 @@ func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluste
 // StreamInnerRepl sends the inner-region write set to each replica of the
 // inner partition as a one-way message and returns immediately: per §5 the
 // inner primary "moves on to the next transaction" without waiting. The
-// replicas will ack to the coordinator, not to us.
+// replicas will ack to the coordinator, not to us. This stream is the one
+// path that must stay two-sided: it relies on per-link FIFO delivery for
+// the §5 in-order-apply property, which the one-sided doorbell path does
+// not provide.
 func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID uint64, coordinator simnet.NodeID, writes []WriteOp) (replicaCount int, err error) {
 	replicas := n.dir.Topology().Replicas(pid)
 	if len(replicas) == 0 {
@@ -235,6 +372,7 @@ func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID uint64, coordinato
 		if err := n.ep.Send(r, VerbInnerRepl, payload); err != nil {
 			return 0, fmt.Errorf("server: inner repl to node %d: %w", r, err)
 		}
+		n.vm.Add(KindInnerRepl)
 	}
 	return len(replicas), nil
 }

@@ -62,6 +62,10 @@ type Node struct {
 	// FaultInjector, when non-nil, is consulted before commits; tests
 	// use it to simulate participant failures.
 	FaultInjector func(verb string, txnID uint64) error
+
+	// vm collects per-verb counts and round-trip latency histograms for
+	// this node's coordinator activity (see metrics.go).
+	vm *VerbMetrics
 }
 
 // AckWaiter tracks one transaction's pending inner-replica acks. Waiters
@@ -119,6 +123,7 @@ func New(ep *simnet.Endpoint, st *storage.Store, reg *txn.Registry, dir *cluster
 		part:     part,
 		state:    make(map[uint64]*partState),
 		acks:     make(map[uint64]*AckWaiter),
+		vm:       NewVerbMetrics(),
 	}
 	nLanes := dir.Lanes()
 	if nLanes < 1 {
@@ -143,8 +148,15 @@ func New(ep *simnet.Endpoint, st *storage.Store, reg *txn.Registry, dir *cluster
 	ep.HandleAsync(VerbReplApply, n.handleReplApply)
 	ep.HandleAsync(VerbInnerRepl, n.handleInnerRepl)
 	ep.Handle(VerbInnerAck, n.handleInnerAck)
+	// The doorbell envelope is serviced on the one-sided path: batched
+	// senders bypass the dispatcher and lanes entirely, scalar senders
+	// keep the two-sided verbs above — one node serves both at once.
+	ep.HandleOneSided(VerbDoorbell, n.handleDoorbell)
 	return n
 }
+
+// VerbMetrics returns the node's per-verb metrics collector.
+func (n *Node) VerbMetrics() *VerbMetrics { return n.vm }
 
 // ID returns the node's fabric identity.
 func (n *Node) ID() simnet.NodeID { return n.ep.ID() }
@@ -476,6 +488,7 @@ func (n *Node) handleInnerRepl(_ simnet.NodeID, req []byte, reply func([]byte, e
 			reply(nil, aerr)
 			return
 		}
+		n.vm.Add(KindInnerAck)
 		_ = n.ep.Send(coord, VerbInnerAck, EncodeAbort(txnID))
 		reply(nil, nil)
 	})

@@ -21,6 +21,7 @@ const (
 	VerbOCCRead   = "ord"   // OCC unlocked read
 	VerbOCCValid  = "ovl"   // OCC validate + write-lock
 	VerbOCCFinish = "ofn"   // OCC commit or abort after validation
+	VerbDoorbell  = "db1"   // doorbell-batched one-sided verb envelope (see doorbell.go)
 )
 
 // LockEntry is one lock-and-read request item.
@@ -48,6 +49,13 @@ type WriteOp struct {
 // EncodeLockRequest builds the VerbLockRead payload.
 func EncodeLockRequest(txnID uint64, entries []LockEntry) []byte {
 	w := wire.NewWriter(16 + len(entries)*24)
+	EncodeLockRequestTo(w, txnID, entries)
+	return w.Bytes()
+}
+
+// EncodeLockRequestTo appends the VerbLockRead payload to an existing
+// writer (doorbells pack frame payloads straight into the envelope).
+func EncodeLockRequestTo(w *wire.Writer, txnID uint64, entries []LockEntry) {
 	w.Uint64(txnID)
 	w.Uint32(uint32(len(entries)))
 	for _, e := range entries {
@@ -58,7 +66,6 @@ func EncodeLockRequest(txnID uint64, entries []LockEntry) []byte {
 		w.Bool(e.Read)
 		w.Bool(e.MustExist)
 	}
-	return w.Bytes()
 }
 
 // DecodeLockRequest parses the VerbLockRead payload.
@@ -91,10 +98,16 @@ type LockResponse struct {
 // Encode serializes the response.
 func (lr *LockResponse) Encode() []byte {
 	w := wire.NewWriter(64)
+	lr.EncodeTo(w)
+	return w.Bytes()
+}
+
+// EncodeTo serializes the response into an existing writer (the doorbell
+// handler packs every frame's response into one buffer).
+func (lr *LockResponse) EncodeTo(w *wire.Writer) {
 	w.Bool(lr.OK)
 	w.Uint8(uint8(lr.Reason))
 	lr.Reads.Encode(w)
-	return w.Bytes()
 }
 
 // DecodeLockResponse parses a LockResponse.
@@ -110,6 +123,12 @@ func DecodeLockResponse(p []byte) (*LockResponse, error) {
 // EncodeWrites serializes a write set with a transaction id header.
 func EncodeWrites(txnID uint64, writes []WriteOp) []byte {
 	w := wire.NewWriter(16 + len(writes)*32)
+	EncodeWritesTo(w, txnID, writes)
+	return w.Bytes()
+}
+
+// EncodeWritesTo appends a write-set payload to an existing writer.
+func EncodeWritesTo(w *wire.Writer, txnID uint64, writes []WriteOp) {
 	w.Uint64(txnID)
 	w.Uint32(uint32(len(writes)))
 	for _, wr := range writes {
@@ -118,7 +137,6 @@ func EncodeWrites(txnID uint64, writes []WriteOp) []byte {
 		w.Uint8(uint8(wr.Type))
 		w.Bytes32(wr.Value)
 	}
-	return w.Bytes()
 }
 
 // DecodeWrites parses a write-set payload. Values alias the payload

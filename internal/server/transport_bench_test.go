@@ -1,0 +1,82 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// Transport microbenchmarks: the per-verb CPU cost of the scalar
+// two-sided path versus the doorbell-batched one-sided path, with the
+// simulated latency at zero so only the machinery is measured.
+
+func benchPair(b *testing.B, latency time.Duration) (sender, dest *Node) {
+	b.Helper()
+	net := simnet.New(simnet.Config{Latency: latency})
+	topo := cluster.NewTopology(2, 1)
+	dir := cluster.NewDirectory(topo, cluster.HashPartitioner{N: 2})
+	mk := func(id simnet.NodeID, part cluster.PartitionID) *Node {
+		st := storage.NewStore()
+		tbl := st.CreateTable(1, 64)
+		for k := storage.Key(0); k < 20; k++ {
+			if err := tbl.Bucket(k).Insert(k, []byte{byte(k)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return New(net.Endpoint(id), st, txn.NewRegistry(), dir, part)
+	}
+	sender, dest = mk(0, 0), mk(1, 1)
+	b.Cleanup(func() {
+		net.Close()
+		sender.Close()
+		dest.Close()
+	})
+	return sender, dest
+}
+
+func lockEntries() []LockEntry {
+	return []LockEntry{
+		{OpID: 0, Table: 1, Key: 3, Mode: storage.LockShared, Read: true, MustExist: true},
+		{OpID: 1, Table: 1, Key: 7, Mode: storage.LockShared, Read: true, MustExist: true},
+	}
+}
+
+func BenchmarkScalarLockReadAbort(b *testing.B) {
+	sender, dest := benchPair(b, 0)
+	entries := lockEntries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txnID := uint64(i + 1)
+		if _, err := sender.LockRead(dest.ID(), txnID, entries); err != nil {
+			b.Fatal(err)
+		}
+		sender.AbortAt(dest.ID(), txnID)
+	}
+}
+
+func BenchmarkDoorbellLockReadAbort(b *testing.B) {
+	sender, dest := benchPair(b, 0)
+	entries := lockEntries()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txnID := uint64(i + 1)
+		d := sender.NewDoorbell(dest.ID())
+		d.PostLockRead(txnID, entries)
+		pd := d.Ring()
+		if _, err := pd.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		pd.Release()
+		d = sender.NewDoorbell(dest.ID())
+		d.Post(VerbAbort, EncodeAbort(txnID))
+		pd = d.Ring()
+		if _, err := pd.Wait(); err != nil {
+			b.Fatal(err)
+		}
+		pd.Release()
+	}
+}

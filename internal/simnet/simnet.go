@@ -1,7 +1,9 @@
 // Package simnet simulates the RDMA-capable fabric that Chiller assumes:
 // a low-latency network with per-link in-order (FIFO) delivery, two-sided
-// RPC endpoints, and one-sided READ/WRITE/CAS verbs against registered
-// memory regions.
+// RPC endpoints, and one-sided verbs — READ/WRITE/CAS against registered
+// memory regions, plus doorbell-batched one-sided verb handlers — that
+// are serviced by the fabric itself, never by the destination's
+// dispatcher.
 //
 // The paper's testbed was an 8-node InfiniBand EDR cluster. What Chiller's
 // argument actually depends on is (a) network round trips being one to two
@@ -10,6 +12,25 @@
 // relies on this). simnet reproduces both properties in-process with a
 // configurable one-way latency, which lets the benchmark harness sweep the
 // network/memory latency ratio directly.
+//
+// The fabric offers two transports:
+//
+//   - Two-sided RPC (Call/Go/Send): messages traverse a per-link FIFO
+//     queue drained by a single dispatcher goroutine, and handlers run at
+//     the destination — on its dispatcher or its execution lanes. This is
+//     the general path; anything that must observe per-link ordering
+//     (the §5 replication stream) or run real destination-side logic
+//     (inner-region execution) uses it.
+//   - One-sided verbs (ReadRemote/WriteRemote/CompareAndSwapRemote,
+//     OneSidedBatch, and the doorbell-batched verb path GoOneSided):
+//     serviced after the same latency but without involving the
+//     destination's dispatcher, modelling NIC-executed RDMA verbs. A
+//     doorbell batch posts any number of operations against one node and
+//     rings once — one round trip for the whole batch, the per-message
+//     overhead amortization the paper's transport argument rests on.
+//     Chiller's engine drives its outer lock waves, replica applies, and
+//     commit tails over this path (see internal/server's doorbell verb
+//     and docs/NETWORK.md).
 package simnet
 
 import (
@@ -46,11 +67,23 @@ type Config struct {
 // Stats aggregates fabric-wide counters. All fields are updated atomically
 // and may be read concurrently with traffic.
 type Stats struct {
-	MessagesSent  atomic.Uint64
-	BytesSent     atomic.Uint64
-	RPCs          atomic.Uint64
+	// MessagesSent counts every one-way traversal of the fabric,
+	// including the two legs of each RPC and one-sided round trip.
+	MessagesSent atomic.Uint64
+	// BytesSent counts payload bytes shipped.
+	BytesSent atomic.Uint64
+	// RPCs counts two-sided request/response exchanges.
+	RPCs atomic.Uint64
+	// OneSidedReads counts one-sided READ verbs.
 	OneSidedReads atomic.Uint64
-	OneSidedCAS   atomic.Uint64
+	// OneSidedCAS counts one-sided CAS verbs.
+	OneSidedCAS atomic.Uint64
+	// Doorbells counts doorbell rings on the one-sided verb path: each is
+	// one round trip regardless of how many verbs the batch carried.
+	Doorbells atomic.Uint64
+	// OneSidedVerbs counts verbs carried by those doorbells. The ratio
+	// OneSidedVerbs/Doorbells is the achieved batching factor.
+	OneSidedVerbs atomic.Uint64
 }
 
 // Network is the fabric. Create one per simulated cluster, then create an
@@ -410,6 +443,7 @@ type Endpoint struct {
 	mu       sync.RWMutex
 	handlers map[string]RPCHandler
 	async    map[string]AsyncRPCHandler
+	onesided map[string]OneSidedHandler
 	regions  map[string]Memory
 
 	pmu     sync.Mutex
@@ -450,6 +484,23 @@ func (e *Endpoint) HandleAsync(method string, h AsyncRPCHandler) {
 	e.async[method] = h
 }
 
+// HandleOneSided registers h to service the named one-sided verb against
+// this endpoint. Unlike two-sided handlers, h is run by the fabric on the
+// caller's side of the wire — the destination's dispatcher and execution
+// lanes are never involved, the property that keeps the remote "CPU" free
+// in the NAM-DB architecture. h must therefore be safe to call from any
+// goroutine and must synchronize through the destination's own data
+// structures (bucket lock words, mutexes), exactly as NIC-executed RDMA
+// verbs synchronize through memory.
+func (e *Endpoint) HandleOneSided(method string, h OneSidedHandler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.onesided == nil {
+		e.onesided = make(map[string]OneSidedHandler)
+	}
+	e.onesided[method] = h
+}
+
 // RegisterMemory exposes m under the given region name for one-sided
 // access by remote endpoints.
 func (e *Endpoint) RegisterMemory(region string, m Memory) {
@@ -465,6 +516,7 @@ type RemoteError struct {
 	Msg    string
 }
 
+// Error formats the remote failure with its originating method.
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("simnet: remote %s: %s", e.Method, e.Msg)
 }

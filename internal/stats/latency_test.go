@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistIndexContiguous(t *testing.T) {
+	// Every bucket boundary must invert, and indices must be monotone in
+	// the value.
+	prev := -1
+	for ns := uint64(0); ns < 1<<20; ns += 13 {
+		idx := histIndex(ns)
+		if idx < prev {
+			t.Fatalf("index regressed at %d: %d < %d", ns, idx, prev)
+		}
+		if idx > prev {
+			if got := histLower(idx); got > ns {
+				t.Fatalf("histLower(%d) = %d > first value %d", idx, got, ns)
+			}
+			prev = idx
+		}
+	}
+	if histIndex(^uint64(0)) >= histBuckets {
+		t.Fatal("max value out of range")
+	}
+}
+
+func TestLatencyHistPercentiles(t *testing.T) {
+	h := &LatencyHist{}
+	if h.Percentile(0.5) != 0 {
+		t.Fatal("empty hist percentile != 0")
+	}
+	// Uniform 1..1000µs: p50 ≈ 500µs, p99 ≈ 990µs, within the ≈9%
+	// bucket resolution (use 15% slack).
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Count(); got != 1000 {
+		t.Fatalf("Count = %d", got)
+	}
+	check := func(p float64, want time.Duration) {
+		got := h.Percentile(p)
+		lo := time.Duration(float64(want) * 0.85)
+		hi := time.Duration(float64(want) * 1.15)
+		if got < lo || got > hi {
+			t.Fatalf("p%.0f = %v, want %v ± 15%%", p*100, got, want)
+		}
+	}
+	check(0.50, 500*time.Microsecond)
+	check(0.95, 950*time.Microsecond)
+	check(0.99, 990*time.Microsecond)
+
+	// Merge doubles the counts but leaves the distribution alone.
+	dst := &LatencyHist{}
+	h.AddTo(dst)
+	h.AddTo(dst)
+	if dst.Count() != 2000 {
+		t.Fatalf("merged Count = %d", dst.Count())
+	}
+	check(0.50, 500*time.Microsecond)
+
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatal("Reset left samples")
+	}
+}
+
+func TestLatencyHistConcurrent(t *testing.T) {
+	h := &LatencyHist{}
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 10000; i++ {
+				h.Observe(time.Duration(rng.Int63n(int64(time.Millisecond))))
+			}
+			done <- struct{}{}
+		}(int64(g))
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if h.Count() != 40000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}

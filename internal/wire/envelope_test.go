@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFrameEnvelopeRoundTrip(t *testing.T) {
+	in := []Frame{
+		{Verb: "lr", Payload: []byte{1, 2, 3}},
+		{Verb: "cm", Payload: nil},
+		{Verb: "repl", Payload: bytes.Repeat([]byte{0xAB}, 300)},
+	}
+	out, err := DecodeFrames(EncodeFrames(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %d frames", len(out))
+	}
+	for i := range in {
+		if out[i].Verb != in[i].Verb || !bytes.Equal(out[i].Payload, in[i].Payload) {
+			t.Fatalf("frame %d mismatch: %+v", i, out[i])
+		}
+	}
+}
+
+func TestFrameResultsRoundTrip(t *testing.T) {
+	in := []FrameResult{
+		{Err: "", Payload: []byte{9}},
+		{Err: "storage: lock conflict", Payload: nil},
+	}
+	out, err := DecodeFrameResults(EncodeFrameResults(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Err != "" || out[1].Err != in[1].Err ||
+		!bytes.Equal(out[0].Payload, in[0].Payload) {
+		t.Fatalf("results = %+v", out)
+	}
+}
+
+func TestFrameEnvelopeTruncated(t *testing.T) {
+	enc := EncodeFrames([]Frame{{Verb: "lr", Payload: []byte{1, 2, 3, 4}}})
+	if _, err := DecodeFrames(enc[:len(enc)-2]); err == nil {
+		t.Fatal("truncated envelope decoded without error")
+	}
+	if out, err := DecodeFrames(EncodeFrames(nil)); err != nil || len(out) != 0 {
+		t.Fatalf("empty envelope: %v %v", out, err)
+	}
+}

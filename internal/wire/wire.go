@@ -3,6 +3,16 @@
 // encoding/binary with explicit little-endian layout, variable-length byte
 // slices, and checked reads so that a truncated or corrupt message surfaces
 // as an error instead of a panic.
+//
+// Beyond the scalar primitives, wire defines the batched verb envelope
+// (Frame/FrameResult and their encoders) that carries a doorbell batch:
+// every verb bound for one destination node framed into a single buffer,
+// shipped as one one-sided doorbell ring, answered by one result per
+// frame. Writers support in-place composition for it — BeginBytes32/
+// EndBytes32 open a length-prefixed region that a frame's payload is
+// encoded straight into, so batching adds framing, not copies. See
+// internal/server's Doorbell for the engine-facing builder and
+// docs/NETWORK.md for the transport model.
 package wire
 
 import (
@@ -72,6 +82,27 @@ func (w *Writer) Float64(v float64) { w.Uint64(math.Float64bits(v)) }
 func (w *Writer) Bytes32(p []byte) {
 	w.Uint32(uint32(len(p)))
 	w.buf = append(w.buf, p...)
+}
+
+// SetUint32 overwrites the 32-bit value previously written at byte
+// offset off (e.g. a count prefix backpatched once the count is known).
+func (w *Writer) SetUint32(off int, v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[off:off+4], v)
+}
+
+// BeginBytes32 opens a length-prefixed region whose content is written
+// directly into the Writer (no intermediate buffer): it appends a
+// 32-bit placeholder and returns a mark for EndBytes32. Nest regions
+// LIFO.
+func (w *Writer) BeginBytes32() int {
+	w.Uint32(0)
+	return len(w.buf)
+}
+
+// EndBytes32 closes the region opened at mark, backpatching its length
+// prefix to cover everything written since.
+func (w *Writer) EndBytes32(mark int) {
+	binary.LittleEndian.PutUint32(w.buf[mark-4:mark], uint32(len(w.buf)-mark))
 }
 
 // String appends a string with a 32-bit length prefix.

@@ -21,15 +21,16 @@ const (
 
 // config collects Open's settings; Options mutate it.
 type config struct {
-	partitions  int
-	replication int
-	latency     time.Duration
-	jitter      time.Duration
-	lanes       int
-	seed        int64
-	engine      EngineKind
-	partitioner cluster.DefaultPartitioner
-	sampleRate  float64
+	partitions   int
+	replication  int
+	latency      time.Duration
+	jitter       time.Duration
+	lanes        int
+	seed         int64
+	engine       EngineKind
+	partitioner  cluster.DefaultPartitioner
+	sampleRate   float64
+	verbBatching bool
 }
 
 // Option configures Open.
@@ -94,6 +95,22 @@ func WithLanes(n int) Option {
 			return fmt.Errorf("chiller: negative lane count %d", n)
 		}
 		c.lanes = n
+		return nil
+	}
+}
+
+// WithVerbBatching selects the fabric transport for the Chiller
+// engine's fan-outs. When on, every verb bound for one destination node
+// in an outer lock wave, replica scatter, or commit wave rides a single
+// doorbell-batched one-sided ring — one network round trip per node per
+// wave instead of one per verb, the batching the paper's transport
+// argument assumes (§3). Off (the default) keeps one RPC per verb. The
+// 2PL and OCC engines always use the scalar path, so the option only
+// affects EngineChiller deployments. See docs/NETWORK.md for the verb
+// model.
+func WithVerbBatching(on bool) Option {
+	return func(c *config) error {
+		c.verbBatching = on
 		return nil
 	}
 }

@@ -4,7 +4,11 @@
 #   1. The root package and every internal/ and cmd/ package must carry
 #      a package doc comment (go/doc extracts it; an empty .Doc means
 #      the comment is missing).
-#   2. Every relative markdown link in README.md and docs/ must point at
+#   2. The fabric packages (internal/simnet, internal/wire) must
+#      document every exported symbol — their godoc is the reference for
+#      the network/verb model (docs/NETWORK.md) — enforced by
+#      scripts/doccheck.
+#   3. Every relative markdown link in README.md and docs/ must point at
 #      a file or directory that exists (anchors are stripped; external
 #      http(s)/mailto links are skipped).
 #
@@ -22,7 +26,12 @@ if [ -n "$missing" ]; then
     fail=1
 fi
 
-# --- 2. markdown links --------------------------------------------------
+# --- 2. exported-symbol docs in the fabric packages ---------------------
+if ! go run ./scripts/doccheck internal/simnet internal/wire; then
+    fail=1
+fi
+
+# --- 3. markdown links --------------------------------------------------
 # Pull out ](target) occurrences, keep relative targets, strip anchors.
 for md in README.md docs/*.md; do
     [ -f "$md" ] || continue
