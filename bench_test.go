@@ -12,7 +12,6 @@ package chiller_test
 
 import (
 	"context"
-	"math/rand"
 	"os"
 	"testing"
 	"time"
@@ -23,6 +22,7 @@ import (
 	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/stats"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/testutil"
 	"github.com/chillerdb/chiller/internal/txn"
 	"github.com/chillerdb/chiller/internal/workload/instacart"
 )
@@ -224,7 +224,7 @@ func BenchmarkSimnetRPC(b *testing.B) {
 }
 
 func BenchmarkMetisPartition(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
+	rng := testutil.Rand(b, 1)
 	builder := metis.NewBuilder(5000)
 	for i := 0; i < 20000; i++ {
 		builder.AddEdge(rng.Intn(5000), rng.Intn(5000), int64(1+rng.Intn(10)))
@@ -262,7 +262,7 @@ func benchmarkEngineTxn(b *testing.B, kind bench.EngineKind) {
 	}
 	bank.MarkCelebritiesHot(c)
 	eng := c.Engine(kind, 0)
-	rng := rand.New(rand.NewSource(2))
+	rng := testutil.Rand(b, 2)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -280,7 +280,7 @@ func BenchmarkTxnChiller(b *testing.B) { benchmarkEngineTxn(b, bench.EngineChill
 
 func BenchmarkInstacartBasketGen(b *testing.B) {
 	w := instacart.NewWorkload(instacart.Config{Products: 50000, Partitions: 8})
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.Rand(b, 3)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = w.Basket(rng)

@@ -12,6 +12,7 @@ import (
 	"github.com/chillerdb/chiller/internal/cc/twopl"
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/core"
+	"github.com/chillerdb/chiller/internal/history"
 	"github.com/chillerdb/chiller/internal/partition/chillerpart"
 	"github.com/chillerdb/chiller/internal/server"
 	"github.com/chillerdb/chiller/internal/simnet"
@@ -109,16 +110,23 @@ func Open(opts ...Option) (*DB, error) {
 		db.nodes = append(db.nodes, node)
 	}
 	for _, n := range db.nodes {
+		var eng cc.Engine
 		switch cfg.engine {
 		case Engine2PL:
-			db.engines = append(db.engines, twopl.New(n))
+			eng = twopl.New(n)
 		case EngineOCC:
-			db.engines = append(db.engines, occ.New(n))
+			eng = occ.New(n)
 		default:
-			eng := core.New(n)
-			eng.SetVerbBatching(cfg.verbBatching)
-			db.engines = append(db.engines, eng)
+			chillerEng := core.New(n)
+			chillerEng.SetVerbBatching(cfg.verbBatching)
+			eng = chillerEng
 		}
+		if cfg.recorder != nil {
+			// WithHistoryRecorder: record every Run outcome at the
+			// engine boundary (reads observed, writes installed).
+			eng = history.Engine(eng, db.registry, cfg.recorder)
+		}
+		db.engines = append(db.engines, eng)
 	}
 	return db, nil
 }
@@ -274,8 +282,7 @@ func (db *DB) Execute(ctx context.Context, proc string, args ...int64) (Result, 
 	engine := db.engines[int(db.next.Add(1)%uint64(len(db.engines)))]
 	res := engine.Run(ctx, &txn.Request{Proc: proc, Args: txn.Args(args)})
 	if !res.Committed {
-		return Result{Distributed: res.Distributed},
-			abortError(ctx, proc, res.Reason, res.Distributed)
+		return Result{Distributed: res.Distributed}, abortError(ctx, proc, res)
 	}
 	return Result{Distributed: res.Distributed, reads: res.Reads}, nil
 }

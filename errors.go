@@ -35,8 +35,17 @@ var (
 	// ErrNotFound means an operation referenced a key that does not
 	// exist.
 	ErrNotFound = errors.New("record not found")
-	// ErrInternal covers transport and engine faults.
+	// ErrInternal covers transport and engine faults. An error matching
+	// ErrInternal may also match ErrUnreachable when the fault was a
+	// transient network failure.
 	ErrInternal = errors.New("internal error")
+	// ErrUnreachable is a transient transport fault before the commit
+	// point: a participant could not be reached (dropped message,
+	// network partition), everything the transaction held was released,
+	// and a retry may succeed once the network heals. Retryable (see
+	// Retry); it also matches ErrInternal, so existing
+	// "ErrInternal-family" handling keeps working.
+	ErrUnreachable = errors.New("participant unreachable")
 	// ErrUnknownProc means Execute named a procedure that was never
 	// registered.
 	ErrUnknownProc = errors.New("unknown procedure")
@@ -51,6 +60,10 @@ var (
 type AbortError struct {
 	// Proc is the procedure that aborted.
 	Proc string
+	// Detail carries failure context for internal/unreachable aborts —
+	// which verb failed and at which destination node (e.g. "commit at
+	// node 2: ..."). Empty for application-level aborts.
+	Detail string
 	// Distributed reports whether the transaction had touched more than
 	// one partition when it aborted.
 	Distributed bool
@@ -60,6 +73,9 @@ type AbortError struct {
 
 // Error implements error.
 func (e *AbortError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("chiller: %s aborted: %s: %s", e.Proc, e.reason, e.Detail)
+	}
 	return fmt.Sprintf("chiller: %s aborted: %s", e.Proc, e.reason)
 }
 
@@ -82,7 +98,9 @@ func (e *AbortError) Is(target error) bool {
 	case ErrNotFound:
 		return e.reason == txn.AbortNotFound
 	case ErrInternal:
-		return e.reason == txn.AbortInternal
+		return e.reason == txn.AbortInternal || e.reason == txn.AbortUnreachable
+	case ErrUnreachable:
+		return e.reason == txn.AbortUnreachable
 	}
 	return false
 }
@@ -90,21 +108,24 @@ func (e *AbortError) Is(target error) bool {
 // abortError converts an engine abort reason into the public error. ctx
 // supplies the cause for cancellation aborts, so errors.Is(err,
 // context.Canceled / context.DeadlineExceeded) works as callers expect.
-func abortError(ctx context.Context, proc string, reason txn.AbortReason, distributed bool) error {
-	if reason == txn.AbortCancelled {
+func abortError(ctx context.Context, proc string, res txn.Result) error {
+	if res.Reason == txn.AbortCancelled {
 		cause := ctx.Err()
 		if cause == nil {
 			cause = context.Canceled
 		}
 		return fmt.Errorf("chiller: %s cancelled: %w", proc, cause)
 	}
-	return &AbortError{Proc: proc, Distributed: distributed, reason: reason}
+	return &AbortError{Proc: proc, Detail: res.Detail, Distributed: res.Distributed, reason: res.Reason}
 }
 
-// Retryable reports whether the error is a transient conflict that a
-// retry with backoff may resolve: a NO_WAIT lock denial or an OCC
-// validation failure. Constraint violations, missing records, unknown
+// Retryable reports whether the error is a transient condition that a
+// retry with backoff may resolve: a NO_WAIT lock denial, an OCC
+// validation failure, or an unreachable participant (the transaction
+// released everything before aborting; the network may heal). Plain
+// internal errors, constraint violations, missing records, unknown
 // procedures, and cancellations are not retryable.
 func Retryable(err error) bool {
-	return errors.Is(err, ErrLockConflict) || errors.Is(err, ErrValidation)
+	return errors.Is(err, ErrLockConflict) || errors.Is(err, ErrValidation) ||
+		errors.Is(err, ErrUnreachable)
 }

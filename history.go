@@ -1,0 +1,48 @@
+package chiller
+
+import (
+	"io"
+
+	"github.com/chillerdb/chiller/internal/history"
+)
+
+// HistoryRecorder captures every transaction executed through a DB —
+// committed and aborted, with the exact read values observed and write
+// values installed — at the public API boundary. Attach one with
+// WithHistoryRecorder, run traffic, then serialize the history with
+// WriteJSON for offline black-box serializability checking (the
+// internal/check machinery; docs/TESTING.md documents the JSON format
+// and the checker's traceability requirements).
+//
+// Recording costs one mutator replay plus one append per transaction.
+// It is meant for correctness harnesses and incident forensics, not for
+// always-on production traffic.
+type HistoryRecorder struct {
+	rec *history.Recorder
+}
+
+// NewHistoryRecorder returns an empty recorder.
+func NewHistoryRecorder() *HistoryRecorder {
+	return &HistoryRecorder{rec: history.NewRecorder()}
+}
+
+// Len reports how many transaction attempts have been recorded.
+func (h *HistoryRecorder) Len() int { return h.rec.Len() }
+
+// Reset discards everything recorded so far.
+func (h *HistoryRecorder) Reset() { h.rec.Reset() }
+
+// WriteJSON serializes the recorded history (format: docs/TESTING.md).
+func (h *HistoryRecorder) WriteJSON(w io.Writer) error { return h.rec.WriteJSON(w) }
+
+// WithHistoryRecorder attaches rec to the DB: every Execute outcome on
+// every coordinator is recorded into it.
+func WithHistoryRecorder(rec *HistoryRecorder) Option {
+	return func(c *config) error {
+		if rec == nil {
+			return errNilRecorder
+		}
+		c.recorder = rec.rec
+		return nil
+	}
+}

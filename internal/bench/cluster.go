@@ -60,6 +60,10 @@ type ClusterConfig struct {
 	// RPC per verb. 2PL and OCC always use the scalar path, so flipping
 	// this A/Bs the transport for the Chiller series only.
 	VerbBatching bool
+	// Faults installs deterministic fault injection on the fabric (drop
+	// dice, delay spikes, partition verb filtering) — the chaos
+	// harness's knob (internal/check). nil runs a reliable fabric.
+	Faults *simnet.FaultPlan
 }
 
 // DefaultLanes derives the per-node lane count from the host CPU count
@@ -100,6 +104,7 @@ func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
 		Latency: cfg.Latency,
 		Jitter:  cfg.Jitter,
 		Seed:    cfg.Seed,
+		Faults:  cfg.Faults,
 	})
 	topo := cluster.NewTopology(cfg.Partitions, cfg.Replication)
 	dir := cluster.NewDirectory(topo, def)

@@ -10,6 +10,7 @@ package occ
 
 import (
 	"context"
+	"fmt"
 
 	"github.com/chillerdb/chiller/internal/cc"
 	"github.com/chillerdb/chiller/internal/cluster"
@@ -79,6 +80,8 @@ type readResp struct {
 	reason   txn.AbortReason
 	reads    txn.ReadSet
 	versions []uint64 // parallel to request entries
+	// detail is coordinator-local failure context (never on the wire).
+	detail string
 }
 
 func (rr *readResp) encode() []byte {
@@ -220,13 +223,31 @@ func validateLocal(n *server.Node, v *validateReq) bool {
 			if tbl == nil {
 				return false
 			}
-			cur, err := tbl.Bucket(k.Key).Version(k.Key)
+			b := tbl.Bucket(k.Key)
+			cur, err := b.Version(k.Key)
 			if err != nil {
 				cur = 0
 			}
 			if cur != v.versions[i] {
 				return false
 			}
+			// An unchanged version is not enough: a concurrent writer
+			// past its lock phase (1) holds this bucket exclusively and
+			// WILL install a new version whatever we observe now. With a
+			// multi-partition writer applying partition by partition,
+			// skipping this check admits read skew: the reader sees the
+			// writer's value on one partition and validates the stale
+			// version on another while its lock is still held (caught by
+			// the serializability checker, internal/check). The read
+			// validates only if no other transaction write-locks the
+			// bucket; our own write lock (read ∩ write set) is fine.
+			if _, held := n.HeldLockMode(v.txnID, b); held {
+				continue
+			}
+			if !b.Lock.TryLock(storage.LockShared) {
+				return false
+			}
+			b.Lock.Unlock(storage.LockShared)
 		}
 		return true
 	}
@@ -293,7 +314,7 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 			} else {
 				rr := e.readOne(target, i, rid, op.Type != txn.OpInsert)
 				if !rr.ok {
-					return txn.Result{Reason: rr.reason, Distributed: len(partsTouched) > 1}
+					return txn.Result{Reason: rr.reason, Detail: rr.detail, Distributed: len(partsTouched) > 1}
 				}
 				reads[i] = rr.reads[i]
 				versions[rid] = rr.versions[0]
@@ -347,7 +368,11 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 		ok, err := e.validateAt(target, v)
 		if err != nil {
 			n.AbortAll(lockedNodes, txnID)
-			return txn.Result{Reason: txn.AbortInternal, Distributed: distributed}
+			return txn.Result{
+				Reason:      server.TransportAbortReason(err),
+				Detail:      fmt.Sprintf("validate at node %d: %v", target, err),
+				Distributed: distributed,
+			}
 		}
 		lockedNodes[target] = true
 		writeNodeOf[target] = pid
@@ -367,11 +392,12 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 		ok, err := e.validateAt(target, v)
 		if err != nil || !ok {
 			n.AbortAll(lockedNodes, txnID)
-			reason := txn.AbortValidation
+			reason, detail := txn.AbortValidation, ""
 			if err != nil {
-				reason = txn.AbortInternal
+				reason = server.TransportAbortReason(err)
+				detail = fmt.Sprintf("validate at node %d: %v", target, err)
 			}
-			return txn.Result{Reason: reason, Distributed: distributed}
+			return txn.Result{Reason: reason, Detail: detail, Distributed: distributed}
 		}
 	}
 
@@ -383,15 +409,19 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 	}
 
 	// --- commit: replicate then apply+release at each write participant ---
-	for pid, ws := range writes {
-		if err := n.Replicate(pid, txnID, ws); err != nil {
-			n.AbortAll(lockedNodes, txnID)
-			return txn.Result{Reason: txn.AbortInternal, Distributed: distributed}
-		}
+	// One overlapped scatter (the relays run concurrently; Wait joins
+	// every replica ack) — serializing the per-partition relays would
+	// stretch the validated-lock hold window by a round trip per
+	// partition. A replication failure aborts cleanly (nothing applied
+	// yet; every participant rolls back), so a transient fault there is
+	// retryable — the same classification twopl gives this stage.
+	if err := n.ReplicateAsync(txnID, writes).Wait(); err != nil {
+		n.AbortAll(lockedNodes, txnID)
+		return txn.Result{Reason: server.TransportAbortReason(err), Detail: err.Error(), Distributed: distributed}
 	}
 	for target, pid := range writeNodeOf {
 		if err := n.CommitAt(target, txnID, writes[pid]); err != nil {
-			return txn.Result{Reason: txn.AbortInternal, Distributed: distributed}
+			return txn.Result{Reason: txn.AbortInternal, Detail: err.Error(), Distributed: distributed}
 		}
 	}
 	n.SampleCommit(readRIDs, writeRIDs)
@@ -405,11 +435,14 @@ func (e *Engine) readOne(target simnet.NodeID, opID int, rid storage.RID, mustEx
 	}
 	raw, err := e.node.Endpoint().Call(target, verbRead, encodeReadReq(entries))
 	if err != nil {
-		return &readResp{reason: txn.AbortInternal}
+		return &readResp{
+			reason: server.TransportAbortReason(err),
+			detail: fmt.Sprintf("read at node %d: %v", target, err),
+		}
 	}
 	rr, derr := decodeReadResp(raw)
 	if derr != nil {
-		return &readResp{reason: txn.AbortInternal}
+		return &readResp{reason: txn.AbortInternal, detail: fmt.Sprintf("read at node %d: %v", target, derr)}
 	}
 	return rr
 }

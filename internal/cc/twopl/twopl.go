@@ -92,7 +92,11 @@ func (e *Engine) RunOrdered(ctx context.Context, req *txn.Request, proc *txn.Pro
 		resp, callErr := n.LockRead(target, txnID, batch)
 		if callErr != nil {
 			n.AbortAll(st.participants, txnID)
-			return txn.Result{Reason: txn.AbortInternal, Distributed: st.distributed()}
+			return txn.Result{
+				Reason:      server.TransportAbortReason(callErr),
+				Detail:      fmt.Sprintf("lock-read at node %d: %v", target, callErr),
+				Distributed: st.distributed(),
+			}
 		}
 		if !resp.OK {
 			n.AbortAll(st.participants, txnID)
@@ -106,15 +110,22 @@ func (e *Engine) RunOrdered(ctx context.Context, req *txn.Request, proc *txn.Pro
 	}
 
 	// All locks held: implicitly prepared. Replicate cold write sets,
-	// then run the commit phase of 2PC, fanned out.
+	// then run the commit phase of 2PC, fanned out. A replication
+	// failure aborts cleanly (nothing applied; every participant rolls
+	// back), so a transient fault there is retryable.
 	if err := replicateAll(n, txnID, st.writes); err != nil {
 		n.AbortAll(st.participants, txnID)
-		return txn.Result{Reason: txn.AbortInternal, Distributed: st.distributed()}
+		return txn.Result{
+			Reason:      server.TransportAbortReason(err),
+			Detail:      err.Error(),
+			Distributed: st.distributed(),
+		}
 	}
 	if err := commitAll(n, txnID, &st); err != nil {
 		// Post-prepare commit delivery failed: participants that did not
-		// hear the commit keep their locks; surface as internal.
-		return txn.Result{Reason: txn.AbortInternal, Distributed: st.distributed()}
+		// hear the commit keep their locks; surface as internal (never
+		// retryable — the transaction's locks may be wedged).
+		return txn.Result{Reason: txn.AbortInternal, Detail: err.Error(), Distributed: st.distributed()}
 	}
 	n.SampleCommit(st.readRIDs, st.writeRIDs)
 	return txn.Result{

@@ -1,0 +1,458 @@
+// Package check is the black-box serializability checker and the
+// deterministic chaos harness that feeds it.
+//
+// The checker consumes a recorded transaction history (package history)
+// and decides whether the committed transactions are serializable,
+// following the black-box approach of offline dependency-graph checking:
+// no engine internals are trusted, only the values that crossed the API
+// boundary. It reconstructs, per key, the total order of committed
+// versions; derives the write-read (WR), write-write (WW), and
+// read-write (RW, anti-dependency) edges of the direct serialization
+// graph; and accepts the history iff that graph is acyclic. A cyclic
+// history is rejected with a minimal counterexample — a shortest cycle,
+// edge by edge (depgraph.ShortestCycle).
+//
+// Traceability requirement: version orders are reconstructed from
+// values, so the checker is exact only for histories whose committed
+// writes are (a) unique per (key, value) and (b) read-modify-write —
+// every update op observes the version it overwrites. The chaos
+// workload (workload.go) is designed to guarantee both (every written
+// value embeds a per-attempt nonce; every write is an update that reads
+// its predecessor). Histories that violate traceability are *rejected*
+// (ViolationUntraceable / ViolationUnorderedWrites), never silently
+// passed: refusing to certify beats certifying wrongly.
+//
+// Beyond cycles, the reconstruction itself surfaces classic anomalies
+// directly, with better names than "cycle": dirty reads (a committed
+// read observing a value no committed transaction wrote), reads of
+// intermediate versions (a value a transaction overwrote itself before
+// committing), and lost updates (two committed writers consuming the
+// same predecessor version).
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/chillerdb/chiller/internal/depgraph"
+	"github.com/chillerdb/chiller/internal/history"
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+// Key names one record.
+type Key struct {
+	Table storage.TableID
+	Key   storage.Key
+}
+
+func (k Key) String() string { return fmt.Sprintf("%d/%d", k.Table, k.Key) }
+
+// Options tunes a check.
+type Options struct {
+	// IsInitial reports whether value is part of the database state
+	// loaded before the history began. When nil, any value not written
+	// by a committed transaction is assumed initial — but two *distinct*
+	// such values for one key still fail (a key has one initial value),
+	// and a non-nil IsInitial upgrades "unknown value" to a dirty-read
+	// violation.
+	IsInitial func(k Key, value []byte) bool
+}
+
+// EdgeKind classifies a dependency edge.
+type EdgeKind uint8
+
+const (
+	// EdgeWR: the target read a version the source wrote.
+	EdgeWR EdgeKind = iota
+	// EdgeWW: the target overwrote a version the source wrote.
+	EdgeWW
+	// EdgeRW: the target overwrote a version the source read
+	// (anti-dependency).
+	EdgeRW
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeWR:
+		return "wr"
+	case EdgeWW:
+		return "ww"
+	case EdgeRW:
+		return "rw"
+	}
+	return "?"
+}
+
+// Edge is one dependency between two committed transactions, labeled
+// with the key that induced it.
+type Edge struct {
+	From, To uint64 // history.Txn.Seq
+	Kind     EdgeKind
+	On       Key
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("txn %d -%s[%s]-> txn %d", e.From, e.Kind, e.On, e.To)
+}
+
+// Violation codes.
+const (
+	// ViolationCycle: the serialization graph has a cycle (Report.Cycle
+	// carries the minimal witness).
+	ViolationCycle = "cycle"
+	// ViolationDirtyRead: a committed transaction read a value no
+	// committed transaction wrote and that is not an initial value.
+	ViolationDirtyRead = "dirty-read"
+	// ViolationIntermediateRead: a committed transaction read a version
+	// its writer had overwritten itself before committing.
+	ViolationIntermediateRead = "intermediate-read"
+	// ViolationLostUpdate: two committed writers consumed the same
+	// predecessor version of a key.
+	ViolationLostUpdate = "lost-update"
+	// ViolationTwoInitials: reads observed two distinct values for one
+	// key that no committed transaction wrote.
+	ViolationTwoInitials = "two-initial-values"
+	// ViolationUntraceable: two committed transactions wrote the same
+	// value to the same key, so version orders cannot be reconstructed.
+	ViolationUntraceable = "untraceable"
+	// ViolationUnorderedWrites: a key has several committed writers that
+	// cannot be chained (blind writes), so the write order is unknown.
+	ViolationUnorderedWrites = "unordered-writes"
+)
+
+// Violation is one detected anomaly.
+type Violation struct {
+	Code string
+	On   Key
+	// Txns names the involved transactions (history seqs).
+	Txns []uint64
+	Msg  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s on key %s (txns %v): %s", v.Code, v.On, v.Txns, v.Msg)
+}
+
+// Report is a check's outcome.
+type Report struct {
+	// Txns and Committed count the history's attempts and commits.
+	Txns, Committed int
+	// Violations lists every detected anomaly (empty iff serializable).
+	Violations []Violation
+	// Cycle is the minimal cycle witness when ViolationCycle was found:
+	// the edges in cycle order.
+	Cycle []Edge
+	// Edges is the number of dependency edges derived.
+	Edges int
+}
+
+// Serializable reports whether the history checked clean.
+func (r *Report) Serializable() bool { return len(r.Violations) == 0 }
+
+// Err returns nil for a clean history, or an error summarizing the
+// violations (cycle witness included).
+func (r *Report) Err() error {
+	if r.Serializable() {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: history not serializable: %d violation(s):", len(r.Violations))
+	for i, v := range r.Violations {
+		if i >= 5 {
+			fmt.Fprintf(&b, " ... (%d more)", len(r.Violations)-i)
+			break
+		}
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	for _, e := range r.Cycle {
+		b.WriteString("\n    ")
+		b.WriteString(e.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// access is a committed transaction's footprint on one key.
+type access struct {
+	// extRead is the value the transaction observed from *outside*
+	// itself: the first read of the key before any of its own writes.
+	extRead    []byte
+	hasExtRead bool
+	// finalWrite is the last value written (the version the transaction
+	// publishes); intermediates are earlier self-overwritten values.
+	finalWrite    []byte
+	hasWrite      bool
+	intermediates [][]byte
+}
+
+// valKey indexes a written or read value on one key.
+type valKey struct {
+	k Key
+	v string
+}
+
+// Histories checks a recorded history. It never mutates txns.
+func Histories(txns []history.Txn, opts Options) *Report {
+	rep := &Report{Txns: len(txns)}
+
+	// Collapse each committed transaction to per-key accesses, in op-ID
+	// order (the declared execution order of the procedure).
+	type ctxn struct {
+		seq uint64
+		acc map[Key]*access
+	}
+	var committed []ctxn
+	for i := range txns {
+		t := &txns[i]
+		if !t.Committed {
+			continue
+		}
+		c := ctxn{seq: t.Seq, acc: make(map[Key]*access, len(t.Reads)+len(t.Writes))}
+		type touch struct {
+			op    int
+			read  bool
+			value []byte
+		}
+		byKey := make(map[Key][]touch)
+		for _, r := range t.Reads {
+			k := Key{r.Table, r.Key}
+			byKey[k] = append(byKey[k], touch{op: r.Op, read: true, value: r.Value})
+		}
+		for _, w := range t.Writes {
+			k := Key{w.Table, w.Key}
+			byKey[k] = append(byKey[k], touch{op: w.Op, read: false, value: w.Value})
+		}
+		for k, ts := range byKey {
+			// Op IDs are positional, so a simple insertion sort by op
+			// (reads before writes of the same op: an update reads its
+			// predecessor, then writes).
+			for i := 1; i < len(ts); i++ {
+				for j := i; j > 0 && (ts[j].op < ts[j-1].op ||
+					(ts[j].op == ts[j-1].op && ts[j].read && !ts[j-1].read)); j-- {
+					ts[j], ts[j-1] = ts[j-1], ts[j]
+				}
+			}
+			a := &access{}
+			for _, tc := range ts {
+				if tc.read {
+					if !a.hasWrite && !a.hasExtRead {
+						a.extRead, a.hasExtRead = tc.value, true
+					}
+					continue
+				}
+				if a.hasWrite {
+					a.intermediates = append(a.intermediates, a.finalWrite)
+				}
+				a.finalWrite, a.hasWrite = tc.value, true
+			}
+			c.acc[k] = a
+		}
+		committed = append(committed, c)
+	}
+	rep.Committed = len(committed)
+	if len(committed) == 0 {
+		return rep
+	}
+
+	// Index final and intermediate writes by (key, value).
+	finalWriter := make(map[valKey]int)    // → committed index
+	intermediateOf := make(map[valKey]int) // → committed index
+	writersOf := make(map[Key][]int)       // key → committed writer indices
+	for ci := range committed {
+		c := &committed[ci]
+		for k, a := range c.acc {
+			if !a.hasWrite {
+				continue
+			}
+			writersOf[k] = append(writersOf[k], ci)
+			vk := valKey{k, string(a.finalWrite)}
+			if prev, dup := finalWriter[vk]; dup {
+				rep.Violations = append(rep.Violations, Violation{
+					Code: ViolationUntraceable, On: k,
+					Txns: []uint64{committed[prev].seq, c.seq},
+					Msg:  "two committed transactions wrote the same value; version order is not reconstructible",
+				})
+				continue
+			}
+			finalWriter[vk] = ci
+			for _, iv := range a.intermediates {
+				intermediateOf[valKey{k, string(iv)}] = ci
+			}
+		}
+	}
+	if len(rep.Violations) > 0 {
+		return rep // untraceable: everything downstream would be noise
+	}
+
+	// Reconstruct the version order of every written key by chaining
+	// each writer to the writer of the version it consumed, and record
+	// WW edges. successor maps a consumed version to its overwriter.
+	successor := make(map[valKey]int)
+	adj := make([][]int, len(committed))
+	edgeLabel := make(map[[2]int]Edge)
+	rep.Edges = 0
+	addEdge := func(from, to int, kind EdgeKind, k Key) {
+		if from == to {
+			return
+		}
+		adj[from] = append(adj[from], to)
+		rep.Edges++
+		key := [2]int{from, to}
+		if _, ok := edgeLabel[key]; !ok {
+			edgeLabel[key] = Edge{From: committed[from].seq, To: committed[to].seq, Kind: kind, On: k}
+		}
+	}
+
+	for k, writers := range writersOf {
+		blind := 0
+		var rootVals []string // successful initial-version chain-root claims
+		for _, wi := range writers {
+			a := committed[wi].acc[k]
+			if !a.hasExtRead {
+				// Blind write: no predecessor to chain from. One root per
+				// key is fine (the initial version); several mean the
+				// write order is unknown.
+				blind++
+				continue
+			}
+			vk := valKey{k, string(a.extRead)}
+			if pi, ok := finalWriter[vk]; ok {
+				if prev, taken := successor[vk]; taken {
+					rep.Violations = append(rep.Violations, Violation{
+						Code: ViolationLostUpdate, On: k,
+						Txns: []uint64{committed[pi].seq, committed[prev].seq, committed[wi].seq},
+						Msg:  "two committed writers consumed the same predecessor version",
+					})
+					continue
+				}
+				successor[vk] = wi
+				addEdge(pi, wi, EdgeWW, k)
+				continue
+			}
+			// Predecessor not a committed final write: initial value,
+			// aborted value, or an intermediate.
+			if ii, ok := intermediateOf[vk]; ok {
+				rep.Violations = append(rep.Violations, Violation{
+					Code: ViolationIntermediateRead, On: k,
+					Txns: []uint64{committed[ii].seq, committed[wi].seq},
+					Msg:  "writer consumed a version its writer had already overwritten (uncommitted intermediate)",
+				})
+				continue
+			}
+			if opts.IsInitial != nil && !opts.IsInitial(k, a.extRead) {
+				rep.Violations = append(rep.Violations, Violation{
+					Code: ViolationDirtyRead, On: k,
+					Txns: []uint64{committed[wi].seq},
+					Msg:  "writer consumed a value no committed transaction wrote (aborted or phantom)",
+				})
+				continue
+			}
+			if prev, taken := successor[vk]; taken {
+				// Failed root claim: the same initial version was already
+				// consumed — a lost update, and NOT a second root (so it
+				// must not also count toward unordered-writes below).
+				rep.Violations = append(rep.Violations, Violation{
+					Code: ViolationLostUpdate, On: k,
+					Txns: []uint64{committed[prev].seq, committed[wi].seq},
+					Msg:  "two committed writers consumed the same initial version",
+				})
+				continue
+			}
+			successor[vk] = wi
+			rootVals = append(rootVals, string(a.extRead))
+		}
+		// Root accounting: rootVals holds successful initial-version
+		// claims (distinct values by construction above — duplicates were
+		// flagged lost-update), blind counts writers with no predecessor
+		// at all. Each anomaly is reported once, by its precise name.
+		var seqs []uint64
+		if len(rootVals) > 1 || (blind > 0 && blind+len(rootVals) > 1) {
+			for _, wi := range writers {
+				seqs = append(seqs, committed[wi].seq)
+			}
+		}
+		if len(rootVals) > 1 {
+			rep.Violations = append(rep.Violations, Violation{
+				Code: ViolationTwoInitials, On: k, Txns: seqs,
+				Msg: "reads observed multiple distinct pre-history values for one key",
+			})
+		}
+		if blind > 0 && blind+len(rootVals) > 1 {
+			rep.Violations = append(rep.Violations, Violation{
+				Code: ViolationUnorderedWrites, On: k, Txns: seqs,
+				Msg: "multiple unchainable writers (blind writes) cannot be ordered",
+			})
+		}
+	}
+
+	// WR and RW edges from every external read (reads by writers double
+	// as WR/RW sources too — their extRead is an external observation).
+	seenInitial := make(map[Key]string)
+	for ci := range committed {
+		c := &committed[ci]
+		for k, a := range c.acc {
+			if !a.hasExtRead {
+				continue
+			}
+			vk := valKey{k, string(a.extRead)}
+			if wi, ok := finalWriter[vk]; ok {
+				addEdge(wi, ci, EdgeWR, k)
+				if si, ok := successor[vk]; ok {
+					addEdge(ci, si, EdgeRW, k)
+				}
+				continue
+			}
+			if ii, ok := intermediateOf[vk]; ok {
+				if !a.hasWrite { // writers were flagged in the chain pass
+					rep.Violations = append(rep.Violations, Violation{
+						Code: ViolationIntermediateRead, On: k,
+						Txns: []uint64{committed[ii].seq, c.seq},
+						Msg:  "read observed an uncommitted intermediate version",
+					})
+				}
+				continue
+			}
+			// Initial (or unknown) value.
+			if opts.IsInitial != nil && !opts.IsInitial(k, a.extRead) {
+				if !a.hasWrite {
+					rep.Violations = append(rep.Violations, Violation{
+						Code: ViolationDirtyRead, On: k,
+						Txns: []uint64{c.seq},
+						Msg:  "read observed a value no committed transaction wrote (aborted or phantom)",
+					})
+				}
+				continue
+			}
+			if prev, ok := seenInitial[k]; ok && prev != vk.v {
+				rep.Violations = append(rep.Violations, Violation{
+					Code: ViolationTwoInitials, On: k, Txns: []uint64{c.seq},
+					Msg: "reads observed multiple distinct pre-history values for one key",
+				})
+			} else {
+				seenInitial[k] = vk.v
+			}
+			if si, ok := successor[vk]; ok {
+				addEdge(ci, si, EdgeRW, k)
+			}
+		}
+	}
+
+	// Acyclicity — the serializability test itself.
+	if cyc := depgraph.ShortestCycle(len(committed), adj); cyc != nil {
+		var seqs []uint64
+		for _, ci := range cyc {
+			seqs = append(seqs, committed[ci].seq)
+		}
+		for i, ci := range cyc {
+			ni := cyc[(i+1)%len(cyc)]
+			rep.Cycle = append(rep.Cycle, edgeLabel[[2]int{ci, ni}])
+		}
+		rep.Violations = append(rep.Violations, Violation{
+			Code: ViolationCycle,
+			On:   rep.Cycle[0].On,
+			Txns: seqs,
+			Msg:  fmt.Sprintf("serialization graph has a cycle of length %d", len(cyc)),
+		})
+	}
+	return rep
+}

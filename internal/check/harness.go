@@ -1,0 +1,305 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/bench"
+	"github.com/chillerdb/chiller/internal/cc"
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/history"
+	"github.com/chillerdb/chiller/internal/server"
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/storage"
+)
+
+// The chaos harness: assemble a cluster, wrap every engine in a history
+// recorder, drive randomized multi-key traffic under an injected fault
+// schedule, then hand the recorded history to the checker. One Run is
+// one cell of the cross-product matrix (engine × lanes × transport ×
+// faults) the nightly job sweeps.
+
+// Faults configures the harness's fault schedule.
+type Faults struct {
+	// DropProb drops each pre-commit verb send with this probability
+	// (exercising the abort/retry path).
+	DropProb float64
+	// DelayProb/DelaySpike hit any message with an extra latency spike.
+	DelayProb  float64
+	DelaySpike time.Duration
+	// PartitionWindows cuts a random node pair for WindowLen, heals,
+	// waits WindowGap, and repeats this many times during the run.
+	PartitionWindows int
+	WindowLen        time.Duration
+	WindowGap        time.Duration
+}
+
+// DefaultFaults is the schedule the checker matrix runs with.
+func DefaultFaults() *Faults {
+	return &Faults{
+		DropProb:         0.02,
+		DelayProb:        0.02,
+		DelaySpike:       200 * time.Microsecond,
+		PartitionWindows: 3,
+		WindowLen:        2 * time.Millisecond,
+		WindowGap:        3 * time.Millisecond,
+	}
+}
+
+// Config sizes one harness run.
+type Config struct {
+	// Engine and VerbBatching pick the cell's engine and transport
+	// (VerbBatching affects EngineChiller only).
+	Engine       bench.EngineKind
+	VerbBatching bool
+	// Partitions, Replication, Lanes size the cluster (defaults 3, 2, 1).
+	Partitions  int
+	Replication int
+	Lanes       int
+	// Latency is the simulated one-way latency (default 2µs).
+	Latency time.Duration
+	// Seed makes the run's workload and fault dice reproducible.
+	Seed int64
+	// Clients is the number of concurrent clients per partition
+	// (default 3); Txns is how many transactions each client commits
+	// (default 15).
+	Clients int
+	Txns    int
+	// Keys is the number of records per partition (default 16).
+	Keys int
+	// Faults is the fault schedule; nil runs a reliable fabric.
+	Faults *Faults
+}
+
+func (cfg *Config) defaults() {
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 3
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.Replication > cfg.Partitions {
+		cfg.Replication = cfg.Partitions
+	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 1
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 2 * time.Microsecond
+	}
+	if cfg.Clients <= 0 {
+		cfg.Clients = 3
+	}
+	if cfg.Txns <= 0 {
+		cfg.Txns = 15
+	}
+	if cfg.Keys <= 0 {
+		cfg.Keys = 16
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = bench.EngineChiller
+	}
+}
+
+// Result is one harness run's outcome.
+type Result struct {
+	// Recorder holds the full history (for artifacts on failure).
+	Recorder *history.Recorder
+	// Report is the checker's verdict over the history.
+	Report *Report
+	// Committed and Aborted count transaction attempts; GaveUp counts
+	// client slots that exhausted their retry budget (0 on a healthy
+	// run — fault windows heal well inside the budget).
+	Committed, Aborted, GaveUp int
+	// ReplicaMismatches is the post-quiesce primary/replica diff count.
+	ReplicaMismatches int
+	// Quiesced reports whether every node drained its participant state
+	// (no leaked locks).
+	Quiesced bool
+}
+
+// Err folds every end-of-run assertion into one error: the history must
+// check serializable, replicas must converge, and no lock may leak.
+func (r *Result) Err() error {
+	if err := r.Report.Err(); err != nil {
+		return err
+	}
+	if r.ReplicaMismatches != 0 {
+		return fmt.Errorf("check: %d replica mismatches after quiesce", r.ReplicaMismatches)
+	}
+	if !r.Quiesced {
+		return fmt.Errorf("check: cluster did not quiesce (leaked participant state)")
+	}
+	if r.GaveUp > 0 {
+		return fmt.Errorf("check: %d transactions exhausted their retry budget", r.GaveUp)
+	}
+	return nil
+}
+
+// Run executes one chaos cell and checks its history.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+
+	var plan *simnet.FaultPlan
+	if cfg.Faults != nil {
+		plan = &simnet.FaultPlan{
+			Seed:       cfg.Seed,
+			DropProb:   cfg.Faults.DropProb,
+			DelayProb:  cfg.Faults.DelayProb,
+			DelaySpike: cfg.Faults.DelaySpike,
+			Droppable:  server.PreCommitVerbs,
+		}
+	}
+	maxKey := storage.Key(cfg.Partitions * cfg.Keys)
+	c := bench.NewCluster(bench.ClusterConfig{
+		Partitions:   cfg.Partitions,
+		Replication:  cfg.Replication,
+		Latency:      cfg.Latency,
+		Seed:         cfg.Seed,
+		Lanes:        cfg.Lanes,
+		VerbBatching: cfg.VerbBatching,
+		Faults:       plan,
+	}, cluster.RangePartitioner{N: cfg.Partitions, MaxKey: map[storage.TableID]storage.Key{CheckTable: maxKey}})
+	defer c.Close()
+
+	if err := RegisterProcs(c.Registry); err != nil {
+		return nil, err
+	}
+	c.CreateTable(CheckTable, 4096)
+	for k := storage.Key(0); k < maxKey; k++ {
+		if err := c.LoadRecord(CheckTable, k, InitialVal(k)); err != nil {
+			return nil, err
+		}
+	}
+
+	gen := &Generator{
+		Partitions: cfg.Partitions,
+		Keys:       cfg.Keys,
+		HotProb:    0.6,
+		RemoteProb: 0.5,
+	}
+	// Mark each partition's celebrity hot so Chiller exercises the
+	// two-region path (ignored by 2PL/OCC).
+	for p := 0; p < cfg.Partitions; p++ {
+		rid := storage.RID{Table: CheckTable, Key: gen.HotKey(p)}
+		c.Dir.SetHot(rid, c.Dir.Default().Partition(rid))
+	}
+
+	rec := history.NewRecorder()
+	engines := make([]cc.Engine, cfg.Partitions)
+	for p := 0; p < cfg.Partitions; p++ {
+		engines[p] = history.Engine(c.Engine(cfg.Engine, p), c.Registry, rec)
+	}
+
+	// Fault schedule: partition windows cut a seeded-random node pair,
+	// heal, pause, repeat. Only pre-commit verbs are blocked (the plan's
+	// Droppable), so in-flight commit tails finish and the cluster stays
+	// live; clients ride the windows out through their retry budget.
+	stopFaults := make(chan struct{})
+	var faultWG sync.WaitGroup
+	if cfg.Faults != nil && cfg.Faults.PartitionWindows > 0 && cfg.Partitions > 1 {
+		faultWG.Add(1)
+		go func() {
+			defer faultWG.Done()
+			frng := rand.New(rand.NewSource(cfg.Seed ^ 0x7a57))
+			for i := 0; i < cfg.Faults.PartitionWindows; i++ {
+				a := simnet.NodeID(frng.Intn(cfg.Partitions))
+				b := simnet.NodeID((int(a) + 1 + frng.Intn(cfg.Partitions-1)) % cfg.Partitions)
+				c.Net.Partition(a, b)
+				if !sleepOrStop(stopFaults, cfg.Faults.WindowLen) {
+					c.Net.Heal(a, b)
+					return
+				}
+				c.Net.Heal(a, b)
+				if !sleepOrStop(stopFaults, cfg.Faults.WindowGap) {
+					return
+				}
+			}
+		}()
+	}
+
+	// Clients: retry-until-commit with a fresh nonce per attempt (the
+	// checker needs every attempt's writes unique) and jittered backoff.
+	var nonces atomic.Int64
+	var committed, aborted, gaveUp atomic.Int64
+	const maxAttempts = 2000
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Partitions; p++ {
+		for cl := 0; cl < cfg.Clients; cl++ {
+			wg.Add(1)
+			go func(part, client int) {
+				defer wg.Done()
+				eng := engines[part]
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(part*1009+client)*7919))
+				for i := 0; i < cfg.Txns; i++ {
+					req := gen.Next(part, rng)
+					ok := false
+					for attempt := 0; attempt < maxAttempts; attempt++ {
+						req.Args[len(req.Args)-1] = nonces.Add(1)
+						req.ID = 0
+						res := eng.Run(context.Background(), req)
+						if res.Committed {
+							committed.Add(1)
+							ok = true
+							break
+						}
+						aborted.Add(1)
+						// Jittered exponential backoff, capped so a whole
+						// partition window fits in the retry budget.
+						shift := attempt
+						if shift > 7 {
+							shift = 7
+						}
+						base := int64(2<<shift) * int64(time.Microsecond)
+						time.Sleep(time.Duration(rng.Int63n(base) + 1))
+					}
+					if !ok {
+						gaveUp.Add(1)
+					}
+				}
+			}(p, cl)
+		}
+	}
+	wg.Wait()
+	close(stopFaults)
+	faultWG.Wait()
+	c.Net.HealAll()
+	c.Drain()
+
+	// Quiesce: participant state drains once the commit tails and abort
+	// waves land; give stragglers a few grace rounds.
+	quiesced := false
+	for i := 0; i < 50; i++ {
+		if c.Quiesced() {
+			quiesced = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res := &Result{
+		Recorder:          rec,
+		Committed:         int(committed.Load()),
+		Aborted:           int(aborted.Load()),
+		GaveUp:            int(gaveUp.Load()),
+		ReplicaMismatches: c.VerifyReplicaConsistency(CheckTable),
+		Quiesced:          quiesced,
+	}
+	res.Report = Histories(rec.Txns(), Options{IsInitial: IsInitialVal})
+	return res, nil
+}
+
+func sleepOrStop(stop <-chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}

@@ -1,0 +1,197 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/chillerdb/chiller/internal/bench"
+	"github.com/chillerdb/chiller/internal/history"
+	"github.com/chillerdb/chiller/internal/testutil"
+)
+
+// cell is one point of the engine × transport × lanes matrix.
+type cell struct {
+	name    string
+	engine  bench.EngineKind
+	batched bool
+	lanes   int
+}
+
+func matrixCells() []cell {
+	var cells []cell
+	for _, lanes := range []int{1, 4} {
+		cells = append(cells,
+			cell{fmt.Sprintf("2pl-lanes%d", lanes), bench.Engine2PL, false, lanes},
+			cell{fmt.Sprintf("occ-lanes%d", lanes), bench.EngineOCC, false, lanes},
+			cell{fmt.Sprintf("chiller-scalar-lanes%d", lanes), bench.EngineChiller, false, lanes},
+			cell{fmt.Sprintf("chiller-batched-lanes%d", lanes), bench.EngineChiller, true, lanes},
+		)
+	}
+	return cells
+}
+
+// runsPerCell decides the sweep depth: a short deterministic slice for
+// the PR gate, a moderate sweep for plain `go test ./...` (tier-1), and
+// whatever CHILLER_CHECKER_RUNS asks for in the nightly fuzz job (the
+// acceptance bar is ≥100 per cell).
+func runsPerCell(t *testing.T) int {
+	if s := os.Getenv("CHILLER_CHECKER_RUNS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CHILLER_CHECKER_RUNS=%q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 2
+	}
+	return 8
+}
+
+// TestCheckerMatrix is the chaos harness's cross-product sweep: every
+// engine × transport × lanes cell runs randomized multi-key workloads
+// under injected faults (drops, delay spikes, partition windows), and
+// every recorded history must check serializable, with replicas
+// converged and no leaked locks. Failing seeds and their histories are
+// written to CHILLER_CHECKER_ARTIFACTS (or the system temp dir) for
+// offline replay — see docs/TESTING.md.
+func TestCheckerMatrix(t *testing.T) {
+	runs := runsPerCell(t)
+	baseSeed := testutil.Seed(t, 20260729)
+	for _, c := range matrixCells() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			for run := 0; run < runs; run++ {
+				seed := baseSeed + int64(run)*101
+				res, err := Run(Config{
+					Engine:       c.engine,
+					VerbBatching: c.batched,
+					Lanes:        c.lanes,
+					Seed:         seed,
+					Faults:       DefaultFaults(),
+				})
+				if err != nil {
+					t.Fatalf("run %d (seed %d): harness: %v", run, seed, err)
+				}
+				if res.Committed == 0 {
+					t.Fatalf("run %d (seed %d): nothing committed", run, seed)
+				}
+				if err := res.Err(); err != nil {
+					saveArtifact(t, c.name, seed, res.Recorder)
+					t.Fatalf("run %d (seed %d): %v", run, seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckerMatrixNoFaults keeps a fault-free slice in the matrix: the
+// checker must also pass on plain contended histories (and this is the
+// cell that would expose a fault-injection artifact masquerading as an
+// engine bug).
+func TestCheckerMatrixNoFaults(t *testing.T) {
+	seed := testutil.Seed(t, 4242)
+	for _, c := range matrixCells() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{Engine: c.engine, VerbBatching: c.batched, Lanes: c.lanes, Seed: seed})
+			if err != nil {
+				t.Fatalf("harness: %v", err)
+			}
+			if err := res.Err(); err != nil {
+				saveArtifact(t, c.name+"-nofaults", seed, res.Recorder)
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCheckerSensitivity proves the end-to-end pipeline has teeth: take
+// a real recorded history, forge a lost update (a later committed
+// writer observing the same predecessor version as an earlier one), and
+// the checker must reject the mutation. A checker that passes mutated
+// histories would make every green matrix run meaningless.
+func TestCheckerSensitivity(t *testing.T) {
+	seed := testutil.Seed(t, 77)
+	for _, lanes := range []int{1, 4} {
+		res, err := Run(Config{
+			Engine: bench.EngineChiller, VerbBatching: true, Lanes: lanes,
+			Seed: seed, Faults: DefaultFaults(),
+		})
+		if err != nil {
+			t.Fatalf("lanes=%d: harness: %v", lanes, err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatalf("lanes=%d: unmutated history rejected: %v", lanes, err)
+		}
+		txns := res.Recorder.Txns()
+		mut := forgeLostUpdate(txns)
+		if mut < 0 {
+			t.Fatalf("lanes=%d: no mutation site found (history too small?)", lanes)
+		}
+		rep := Histories(txns, Options{IsInitial: IsInitialVal})
+		if rep.Serializable() {
+			t.Fatalf("lanes=%d: forged lost update (txn %d) checked clean", lanes, mut)
+		}
+	}
+}
+
+// forgeLostUpdate makes a later committed writer of some key observe
+// the same predecessor version an earlier writer consumed. Returns the
+// mutated txn's seq, or -1 if no site exists.
+func forgeLostUpdate(txns []history.Txn) int {
+	lastWriterRead := make(map[[2]uint64][]byte)
+	for i := range txns {
+		if !txns[i].Committed {
+			continue
+		}
+		writes := make(map[[2]uint64]bool, len(txns[i].Writes))
+		for _, w := range txns[i].Writes {
+			writes[[2]uint64{uint64(w.Table), uint64(w.Key)}] = true
+		}
+		for j := range txns[i].Reads {
+			r := &txns[i].Reads[j]
+			kk := [2]uint64{uint64(r.Table), uint64(r.Key)}
+			if !writes[kk] {
+				continue // only a writer's read can forge a lost update
+			}
+			if prev, ok := lastWriterRead[kk]; ok && string(prev) != string(r.Value) {
+				r.Value = prev
+				return int(txns[i].Seq)
+			}
+			lastWriterRead[kk] = r.Value
+		}
+	}
+	return -1
+}
+
+// saveArtifact archives a failing run's seed and history JSON so the
+// failure replays offline (CI uploads the directory).
+func saveArtifact(t *testing.T, cellName string, seed int64, rec *history.Recorder) {
+	t.Helper()
+	dir := os.Getenv("CHILLER_CHECKER_ARTIFACTS")
+	if dir == "" {
+		dir = filepath.Join(os.TempDir(), "chiller-checker-failures")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("artifact dir: %v", err)
+		return
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-seed%d.json", cellName, seed))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Logf("artifact: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := rec.WriteJSON(f); err != nil {
+		t.Logf("artifact write: %v", err)
+		return
+	}
+	t.Logf("failing history archived: %s (replay: CHILLER_SEED=%d)", path, seed)
+}

@@ -283,7 +283,7 @@ func (e *Engine) runTwoRegion(ctx context.Context, req *txn.Request, proc *txn.P
 	outerOrder := e.hotLastOrder(g, req.Args, dec.OuterOps)
 	if reason, ok := e.lockOuter(ctx, proc, req.Args, txnID, outerOrder, &st); !ok {
 		st.abortLocked(n, txnID)
-		return txn.Result{Reason: reason, Distributed: st.isDistributed()}
+		return txn.Result{Reason: reason, Detail: st.detail, Distributed: st.isDistributed()}
 	}
 
 	// Last cancellation point: the outer locks are held but the inner
@@ -326,7 +326,7 @@ func (e *Engine) runTwoRegion(ctx context.Context, req *txn.Request, proc *txn.P
 		n.CancelInnerAcks(txnID)
 		n.ReleaseInnerWaiter(ack)
 		st.abortLocked(n, txnID)
-		return txn.Result{Reason: iresp.Reason, Distributed: st.isDistributed()}
+		return txn.Result{Reason: iresp.Reason, Detail: iresp.detail, Distributed: st.isDistributed()}
 	}
 	for id, v := range iresp.Reads {
 		st.reads[id] = v
@@ -455,6 +455,9 @@ type outerState struct {
 	reads    txn.ReadSet
 	parts    []participant
 	innerPID cluster.PartitionID
+	// detail carries failure context for internal/unreachable aborts
+	// (which verb failed, at which node).
+	detail string
 	// sample gates access-set collection: the RID slices are only needed
 	// when a statistics observer is installed.
 	sample    bool
@@ -790,10 +793,13 @@ func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave
 	for _, b := range batches {
 		resp, err := resolve(b)
 		if err != nil {
-			// Transport failure: assume the worst (locks may be held)
-			// and report a non-retryable reason.
+			// Transport failure: assume the worst (locks may be held) —
+			// the abort wave still runs there — and classify the reason:
+			// injected faults are transient (retryable after the abort),
+			// everything else is internal.
 			st.addParticipant(b.target, 0).locked = true
-			failReason, failed = txn.AbortInternal, true
+			failReason, failed = server.TransportAbortReason(err), true
+			st.detail = fmt.Sprintf("lock wave at node %d: %v", b.target, err)
 			failedOps = nil
 			continue
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/chillerdb/chiller/internal/server"
@@ -54,6 +55,9 @@ type innerResponse struct {
 	OK     bool
 	Reason txn.AbortReason
 	Reads  txn.ReadSet
+	// detail is coordinator-local failure context (transport errors on
+	// the delegation RPC); it never travels on the wire.
+	detail string
 }
 
 func (r *innerResponse) encode() []byte {
@@ -91,12 +95,15 @@ func decodeRouteRequest(p []byte) (*txn.Request, error) {
 	return req, r.Err()
 }
 
-// encodeRouteResult serializes the routed transaction's outcome.
+// encodeRouteResult serializes the routed transaction's outcome,
+// including the abort Detail — the node-naming attribution must survive
+// the route hop or routed aborts would reach the client unattributed.
 func encodeRouteResult(res *txn.Result) []byte {
 	w := wire.NewWriter(64)
 	w.Bool(res.Committed)
 	w.Uint8(uint8(res.Reason))
 	w.Bool(res.Distributed)
+	w.String(res.Detail)
 	res.Reads.Encode(w)
 	return w.Bytes()
 }
@@ -107,6 +114,7 @@ func decodeRouteResult(p []byte) (txn.Result, error) {
 	res.Committed = r.Bool()
 	res.Reason = txn.AbortReason(r.Uint8())
 	res.Distributed = r.Bool()
+	res.Detail = r.String()
 	res.Reads = txn.DecodeReadSet(r)
 	return res, r.Err()
 }
@@ -226,11 +234,14 @@ func (e *Engine) execInner(innerNode simnet.NodeID, req *innerRequest) *innerRes
 	raw, err := e.node.Endpoint().Call(innerNode, server.VerbInnerExec, req.encode())
 	e.node.VerbMetrics().Observe(server.KindInnerExec, time.Since(start))
 	if err != nil {
-		return &innerResponse{Reason: txn.AbortInternal}
+		return &innerResponse{
+			Reason: server.TransportAbortReason(err),
+			detail: fmt.Sprintf("inner exec at node %d: %v", innerNode, err),
+		}
 	}
 	resp, derr := decodeInnerResponse(raw)
 	if derr != nil {
-		return &innerResponse{Reason: txn.AbortInternal}
+		return &innerResponse{Reason: txn.AbortInternal, detail: fmt.Sprintf("inner exec at node %d: %v", innerNode, derr)}
 	}
 	return resp
 }
@@ -418,11 +429,39 @@ func execInnerLocked(n *server.Node, txnID uint64, coord simnet.NodeID, proc *tx
 		}
 	}
 
-	// Unilateral commit: apply the writes and release the inner locks.
-	// From this instant the transaction is committed (§3.3 step 4); the
-	// outer region can no longer abort it.
+	// Unilateral commit: stream to the replicas, apply the writes, and
+	// release the inner locks. From the apply onward the transaction is
+	// committed (§3.3 step 4); the outer region can no longer abort it.
 	if n.FaultInjector != nil {
 		if err := n.FaultInjector(server.VerbCommit, txnID); err != nil {
+			release()
+			return &innerResponse{Reason: txn.AbortInternal}
+		}
+	}
+
+	// Stream the new values to this partition's replicas without
+	// waiting; replicas acknowledge to the coordinator (Figure 6). The
+	// stream is enqueued *before* the local apply and before the bucket
+	// locks release, for two load-bearing reasons: (a) conflicting inner
+	// regions (on other lanes, or outer regions of other transactions)
+	// are serialized only by these locks, so sending under them keeps
+	// stream order equal to commit order for every record (per-link FIFO
+	// delivery and per-lane replica apply do the rest); and (b) the send
+	// is the last step that can fail (fabric closing, partition window) —
+	// failing it before anything is applied lets the inner region abort
+	// cleanly instead of stranding a half-applied transaction that the
+	// coordinator reports as aborted. The send is a local enqueue and
+	// never waits on the network.
+	if len(writes) > 0 {
+		if sent, err := n.StreamInnerRepl(n.Partition(), txnID, coord, writes); err != nil {
+			if sent > 0 {
+				// A partially-sent stream means some replica will apply a
+				// write set this abort disowns; no compensation exists, so
+				// surface the invariant violation (only reachable by a
+				// blunt-mode partition or a mid-traffic fabric Close —
+				// every fault plan protects the stream).
+				panic(fmt.Sprintf("core: inner replication stream partially sent (%d replicas) then failed (txn %d): %v", sent, txnID, err))
+			}
 			release()
 			return &innerResponse{Reason: txn.AbortInternal}
 		}
@@ -433,30 +472,7 @@ func execInnerLocked(n *server.Node, txnID uint64, coord simnet.NodeID, proc *tx
 		release()
 		return &innerResponse{Reason: txn.AbortInternal}
 	}
-
-	// Stream the new values to this partition's replicas without
-	// waiting; replicas acknowledge to the coordinator (Figure 6). On a
-	// multi-lane node the stream is enqueued *before* the bucket locks
-	// release: two conflicting inner regions on different lanes are
-	// serialized only by these locks, so sending under them is what
-	// keeps stream order equal to commit order for any given record
-	// (per-link FIFO delivery and per-lane replica apply do the rest).
-	// The send is a local enqueue — it never waits on the network — but
-	// it still costs a queue pass, so a single-lane node (where the
-	// lane itself orders the stream) releases first to keep the hot
-	// span minimal.
-	var streamErr error
-	multiLane := n.NumLanes() > 1
-	if len(writes) > 0 && multiLane {
-		_, streamErr = n.StreamInnerRepl(n.Partition(), txnID, coord, writes)
-	}
 	release()
-	if len(writes) > 0 && !multiLane {
-		_, streamErr = n.StreamInnerRepl(n.Partition(), txnID, coord, writes)
-	}
-	if streamErr != nil {
-		return &innerResponse{Reason: txn.AbortInternal}
-	}
 	if len(writes) == 0 {
 		// Nothing to replicate: satisfy the coordinator's ack
 		// expectation directly so it does not wait forever.

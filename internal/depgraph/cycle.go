@@ -1,0 +1,161 @@
+package depgraph
+
+// Generic directed-graph cycle machinery, shared by the history checker
+// (internal/check): the static procedure graphs this package builds are
+// acyclic by construction, but the *dynamic* dependency graph of a
+// recorded transaction history is exactly where a serializability
+// violation shows up as a cycle. The checker wants the smallest witness
+// it can get, so the search returns a shortest cycle, not just any.
+
+// ShortestCycle returns a shortest directed cycle in the graph with
+// nodes 0..n-1 and adjacency lists adj (adj[i] lists i's successors,
+// duplicates tolerated). The result lists the nodes in cycle order
+// (edges result[k] → result[(k+1)%len]); nil means the graph is acyclic.
+// Self-loops are cycles of length 1.
+//
+// The search runs one BFS per node inside each strongly connected
+// component that can carry a cycle, so the cost is bounded by the SCC
+// sizes, not the whole graph — dependency graphs of mostly-serializable
+// histories have tiny (or no) non-trivial SCCs.
+func ShortestCycle(n int, adj [][]int) []int {
+	if n == 0 {
+		return nil
+	}
+	comp := sccOf(n, adj)
+
+	// Self-loops first: nothing can beat length 1.
+	for u := 0; u < n; u++ {
+		for _, v := range adj[u] {
+			if v == u {
+				return []int{u}
+			}
+		}
+	}
+
+	// Count component sizes; only components with ≥2 nodes can hold a
+	// (non-self-loop) cycle.
+	size := make(map[int]int)
+	for _, c := range comp {
+		size[c]++
+	}
+
+	var best []int
+	parent := make([]int, n)
+	depth := make([]int, n)
+	var queue []int
+	for s := 0; s < n; s++ {
+		if size[comp[s]] < 2 {
+			continue
+		}
+		if best != nil && len(best) == 2 {
+			break // cannot beat a 2-cycle (self-loops already handled)
+		}
+		// BFS from s within s's component; the first edge back into s
+		// closes a shortest cycle through s.
+		for i := range depth {
+			depth[i] = -1
+		}
+		depth[s], parent[s] = 0, -1
+		queue = append(queue[:0], s)
+		limit := len(best) // prune paths that cannot improve
+	bfs:
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			if limit != 0 && depth[u]+1 >= limit {
+				continue
+			}
+			for _, v := range adj[u] {
+				if comp[v] != comp[s] {
+					continue
+				}
+				if v == s {
+					cyc := make([]int, 0, depth[u]+1)
+					for w := u; w != -1; w = parent[w] {
+						cyc = append(cyc, w)
+					}
+					// cyc is s..u reversed; flip to cycle order.
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					best = cyc
+					break bfs
+				}
+				if depth[v] == -1 {
+					depth[v], parent[v] = depth[u]+1, u
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return best
+}
+
+// sccOf computes strongly connected components (iterative Tarjan),
+// returning each node's component id.
+func sccOf(n int, adj [][]int) []int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i], comp[i] = unvisited, unvisited
+	}
+	var stack []int
+	next, nComp := 0, 0
+
+	type frame struct{ v, ei int }
+	var call []frame
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		call = append(call[:0], frame{v: root})
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v], low[v] = next, next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(adj[v]) {
+				w := adj[v][f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					call = append(call, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				p := call[len(call)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return comp
+}

@@ -1,10 +1,10 @@
 package depgraph
 
 import (
-	"math/rand"
 	"testing"
 
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/testutil"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -13,7 +13,7 @@ import (
 // inner+outer partition the op set, no outer op pk-depends on an inner
 // op, and the implied execution order respects every pk-dep.
 func TestDecideAlwaysValid(t *testing.T) {
-	rng := rand.New(rand.NewSource(20260612))
+	rng := testutil.Rand(t, 20260612)
 	const trials = 2000
 	for trial := 0; trial < trials; trial++ {
 		nOps := 1 + rng.Intn(10)

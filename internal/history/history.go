@@ -1,0 +1,229 @@
+// Package history records transaction histories at the execution-engine
+// boundary — the input to black-box serializability checking (package
+// check).
+//
+// A Recorder observes every Run outcome of a wrapped cc.Engine: the
+// transaction's read set (operation, key, and the exact value observed)
+// and its write set (operation, key, and the value installed). Reads
+// come straight from the engine's result. Writes are reconstructed by
+// replaying the procedure's mutators over the recorded reads — mutators
+// are pure functions of (old value, args, reads) by the engine contract
+// (Chiller's own coordinator recomputes deferred outer writes the same
+// way), so the replay reproduces the committed values exactly without
+// threading write sets through every engine and the routing wire format.
+//
+// Recording happens at the public execution boundary, which is the point
+// of the black-box approach: the checker needs no trust in any engine
+// internals, only in the values that crossed the API. Histories
+// serialize to JSON (see docs/TESTING.md for the format) so failing
+// chaos runs can be archived and replayed through the checker offline.
+package history
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/chillerdb/chiller/internal/cc"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// Read is one observed read: operation op of the transaction saw Value
+// under (Table, Key). Value aliases the engine's read buffer and must be
+// treated as immutable (the same contract read sets carry everywhere).
+type Read struct {
+	Op    int             `json:"op"`
+	Table storage.TableID `json:"table"`
+	Key   storage.Key     `json:"key"`
+	Value []byte          `json:"value"`
+}
+
+// Write is one installed write: operation op set (Table, Key) to Value
+// (nil for deletes).
+type Write struct {
+	Op    int             `json:"op"`
+	Table storage.TableID `json:"table"`
+	Key   storage.Key     `json:"key"`
+	Type  string          `json:"type"` // "update", "insert", "delete"
+	Value []byte          `json:"value,omitempty"`
+}
+
+// Txn is one recorded transaction attempt — committed or aborted.
+type Txn struct {
+	// Seq is the recorder-assigned identity, in observation order. It
+	// orders nothing (observation order is not commit order); it only
+	// names transactions in checker reports.
+	Seq uint64 `json:"seq"`
+	// Proc is the stored-procedure name.
+	Proc string `json:"proc"`
+	// Args are the invocation arguments.
+	Args []int64 `json:"args"`
+	// Committed reports the outcome; aborted attempts carry Reason.
+	Committed bool `json:"committed"`
+	// Reason is the abort classification ("committed" when committed).
+	Reason string `json:"reason"`
+	// Detail is the abort's failure context, when the engine attached
+	// one (transport faults name the verb and destination node).
+	Detail string `json:"detail,omitempty"`
+	// Distributed reports whether the transaction spanned partitions.
+	Distributed bool `json:"distributed"`
+	// Reads and Writes are empty for aborted attempts: an aborted
+	// transaction installed nothing, and its partial reads are not part
+	// of the committed history.
+	Reads  []Read  `json:"reads,omitempty"`
+	Writes []Write `json:"writes,omitempty"`
+}
+
+// Recorder accumulates a history. Safe for concurrent use; every client
+// goroutine of every wrapped engine appends to the same recorder.
+type Recorder struct {
+	mu   sync.Mutex
+	txns []Txn
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Len reports how many transaction attempts have been recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.txns)
+}
+
+// Txns returns a snapshot copy of the recorded history.
+func (r *Recorder) Txns() []Txn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Txn, len(r.txns))
+	copy(out, r.txns)
+	return out
+}
+
+// Reset discards everything recorded so far.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.txns = nil
+}
+
+// Observe records one Run outcome. proc may be nil (unknown procedure —
+// recorded as an aborted attempt with no access sets).
+func (r *Recorder) Observe(proc *txn.Procedure, req *txn.Request, res *txn.Result) {
+	t := Txn{
+		Proc:        req.Proc,
+		Args:        append([]int64(nil), req.Args...),
+		Committed:   res.Committed,
+		Reason:      res.Reason.String(),
+		Detail:      res.Detail,
+		Distributed: res.Distributed,
+	}
+	if res.Committed && proc != nil {
+		t.Reads, t.Writes = replay(proc, req.Args, res.Reads)
+	}
+	r.mu.Lock()
+	t.Seq = uint64(len(r.txns)) + 1
+	r.txns = append(r.txns, t)
+	r.mu.Unlock()
+}
+
+// replay reconstructs a committed transaction's access sets from its
+// procedure and final read set: reads are taken verbatim; write values
+// re-run the deterministic mutators exactly as the engines do (old value
+// = the op's own recorded read for updates, nil for inserts).
+func replay(proc *txn.Procedure, args txn.Args, reads txn.ReadSet) ([]Read, []Write) {
+	var rs []Read
+	var ws []Write
+	for i := range proc.Ops {
+		op := &proc.Ops[i]
+		key, ok := op.Key(args, reads)
+		if !ok {
+			continue // unresolvable key cannot have executed
+		}
+		if op.Type == txn.OpRead || op.Type == txn.OpUpdate {
+			if v, present := reads[op.ID]; present {
+				rs = append(rs, Read{Op: op.ID, Table: op.Table, Key: key, Value: v})
+			}
+		}
+		if !op.Type.IsWrite() {
+			continue
+		}
+		w := Write{Op: op.ID, Table: op.Table, Key: key, Type: op.Type.String()}
+		if op.Type != txn.OpDelete {
+			var old []byte
+			if op.Type == txn.OpUpdate {
+				old = reads[op.ID]
+			}
+			v, err := op.Mutate(old, args, reads)
+			if err != nil {
+				// A committed transaction's mutators cannot fail on the
+				// values they committed with; a failure here means the
+				// mutator is impure. Record the write with no value so
+				// the checker flags the key as untraceable rather than
+				// silently passing.
+				v = nil
+			}
+			w.Value = v
+		}
+		ws = append(ws, w)
+	}
+	return rs, ws
+}
+
+// Engine wraps an execution engine so every Run outcome is recorded.
+// The wrapper forwards Name and Drain (when the inner engine drains), so
+// it is a drop-in replacement anywhere a cc.Engine is used.
+func Engine(inner cc.Engine, reg *txn.Registry, rec *Recorder) cc.Engine {
+	return &recordedEngine{inner: inner, reg: reg, rec: rec}
+}
+
+type recordedEngine struct {
+	inner cc.Engine
+	reg   *txn.Registry
+	rec   *Recorder
+}
+
+func (e *recordedEngine) Name() string { return e.inner.Name() }
+
+func (e *recordedEngine) Run(ctx context.Context, req *txn.Request) txn.Result {
+	res := e.inner.Run(ctx, req)
+	e.rec.Observe(e.reg.Lookup(req.Proc), req, &res)
+	return res
+}
+
+// Drain forwards to the inner engine's Drain when it has one.
+func (e *recordedEngine) Drain() {
+	if d, ok := e.inner.(cc.Drainer); ok {
+		d.Drain()
+	}
+}
+
+// historyEnvelope is the JSON container.
+type historyEnvelope struct {
+	Version int   `json:"version"`
+	Txns    []Txn `json:"txns"`
+}
+
+// WriteJSON serializes the recorded history (see docs/TESTING.md for the
+// format).
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	env := historyEnvelope{Version: 1, Txns: r.Txns()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&env)
+}
+
+// ReadJSON parses a history previously written by WriteJSON.
+func ReadJSON(rd io.Reader) ([]Txn, error) {
+	var env historyEnvelope
+	if err := json.NewDecoder(rd).Decode(&env); err != nil {
+		return nil, fmt.Errorf("history: decode: %w", err)
+	}
+	if env.Version != 1 {
+		return nil, fmt.Errorf("history: unsupported version %d", env.Version)
+	}
+	return env.Txns, nil
+}

@@ -1,0 +1,151 @@
+package history
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"github.com/chillerdb/chiller/internal/cc"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+const tbl storage.TableID = 3
+
+// fixtureProc: op0 reads key a0, op1 updates key a1 with read0+args[2].
+func fixtureProc() *txn.Procedure {
+	return &txn.Procedure{
+		Name: "h.fix",
+		Ops: []txn.OpSpec{
+			{ID: 0, Type: txn.OpRead, Table: tbl,
+				Key: func(a txn.Args, _ txn.ReadSet) (storage.Key, bool) { return storage.Key(a[0]), true }},
+			{ID: 1, Type: txn.OpUpdate, Table: tbl,
+				Key: func(a txn.Args, _ txn.ReadSet) (storage.Key, bool) { return storage.Key(a[1]), true },
+				Mutate: func(old []byte, a txn.Args, reads txn.ReadSet) ([]byte, error) {
+					out := append([]byte{}, old...)
+					out = append(out, reads[0]...)
+					out = append(out, byte(a[2]))
+					return out, nil
+				},
+				VDeps: []int{0}},
+		},
+	}
+}
+
+type fakeEngine struct {
+	res     txn.Result
+	drained bool
+}
+
+func (f *fakeEngine) Name() string { return "fake" }
+func (f *fakeEngine) Run(_ context.Context, _ *txn.Request) txn.Result {
+	return f.res
+}
+func (f *fakeEngine) Drain() { f.drained = true }
+
+func TestRecorderReplaysWrites(t *testing.T) {
+	reg := txn.NewRegistry()
+	reg.MustRegister(fixtureProc())
+	rec := NewRecorder()
+
+	reads := txn.ReadSet{0: []byte("rv"), 1: []byte("old")}
+	inner := &fakeEngine{res: txn.Result{Committed: true, Reads: reads, Distributed: true}}
+	eng := Engine(inner, reg, rec)
+
+	res := eng.Run(context.Background(), &txn.Request{Proc: "h.fix", Args: txn.Args{10, 11, 7}})
+	if !res.Committed {
+		t.Fatal("wrapper altered the result")
+	}
+	txns := rec.Txns()
+	if len(txns) != 1 {
+		t.Fatalf("recorded %d txns", len(txns))
+	}
+	h := txns[0]
+	if h.Seq != 1 || !h.Committed || h.Proc != "h.fix" || !h.Distributed {
+		t.Fatalf("bad txn header: %+v", h)
+	}
+	if len(h.Reads) != 2 {
+		t.Fatalf("want 2 reads (op0 + update op1 pre-image), got %+v", h.Reads)
+	}
+	if len(h.Writes) != 1 {
+		t.Fatalf("want 1 write, got %+v", h.Writes)
+	}
+	w := h.Writes[0]
+	// Replay: Mutate(old="old", reads[0]="rv", args[2]=7).
+	want := append([]byte("old"), append([]byte("rv"), 7)...)
+	if w.Key != 11 || w.Table != tbl || !bytes.Equal(w.Value, want) {
+		t.Fatalf("replayed write wrong: %+v (want value %q)", w, want)
+	}
+}
+
+func TestRecorderAbortedAttempts(t *testing.T) {
+	reg := txn.NewRegistry()
+	reg.MustRegister(fixtureProc())
+	rec := NewRecorder()
+	inner := &fakeEngine{res: txn.Result{
+		Reason: txn.AbortUnreachable, Detail: "lock-read at node 2: dropped",
+	}}
+	eng := Engine(inner, reg, rec)
+	eng.Run(context.Background(), &txn.Request{Proc: "h.fix", Args: txn.Args{1, 2, 3}})
+
+	h := rec.Txns()[0]
+	if h.Committed || h.Reason != "unreachable" || h.Detail == "" {
+		t.Fatalf("aborted attempt recorded wrong: %+v", h)
+	}
+	if len(h.Reads) != 0 || len(h.Writes) != 0 {
+		t.Fatalf("aborted attempt must carry no access sets: %+v", h)
+	}
+}
+
+func TestEngineWrapperForwardsDrain(t *testing.T) {
+	inner := &fakeEngine{}
+	eng := Engine(inner, txn.NewRegistry(), NewRecorder())
+	if eng.Name() != "fake" {
+		t.Fatalf("name not forwarded")
+	}
+	d, ok := eng.(cc.Drainer)
+	if !ok {
+		t.Fatal("wrapper must implement cc.Drainer")
+	}
+	d.Drain()
+	if !inner.drained {
+		t.Fatal("Drain not forwarded")
+	}
+}
+
+func TestHistoryJSONRoundTrip(t *testing.T) {
+	reg := txn.NewRegistry()
+	reg.MustRegister(fixtureProc())
+	rec := NewRecorder()
+	eng := Engine(&fakeEngine{res: txn.Result{
+		Committed: true,
+		Reads:     txn.ReadSet{0: []byte{0x1, 0x2}, 1: []byte{0x3}},
+	}}, reg, rec)
+	eng.Run(context.Background(), &txn.Request{Proc: "h.fix", Args: txn.Args{5, 6, 1}})
+	eng.Run(context.Background(), &txn.Request{Proc: "nonexistent", Args: txn.Args{1}})
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := rec.Txns()
+	if len(back) != len(orig) {
+		t.Fatalf("round trip lost txns: %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], back[i]
+		if a.Seq != b.Seq || a.Proc != b.Proc || a.Committed != b.Committed ||
+			len(a.Reads) != len(b.Reads) || len(a.Writes) != len(b.Writes) {
+			t.Fatalf("txn %d differs:\n%+v\n%+v", i, a, b)
+		}
+		for j := range a.Writes {
+			if !bytes.Equal(a.Writes[j].Value, b.Writes[j].Value) {
+				t.Fatalf("write value differs after round trip")
+			}
+		}
+	}
+}

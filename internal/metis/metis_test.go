@@ -1,8 +1,9 @@
 package metis
 
 import (
-	"math/rand"
 	"testing"
+
+	"github.com/chillerdb/chiller/internal/testutil"
 )
 
 func TestBuilderMergesParallelEdges(t *testing.T) {
@@ -90,7 +91,7 @@ func TestTwoClusters(t *testing.T) {
 
 func TestBalanceConstraintRespected(t *testing.T) {
 	// Random graph, all vertex weight 1: loads must stay within (1+ε)µ.
-	rng := rand.New(rand.NewSource(3))
+	rng := testutil.Rand(t, 3)
 	const n = 400
 	b := NewBuilder(n)
 	for i := 0; i < 3*n; i++ {
@@ -145,7 +146,7 @@ func TestZeroWeightVerticesAreFree(t *testing.T) {
 }
 
 func TestRefineImprovesRandomAssignment(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := testutil.Rand(t, 9)
 	const n = 200
 	b := NewBuilder(n)
 	for i := 0; i < n; i++ {
@@ -168,7 +169,7 @@ func TestLargeGraphCompletes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	rng := rand.New(rand.NewSource(123))
+	rng := testutil.Rand(t, 123)
 	const n = 20000
 	b := NewBuilder(n)
 	for i := 0; i < n; i++ {
@@ -196,7 +197,7 @@ func TestLargeGraphCompletes(t *testing.T) {
 
 func TestDeterministicForSeed(t *testing.T) {
 	b := NewBuilder(100)
-	rng := rand.New(rand.NewSource(4))
+	rng := testutil.Rand(t, 4)
 	for i := 0; i < 300; i++ {
 		b.AddEdge(rng.Intn(100), rng.Intn(100), 1)
 	}

@@ -92,7 +92,9 @@ func (n *Node) CommitAsync(target simnet.NodeID, txnID uint64, writes []WriteOp)
 	p := pendingCommitPool.Get().(*PendingCommit)
 	p.target = target
 	if target == n.ID() {
-		p.err = n.CommitLocal(txnID, writes)
+		if err := n.CommitLocal(txnID, writes); err != nil {
+			p.err = fmt.Errorf("server: commit at node %d: %w", target, err)
+		}
 		return p
 	}
 	c, err := n.ep.Go(target, VerbCommit, EncodeWrites(txnID, writes))
@@ -140,152 +142,124 @@ func (n *Node) AbortAll(participants map[simnet.NodeID]bool, txnID uint64) {
 	}
 }
 
-// Replicate synchronously ships a partition's write set to all replicas
-// of that partition (outer-region/cold-data replication: the primary
-// waits for acknowledgements before committing).
+// Replicate synchronously replicates a partition's write set: the write
+// set is forwarded to the partition's primary, which relays it onto its
+// per-link FIFO replication streams (see Node.handleReplForward — one
+// replication pipe per record, so replica apply order always equals
+// bucket-lock order), and Replicate returns once every replica acked.
+// Callers hold the records' locks across this call (replication
+// strictly precedes the commit wave), which is what orders the relay
+// against the partition's inner-region streams.
 func (n *Node) Replicate(pid cluster.PartitionID, txnID uint64, writes []WriteOp) error {
 	if len(writes) == 0 {
 		return nil
 	}
-	replicas := n.dir.Topology().Replicas(pid)
-	if len(replicas) == 0 {
-		return nil
-	}
-	payload := EncodeWrites(txnID, writes)
-	calls := make([]replCall, 0, len(replicas))
-	for _, r := range replicas {
-		c, err := n.ep.Go(r, VerbReplApply, payload)
-		if err != nil {
-			return fmt.Errorf("server: replicate to node %d: %w", r, err)
-		}
-		calls = append(calls, replCall{call: c, target: r, start: time.Now()})
-	}
-	for _, c := range calls {
-		_, err := c.call.Wait()
-		n.vm.Observe(KindReplApply, time.Since(c.start))
-		if err != nil {
-			return fmt.Errorf("server: replica ack from node %d: %w", c.target, err)
-		}
-	}
-	return nil
+	pr := &PendingReplication{vm: n.vm}
+	n.forwardTo(pr, pid, txnID, writes)
+	return pr.Wait()
 }
 
-// replCall is one in-flight scalar replica-apply RPC.
+// replCall is one in-flight replication forward RPC.
 type replCall struct {
 	call   *simnet.Call
 	target simnet.NodeID
 	start  time.Time
 }
 
-// PendingReplication is an in-flight replication fan-out started by
-// ReplicateAsync or ReplicateDoorbell. Wait gathers every replica
-// acknowledgement.
-type PendingReplication struct {
-	vm        *VerbMetrics
-	calls     []replCall
-	doorbells []*PendingDoorbell
-	errs      []error
+// localFwd is an in-flight relay on this node (the coordinator is the
+// partition's primary — the common case). start brackets the relay's
+// stream→apply→ack round trip for the KindReplApply latency histogram,
+// which would otherwise only see the rare remote-forward leg.
+type localFwd struct {
+	ch     chan error
+	target simnet.NodeID
+	start  time.Time
 }
 
-// ReplicateAsync ships every partition's write set to all replicas of
-// that partition in one scatter, without waiting for acknowledgements.
-// The caller overlaps the replica round trip with other work (Chiller's
-// coordinator runs it under the inner-replica-ack wait) and joins the
-// acks with Wait before releasing any lock. One RPC per (partition,
-// replica) pair — the scalar path; ReplicateDoorbell is the batched
-// equivalent.
+// PendingReplication is an in-flight replication fan-out started by
+// Replicate, ReplicateAsync or ReplicateDoorbell. Wait gathers every
+// replica acknowledgement.
+type PendingReplication struct {
+	vm     *VerbMetrics
+	calls  []replCall
+	locals []localFwd
+	errs   []error
+}
+
+// forwardTo starts one partition's replication relay: a direct local
+// relay when this node is the partition's primary, a forward RPC to the
+// primary otherwise.
+func (n *Node) forwardTo(pr *PendingReplication, pid cluster.PartitionID, txnID uint64, ws []WriteOp) {
+	if len(ws) == 0 || len(n.dir.Topology().Replicas(pid)) == 0 {
+		return
+	}
+	primary := n.dir.Topology().Primary(pid)
+	if primary == n.ID() {
+		lf := localFwd{ch: make(chan error, 1), target: primary, start: time.Now()}
+		n.ForwardRepl(ws, func(err error) { lf.ch <- err })
+		pr.locals = append(pr.locals, lf)
+		return
+	}
+	c, err := n.ep.Go(primary, VerbReplForward, EncodeWrites(txnID, ws))
+	if err != nil {
+		pr.errs = append(pr.errs, fmt.Errorf("server: replicate to node %d: %w", primary, err))
+		return
+	}
+	pr.calls = append(pr.calls, replCall{call: c, target: primary, start: time.Now()})
+}
+
+// ReplicateAsync starts every partition's replication relay in one
+// scatter, without waiting for acknowledgements. The caller overlaps
+// the replica round trip with other work (Chiller's coordinator runs it
+// under the inner-replica-ack wait) and joins the acks with Wait before
+// releasing any lock.
 func (n *Node) ReplicateAsync(txnID uint64, writes map[cluster.PartitionID][]WriteOp) *PendingReplication {
 	pr := &PendingReplication{vm: n.vm}
-	topo := n.dir.Topology()
 	for pid, ws := range writes {
-		if len(ws) == 0 {
-			continue
-		}
-		replicas := topo.Replicas(pid)
-		if len(replicas) == 0 {
-			continue
-		}
-		payload := EncodeWrites(txnID, ws)
-		for _, r := range replicas {
-			c, err := n.ep.Go(r, VerbReplApply, payload)
-			if err != nil {
-				pr.errs = append(pr.errs, fmt.Errorf("server: replicate to node %d: %w", r, err))
-				continue
-			}
-			pr.calls = append(pr.calls, replCall{call: c, target: r, start: time.Now()})
-		}
+		n.forwardTo(pr, pid, txnID, ws)
 	}
 	return pr
 }
 
-// ReplicateDoorbell is ReplicateAsync over the doorbell path: every
-// write set bound for the same replica node — a node often replicates
-// several of the transaction's outer partitions — rides one doorbell, so
-// the fan-out costs one round trip per destination node instead of one
-// per (partition, replica) pair.
+// ReplicateDoorbell is ReplicateAsync under a batched-transport engine.
+// Replication relays cannot ride a doorbell: a relay completes only
+// when the replicas ack back to the primary, and doorbell frames are
+// serviced synchronously at ring time — parking the ring on a replica
+// round trip would forfeit exactly the overlap the engine buys by
+// scattering. Since the relay targets partition primaries (typically
+// one or two nodes whose write sets were already coalesced per
+// partition), the scalar forward path is the batched path.
 func (n *Node) ReplicateDoorbell(txnID uint64, writes map[cluster.PartitionID][]WriteOp) *PendingReplication {
-	pr := &PendingReplication{vm: n.vm}
-	topo := n.dir.Topology()
-	// Group per destination node; the handful of replicas makes a linear
-	// scan over a tiny slice cheaper than a map (same reasoning as the
-	// lock waves).
-	var bells []*Doorbell
-	for pid, ws := range writes {
-		if len(ws) == 0 {
-			continue
-		}
-		for _, r := range topo.Replicas(pid) {
-			var d *Doorbell
-			for _, cand := range bells {
-				if cand.Target() == r {
-					d = cand
-					break
-				}
-			}
-			if d == nil {
-				d = n.NewDoorbell(r)
-				bells = append(bells, d)
-			}
-			d.PostReplApply(txnID, ws)
-		}
-	}
-	for _, d := range bells {
-		pr.doorbells = append(pr.doorbells, d.Ring())
-	}
-	return pr
+	return n.ReplicateAsync(txnID, writes)
 }
 
 // Empty reports whether the fan-out has nothing in flight and no errors.
 func (pr *PendingReplication) Empty() bool {
-	return len(pr.calls) == 0 && len(pr.doorbells) == 0 && len(pr.errs) == 0
+	return len(pr.calls) == 0 && len(pr.locals) == 0 && len(pr.errs) == 0
 }
 
 // Wait drains every outstanding replica acknowledgement and returns the
 // join of all errors (not just the first), so a multi-replica failure is
-// reported in full. Every error names the replica node it came from.
+// reported in full. Every error names the relaying primary; when a
+// specific replica failed, the wrapped cause names that replica too
+// (StreamInnerRepl's errors carry the replica node).
 func (pr *PendingReplication) Wait() error {
 	for _, c := range pr.calls {
 		_, err := c.call.Wait()
 		pr.vm.Observe(KindReplApply, time.Since(c.start))
 		if err != nil {
-			pr.errs = append(pr.errs, fmt.Errorf("server: replica ack from node %d: %w", c.target, err))
+			pr.errs = append(pr.errs, fmt.Errorf("server: replication relay via node %d: %w", c.target, err))
 		}
 	}
 	pr.calls = nil
-	for _, pd := range pr.doorbells {
-		results, err := pd.Wait()
+	for _, lf := range pr.locals {
+		err := <-lf.ch
+		pr.vm.Observe(KindReplApply, time.Since(lf.start))
 		if err != nil {
-			pr.errs = append(pr.errs, err)
-			continue
+			pr.errs = append(pr.errs, fmt.Errorf("server: replication relay via node %d: %w", lf.target, err))
 		}
-		for _, fr := range results {
-			if ferr := pd.Err(fr); ferr != nil {
-				pr.errs = append(pr.errs, fmt.Errorf("server: replica ack: %w", ferr))
-			}
-		}
-		pd.Release()
 	}
-	pr.doorbells = nil
+	pr.locals = nil
 	return errors.Join(pr.errs...)
 }
 
@@ -362,7 +336,12 @@ func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluste
 // path that must stay two-sided: it relies on per-link FIFO delivery for
 // the §5 in-order-apply property, which the one-sided doorbell path does
 // not provide.
-func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID uint64, coordinator simnet.NodeID, writes []WriteOp) (replicaCount int, err error) {
+//
+// On failure, sent reports how many replica sends had already gone out:
+// callers abort cleanly only when sent == 0 (nothing reached any
+// replica); a partial stream has no compensation path and is an engine
+// invariant violation.
+func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID uint64, coordinator simnet.NodeID, writes []WriteOp) (sent int, err error) {
 	replicas := n.dir.Topology().Replicas(pid)
 	if len(replicas) == 0 {
 		return 0, nil
@@ -370,11 +349,12 @@ func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID uint64, coordinato
 	payload := EncodeInnerRepl(txnID, coordinator, writes)
 	for _, r := range replicas {
 		if err := n.ep.Send(r, VerbInnerRepl, payload); err != nil {
-			return 0, fmt.Errorf("server: inner repl to node %d: %w", r, err)
+			return sent, fmt.Errorf("server: inner repl to node %d: %w", r, err)
 		}
+		sent++
 		n.vm.Add(KindInnerRepl)
 	}
-	return len(replicas), nil
+	return sent, nil
 }
 
 // SampleCommit reports a committed transaction's access sets to the

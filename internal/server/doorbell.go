@@ -122,7 +122,13 @@ func (d *Doorbell) PostCommit(txnID uint64, writes []WriteOp) int {
 	return d.count - 1
 }
 
-// PostReplApply posts an outer-region replica write-set apply.
+// PostReplApply posts a direct replica write-set apply. Substrate-only:
+// engines stopped replicating replica-direct when replication moved to
+// the primary relay (VerbReplForward — one FIFO pipe per record; a
+// relay cannot ride a doorbell because its completion waits on replica
+// acks, see ReplicateDoorbell). The frame stays a supported one-sided
+// verb for tooling and for state-sync paths that copy records outside
+// any transaction.
 func (d *Doorbell) PostReplApply(txnID uint64, writes []WriteOp) int {
 	mark := d.begin(VerbReplApply)
 	EncodeWritesTo(&d.w, txnID, writes)
@@ -144,9 +150,16 @@ func (d *Doorbell) Ring() *PendingDoorbell {
 	}
 	d.w.SetUint32(0, uint32(d.count))
 	pd.start = time.Now()
+	// A ring carrying any post-commit-point frame ships under the
+	// protected tail verb; pure lock-wave rings are droppable by fault
+	// plans (see VerbDoorbellTail).
+	method := VerbDoorbell
+	if d.kinds[1]+d.kinds[2]+d.kinds[3] > 0 { // commit, repl-apply, abort frames
+		method = VerbDoorbellTail
+	}
 	// GoOneSided services the batch before returning (see its cost
 	// model), so the envelope buffer can be recycled immediately.
-	p, err := d.n.ep.GoOneSided(d.target, VerbDoorbell, d.w.Bytes(), d.count)
+	p, err := d.n.ep.GoOneSided(d.target, method, d.w.Bytes(), d.count)
 	d.release()
 	if err != nil {
 		pd.waited = true

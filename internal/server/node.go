@@ -11,6 +11,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -146,12 +147,17 @@ func New(ep *simnet.Endpoint, st *storage.Store, reg *txn.Registry, dir *cluster
 	ep.HandleAsync(VerbCommit, n.handleCommit)
 	ep.Handle(VerbAbort, n.handleAbort)
 	ep.HandleAsync(VerbReplApply, n.handleReplApply)
+	ep.HandleAsync(VerbReplForward, n.handleReplForward)
 	ep.HandleAsync(VerbInnerRepl, n.handleInnerRepl)
 	ep.Handle(VerbInnerAck, n.handleInnerAck)
 	// The doorbell envelope is serviced on the one-sided path: batched
 	// senders bypass the dispatcher and lanes entirely, scalar senders
 	// keep the two-sided verbs above — one node serves both at once.
+	// Lock-wave rings and commit-tail rings are distinct verb names (so
+	// fault injection can target one without the other) served by the
+	// same handler.
 	ep.HandleOneSided(VerbDoorbell, n.handleDoorbell)
+	ep.HandleOneSided(VerbDoorbellTail, n.handleDoorbell)
 	return n
 }
 
@@ -433,11 +439,11 @@ func (n *Node) handleAbort(_ simnet.NodeID, req []byte) ([]byte, error) {
 	return nil, nil
 }
 
-// handleReplApply applies an outer-region write set on a replica, each
-// record's writes on its owning lane. The primary waits for this RPC's
-// response before committing, giving synchronous primary-backup
-// replication for cold data; the reply fires only after every lane
-// group has applied.
+// handleReplApply applies a write set directly on a replica, each
+// record's writes on its owning lane. Engines no longer drive this verb
+// (they forward through the partition primary, see handleReplForward,
+// so every record has exactly one replication pipe); it remains for
+// tooling and direct-apply tests.
 func (n *Node) handleReplApply(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
 	_, writes, err := DecodeWrites(req)
 	if err != nil {
@@ -445,6 +451,76 @@ func (n *Node) handleReplApply(_ simnet.NodeID, req []byte, reply func([]byte, e
 		return
 	}
 	n.applyByLane(writes, func(aerr error) { reply(nil, aerr) })
+}
+
+// fwdAckBit namespaces the synthetic ack ids of forwarded replication
+// relays away from real transaction ids (node<<40|seq never sets the
+// top bit), so forward acks and inner-region acks share the node's ack
+// table without collisions.
+const fwdAckBit = uint64(1) << 63
+
+// handleReplForward runs on a partition primary: relay an outer-region
+// write set onto the primary's §5 per-link FIFO replication streams and
+// reply once every replica of this partition has acknowledged back to
+// us. Because the coordinator issues the forward while it still holds
+// the records' bucket locks (replication strictly precedes the commit
+// wave), the relay's stream position orders it against every inner
+// region of this partition: stream order at the replicas equals
+// bucket-lock order at the primary for all writes, inner and outer —
+// the property direct coordinator→replica RPCs could not give (they
+// race the inner stream on a different link; the chaos harness caught
+// exactly that as a replica mismatch under delay spikes).
+func (n *Node) handleReplForward(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
+	_, writes, err := DecodeWrites(req)
+	if err != nil {
+		reply(nil, err)
+		return
+	}
+	n.ForwardRepl(writes, func(aerr error) { reply(nil, aerr) })
+}
+
+// ForwardRepl streams writes (to records of this node's own partition)
+// to the partition's replicas and calls done once every replica acked —
+// immediately when the partition has no replicas. Callable directly by
+// a co-located coordinator (the common case: a transaction's writes
+// mostly target its coordinator's partition). A fabric teardown racing
+// the ack wait fails the relay with ErrClosed instead of hanging (acks
+// are one-way and die silently with the dispatcher).
+func (n *Node) ForwardRepl(writes []WriteOp, done func(error)) {
+	replicas := n.dir.Topology().Replicas(n.part)
+	if len(replicas) == 0 {
+		done(nil)
+		return
+	}
+	fid := n.NextTxnID() | fwdAckBit
+	ack := n.ExpectInnerAcks(fid, len(replicas))
+	if sent, err := n.StreamInnerRepl(n.part, fid, n.ID(), writes); err != nil {
+		if sent > 0 {
+			// Part of the stream is out: some replica will apply a write
+			// set whose transaction is about to report failure. There is
+			// no compensation path — surface the invariant violation
+			// instead of diverging the replicas silently. Unreachable
+			// under any fault plan (the stream is protected); only a
+			// blunt-mode partition or a mid-traffic Close can get here.
+			panic(fmt.Sprintf("server: node %d: replication stream partially sent (%d of %d) then failed: %v",
+				n.ID(), sent, len(replicas), err))
+		}
+		n.CancelInnerAcks(fid)
+		n.ReleaseInnerWaiter(ack)
+		done(err)
+		return
+	}
+	go func() {
+		select {
+		case <-ack.Done():
+			n.ReleaseInnerWaiter(ack)
+			done(nil)
+		case <-n.ep.Closed():
+			n.CancelInnerAcks(fid)
+			n.ReleaseInnerWaiter(ack)
+			done(simnet.ErrClosed)
+		}
+	}()
 }
 
 // --- Inner-region replication (§5, Figure 6) ---
@@ -472,24 +548,37 @@ func DecodeInnerRepl(p []byte) (txnID uint64, coordinator simnet.NodeID, writes 
 	return txnID, coordinator, writes, err
 }
 
-// handleInnerRepl runs on a replica of the inner partition: apply the
-// inner write set — each record on its owning lane, preserving the
-// stream's per-record arrival order (see applyByLane) — then notify the
-// *coordinator* (not the inner primary — the primary has already moved
-// on, Fig 6).
+// handleInnerRepl runs on a replica: apply the streamed write set —
+// each record on its owning lane, preserving the stream's per-record
+// arrival order (see applyByLane) — then notify the waiter named in
+// the message (the transaction's coordinator for inner regions, the
+// relaying primary for forwarded outer replication; the inner primary
+// itself has already moved on, Fig 6).
+//
+// A replica that cannot apply must not go silent: the stream is
+// one-way, so a swallowed error would leave the waiter counting acks
+// forever (wedging the coordinator and every lock the transaction
+// holds). Apply failures on a locked, already-committed write set are
+// engine invariant violations — same class as a failed post-commit
+// apply at a primary — so they surface loudly instead.
 func (n *Node) handleInnerRepl(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
 	txnID, coord, writes, err := DecodeInnerRepl(req)
 	if err != nil {
-		reply(nil, err)
-		return
+		panic(fmt.Sprintf("server: replica %d: undecodable replication stream message: %v", n.ID(), err))
 	}
 	n.applyByLane(writes, func(aerr error) {
 		if aerr != nil {
-			reply(nil, aerr)
-			return
+			panic(fmt.Sprintf("server: replica %d: apply of committed write set failed: %v", n.ID(), aerr))
 		}
 		n.vm.Add(KindInnerAck)
-		_ = n.ep.Send(coord, VerbInnerAck, EncodeAbort(txnID))
+		if err := n.ep.Send(coord, VerbInnerAck, EncodeAbort(txnID)); err != nil && !errors.Is(err, simnet.ErrClosed) {
+			// Same wedge as a swallowed apply failure: an undelivered ack
+			// leaves the waiter counting forever. The ack verb rides the
+			// protected control plane under every fault plan, so a failed
+			// send here (outside fabric teardown) is an invariant
+			// violation, not an injected fault.
+			panic(fmt.Sprintf("server: replica %d: ack to node %d undeliverable: %v", n.ID(), coord, err))
+		}
 		reply(nil, nil)
 	})
 }

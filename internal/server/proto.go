@@ -16,13 +16,43 @@ const (
 	VerbReplApply = "repl"  // primary→replica write-set apply (outer region)
 	VerbInnerExec = "inner" // coordinator→inner-host delegation (Chiller)
 	VerbTxnRoute  = "route" // client→coordinator transaction placement (Chiller)
-	VerbInnerRepl = "irepl" // inner-primary→replica stream (one-way)
-	VerbInnerAck  = "irack" // inner-replica→coordinator ack (one-way)
-	VerbOCCRead   = "ord"   // OCC unlocked read
-	VerbOCCValid  = "ovl"   // OCC validate + write-lock
-	VerbOCCFinish = "ofn"   // OCC commit or abort after validation
-	VerbDoorbell  = "db1"   // doorbell-batched one-sided verb envelope (see doorbell.go)
+	VerbInnerRepl = "irepl" // primary→replica stream (one-way; inner + forwarded outer)
+	VerbInnerAck  = "irack" // replica→coordinator / replica→primary ack (one-way)
+	// VerbReplForward relays an outer-region write set through the owning
+	// partition's primary onto its §5 FIFO replication streams, replying
+	// once every replica acked. Routing all replication of a record
+	// through one pipe (its primary's per-link stream) is what makes
+	// replica apply order equal bucket-lock order even when a record is
+	// inner in one transaction and outer in another — direct
+	// coordinator→replica RPCs race the inner stream on a different link
+	// (caught by the chaos harness, internal/check).
+	VerbReplForward = "rfwd"
+	VerbOCCRead     = "ord" // OCC unlocked read
+	VerbOCCValid    = "ovl" // OCC validate + write-lock
+	VerbOCCFinish   = "ofn" // OCC commit or abort after validation
+	VerbDoorbell    = "db1" // doorbell-batched one-sided verb envelope (see doorbell.go)
+	// VerbDoorbellTail is the doorbell envelope for rings that carry any
+	// post-commit-point frame (commit, replica apply, abort). It is
+	// served by the same handler as VerbDoorbell; the distinct name lets
+	// the fault injector (simnet.FaultPlan.Droppable) target pre-commit
+	// lock-wave doorbells while the commit tail stays on the protected
+	// control plane — dropping a commit frame would wedge participant
+	// locks, not exercise a recovery path. See internal/simnet/faults.go.
+	VerbDoorbellTail = "db2"
 )
+
+// PreCommitVerbs is the verb set whose loss an engine recovers from by
+// aborting the transaction and retrying: the pre-commit-point fan-outs.
+// Chaos harnesses pass this as simnet.FaultPlan.Droppable; everything
+// else (commit, abort, replication, the inner stream and its acks) is
+// the protected control plane.
+func PreCommitVerbs(method string) bool {
+	switch method {
+	case VerbLockRead, VerbOCCRead, VerbOCCValid, VerbInnerExec, VerbTxnRoute, VerbDoorbell:
+		return true
+	}
+	return false
+}
 
 // LockEntry is one lock-and-read request item.
 type LockEntry struct {

@@ -1,0 +1,22 @@
+package server
+
+import (
+	"errors"
+
+	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// TransportAbortReason classifies a coordinator-side transport error as
+// an abort reason: injected faults (drops, partitions) are transient and
+// map to txn.AbortUnreachable so retry policies re-run the transaction
+// once the network heals; everything else (closed fabric, decode
+// failures, engine invariants) stays txn.AbortInternal. Use only on the
+// pre-commit-point paths — a post-commit-point failure is never cleanly
+// retryable and must stay AbortInternal regardless of cause.
+func TransportAbortReason(err error) txn.AbortReason {
+	if errors.Is(err, simnet.ErrUnreachable) {
+		return txn.AbortUnreachable
+	}
+	return txn.AbortInternal
+}

@@ -1,0 +1,168 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func echoNet(t *testing.T, cfg Config) (*Network, *Endpoint, *Endpoint) {
+	t.Helper()
+	n := New(cfg)
+	t.Cleanup(n.Close)
+	a, b := n.Endpoint(1), n.Endpoint(2)
+	b.Handle("echo", func(_ NodeID, req []byte) ([]byte, error) { return req, nil })
+	return n, a, b
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n, a, _ := echoNet(t, Config{Latency: time.Microsecond})
+
+	if _, err := a.Call(2, "echo", []byte("x")); err != nil {
+		t.Fatalf("pre-partition call: %v", err)
+	}
+	n.Partition(1, 2)
+	if !n.Partitioned(1, 2) || !n.Partitioned(2, 1) {
+		t.Fatal("Partition must cut both directions")
+	}
+	_, err := a.Call(2, "echo", []byte("x"))
+	if !errors.Is(err, ErrPartitioned) || !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("want ErrPartitioned wrapping ErrUnreachable, got %v", err)
+	}
+	n.Heal(1, 2)
+	if _, err := a.Call(2, "echo", []byte("x")); err != nil {
+		t.Fatalf("post-heal call: %v", err)
+	}
+
+	n.Partition(1, 2)
+	n.HealAll()
+	if _, err := a.Call(2, "echo", []byte("x")); err != nil {
+		t.Fatalf("post-HealAll call: %v", err)
+	}
+}
+
+// With a FaultPlan installed, partitions block only Droppable verbs:
+// the protected control plane keeps flowing through the window.
+func TestPartitionHonorsDroppableFilter(t *testing.T) {
+	n, a, b := echoNet(t, Config{
+		Latency: time.Microsecond,
+		Faults:  &FaultPlan{Droppable: func(m string) bool { return m == "echo" }},
+	})
+	b.Handle("protected", func(_ NodeID, req []byte) ([]byte, error) { return req, nil })
+
+	n.Partition(1, 2)
+	if _, err := a.Call(2, "echo", nil); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("droppable verb must be blocked, got %v", err)
+	}
+	if _, err := a.Call(2, "protected", nil); err != nil {
+		t.Fatalf("protected verb must pass through the partition, got %v", err)
+	}
+}
+
+// Drop dice: deterministic per (seed, link message sequence), drop only
+// droppable verbs, and never drop loopback sends.
+func TestDropDiceDeterministicAndFiltered(t *testing.T) {
+	run := func(seed int64) (drops int) {
+		n, a, _ := echoNet(t, Config{
+			Latency: time.Microsecond,
+			Faults: &FaultPlan{
+				Seed:      seed,
+				DropProb:  0.5,
+				Droppable: func(m string) bool { return m == "echo" },
+			},
+		})
+		n.Endpoint(1).Handle("echo", func(_ NodeID, req []byte) ([]byte, error) { return req, nil })
+		for i := 0; i < 200; i++ {
+			if _, err := a.Call(2, "echo", nil); err != nil {
+				if !errors.Is(err, ErrInjectedDrop) || !errors.Is(err, ErrUnreachable) {
+					t.Fatalf("drop must be ErrInjectedDrop/ErrUnreachable, got %v", err)
+				}
+				drops++
+			}
+		}
+		// Loopback traffic is never dropped.
+		for i := 0; i < 50; i++ {
+			if _, err := a.Call(1, "echo", nil); err != nil {
+				t.Fatalf("loopback dropped: %v", err)
+			}
+		}
+		return drops
+	}
+	d1, d2 := run(99), run(99)
+	if d1 != d2 {
+		t.Fatalf("same seed must roll the same drops: %d != %d", d1, d2)
+	}
+	if d1 < 50 || d1 > 150 {
+		t.Fatalf("drop rate implausible for p=0.5: %d/200", d1)
+	}
+	if d3 := run(100); d3 == d1 {
+		t.Logf("different seeds coincided (%d) — possible but unlikely", d3)
+	}
+}
+
+// Protected verbs are never dropped even with DropProb 1.
+func TestDropNeverTouchesProtectedVerbs(t *testing.T) {
+	_, a, b := echoNet(t, Config{
+		Latency: time.Microsecond,
+		Faults: &FaultPlan{
+			DropProb:  1,
+			Droppable: func(m string) bool { return m != "safe" },
+		},
+	})
+	b.Handle("safe", func(_ NodeID, req []byte) ([]byte, error) { return req, nil })
+	if _, err := a.Call(2, "echo", nil); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("droppable verb with p=1 must drop, got %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := a.Call(2, "safe", nil); err != nil {
+			t.Fatalf("protected verb dropped: %v", err)
+		}
+	}
+}
+
+// Delay spikes stretch the observed round trip without losing messages
+// or breaking per-link FIFO.
+func TestDelaySpikes(t *testing.T) {
+	const spike = 2 * time.Millisecond
+	_, a, _ := echoNet(t, Config{
+		Latency: 10 * time.Microsecond,
+		Faults:  &FaultPlan{DelayProb: 1, DelaySpike: spike},
+	})
+	start := time.Now()
+	if _, err := a.Call(2, "echo", nil); err != nil {
+		t.Fatalf("spiked call failed: %v", err)
+	}
+	if rtt := time.Since(start); rtt < spike {
+		t.Fatalf("round trip %v shorter than the injected spike %v", rtt, spike)
+	}
+}
+
+// One-sided doorbell rings respect the same fault machinery.
+func TestOneSidedRingFaults(t *testing.T) {
+	n := New(Config{
+		Latency: time.Microsecond,
+		Faults:  &FaultPlan{DropProb: 1, Droppable: func(m string) bool { return m == "ring" }},
+	})
+	t.Cleanup(n.Close)
+	a := n.Endpoint(1)
+	b := n.Endpoint(2)
+	b.HandleOneSided("ring", func(_ NodeID, req []byte) ([]byte, error) { return req, nil })
+	b.HandleOneSided("tail", func(_ NodeID, req []byte) ([]byte, error) { return req, nil })
+
+	if _, err := a.GoOneSided(2, "ring", nil, 1); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("droppable ring must drop, got %v", err)
+	}
+	p, err := a.GoOneSided(2, "tail", nil, 1)
+	if err != nil {
+		t.Fatalf("protected ring dropped: %v", err)
+	}
+	if _, err := p.Wait(); err != nil {
+		t.Fatalf("protected ring completion: %v", err)
+	}
+
+	n.Partition(1, 2)
+	if _, err := a.GoOneSided(2, "ring", nil, 1); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partition must block droppable rings, got %v", err)
+	}
+	n.HealAll()
+}

@@ -62,6 +62,10 @@ type Config struct {
 	// the queue is full, modelling a bounded QP send queue. 0 means a
 	// default of 1024.
 	QueueDepth int
+	// Faults installs deterministic fault injection (drop dice, delay
+	// spikes, and the verb filter partitions honor). nil disables the
+	// dice; runtime Partition windows work either way. See faults.go.
+	Faults *FaultPlan
 }
 
 // Stats aggregates fabric-wide counters. All fields are updated atomically
@@ -89,8 +93,9 @@ type Stats struct {
 // Network is the fabric. Create one per simulated cluster, then create an
 // Endpoint per node.
 type Network struct {
-	cfg   Config
-	stats Stats
+	cfg    Config
+	stats  Stats
+	faults faultState
 
 	mu     sync.RWMutex
 	nodes  map[NodeID]*Endpoint
@@ -123,6 +128,7 @@ func New(cfg Config) *Network {
 		nudge: make(chan struct{}, 1),
 		done:  make(chan struct{}),
 	}
+	n.faults.plan = cfg.Faults
 	n.wg.Add(1)
 	go n.dispatch()
 	return n
@@ -202,6 +208,11 @@ type link struct {
 	local bool
 	rng   *rand.Rand
 	rngMu sync.Mutex // protects jitter draws made on the send path
+
+	// Fault dice (see faults.go): lazily seeded from the fault plan so a
+	// fabric without faults pays nothing.
+	frng   *rand.Rand
+	frngMu sync.Mutex
 
 	qmu    sync.Mutex
 	q      []*envelope
@@ -378,7 +389,9 @@ func (l *link) latency() time.Duration {
 	return base
 }
 
-func (l *link) send(msg message) error {
+// send enqueues msg for delivery after the link latency plus extra (a
+// fault-injected delay spike, usually 0).
+func (l *link) send(msg message, extra time.Duration) error {
 	select {
 	case <-l.net.done:
 		return ErrClosed
@@ -386,7 +399,7 @@ func (l *link) send(msg message) error {
 	}
 	env := envPool.Get().(*envelope)
 	env.msg = msg
-	env.deliver = time.Now().Add(l.latency())
+	env.deliver = time.Now().Add(l.latency() + extra)
 
 	l.qmu.Lock()
 	l.q = append(l.q, env)
@@ -462,6 +475,13 @@ type rpcResult struct {
 
 // ID returns the endpoint's node ID.
 func (e *Endpoint) ID() NodeID { return e.id }
+
+// Closed returns a channel that is closed when the fabric shuts down.
+// Long waits that are completed by one-way messages (ack countdowns)
+// select on it so a teardown racing in-flight work fails the wait with
+// ErrClosed instead of hanging — one-way messages die silently with the
+// dispatcher, unlike pending RPCs, which Close fails explicitly.
+func (e *Endpoint) Closed() <-chan struct{} { return e.net.done }
 
 // Handle registers h for RPC method name. Registering the same method twice
 // replaces the previous handler.
@@ -569,6 +589,10 @@ func (e *Endpoint) Go(to NodeID, method string, req []byte) (*Call, error) {
 	if err != nil {
 		return nil, err
 	}
+	spike, ferr := e.net.requestFault(l, e.id, to, method)
+	if ferr != nil {
+		return nil, ferr
+	}
 	id := e.rpcSeq.Add(1)
 	c := callPool.Get().(*Call)
 	c.method = method
@@ -583,7 +607,7 @@ func (e *Endpoint) Go(to NodeID, method string, req []byte) (*Call, error) {
 		method:  method,
 		payload: req,
 	}
-	if err := l.send(msg); err != nil {
+	if err := l.send(msg, spike); err != nil {
 		e.pmu.Lock()
 		delete(e.pending, id)
 		e.pmu.Unlock()
@@ -681,13 +705,17 @@ func (e *Endpoint) Send(to NodeID, method string, payload []byte) error {
 	if err != nil {
 		return err
 	}
+	spike, ferr := e.net.requestFault(l, e.id, to, method)
+	if ferr != nil {
+		return ferr
+	}
 	return l.send(message{
 		kind:    kindRequest,
 		rpcID:   0,
 		from:    e.id,
 		method:  method,
 		payload: payload,
-	})
+	}, spike)
 }
 
 func (e *Endpoint) failPending(err error) {

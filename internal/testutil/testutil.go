@@ -1,0 +1,43 @@
+// Package testutil holds shared test helpers. Production code must not
+// import it.
+package testutil
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// SeedEnv is the environment variable that overrides every
+// testutil-seeded RNG, for replaying a failed randomized test:
+//
+//	CHILLER_SEED=12345 go test ./internal/check -run TestCheckerMatrix
+var SeedEnv = "CHILLER_SEED"
+
+// Seed returns the seed a randomized test should use: def normally, or
+// the CHILLER_SEED override when set. Either way the seed is logged when
+// the test fails, so every flake is reproducible.
+func Seed(t testing.TB, def int64) int64 {
+	seed := def
+	if s := os.Getenv(SeedEnv); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("testutil: bad %s=%q: %v", SeedEnv, s, err)
+		}
+		seed = v
+		t.Logf("testutil: %s=%d overrides default seed %d", SeedEnv, seed, def)
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("testutil: reproduce with %s=%d", SeedEnv, seed)
+		}
+	})
+	return seed
+}
+
+// Rand returns a rand.Rand seeded via Seed — the drop-in replacement for
+// rand.New(rand.NewSource(def)) in randomized tests.
+func Rand(t testing.TB, def int64) *rand.Rand {
+	return rand.New(rand.NewSource(Seed(t, def)))
+}

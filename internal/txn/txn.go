@@ -288,7 +288,8 @@ const (
 	AbortConstraint
 	// AbortNotFound means a referenced key did not exist.
 	AbortNotFound
-	// AbortInternal covers transport or engine faults.
+	// AbortInternal covers engine faults and unclassified transport
+	// failures.
 	AbortInternal
 	// AbortCancelled means the caller's context was cancelled or its
 	// deadline expired before the transaction reached its commit point.
@@ -296,6 +297,12 @@ const (
 	// region (Chiller) or the commit phase (2PL/OCC) has decided commit,
 	// the transaction completes regardless of the context.
 	AbortCancelled
+	// AbortUnreachable is a transient transport fault before the commit
+	// point: a participant was unreachable (dropped message, partition),
+	// the coordinator released everything it held, and a retry may
+	// succeed once the network heals. Post-commit-point transport
+	// failures stay AbortInternal — they are not cleanly retryable.
+	AbortUnreachable
 )
 
 func (a AbortReason) String() string {
@@ -314,6 +321,8 @@ func (a AbortReason) String() string {
 		return "internal"
 	case AbortCancelled:
 		return "cancelled"
+	case AbortUnreachable:
+		return "unreachable"
 	}
 	return fmt.Sprintf("abort(%d)", uint8(a))
 }
@@ -357,6 +366,11 @@ type Result struct {
 	Reads ReadSet
 	// Reason classifies an abort (AbortNone when committed).
 	Reason AbortReason
+	// Detail carries human-readable context for internal/unreachable
+	// aborts — which verb failed and at which destination node — so
+	// injected-fault tests and operators can attribute the failure. Empty
+	// for application-level aborts.
+	Detail string
 	// Distributed reports whether the transaction touched more than one
 	// partition.
 	Distributed bool

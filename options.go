@@ -1,12 +1,16 @@
 package chiller
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/history"
 	"github.com/chillerdb/chiller/internal/storage"
 )
+
+var errNilRecorder = errors.New("chiller: nil history recorder")
 
 // EngineKind selects the concurrency-control engine a DB executes with.
 type EngineKind string
@@ -31,6 +35,7 @@ type config struct {
 	partitioner  cluster.DefaultPartitioner
 	sampleRate   float64
 	verbBatching bool
+	recorder     *history.Recorder
 }
 
 // Option configures Open.

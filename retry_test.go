@@ -1,0 +1,104 @@
+package chiller
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/txn"
+)
+
+// Deterministic pin of the backoff schedule: ceilings double from
+// BaseBackoff and cap at MaxBackoff, and every jitter draw lies in
+// (0, ceiling] — with an injected source, bit-for-bit reproducibly.
+func TestRetryBackoffBoundsAndCap(t *testing.T) {
+	r := Retry{BaseBackoff: 100 * time.Microsecond, MaxBackoff: 900 * time.Microsecond}
+
+	wantCeilings := []time.Duration{
+		100 * time.Microsecond, // retry 1
+		200 * time.Microsecond, // retry 2
+		400 * time.Microsecond, // retry 3
+		800 * time.Microsecond, // retry 4
+		900 * time.Microsecond, // retry 5: capped
+		900 * time.Microsecond, // retry 6: stays capped
+	}
+	for i, want := range wantCeilings {
+		if got := r.ceiling(i + 1); got != want {
+			t.Fatalf("ceiling(%d) = %v, want %v", i+1, got, want)
+		}
+	}
+
+	r.Rand = rand.New(rand.NewSource(7))
+	for retry := 1; retry <= 20; retry++ {
+		c := r.ceiling(retry)
+		for draw := 0; draw < 200; draw++ {
+			d := r.jitter(retry)
+			if d <= 0 || d > c {
+				t.Fatalf("jitter(retry %d) = %v outside (0, %v]", retry, d, c)
+			}
+		}
+	}
+}
+
+// Zero-value defaults: 2µs base doubling to a 1ms cap.
+func TestRetryDefaultSchedule(t *testing.T) {
+	var r Retry
+	if got := r.ceiling(1); got != 2*time.Microsecond {
+		t.Fatalf("default first ceiling %v", got)
+	}
+	if got := r.ceiling(100); got != time.Millisecond {
+		t.Fatalf("default cap %v", got)
+	}
+	// 2µs << 9 = 1024µs would exceed the 1ms cap: retry 10 must be capped.
+	if got := r.ceiling(10); got != time.Millisecond {
+		t.Fatalf("ceiling(10) = %v, want capped 1ms", got)
+	}
+	if got := r.ceiling(9); got != 512*time.Microsecond {
+		t.Fatalf("ceiling(9) = %v, want 512µs", got)
+	}
+}
+
+// Two policies with identically seeded sources draw identical jitter
+// sequences — the reproducibility the injectable source exists for.
+func TestRetryInjectedSourceDeterministic(t *testing.T) {
+	a := Retry{Rand: rand.New(rand.NewSource(42))}
+	b := Retry{Rand: rand.New(rand.NewSource(42))}
+	for retry := 1; retry <= 50; retry++ {
+		if da, db := a.jitter(retry), b.jitter(retry); da != db {
+			t.Fatalf("retry %d: %v != %v (same seed must draw the same jitter)", retry, da, db)
+		}
+	}
+}
+
+// Do honors MaxAttempts and returns the last attempt's error; only
+// retryable errors are retried at all.
+func TestRetryDoAttemptAccounting(t *testing.T) {
+	retryable := &AbortError{Proc: "p", reason: txn.AbortLockConflict}
+	calls := 0
+	r := Retry{MaxAttempts: 4, BaseBackoff: time.Nanosecond, MaxBackoff: time.Nanosecond,
+		Rand: rand.New(rand.NewSource(1))}
+	_, err := r.Do(context.Background(), func(context.Context) (Result, error) {
+		calls++
+		return Result{}, retryable
+	})
+	if calls != 4 {
+		t.Fatalf("MaxAttempts=4 ran %d attempts", calls)
+	}
+	if !errors.Is(err, ErrLockConflict) {
+		t.Fatalf("last error lost: %v", err)
+	}
+
+	calls = 0
+	_, err = r.Do(context.Background(), func(context.Context) (Result, error) {
+		calls++
+		return Result{}, &AbortError{Proc: "p", reason: txn.AbortConstraint}
+	})
+	if calls != 1 {
+		t.Fatalf("non-retryable error retried (%d attempts)", calls)
+	}
+	if !errors.Is(err, ErrConstraint) {
+		t.Fatalf("wrong error: %v", err)
+	}
+}
