@@ -19,10 +19,10 @@ import (
 	"github.com/chillerdb/chiller/internal/bench"
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/metis"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/stats"
 	"github.com/chillerdb/chiller/internal/storage"
 	"github.com/chillerdb/chiller/internal/testutil"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
 	"github.com/chillerdb/chiller/internal/workload/instacart"
 )
@@ -208,11 +208,11 @@ func BenchmarkBucketGet(b *testing.B) {
 }
 
 func BenchmarkSimnetRPC(b *testing.B) {
-	n := simnet.New(simnet.Config{Latency: 0})
+	n := simfab.New(simfab.Config{Latency: 0})
 	defer n.Close()
 	a := n.Endpoint(1)
 	c := n.Endpoint(2)
-	c.Handle("echo", func(_ simnet.NodeID, req []byte) ([]byte, error) { return req, nil })
+	c.Handle("echo", func(_ simfab.NodeID, req []byte) ([]byte, error) { return req, nil })
 	payload := make([]byte, 128)
 	b.ReportAllocs()
 	b.ResetTimer()

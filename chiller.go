@@ -15,22 +15,27 @@ import (
 	"github.com/chillerdb/chiller/internal/history"
 	"github.com/chillerdb/chiller/internal/partition/chillerpart"
 	"github.com/chillerdb/chiller/internal/server"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/stats"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/tcpnet"
+	"github.com/chillerdb/chiller/internal/transport"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
-// DB is an embedded Chiller deployment: a simulated multi-partition
-// cluster with one coordinator engine per node, executing registered
-// stored procedures. It is the one supported way to embed the system;
-// the internal packages carry no compatibility promise.
+// DB is a Chiller deployment handle: by default an embedded simulated
+// multi-partition cluster with one coordinator engine per node, or —
+// with WithTransport(TransportTCP) — a coordinator-only client joined
+// to a cluster of chiller-node processes, executing registered stored
+// procedures either way. It is the one supported way to embed the
+// system; the internal packages carry no compatibility promise.
 //
 // A DB is safe for concurrent use. Execute calls may run from any number
 // of goroutines; each is an independent coordinator.
 type DB struct {
 	cfg      config
-	net      *simnet.Network
+	net      *simfab.Network // simulated fabric; nil over TransportTCP
+	fab      *tcpnet.Fabric  // TCP client fabric; nil over TransportSim
 	topo     *cluster.Topology
 	dir      *cluster.Directory
 	registry *txn.Registry
@@ -54,6 +59,15 @@ type DB struct {
 //		chiller.WithEngine(chiller.EngineChiller),
 //	)
 //
+// With WithTransport(TransportTCP) the handle instead joins a running
+// cluster of chiller-node processes as a coordinator-only client:
+//
+//	db, err := chiller.Open(
+//		chiller.WithTransport(chiller.TransportTCP),
+//		chiller.WithPeers("127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"),
+//		chiller.WithReplication(2), // must match the nodes
+//	)
+//
 // The caller owns the handle and must Close it; Close drains in-flight
 // background commit work before tearing the fabric down, so a returned
 // Close means the cluster is quiesced.
@@ -72,6 +86,28 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.lanes <= 0 {
 		cfg.lanes = cluster.DefaultLanes()
 	}
+	if cfg.transport == "" {
+		cfg.transport = TransportSim
+	}
+	switch cfg.transport {
+	case TransportSim:
+		if len(cfg.peers) > 0 {
+			return nil, fmt.Errorf("chiller: WithPeers requires WithTransport(TransportTCP): %w", ErrBadConfig)
+		}
+		if cfg.listenAddr != "" {
+			return nil, fmt.Errorf("chiller: WithListenAddr requires WithTransport(TransportTCP): %w", ErrBadConfig)
+		}
+	case TransportTCP:
+		if len(cfg.peers) == 0 {
+			return nil, fmt.Errorf("chiller: WithTransport(TransportTCP) requires WithPeers: %w", ErrBadConfig)
+		}
+		if len(cfg.simOnly) > 0 {
+			return nil, fmt.Errorf("chiller: %s is simulation-only and cannot combine with WithTransport(TransportTCP): %w",
+				cfg.simOnly[0], ErrBadConfig)
+		}
+		// One partition per node process; the client owns none of them.
+		cfg.partitions = len(cfg.peers)
+	}
 	switch p := cfg.partitioner.(type) {
 	case nil:
 		cfg.partitioner = cluster.HashPartitioner{N: cfg.partitions}
@@ -80,7 +116,11 @@ func Open(opts ...Option) (*DB, error) {
 		cfg.partitioner = p
 	}
 
-	net := simnet.New(simnet.Config{
+	if cfg.transport == TransportTCP {
+		return openTCP(cfg)
+	}
+
+	net := simfab.New(simfab.Config{
 		Latency: cfg.latency,
 		Jitter:  cfg.jitter,
 		Seed:    cfg.seed,
@@ -100,7 +140,7 @@ func Open(opts ...Option) (*DB, error) {
 		db.sampler = stats.NewSampler(cfg.sampleRate, cfg.seed+1)
 	}
 	for p := 0; p < cfg.partitions; p++ {
-		node := server.New(net.Endpoint(simnet.NodeID(p)), storage.NewStore(),
+		node := server.New(net.Endpoint(simfab.NodeID(p)), storage.NewStore(),
 			db.registry, dir, cluster.PartitionID(p))
 		if db.sampler != nil {
 			node.SetSampler(db.sampler)
@@ -131,6 +171,70 @@ func Open(opts ...Option) (*DB, error) {
 	return db, nil
 }
 
+// openTCP joins a chiller-node cluster as a coordinator-only client:
+// the DB takes node ID len(peers) (outside the data topology) and a
+// partition no node primaries, so every locality check in the
+// coordination paths resolves to a remote verb over the socket. The
+// client's topology, directory, and registry must mirror the nodes' —
+// Register the same procedures the nodes registered before Execute.
+func openTCP(cfg config) (*DB, error) {
+	fab, err := tcpnet.New(tcpnet.Config{
+		ID:         transport.NodeID(len(cfg.peers)),
+		ListenAddr: cfg.listenAddr,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chiller: tcp client fabric: %w", err)
+	}
+	addrs := make(map[transport.NodeID]string, len(cfg.peers))
+	for i, addr := range cfg.peers {
+		addrs[transport.NodeID(i)] = addr
+	}
+	fab.SetPeers(addrs)
+
+	topo := cluster.NewTopology(cfg.partitions, cfg.replication)
+	dir := cluster.NewDirectory(topo, cfg.partitioner)
+	dir.SetLanes(cfg.lanes)
+
+	db := &DB{
+		cfg:      cfg,
+		fab:      fab,
+		topo:     topo,
+		dir:      dir,
+		registry: txn.NewRegistry(),
+	}
+	node := server.New(fab, storage.NewStore(), db.registry, dir, cluster.PartitionID(-1))
+	occ.RegisterVerbs(node)
+	core.RegisterVerbs(node)
+	db.nodes = append(db.nodes, node)
+
+	var eng cc.Engine
+	switch cfg.engine {
+	case Engine2PL:
+		eng = twopl.New(node)
+	case EngineOCC:
+		eng = occ.New(node)
+	default:
+		chillerEng := core.New(node)
+		chillerEng.SetVerbBatching(cfg.verbBatching)
+		eng = chillerEng
+	}
+	if cfg.recorder != nil {
+		eng = history.Engine(eng, db.registry, cfg.recorder)
+	}
+	db.engines = append(db.engines, eng)
+	return db, nil
+}
+
+// unsupported returns the typed rejection for store-touching methods on
+// a TCP-client DB (nil on the embedded simulated deployment, where the
+// stores are in-process).
+func (db *DB) unsupported(op string) error {
+	if db.fab != nil {
+		return fmt.Errorf("chiller: %s over tcp: %w", op, ErrUnsupported)
+	}
+	return nil
+}
+
 // Close quiesces and tears the cluster down: every engine's outstanding
 // background commit work is drained first (so no async commit tail hits
 // a closed fabric and no lock outlives the handle), then the fabric and
@@ -143,7 +247,12 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.drain()
-	db.net.Close()
+	if db.net != nil {
+		db.net.Close()
+	}
+	if db.fab != nil {
+		db.fab.Close()
+	}
 	for _, n := range db.nodes {
 		n.Close()
 	}
@@ -159,6 +268,9 @@ func (db *DB) Partitions() int { return db.cfg.partitions }
 func (db *DB) CreateTable(t Table, buckets int) error {
 	if db.closed.Load() {
 		return ErrClosed
+	}
+	if err := db.unsupported("CreateTable"); err != nil {
+		return err
 	}
 	for _, n := range db.nodes {
 		n.Store().CreateTable(storage.TableID(t), buckets)
@@ -185,12 +297,15 @@ func (db *DB) Load(t Table, key Key, value []byte) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if err := db.unsupported("Load"); err != nil {
+		return err
+	}
 	rid := storage.RID{Table: storage.TableID(t), Key: storage.Key(key)}
 	pid := db.dir.Partition(rid)
 	// No defensive copy needed: the store copies the value into fresh
 	// immutable storage on every Insert, so the caller's buffer is never
 	// aliased and may be reused immediately.
-	targets := append([]simnet.NodeID{db.topo.Primary(pid)}, db.topo.Replicas(pid)...)
+	targets := append([]simfab.NodeID{db.topo.Primary(pid)}, db.topo.Replicas(pid)...)
 	for _, target := range targets {
 		tbl := db.nodes[int(target)].Store().Table(rid.Table)
 		if tbl == nil {
@@ -221,6 +336,9 @@ func (db *DB) drain() {
 func (db *DB) Get(t Table, key Key) ([]byte, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
+	}
+	if err := db.unsupported("Get"); err != nil {
+		return nil, err
 	}
 	db.drain()
 	rid := storage.RID{Table: storage.TableID(t), Key: storage.Key(key)}
@@ -303,6 +421,9 @@ func (db *DB) MarkHotWeight(t Table, key Key, weight float64) error {
 	if db.closed.Load() {
 		return ErrClosed
 	}
+	if err := db.unsupported("MarkHot"); err != nil {
+		return err
+	}
 	if weight <= 0 {
 		return fmt.Errorf("chiller: hot weight %v must be positive", weight)
 	}
@@ -337,6 +458,9 @@ type RepartitionReport struct {
 func (db *DB) Repartition(ctx context.Context) (RepartitionReport, error) {
 	if db.closed.Load() {
 		return RepartitionReport{}, ErrClosed
+	}
+	if err := db.unsupported("Repartition"); err != nil {
+		return RepartitionReport{}, err
 	}
 	if db.sampler == nil {
 		return RepartitionReport{}, fmt.Errorf("chiller: repartition needs sampling: Open with WithSampling")
@@ -400,14 +524,14 @@ func (db *DB) Repartition(ctx context.Context) (RepartitionReport, error) {
 		// machines (a node primaries one partition and replicates
 		// another); delete only from nodes that hold no copy under the
 		// new placement.
-		holds := make(map[simnet.NodeID]bool)
-		for _, target := range append([]simnet.NodeID{db.topo.Primary(m.to)}, db.topo.Replicas(m.to)...) {
+		holds := make(map[simfab.NodeID]bool)
+		for _, target := range append([]simfab.NodeID{db.topo.Primary(m.to)}, db.topo.Replicas(m.to)...) {
 			if tbl := db.nodes[int(target)].Store().Table(m.rid.Table); tbl != nil {
 				tbl.Bucket(m.rid.Key).Upsert(m.rid.Key, m.val)
 				holds[target] = true
 			}
 		}
-		for _, target := range append([]simnet.NodeID{db.topo.Primary(m.from)}, db.topo.Replicas(m.from)...) {
+		for _, target := range append([]simfab.NodeID{db.topo.Primary(m.from)}, db.topo.Replicas(m.from)...) {
 			if holds[target] {
 				continue
 			}

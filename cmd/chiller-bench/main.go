@@ -10,6 +10,9 @@
 //	chiller-bench -exp all -duration 2s     # everything, longer windows
 //	chiller-bench -exp fig10 -json out.json # machine-readable results
 //	chiller-bench -exp fig9lanes -lanes 4   # intra-node lane scaling
+//
+//	# Figure 10 against a live multi-process cluster (see cmd/chiller-node):
+//	chiller-bench -exp fig10 -transport tcp -peers 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/chillerdb/chiller/internal/bench"
@@ -95,6 +99,8 @@ func main() {
 		items      = flag.Int("items", 2000, "TPC-C items per warehouse")
 		maxConc    = flag.Int("max-concurrency", 8, "Figure 9 concurrency sweep upper bound")
 		jsonOut    = flag.String("json", "", "also write all figures as JSON to this file (- for stdout)")
+		transport  = flag.String("transport", bench.TransportSim, "fabric to bench over: simnet (in-process simulation) or tcp (join a chiller-node cluster; requires -peers)")
+		peersFlag  = flag.String("peers", "", "comma-separated chiller-node addresses, index = node ID (tcp transport only)")
 	)
 	flag.Parse()
 
@@ -136,6 +142,38 @@ func main() {
 	}
 
 	var figures []*bench.Figure
+
+	// TCP mode joins a live chiller-node cluster instead of assembling a
+	// simulated one. Only the Figure 10 sweep is defined over it: the
+	// other experiments rebuild differently-shaped clusters per data
+	// point, which a fixed set of node processes cannot provide.
+	if *transport == bench.TransportTCP {
+		if *peersFlag == "" {
+			fmt.Fprintln(os.Stderr, "-transport=tcp requires -peers (comma-separated chiller-node addresses)")
+			os.Exit(2)
+		}
+		if *exp != "fig10" && *exp != "all" {
+			fmt.Fprintf(os.Stderr, "experiment %q is simnet-only; -transport=tcp supports -exp fig10\n", *exp)
+			os.Exit(2)
+		}
+		peers := strings.Split(*peersFlag, ",")
+		start := time.Now()
+		fmt.Printf("=== fig10 (tcp) — Figure 10 sweep against %d chiller-node processes ===\n", len(peers))
+		fig, err := bench.Figure10Remote(opt, peers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fig10 (tcp) failed: %v\n", err)
+			os.Exit(1)
+		}
+		fig.Fprint(os.Stdout)
+		figures = append(figures, fig)
+		fmt.Printf("(fig10 tcp in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		writeJSON(*jsonOut, figures)
+		return
+	} else if *transport != bench.TransportSim {
+		fmt.Fprintf(os.Stderr, "unknown transport %q (want %s or %s)\n", *transport, bench.TransportSim, bench.TransportTCP)
+		os.Exit(2)
+	}
+
 	for _, e := range experiments {
 		if *exp != "all" && *exp != e.name {
 			continue
@@ -154,22 +192,29 @@ func main() {
 		fmt.Printf("(%s in %v)\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
 
-	if *jsonOut != "" {
-		out := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "json output: %v\n", err)
-				os.Exit(1)
-			}
-			defer f.Close()
-			out = f
-		}
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(figures); err != nil {
-			fmt.Fprintf(os.Stderr, "json encode: %v\n", err)
+	writeJSON(*jsonOut, figures)
+}
+
+// writeJSON emits the collected figures to the -json destination ("" =
+// disabled, "-" = stdout).
+func writeJSON(dest string, figures []*bench.Figure) {
+	if dest == "" {
+		return
+	}
+	out := os.Stdout
+	if dest != "-" {
+		f, err := os.Create(dest)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json output: %v\n", err)
 			os.Exit(1)
 		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(figures); err != nil {
+		fmt.Fprintf(os.Stderr, "json encode: %v\n", err)
+		os.Exit(1)
 	}
 }

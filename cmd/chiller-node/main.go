@@ -1,0 +1,131 @@
+// Command chiller-node hosts one node of a multi-process Chiller
+// cluster over TCP. Every process is started with the same -peers list
+// (index = node ID) and its own -id; each loads exactly its share of
+// the deterministic TPC-C dataset (one warehouse per node, §7.3.1) and
+// then serves verbs until killed. A chiller-bench client joins with
+// `-transport=tcp -peers=...` and drives the Figure 10 sweep against
+// the cluster; see docs/NETWORK.md for the transport's semantics.
+//
+// Example 3-node cluster on localhost:
+//
+//	chiller-node -id 0 -peers 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 &
+//	chiller-node -id 1 -peers 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 &
+//	chiller-node -id 2 -peers 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103 &
+//	chiller-bench -exp fig10 -transport tcp -peers 127.0.0.1:7101,127.0.0.1:7102,127.0.0.1:7103
+//
+// Sizing flags (-replication, -lanes, -customers, -items) must match
+// between every node and the bench client: they shape verb addressing
+// and the loaded dataset and are not negotiated on the wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/chillerdb/chiller/internal/bench"
+	"github.com/chillerdb/chiller/internal/cc/occ"
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/core"
+	"github.com/chillerdb/chiller/internal/server"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/tcpnet"
+	"github.com/chillerdb/chiller/internal/transport"
+	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller/internal/workload/tpcc"
+)
+
+func main() {
+	var (
+		id          = flag.Int("id", -1, "this node's ID (index into -peers)")
+		listen      = flag.String("listen", "", "listen address (default: the -peers entry at index -id)")
+		peersFlag   = flag.String("peers", "", "comma-separated addresses of every node, index = node ID")
+		replication = flag.Int("replication", 2, "replication degree (1 = none); must match the bench client")
+		lanes       = flag.Int("lanes", 0, "execution lanes per node (0 = derive from host CPUs); must match the bench client")
+		batching    = flag.Bool("verb-batching", false, "route this node's Chiller fan-outs (for transactions routed here) over doorbell-batched one-sided verbs")
+		customers   = flag.Int("customers", 300, "TPC-C customers per district; must match the bench client")
+		items       = flag.Int("items", 2000, "TPC-C items per warehouse; must match the bench client")
+	)
+	flag.Parse()
+	if err := run(*id, *listen, *peersFlag, *replication, *lanes, *batching, *customers, *items); err != nil {
+		fmt.Fprintln(os.Stderr, "chiller-node:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id int, listen, peersFlag string, replication, lanes int, batching bool, customers, items int) error {
+	if peersFlag == "" {
+		return fmt.Errorf("-peers is required")
+	}
+	peers := strings.Split(peersFlag, ",")
+	if id < 0 || id >= len(peers) {
+		return fmt.Errorf("-id %d out of range for %d peers", id, len(peers))
+	}
+	if listen == "" {
+		listen = peers[id]
+	}
+	if replication <= 0 {
+		replication = 1
+	}
+	if lanes <= 0 {
+		lanes = bench.DefaultLanes()
+	}
+
+	nodes := len(peers)
+	tcfg := bench.RemoteTPCCConfig(nodes, customers, items)
+	if err := tcfg.Validate(); err != nil {
+		return err
+	}
+
+	fab, err := tcpnet.New(tcpnet.Config{ID: transport.NodeID(id), ListenAddr: listen})
+	if err != nil {
+		return fmt.Errorf("listen on %s: %w", listen, err)
+	}
+	defer fab.Close()
+	addrs := make(map[transport.NodeID]string, nodes)
+	for i, addr := range peers {
+		addrs[transport.NodeID(i)] = addr
+	}
+	fab.SetPeers(addrs)
+
+	topo := cluster.NewTopology(nodes, replication)
+	dir := cluster.NewDirectory(topo, tpcc.Partitioner(tcfg.Warehouses, tcfg.Partitions))
+	dir.SetLanes(lanes)
+	reg := txn.NewRegistry()
+	if err := tpcc.RegisterAll(reg); err != nil {
+		return err
+	}
+
+	st := storage.NewStore()
+	node := server.New(fab, st, reg, dir, cluster.PartitionID(id))
+	defer node.Close()
+	occ.RegisterVerbs(node)
+	core.RegisterVerbs(node)
+	// The engine instance serves transactions routed here for
+	// coordination (§4.2 transaction placement); a node without one
+	// would reject every VerbTxnRoute.
+	chiller := core.New(node)
+	chiller.SetVerbBatching(batching)
+	defer chiller.Drain()
+
+	loader := bench.NodeStores{ID: transport.NodeID(id), Store: st, Topo: topo, Dir: dir}
+	if err := tpcc.Load(loader, tcfg); err != nil {
+		return fmt.Errorf("load: %w", err)
+	}
+	tpcc.MarkHot(dir, tcfg)
+
+	// Stdout "ready" is the startup barrier scripts wait on; the dial
+	// retry in tcpnet absorbs the remaining race for peers that are
+	// slower to come up.
+	fmt.Printf("chiller-node %d ready on %s (%d nodes, %d warehouses, replication %d, lanes %d)\n",
+		id, fab.Addr(), nodes, tcfg.Warehouses, replication, lanes)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("chiller-node %d: %v, shutting down\n", id, s)
+	return nil
+}

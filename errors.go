@@ -51,6 +51,18 @@ var (
 	ErrUnknownProc = errors.New("unknown procedure")
 	// ErrClosed is returned by operations on a closed DB.
 	ErrClosed = errors.New("database closed")
+	// ErrBadConfig is returned by Open when options are invalid or
+	// mutually exclusive — an out-of-range value, WithPeers without
+	// WithTransport(TransportTCP), or a simulation-only option (latency,
+	// jitter, sampling, partition count) combined with the TCP transport.
+	ErrBadConfig = errors.New("invalid configuration")
+	// ErrUnsupported is returned by DB methods that need direct access to
+	// every node's store — CreateTable, Load, Get, MarkHot, Repartition —
+	// when the DB joined a remote cluster over TCP: the data lives in
+	// other processes, which size, load, and mark their stores at startup
+	// (see cmd/chiller-node). Register, Execute, and Close are the TCP
+	// client surface.
+	ErrUnsupported = errors.New("operation not supported over this transport")
 )
 
 // AbortError is the concrete error type Execute returns for aborted

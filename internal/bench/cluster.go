@@ -14,9 +14,11 @@ import (
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/core"
 	"github.com/chillerdb/chiller/internal/server"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/stats"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/tcpnet"
+	"github.com/chillerdb/chiller/internal/transport"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -30,8 +32,22 @@ const (
 	EngineChiller EngineKind = "Chiller"
 )
 
+// Transport kinds a cluster can be assembled over.
+const (
+	// TransportSim is the in-process simulated fabric (the default).
+	TransportSim = "simnet"
+	// TransportTCP assembles the cluster over loopback TCP: every node
+	// gets its own tcpnet fabric on 127.0.0.1, and every verb crosses a
+	// real socket. Simulated-latency, jitter, and fault-injection knobs
+	// do not apply (the kernel provides the latency).
+	TransportTCP = "tcp"
+)
+
 // ClusterConfig sizes a simulated cluster.
 type ClusterConfig struct {
+	// Transport selects the fabric: TransportSim (default when empty) or
+	// TransportTCP.
+	Transport string
 	// Partitions is the number of partitions; each gets a primary node.
 	Partitions int
 	// Replication is the replication degree (1 = no replicas; the
@@ -63,7 +79,7 @@ type ClusterConfig struct {
 	// Faults installs deterministic fault injection on the fabric (drop
 	// dice, delay spikes, partition verb filtering) — the chaos
 	// harness's knob (internal/check). nil runs a reliable fabric.
-	Faults *simnet.FaultPlan
+	Faults *simfab.FaultPlan
 }
 
 // DefaultLanes derives the per-node lane count from the host CPU count
@@ -74,14 +90,18 @@ func DefaultLanes() int { return cluster.DefaultLanes() }
 // Cluster is a fully-wired simulated deployment: fabric, nodes, routing
 // directory, and one engine of each kind per node.
 type Cluster struct {
-	Cfg      ClusterConfig
-	Net      *simnet.Network
+	Cfg ClusterConfig
+	// Net is the simulated fabric; nil when the cluster runs over
+	// TransportTCP (fault injection and partition windows are
+	// simnet-only — guard on nil before using them).
+	Net      *simfab.Network
 	Topo     *cluster.Topology
 	Dir      *cluster.Directory
 	Registry *txn.Registry
 	Nodes    []*server.Node
 	Sampler  *stats.Sampler // shared global sampler (nil if disabled)
 
+	fabrics []*tcpnet.Fabric // per-node TCP fabrics (TransportTCP only)
 	engines map[EngineKind][]cc.Engine
 }
 
@@ -100,12 +120,6 @@ func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
 		cfg.Lanes = DefaultLanes()
 	}
 
-	net := simnet.New(simnet.Config{
-		Latency: cfg.Latency,
-		Jitter:  cfg.Jitter,
-		Seed:    cfg.Seed,
-		Faults:  cfg.Faults,
-	})
 	topo := cluster.NewTopology(cfg.Partitions, cfg.Replication)
 	dir := cluster.NewDirectory(topo, def)
 	dir.SetLanes(cfg.Lanes) // before node construction: nodes size their lane executors from the directory
@@ -113,7 +127,6 @@ func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
 
 	c := &Cluster{
 		Cfg:      cfg,
-		Net:      net,
 		Topo:     topo,
 		Dir:      dir,
 		Registry: reg,
@@ -123,8 +136,49 @@ func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
 		c.Sampler = stats.NewSampler(cfg.SampleRate, cfg.Seed+1)
 	}
 
+	// Endpoints: one simnet endpoint per node, or — over TransportTCP —
+	// one tcpnet fabric per node, every one listening on a kernel-picked
+	// loopback port before any peer map is installed (so dial order
+	// cannot race the listeners).
+	endpoints := make([]transport.Endpoint, cfg.Partitions)
+	switch cfg.Transport {
+	case "", TransportSim:
+		net := simfab.New(simfab.Config{
+			Latency: cfg.Latency,
+			Jitter:  cfg.Jitter,
+			Seed:    cfg.Seed,
+			Faults:  cfg.Faults,
+		})
+		c.Net = net
+		for p := 0; p < cfg.Partitions; p++ {
+			endpoints[p] = net.Endpoint(simfab.NodeID(p))
+		}
+	case TransportTCP:
+		if cfg.Faults != nil {
+			panic("bench: fault injection requires the simnet transport")
+		}
+		addrs := make(map[transport.NodeID]string, cfg.Partitions)
+		for p := 0; p < cfg.Partitions; p++ {
+			fab, err := tcpnet.New(tcpnet.Config{ID: transport.NodeID(p)})
+			if err != nil {
+				for _, f := range c.fabrics {
+					f.Close()
+				}
+				panic(fmt.Sprintf("bench: tcp fabric for node %d: %v", p, err))
+			}
+			c.fabrics = append(c.fabrics, fab)
+			endpoints[p] = fab
+			addrs[transport.NodeID(p)] = fab.Addr()
+		}
+		for _, fab := range c.fabrics {
+			fab.SetPeers(addrs)
+		}
+	default:
+		panic(fmt.Sprintf("bench: unknown transport %q", cfg.Transport))
+	}
+
 	for p := 0; p < cfg.Partitions; p++ {
-		ep := net.Endpoint(simnet.NodeID(p))
+		ep := endpoints[p]
 		st := storage.NewStore()
 		node := server.New(ep, st, reg, dir, cluster.PartitionID(p))
 		if c.Sampler != nil {
@@ -201,7 +255,12 @@ func (c *Cluster) Drain() {
 // no new lane work, so the lanes drain deterministically).
 func (c *Cluster) Close() {
 	c.Drain()
-	c.Net.Close()
+	if c.Net != nil {
+		c.Net.Close()
+	}
+	for _, f := range c.fabrics {
+		f.Close()
+	}
 	for _, n := range c.Nodes {
 		n.Close()
 	}
@@ -222,7 +281,7 @@ func (c *Cluster) CreateTable(id storage.TableID, buckets int) {
 func (c *Cluster) LoadRecord(table storage.TableID, key storage.Key, value []byte) error {
 	rid := storage.RID{Table: table, Key: key}
 	pid := c.Dir.Partition(rid)
-	targets := append([]simnet.NodeID{c.Topo.Primary(pid)}, c.Topo.Replicas(pid)...)
+	targets := append([]simfab.NodeID{c.Topo.Primary(pid)}, c.Topo.Replicas(pid)...)
 	for _, t := range targets {
 		st := c.Nodes[int(t)].Store()
 		tbl := st.Table(table)

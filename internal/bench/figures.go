@@ -28,6 +28,12 @@ type Figure struct {
 	Title  string
 	XLabel string
 	YLabel string
+	// Transport records the fabric the figure's runs moved bytes over —
+	// TransportSim ("simnet", the default when empty) or TransportTCP
+	// ("tcp"), so A/B runs across fabrics are self-describing the same
+	// way Lanes and VerbBatching make lane/batching A/Bs
+	// self-describing. See docs/FIGURES.md.
+	Transport string `json:",omitempty"`
 	// Lanes records the per-node execution-lane count the experiment ran
 	// with, so figure JSON is self-describing about intra-node
 	// parallelism. 0 means the lane count varies within the figure (the

@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/cc"
+	"github.com/chillerdb/chiller/internal/cc/occ"
+	"github.com/chillerdb/chiller/internal/cc/twopl"
+	"github.com/chillerdb/chiller/internal/cluster"
+	"github.com/chillerdb/chiller/internal/core"
+	"github.com/chillerdb/chiller/internal/server"
+	"github.com/chillerdb/chiller/internal/stats"
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/tcpnet"
+	"github.com/chillerdb/chiller/internal/transport"
+	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller/internal/workload/tpcc"
+)
+
+// ConnectConfig joins an already-running chiller-node cluster as a
+// benchmarking client. The client is a full coordinator: it owns no
+// partition, but it runs engines locally and issues every verb over the
+// TCP fabric, so its view of the cluster (peer order, replication
+// degree, lane count, partitioning) must match what the nodes were
+// started with — these values shape verb addressing and are not
+// negotiated on the wire.
+type ConnectConfig struct {
+	// Peers lists every node's address; index i is node i. The client
+	// itself takes node ID len(Peers), outside the data topology.
+	Peers []string
+	// Replication must equal the cluster's replication degree: the
+	// coordinator drives replication fan-outs itself, and a client that
+	// believes Replicas(pid) is empty silently skips them.
+	Replication int
+	// Lanes must equal the nodes' per-lane executor count (0 = host
+	// default, fine when client and nodes share a machine): verbs carry
+	// lane assignments computed from the client's directory.
+	Lanes int
+	// VerbBatching routes the client's Chiller fan-outs over the
+	// doorbell-batched one-sided path.
+	VerbBatching bool
+}
+
+// RemoteClient coordinates transactions against a cluster of
+// chiller-node processes over TCP. It mirrors Cluster's benchmarking
+// surface (Run with the same RunConfig, per-verb profiles) but owns no
+// data: every lock, commit, and replication verb crosses a real socket,
+// so its per-verb latencies are client-observed round trips.
+type RemoteClient struct {
+	Cfg      ConnectConfig
+	Topo     *cluster.Topology
+	Dir      *cluster.Directory
+	Registry *txn.Registry
+	Node     *server.Node
+
+	fab        *tcpnet.Fabric
+	partitions int
+	engines    map[EngineKind]cc.Engine
+}
+
+// Connect builds the client-side coordinator for a cluster of
+// len(cfg.Peers) chiller-node processes. It does not touch the network:
+// connections are dialed lazily on the first verb, and tcpnet's dial
+// retry absorbs nodes that are still starting up. Register procedures
+// on Registry (and install any hot-record directory entries) before
+// running transactions.
+func Connect(cfg ConnectConfig, def cluster.DefaultPartitioner) (*RemoteClient, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("bench: Connect needs at least one peer")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = DefaultLanes()
+	}
+
+	partitions := len(cfg.Peers)
+	clientID := transport.NodeID(partitions)
+	fab, err := tcpnet.New(tcpnet.Config{ID: clientID})
+	if err != nil {
+		return nil, fmt.Errorf("bench: client fabric: %w", err)
+	}
+	addrs := make(map[transport.NodeID]string, partitions)
+	for i, addr := range cfg.Peers {
+		addrs[transport.NodeID(i)] = addr
+	}
+	fab.SetPeers(addrs)
+
+	topo := cluster.NewTopology(partitions, cfg.Replication)
+	dir := cluster.NewDirectory(topo, def)
+	dir.SetLanes(cfg.Lanes)
+	reg := txn.NewRegistry()
+
+	// The client node is a coordinator-only participant: partition -1
+	// matches no primary, so every locality check in the coordination
+	// paths resolves to the remote branch.
+	node := server.New(fab, storage.NewStore(), reg, dir, cluster.PartitionID(-1))
+	occ.RegisterVerbs(node)
+	core.RegisterVerbs(node)
+
+	rc := &RemoteClient{
+		Cfg:        cfg,
+		Topo:       topo,
+		Dir:        dir,
+		Registry:   reg,
+		Node:       node,
+		fab:        fab,
+		partitions: partitions,
+		engines:    make(map[EngineKind]cc.Engine),
+	}
+	rc.engines[Engine2PL] = twopl.New(node)
+	rc.engines[EngineOCC] = occ.New(node)
+	chiller := core.New(node)
+	chiller.SetVerbBatching(cfg.VerbBatching)
+	rc.engines[EngineChiller] = chiller
+	return rc, nil
+}
+
+// Engine returns the client-side engine of the given kind.
+func (rc *RemoteClient) Engine(kind EngineKind) cc.Engine {
+	return rc.engines[kind]
+}
+
+// Drain joins outstanding background commit tails on the client.
+func (rc *RemoteClient) Drain() {
+	for _, e := range rc.engines {
+		if d, ok := e.(cc.Drainer); ok {
+			d.Drain()
+		}
+	}
+}
+
+// Close drains in-flight work and tears the client down. The remote
+// nodes keep running.
+func (rc *RemoteClient) Close() {
+	rc.Drain()
+	rc.fab.Close()
+	rc.Node.Close()
+}
+
+// ResetVerbMetrics zeroes the client's per-verb counters.
+func (rc *RemoteClient) ResetVerbMetrics() {
+	rc.Node.VerbMetrics().Reset()
+}
+
+// VerbProfiles summarizes the client node's per-verb metrics — unlike
+// Cluster.VerbProfiles there is exactly one observing node, so every
+// latency is a client-side round trip over the kernel's loopback (or
+// real) network.
+func (rc *RemoteClient) VerbProfiles() map[string]*VerbProfile {
+	out := make(map[string]*VerbProfile)
+	for kind, snap := range rc.Node.VerbMetrics().Snapshot() {
+		p := &VerbProfile{Count: snap.Count, hist: &stats.LatencyHist{}}
+		snap.Hist.AddTo(p.hist)
+		p.refresh()
+		out[kind] = p
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Run drives the workload against the remote cluster with Cluster.Run's
+// client structure — Concurrency clients per partition, closed-loop by
+// default or cfg.Outstanding in flight per client — except that every
+// client shares the single client-side engine (there is one coordinator
+// process, as opposed to the simulated cluster's one engine per node).
+func (rc *RemoteClient) Run(w Workload, cfg RunConfig) *Metrics {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 500 * time.Millisecond
+	}
+	lanes := cfg.Outstanding
+	if lanes <= 0 {
+		lanes = 1
+	}
+	engine := rc.engines[cfg.Engine]
+
+	nClients := rc.partitions * cfg.Concurrency
+	shards := make([]shard, nClients*lanes)
+	for i := range shards {
+		shards[i].byReason = make(map[txn.AbortReason]uint64)
+		shards[i].byProc = make(map[string]*ProcMetrics)
+	}
+	var counting atomic.Bool
+	var stop atomic.Bool
+
+	var wg sync.WaitGroup
+	clientID := 0
+	for p := 0; p < rc.partitions; p++ {
+		for k := 0; k < cfg.Concurrency; k++ {
+			id, part := clientID, p
+			clientID++
+			if lanes == 1 {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sh := &shards[id]
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+					for !stop.Load() {
+						runOne(engine, w.Next(part, rng), sh, rng, &cfg, &counting, &stop)
+					}
+				}()
+				continue
+			}
+			reqCh := make(chan *txn.Request)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(reqCh)
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+				for !stop.Load() {
+					reqCh <- w.Next(part, rng)
+				}
+			}()
+			for l := 0; l < lanes; l++ {
+				sh := &shards[id*lanes+l]
+				laneSeed := cfg.Seed + int64(id*lanes+l)*104729
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(laneSeed))
+					for req := range reqCh {
+						runOne(engine, req, sh, rng, &cfg, &counting, &stop)
+					}
+				}()
+			}
+		}
+	}
+
+	warmup := time.Duration(float64(cfg.Duration) * cfg.WarmupFraction)
+	time.Sleep(warmup)
+	rc.ResetVerbMetrics()
+	counting.Store(true)
+	start := time.Now()
+	time.Sleep(cfg.Duration - warmup)
+	counting.Store(false)
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+	rc.Drain()
+
+	m := &Metrics{
+		Engine:   cfg.Engine,
+		Workload: w.Name(),
+		Lanes:    rc.Cfg.Lanes,
+		Elapsed:  elapsed,
+		ByReason: make(map[txn.AbortReason]uint64),
+		ByProc:   make(map[string]*ProcMetrics),
+		Verbs:    rc.VerbProfiles(),
+	}
+	for i := range shards {
+		sh := &shards[i]
+		m.Committed += sh.committed
+		m.Aborted += sh.aborted
+		m.Distributed += sh.distributed
+		for r, n := range sh.byReason {
+			m.ByReason[r] += n
+		}
+		for p, pm := range sh.byProc {
+			agg := m.ByProc[p]
+			if agg == nil {
+				agg = &ProcMetrics{}
+				m.ByProc[p] = agg
+			}
+			agg.Committed += pm.Committed
+			agg.Aborted += pm.Aborted
+		}
+	}
+	return m
+}
+
+// RemoteTPCCConfig is the TPC-C shape a chiller-node cluster of n nodes
+// loads and a remote client sweeps: one warehouse per node (= per
+// partition, §7.3.1's one-warehouse-per-engine deployment), sized by
+// the same -customers/-items knobs on both sides. Node processes and
+// the bench client both derive their config through this function so
+// the two sides agree by construction.
+func RemoteTPCCConfig(nodes, customers, items int) tpcc.Config {
+	return tpcc.Config{
+		Warehouses:           nodes,
+		Partitions:           nodes,
+		CustomersPerDistrict: customers,
+		Items:                items,
+	}.Defaults()
+}
+
+// Figure10Remote reproduces the Figure 10 sweep (NewOrder+Payment
+// 50/50, transaction-level remote probability 0..100%) against a live
+// chiller-node cluster over TCP. Unlike the simulated Figure10 it
+// cannot rebuild the cluster per measurement point — the nodes were
+// loaded once at startup — so the sweep varies only the workload
+// generator's remote probability and the series share the evolving
+// database state, as successive runs against a real deployment would.
+func Figure10Remote(opt Options, peers []string) (*Figure, error) {
+	tcfg := RemoteTPCCConfig(len(peers), opt.Customers, opt.Items)
+	tcfg.NewOrderPct, tcfg.PaymentPct = 50, 50
+	tcfg.OrderStatusPct, tcfg.DeliveryPct, tcfg.StockLevelPct = 0, 0, 0
+	tcfg.TxnLevelRemote = true
+	if err := tcfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	rc, err := Connect(ConnectConfig{
+		Peers:        peers,
+		Replication:  opt.Replication,
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
+	}, tpcc.Partitioner(tcfg.Warehouses, tcfg.Partitions))
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	if err := tpcc.RegisterAll(rc.Registry); err != nil {
+		return nil, err
+	}
+	tpcc.MarkHot(rc.Dir, tcfg)
+
+	fig := &Figure{
+		Name:         "Figure 10 (tcp)",
+		Title:        "Impact of distributed transactions (NewOrder+Payment 50/50, TCP cluster)",
+		XLabel:       "% distributed txns",
+		YLabel:       "txns/sec",
+		Transport:    TransportTCP,
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
+	}
+	type variant struct {
+		kind EngineKind
+		conc int
+	}
+	variants := []variant{
+		{Engine2PL, 1}, {EngineOCC, 1},
+		{Engine2PL, 5}, {EngineOCC, 5},
+		{EngineChiller, 5},
+	}
+	for pct := 0; pct <= 100; pct += 20 {
+		cfg := tcfg
+		cfg.TxnRemoteProb = float64(pct) / 100
+		w, err := tpcc.NewWorkload(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range variants {
+			m := rc.Run(w, RunConfig{
+				Engine:         v.kind,
+				Concurrency:    v.conc,
+				Duration:       opt.Duration,
+				Retry:          true,
+				WarmupFraction: 0.25,
+				Seed:           opt.Seed,
+			})
+			label := fmt.Sprintf("%s (%d txn)", v.kind, v.conc)
+			fig.Add(label, float64(pct), m.Throughput())
+			fig.AddAborts(label, m)
+			fig.AddVerbs(label, m)
+		}
+	}
+	return fig, nil
+}
+
+// NodeStores routes loader records by node: it implements
+// tpcc/instacart's Loader interface for one node process, keeping only
+// the records the node is primary or replica for. chiller-node uses it
+// so every process loads exactly its share of the (deterministic)
+// dataset without any cross-process coordination.
+type NodeStores struct {
+	ID    transport.NodeID
+	Store *storage.Store
+	Topo  *cluster.Topology
+	Dir   *cluster.Directory
+}
+
+// CreateTable implements the Loader interface.
+func (l NodeStores) CreateTable(id storage.TableID, buckets int) {
+	l.Store.CreateTable(id, buckets)
+}
+
+// LoadRecord implements the Loader interface: records homed on other
+// nodes are silently skipped.
+func (l NodeStores) LoadRecord(table storage.TableID, key storage.Key, value []byte) error {
+	rid := storage.RID{Table: table, Key: key}
+	pid := l.Dir.Partition(rid)
+	mine := l.Topo.Primary(pid) == l.ID
+	if !mine {
+		for _, r := range l.Topo.Replicas(pid) {
+			if r == l.ID {
+				mine = true
+				break
+			}
+		}
+	}
+	if !mine {
+		return nil
+	}
+	tbl := l.Store.Table(table)
+	if tbl == nil {
+		return fmt.Errorf("bench: table %d missing on node %d", table, l.ID)
+	}
+	if err := tbl.Bucket(key).Insert(key, value); err != nil {
+		return fmt.Errorf("bench: load %v on node %d: %w", rid, l.ID, err)
+	}
+	return nil
+}

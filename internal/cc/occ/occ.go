@@ -15,8 +15,8 @@ import (
 	"github.com/chillerdb/chiller/internal/cc"
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/server"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/txn"
 	"github.com/chillerdb/chiller/internal/wire"
 )
@@ -30,10 +30,10 @@ const (
 // RegisterVerbs installs the OCC-specific handlers on a node. It must be
 // called on every node that can serve OCC transactions.
 func RegisterVerbs(n *server.Node) {
-	n.Endpoint().Handle(verbRead, func(_ simnet.NodeID, req []byte) ([]byte, error) {
+	n.Endpoint().Handle(verbRead, func(_ transport.NodeID, req []byte) ([]byte, error) {
 		return handleRead(n, req)
 	})
-	n.Endpoint().Handle(verbValidate, func(_ simnet.NodeID, req []byte) ([]byte, error) {
+	n.Endpoint().Handle(verbValidate, func(_ transport.NodeID, req []byte) ([]byte, error) {
 		return handleValidate(n, req)
 	})
 }
@@ -352,8 +352,8 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 	topo := n.Directory().Topology()
 
 	// --- validation phase 1: write-lock every write set ---
-	lockedNodes := make(map[simnet.NodeID]bool)
-	writeNodeOf := make(map[simnet.NodeID]cluster.PartitionID)
+	lockedNodes := make(map[transport.NodeID]bool)
+	writeNodeOf := make(map[transport.NodeID]cluster.PartitionID)
 	for pid, ws := range writes {
 		if reason, done := cc.Cancelled(ctx); done {
 			n.AbortAll(lockedNodes, txnID)
@@ -428,7 +428,7 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 	return txn.Result{Committed: true, Reads: reads, Distributed: distributed}
 }
 
-func (e *Engine) readOne(target simnet.NodeID, opID int, rid storage.RID, mustExist bool) *readResp {
+func (e *Engine) readOne(target transport.NodeID, opID int, rid storage.RID, mustExist bool) *readResp {
 	entries := []readEntry{{opID: opID, table: rid.Table, key: rid.Key, mustExist: mustExist}}
 	if target == e.node.ID() {
 		return readLocal(e.node, entries)
@@ -447,7 +447,7 @@ func (e *Engine) readOne(target simnet.NodeID, opID int, rid storage.RID, mustEx
 	return rr
 }
 
-func (e *Engine) validateAt(target simnet.NodeID, v *validateReq) (bool, error) {
+func (e *Engine) validateAt(target transport.NodeID, v *validateReq) (bool, error) {
 	if target == e.node.ID() {
 		return validateLocal(e.node, v), nil
 	}

@@ -17,8 +17,8 @@ import (
 	"github.com/chillerdb/chiller/internal/cc"
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/server"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -72,8 +72,8 @@ func (e *Engine) RunOrdered(ctx context.Context, req *txn.Request, proc *txn.Pro
 		reads:        make(txn.ReadSet, len(proc.Ops)),
 		pending:      make(map[storage.RID][]byte),
 		writes:       make(map[cluster.PartitionID][]server.WriteOp),
-		participants: make(map[simnet.NodeID]bool),
-		partOfNode:   make(map[simnet.NodeID]cluster.PartitionID),
+		participants: make(map[transport.NodeID]bool),
+		partOfNode:   make(map[transport.NodeID]cluster.PartitionID),
 	}
 
 	for idx := 0; idx < len(order); {
@@ -140,8 +140,8 @@ type execState struct {
 	reads        txn.ReadSet
 	pending      map[storage.RID][]byte // buffered writes: read-your-own-writes
 	writes       map[cluster.PartitionID][]server.WriteOp
-	participants map[simnet.NodeID]bool
-	partOfNode   map[simnet.NodeID]cluster.PartitionID
+	participants map[transport.NodeID]bool
+	partOfNode   map[transport.NodeID]cluster.PartitionID
 	readRIDs     []storage.RID
 	writeRIDs    []storage.RID
 	ridOf        []ridOp // per processed op, for absorb
@@ -157,10 +157,10 @@ func (st *execState) distributed() bool { return len(st.participants) > 1 }
 // nextBatch groups consecutive ops (starting at order[idx]) that target
 // the same participant and whose keys are resolvable from args and the
 // reads accumulated so far.
-func (e *Engine) nextBatch(proc *txn.Procedure, args txn.Args, order []int, idx int, st *execState) ([]server.LockEntry, simnet.NodeID, cluster.PartitionID, error) {
+func (e *Engine) nextBatch(proc *txn.Procedure, args txn.Args, order []int, idx int, st *execState) ([]server.LockEntry, transport.NodeID, cluster.PartitionID, error) {
 	n := e.node
 	var batch []server.LockEntry
-	var target simnet.NodeID
+	var target transport.NodeID
 	var pid cluster.PartitionID
 	st.ridOf = st.ridOf[:0]
 	for j := idx; j < len(order); j++ {

@@ -10,8 +10,8 @@ import (
 	"github.com/chillerdb/chiller/internal/bench"
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/server"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -20,7 +20,7 @@ import (
 // node, and the transaction must have aborted cleanly (no leaked
 // locks) so a later retry commits.
 
-func faultCluster(t *testing.T, plan *simnet.FaultPlan) *bench.Cluster {
+func faultCluster(t *testing.T, plan *simfab.FaultPlan) *bench.Cluster {
 	t.Helper()
 	maxKey := storage.Key(2 * 8)
 	c := bench.NewCluster(bench.ClusterConfig{
@@ -48,7 +48,7 @@ func TestDroppedReplicationRelaySurfacesUnreachable(t *testing.T) {
 	// Drop every replication forward: the transaction's writes cannot
 	// replicate, so 2PL must abort cleanly with a node-naming
 	// unreachable error.
-	c := faultCluster(t, &simnet.FaultPlan{
+	c := faultCluster(t, &simfab.FaultPlan{
 		DropProb:  1,
 		Droppable: func(m string) bool { return m == server.VerbReplForward },
 	})
@@ -75,7 +75,7 @@ func TestDroppedLockWaveAbortsCleanlyAllEngines(t *testing.T) {
 	for _, kind := range []bench.EngineKind{bench.Engine2PL, bench.EngineOCC, bench.EngineChiller} {
 		kind := kind
 		t.Run(string(kind), func(t *testing.T) {
-			c := faultCluster(t, &simnet.FaultPlan{
+			c := faultCluster(t, &simfab.FaultPlan{
 				DropProb:  1,
 				Droppable: server.PreCommitVerbs,
 			})
@@ -101,7 +101,7 @@ func TestDroppedLockWaveAbortsCleanlyAllEngines(t *testing.T) {
 // commits and stays serializable.
 func TestDroppedLockDoorbellBatchedChiller(t *testing.T) {
 	var drops atomic.Int64
-	c := faultCluster(t, &simnet.FaultPlan{
+	c := faultCluster(t, &simfab.FaultPlan{
 		DropProb: 1,
 		Droppable: func(m string) bool {
 			if m == server.VerbDoorbell {

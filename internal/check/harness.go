@@ -13,8 +13,8 @@ import (
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/history"
 	"github.com/chillerdb/chiller/internal/server"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 )
 
 // The chaos harness: assemble a cluster, wrap every engine in a history
@@ -56,6 +56,15 @@ type Config struct {
 	// (VerbBatching affects EngineChiller only).
 	Engine       bench.EngineKind
 	VerbBatching bool
+	// Transport selects the fabric: bench.TransportSim (default) or
+	// bench.TransportTCP, which runs the cell over real loopback sockets
+	// — one tcpnet fabric per node, every verb crossing the kernel.
+	// Fault injection (Faults) is simnet-only: the simulator owns the
+	// drop dice and partition filters, so a TCP cell must run with
+	// Faults == nil. What the TCP cell buys is black-box checking of the
+	// real wire path: framing, per-connection FIFO, and the inline
+	// dispatch ordering all feed the same serializability checker.
+	Transport string
 	// Partitions, Replication, Lanes size the cluster (defaults 3, 2, 1).
 	Partitions  int
 	Replication int
@@ -143,10 +152,13 @@ func (r *Result) Err() error {
 // Run executes one chaos cell and checks its history.
 func Run(cfg Config) (*Result, error) {
 	cfg.defaults()
+	if cfg.Transport == bench.TransportTCP && cfg.Faults != nil {
+		return nil, fmt.Errorf("check: fault injection requires the simnet transport")
+	}
 
-	var plan *simnet.FaultPlan
+	var plan *simfab.FaultPlan
 	if cfg.Faults != nil {
-		plan = &simnet.FaultPlan{
+		plan = &simfab.FaultPlan{
 			Seed:       cfg.Seed,
 			DropProb:   cfg.Faults.DropProb,
 			DelayProb:  cfg.Faults.DelayProb,
@@ -156,6 +168,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 	maxKey := storage.Key(cfg.Partitions * cfg.Keys)
 	c := bench.NewCluster(bench.ClusterConfig{
+		Transport:    cfg.Transport,
 		Partitions:   cfg.Partitions,
 		Replication:  cfg.Replication,
 		Latency:      cfg.Latency,
@@ -207,8 +220,8 @@ func Run(cfg Config) (*Result, error) {
 			defer faultWG.Done()
 			frng := rand.New(rand.NewSource(cfg.Seed ^ 0x7a57))
 			for i := 0; i < cfg.Faults.PartitionWindows; i++ {
-				a := simnet.NodeID(frng.Intn(cfg.Partitions))
-				b := simnet.NodeID((int(a) + 1 + frng.Intn(cfg.Partitions-1)) % cfg.Partitions)
+				a := simfab.NodeID(frng.Intn(cfg.Partitions))
+				b := simfab.NodeID((int(a) + 1 + frng.Intn(cfg.Partitions-1)) % cfg.Partitions)
 				c.Net.Partition(a, b)
 				if !sleepOrStop(stopFaults, cfg.Faults.WindowLen) {
 					c.Net.Heal(a, b)
@@ -267,7 +280,9 @@ func Run(cfg Config) (*Result, error) {
 	wg.Wait()
 	close(stopFaults)
 	faultWG.Wait()
-	c.Net.HealAll()
+	if c.Net != nil {
+		c.Net.HealAll()
+	}
 	c.Drain()
 
 	// Quiesce: participant state drains once the commit tails and abort

@@ -14,22 +14,32 @@ import (
 
 // cell is one point of the engine × transport × lanes matrix.
 type cell struct {
-	name    string
-	engine  bench.EngineKind
-	batched bool
-	lanes   int
+	name      string
+	engine    bench.EngineKind
+	batched   bool
+	lanes     int
+	transport string // "" = simnet
 }
 
 func matrixCells() []cell {
 	var cells []cell
 	for _, lanes := range []int{1, 4} {
 		cells = append(cells,
-			cell{fmt.Sprintf("2pl-lanes%d", lanes), bench.Engine2PL, false, lanes},
-			cell{fmt.Sprintf("occ-lanes%d", lanes), bench.EngineOCC, false, lanes},
-			cell{fmt.Sprintf("chiller-scalar-lanes%d", lanes), bench.EngineChiller, false, lanes},
-			cell{fmt.Sprintf("chiller-batched-lanes%d", lanes), bench.EngineChiller, true, lanes},
+			cell{fmt.Sprintf("2pl-lanes%d", lanes), bench.Engine2PL, false, lanes, ""},
+			cell{fmt.Sprintf("occ-lanes%d", lanes), bench.EngineOCC, false, lanes, ""},
+			cell{fmt.Sprintf("chiller-scalar-lanes%d", lanes), bench.EngineChiller, false, lanes, ""},
+			cell{fmt.Sprintf("chiller-batched-lanes%d", lanes), bench.EngineChiller, true, lanes, ""},
 		)
 	}
+	// Loopback-TCP cells: the same workload and checker over real
+	// kernel sockets (one tcpnet fabric per node). Fault injection is
+	// simnet-only, so these cells run fault-free — what they check is
+	// the wire path itself: framing, per-connection FIFO, inline
+	// dispatch ordering, and doorbell servicing at the destination.
+	cells = append(cells,
+		cell{"tcp-2pl", bench.Engine2PL, false, 1, bench.TransportTCP},
+		cell{"tcp-chiller-batched", bench.EngineChiller, true, 1, bench.TransportTCP},
+	)
 	return cells
 }
 
@@ -65,14 +75,26 @@ func TestCheckerMatrix(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			t.Parallel()
-			for run := 0; run < runs; run++ {
+			cellRuns := runs
+			faults := DefaultFaults()
+			if c.transport == bench.TransportTCP {
+				// Fault injection is simnet-only; the TCP cells run
+				// fault-free, and one deterministic run suffices for the
+				// short-mode PR gate.
+				faults = nil
+				if testing.Short() && cellRuns > 1 {
+					cellRuns = 1
+				}
+			}
+			for run := 0; run < cellRuns; run++ {
 				seed := baseSeed + int64(run)*101
 				res, err := Run(Config{
 					Engine:       c.engine,
 					VerbBatching: c.batched,
+					Transport:    c.transport,
 					Lanes:        c.lanes,
 					Seed:         seed,
-					Faults:       DefaultFaults(),
+					Faults:       faults,
 				})
 				if err != nil {
 					t.Fatalf("run %d (seed %d): harness: %v", run, seed, err)
@@ -99,7 +121,7 @@ func TestCheckerMatrixNoFaults(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			t.Parallel()
-			res, err := Run(Config{Engine: c.engine, VerbBatching: c.batched, Lanes: c.lanes, Seed: seed})
+			res, err := Run(Config{Engine: c.engine, VerbBatching: c.batched, Transport: c.transport, Lanes: c.lanes, Seed: seed})
 			if err != nil {
 				t.Fatalf("harness: %v", err)
 			}

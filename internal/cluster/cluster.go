@@ -15,8 +15,8 @@ import (
 	"runtime"
 	"sync"
 
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport"
 )
 
 // DefaultLanes derives the per-node execution-lane count from the host
@@ -48,8 +48,8 @@ type Topology struct {
 // PartitionInfo names the primary node and replica nodes of one partition.
 type PartitionInfo struct {
 	ID       PartitionID
-	Primary  simnet.NodeID
-	Replicas []simnet.NodeID
+	Primary  transport.NodeID
+	Replicas []transport.NodeID
 }
 
 // NewTopology builds a topology with n partitions, partition i primaried
@@ -62,9 +62,9 @@ func NewTopology(n int, replicationDegree int) *Topology {
 	}
 	t := &Topology{Partitions: make([]PartitionInfo, n)}
 	for i := 0; i < n; i++ {
-		info := PartitionInfo{ID: PartitionID(i), Primary: simnet.NodeID(i)}
+		info := PartitionInfo{ID: PartitionID(i), Primary: transport.NodeID(i)}
 		for r := 1; r < replicationDegree && n > 1; r++ {
-			info.Replicas = append(info.Replicas, simnet.NodeID((i+r)%n))
+			info.Replicas = append(info.Replicas, transport.NodeID((i+r)%n))
 		}
 		t.Partitions[i] = info
 	}
@@ -75,18 +75,18 @@ func NewTopology(n int, replicationDegree int) *Topology {
 func (t *Topology) NumPartitions() int { return len(t.Partitions) }
 
 // Primary returns the primary node of partition p.
-func (t *Topology) Primary(p PartitionID) simnet.NodeID {
+func (t *Topology) Primary(p PartitionID) transport.NodeID {
 	return t.Partitions[p].Primary
 }
 
 // Replicas returns the replica nodes of partition p.
-func (t *Topology) Replicas(p PartitionID) []simnet.NodeID {
+func (t *Topology) Replicas(p PartitionID) []transport.NodeID {
 	return t.Partitions[p].Replicas
 }
 
 // PartitionOfNode returns the partition primaried on the given node, or
 // -1 if none.
-func (t *Topology) PartitionOfNode(n simnet.NodeID) PartitionID {
+func (t *Topology) PartitionOfNode(n transport.NodeID) PartitionID {
 	for _, p := range t.Partitions {
 		if p.Primary == n {
 			return p.ID
@@ -267,7 +267,7 @@ func (d *Directory) Partition(rid storage.RID) PartitionID {
 }
 
 // PrimaryOf routes a record straight to its primary node.
-func (d *Directory) PrimaryOf(rid storage.RID) simnet.NodeID {
+func (d *Directory) PrimaryOf(rid storage.RID) transport.NodeID {
 	return d.topo.Primary(d.Partition(rid))
 }
 

@@ -29,8 +29,8 @@ import (
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/depgraph"
 	"github.com/chillerdb/chiller/internal/server"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -73,7 +73,7 @@ func New(n *server.Node) *Engine {
 	// originating elsewhere is routed here and coordinated by this
 	// engine. The handler runs a full transaction, so it must not block
 	// the fabric's dispatcher.
-	n.Endpoint().HandleAsync(server.VerbTxnRoute, func(_ simnet.NodeID, raw []byte, reply func([]byte, error)) {
+	n.Endpoint().HandleAsync(server.VerbTxnRoute, func(_ transport.NodeID, raw []byte, reply func([]byte, error)) {
 		go func() {
 			req, err := decodeRouteRequest(raw)
 			if err != nil {
@@ -443,7 +443,7 @@ func (e *Engine) hotLastOrder(g *depgraph.Graph, args txn.Args, outerOps []int) 
 // over a slice rather than map operations — this is the per-transaction
 // hot path.
 type participant struct {
-	node simnet.NodeID
+	node transport.NodeID
 	pid  cluster.PartitionID
 	// locked marks the node as known to hold locks for this txn (a batch
 	// succeeded there, or failed in a way that may have left state
@@ -474,7 +474,7 @@ func (st *outerState) isDistributed() bool {
 	return false
 }
 
-func (st *outerState) hasRemoteParticipant(self simnet.NodeID) bool {
+func (st *outerState) hasRemoteParticipant(self transport.NodeID) bool {
 	for _, p := range st.parts {
 		if p.node != self {
 			return true
@@ -484,7 +484,7 @@ func (st *outerState) hasRemoteParticipant(self simnet.NodeID) bool {
 }
 
 // addParticipant records a contacted node, deduplicating by node id.
-func (st *outerState) addParticipant(node simnet.NodeID, pid cluster.PartitionID) *participant {
+func (st *outerState) addParticipant(node transport.NodeID, pid cluster.PartitionID) *participant {
 	for i := range st.parts {
 		if st.parts[i].node == node {
 			return &st.parts[i]
@@ -652,7 +652,7 @@ func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave
 	topo := dir.Topology()
 
 	type nodeBatch struct {
-		target  simnet.NodeID
+		target  transport.NodeID
 		lane    int
 		entries []server.LockEntry
 		ops     []int
@@ -722,7 +722,7 @@ func (e *Engine) lockWave(proc *txn.Procedure, args txn.Args, txnID uint64, wave
 	var rung []*server.PendingDoorbell
 	if e.batched {
 		type bellRef struct {
-			target simnet.NodeID
+			target transport.NodeID
 			d      *server.Doorbell
 		}
 		var bells []bellRef

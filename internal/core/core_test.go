@@ -8,8 +8,8 @@ import (
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/depgraph"
 	"github.com/chillerdb/chiller/internal/server"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -24,7 +24,7 @@ func setVal(v byte) txn.MutateFunc {
 // single-node harness with hot key 7.
 func newHarness(t *testing.T) (*Engine, *server.Node) {
 	t.Helper()
-	net := simnet.New(simnet.Config{})
+	net := simfab.New(simfab.Config{})
 	t.Cleanup(net.Close)
 	topo := cluster.NewTopology(1, 1)
 	dir := cluster.NewDirectory(topo, cluster.HashPartitioner{N: 1})
@@ -257,9 +257,9 @@ func TestRunUnknownProc(t *testing.T) {
 
 // multiHarness builds a 3-node cluster with table 1 range-partitioned:
 // keys [0,100) on node 0, [100,200) on node 1, [200,300) on node 2.
-func multiHarness(t *testing.T) ([]*Engine, []*server.Node, *simnet.Network) {
+func multiHarness(t *testing.T) ([]*Engine, []*server.Node, *simfab.Network) {
 	t.Helper()
-	net := simnet.New(simnet.Config{})
+	net := simfab.New(simfab.Config{})
 	t.Cleanup(net.Close)
 	topo := cluster.NewTopology(3, 1)
 	dir := cluster.NewDirectory(topo, cluster.RangePartitioner{
@@ -276,7 +276,7 @@ func multiHarness(t *testing.T) ([]*Engine, []*server.Node, *simnet.Network) {
 				t.Fatal(err)
 			}
 		}
-		nodes[i] = server.New(net.Endpoint(simnet.NodeID(i)), st, reg, dir, cluster.PartitionID(i))
+		nodes[i] = server.New(net.Endpoint(simfab.NodeID(i)), st, reg, dir, cluster.PartitionID(i))
 		RegisterVerbs(nodes[i])
 		engines[i] = New(nodes[i])
 	}
@@ -296,7 +296,7 @@ func lockRecorder(t *testing.T, n *server.Node) *[][]storage.Key {
 	t.Helper()
 	var mu sync.Mutex
 	batches := &[][]storage.Key{}
-	n.Endpoint().Handle(server.VerbLockRead, func(_ simnet.NodeID, req []byte) ([]byte, error) {
+	n.Endpoint().Handle(server.VerbLockRead, func(_ simfab.NodeID, req []byte) ([]byte, error) {
 		txnID, entries, err := server.DecodeLockRequest(req)
 		if err != nil {
 			return nil, err

@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"github.com/chillerdb/chiller/internal/server"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/txn"
 	"github.com/chillerdb/chiller/internal/wire"
 )
@@ -17,7 +17,7 @@ import (
 // parameters, etc.)".
 type innerRequest struct {
 	TxnID    uint64
-	Coord    simnet.NodeID
+	Coord    transport.NodeID
 	Proc     string
 	Args     txn.Args
 	InnerOps []int
@@ -39,7 +39,7 @@ func decodeInnerRequest(p []byte) (*innerRequest, error) {
 	r := wire.NewReader(p)
 	req := &innerRequest{}
 	req.TxnID = r.Uint64()
-	req.Coord = simnet.NodeID(r.Uint32())
+	req.Coord = transport.NodeID(r.Uint32())
 	req.Proc = r.String()
 	req.Args = r.Int64s()
 	req.InnerOps = r.Ints()
@@ -122,7 +122,7 @@ func decodeRouteResult(p []byte) (txn.Result, error) {
 // route ships the request to its inner host for coordination there
 // (§4.2's transaction placement). ok=false means routing could not be
 // attempted and the caller should coordinate locally.
-func (e *Engine) route(host simnet.NodeID, req *txn.Request) (txn.Result, bool) {
+func (e *Engine) route(host transport.NodeID, req *txn.Request) (txn.Result, bool) {
 	start := time.Now()
 	raw, err := e.node.Endpoint().Call(host, server.VerbTxnRoute, encodeRouteRequest(req))
 	e.node.VerbMetrics().Observe(server.KindRoute, time.Since(start))
@@ -139,7 +139,7 @@ func (e *Engine) route(host simnet.NodeID, req *txn.Request) (txn.Result, bool) 
 // RegisterVerbs installs the inner-region execution handler on a node.
 // Every node that can host an inner region needs it.
 func RegisterVerbs(n *server.Node) {
-	n.Endpoint().HandleAsync(server.VerbInnerExec, func(_ simnet.NodeID, raw []byte, reply func([]byte, error)) {
+	n.Endpoint().HandleAsync(server.VerbInnerExec, func(_ transport.NodeID, raw []byte, reply func([]byte, error)) {
 		// Inner execution is the heaviest handler in the system, so
 		// neither it nor its request decode may run inline on the
 		// fabric's dispatcher. On a single-lane node the lane is known
@@ -226,7 +226,7 @@ func innerLane(n *server.Node, proc *txn.Procedure, args txn.Args, innerOps []in
 // coordinator was placed with the hot data), an RPC otherwise. On the
 // direct path the coordinator's read set is extended in place and the
 // response carries no separate read set.
-func (e *Engine) execInner(innerNode simnet.NodeID, req *innerRequest) *innerResponse {
+func (e *Engine) execInner(innerNode transport.NodeID, req *innerRequest) *innerResponse {
 	if innerNode == e.node.ID() {
 		return ExecInnerLocal(e.node, req.TxnID, req.Coord, req.Proc, req.Args, req.InnerOps, req.Reads, nil)
 	}
@@ -265,7 +265,7 @@ func (e *Engine) execInner(innerNode simnet.NodeID, req *innerRequest) *innerRes
 // defensive copy and the merge. The returned response's Reads aliases
 // collect when non-nil (the RPC path's response set) and is nil
 // otherwise.
-func ExecInnerLocal(n *server.Node, txnID uint64, coord simnet.NodeID, procName string, args txn.Args, innerOps []int, reads txn.ReadSet, collect txn.ReadSet) *innerResponse {
+func ExecInnerLocal(n *server.Node, txnID uint64, coord transport.NodeID, procName string, args txn.Args, innerOps []int, reads txn.ReadSet, collect txn.ReadSet) *innerResponse {
 	proc := n.Registry().Lookup(procName)
 	if proc == nil {
 		return &innerResponse{Reason: txn.AbortInternal}
@@ -299,7 +299,7 @@ type innerLockRef struct {
 	mode storage.LockMode
 }
 
-func execInnerLocked(n *server.Node, txnID uint64, coord simnet.NodeID, proc *txn.Procedure, args txn.Args, innerOps []int, reads txn.ReadSet, collect txn.ReadSet) *innerResponse {
+func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc *txn.Procedure, args txn.Args, innerOps []int, reads txn.ReadSet, collect txn.ReadSet) *innerResponse {
 	var pending map[storage.RID][]byte // read-your-own-writes, lazily built
 	writes := make([]server.WriteOp, 0, len(innerOps))
 	locks := make([]innerLockRef, 0, len(innerOps))

@@ -8,8 +8,8 @@ import (
 
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/server"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -20,7 +20,7 @@ const laneTestTable storage.TableID = 1
 // region holds the record's bucket lock on its owning lane.
 func lanedNode(t *testing.T, lanes int, hook func(k storage.Key)) *server.Node {
 	t.Helper()
-	net := simnet.New(simnet.Config{})
+	net := simfab.New(simfab.Config{})
 	topo := cluster.NewTopology(1, 1)
 	dir := cluster.NewDirectory(topo, cluster.HashPartitioner{N: 1})
 	dir.SetLanes(lanes)

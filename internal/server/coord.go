@@ -7,8 +7,8 @@ import (
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cluster"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport"
 )
 
 // Coordinator-side helpers. Every engine (2PL/2PC, OCC, Chiller) drives
@@ -21,7 +21,7 @@ import (
 // doorbell.go.
 
 // LockRead locks and reads entries at the target node.
-func (n *Node) LockRead(target simnet.NodeID, txnID uint64, entries []LockEntry) (*LockResponse, error) {
+func (n *Node) LockRead(target transport.NodeID, txnID uint64, entries []LockEntry) (*LockResponse, error) {
 	return n.LockReadAsync(target, txnID, entries).Wait()
 }
 
@@ -30,7 +30,7 @@ func (n *Node) LockRead(target simnet.NodeID, txnID uint64, entries []LockEntry)
 type PendingLock struct {
 	resp  *LockResponse
 	err   error
-	call  *simnet.Call
+	call  transport.Call
 	start time.Time
 	vm    *VerbMetrics
 }
@@ -41,7 +41,7 @@ type PendingLock struct {
 // immediately by a direct call (the co-located fast path has no network
 // wait to overlap); issue remote batches first to keep them in flight
 // while the local one executes.
-func (n *Node) LockReadAsync(target simnet.NodeID, txnID uint64, entries []LockEntry) *PendingLock {
+func (n *Node) LockReadAsync(target transport.NodeID, txnID uint64, entries []LockEntry) *PendingLock {
 	if target == n.ID() {
 		return &PendingLock{resp: n.LockReadLocal(txnID, entries)}
 	}
@@ -68,7 +68,7 @@ func (p *PendingLock) Wait() (*LockResponse, error) {
 }
 
 // CommitAt applies writes and releases locks at the target participant.
-func (n *Node) CommitAt(target simnet.NodeID, txnID uint64, writes []WriteOp) error {
+func (n *Node) CommitAt(target transport.NodeID, txnID uint64, writes []WriteOp) error {
 	return n.CommitAsync(target, txnID, writes).Wait()
 }
 
@@ -77,8 +77,8 @@ func (n *Node) CommitAt(target simnet.NodeID, txnID uint64, writes []WriteOp) er
 // node id. Pendings are pooled: Wait recycles the value, so call it
 // exactly once and do not touch the pending afterwards.
 type PendingCommit struct {
-	call   *simnet.Call
-	target simnet.NodeID
+	call   transport.Call
+	target transport.NodeID
 	start  time.Time
 	vm     *VerbMetrics
 	err    error
@@ -88,7 +88,7 @@ var pendingCommitPool = sync.Pool{New: func() any { return new(PendingCommit) }}
 
 // CommitAsync starts a commit without waiting. A local target commits
 // synchronously before returning (its Wait just reports the outcome).
-func (n *Node) CommitAsync(target simnet.NodeID, txnID uint64, writes []WriteOp) *PendingCommit {
+func (n *Node) CommitAsync(target transport.NodeID, txnID uint64, writes []WriteOp) *PendingCommit {
 	p := pendingCommitPool.Get().(*PendingCommit)
 	p.target = target
 	if target == n.ID() {
@@ -125,7 +125,7 @@ func (p *PendingCommit) Wait() error {
 // AbortAt rolls a participant back. Abort is best-effort fire-and-forget
 // from the protocol's perspective, but we wait for the response so tests
 // observe a quiesced cluster.
-func (n *Node) AbortAt(target simnet.NodeID, txnID uint64) {
+func (n *Node) AbortAt(target transport.NodeID, txnID uint64) {
 	if target == n.ID() {
 		n.AbortLocal(txnID)
 		return
@@ -136,7 +136,7 @@ func (n *Node) AbortAt(target simnet.NodeID, txnID uint64) {
 }
 
 // AbortAll rolls back every participant in the set.
-func (n *Node) AbortAll(participants map[simnet.NodeID]bool, txnID uint64) {
+func (n *Node) AbortAll(participants map[transport.NodeID]bool, txnID uint64) {
 	for p := range participants {
 		n.AbortAt(p, txnID)
 	}
@@ -161,8 +161,8 @@ func (n *Node) Replicate(pid cluster.PartitionID, txnID uint64, writes []WriteOp
 
 // replCall is one in-flight replication forward RPC.
 type replCall struct {
-	call   *simnet.Call
-	target simnet.NodeID
+	call   transport.Call
+	target transport.NodeID
 	start  time.Time
 }
 
@@ -172,7 +172,7 @@ type replCall struct {
 // which would otherwise only see the rare remote-forward leg.
 type localFwd struct {
 	ch     chan error
-	target simnet.NodeID
+	target transport.NodeID
 	start  time.Time
 }
 
@@ -265,7 +265,7 @@ func (pr *PendingReplication) Wait() error {
 
 // CommitTarget names one participant of a commit wave.
 type CommitTarget struct {
-	Node simnet.NodeID
+	Node transport.NodeID
 	PID  cluster.PartitionID
 }
 
@@ -341,7 +341,7 @@ func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluste
 // callers abort cleanly only when sent == 0 (nothing reached any
 // replica); a partial stream has no compensation path and is an engine
 // invariant violation.
-func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID uint64, coordinator simnet.NodeID, writes []WriteOp) (sent int, err error) {
+func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID uint64, coordinator transport.NodeID, writes []WriteOp) (sent int, err error) {
 	replicas := n.dir.Topology().Replicas(pid)
 	if len(replicas) == 0 {
 		return 0, nil

@@ -6,7 +6,7 @@ import (
 	"sync"
 	"time"
 
-	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/wire"
 )
 
@@ -14,7 +14,7 @@ import (
 // node is packed into a single envelope (wire.Frame) and shipped as one
 // one-sided doorbell ring — one round trip and one pair of fabric
 // messages for the whole batch, instead of one per verb. The verbs are
-// serviced on the one-sided path (simnet.HandleOneSided): the
+// serviced on the one-sided path (transport.HandleOneSided): the
 // destination's dispatcher and execution lanes are never involved,
 // modelling NIC-executed RDMA verb processing (a lock-and-read is a CAS
 // on the bucket lock word plus a record READ; the handler performs the
@@ -42,7 +42,7 @@ import (
 // afterwards.
 type Doorbell struct {
 	n      *Node
-	target simnet.NodeID
+	target transport.NodeID
 	w      wire.Writer
 	count  int
 	kinds  [len(doorbellKinds)]uint32 // posted-frame count per metric kind
@@ -69,7 +69,7 @@ func doorbellKindIndex(verb string) int {
 var doorbellPool = sync.Pool{New: func() any { return new(Doorbell) }}
 
 // NewDoorbell starts an empty batch against the target node.
-func (n *Node) NewDoorbell(target simnet.NodeID) *Doorbell {
+func (n *Node) NewDoorbell(target transport.NodeID) *Doorbell {
 	d := doorbellPool.Get().(*Doorbell)
 	d.n, d.target = n, target
 	d.w.Reset()
@@ -78,7 +78,7 @@ func (n *Node) NewDoorbell(target simnet.NodeID) *Doorbell {
 }
 
 // Target returns the destination node.
-func (d *Doorbell) Target() simnet.NodeID { return d.target }
+func (d *Doorbell) Target() transport.NodeID { return d.target }
 
 // Len reports the number of posted frames.
 func (d *Doorbell) Len() int { return d.count }
@@ -182,8 +182,8 @@ func (d *Doorbell) release() {
 // several callers holding frame indices into the same batch may each
 // Wait and read their own result.
 type PendingDoorbell struct {
-	pending *simnet.PendingOneSided
-	target  simnet.NodeID
+	pending transport.Pending
+	target  transport.NodeID
 	frames  int
 	kinds   [len(doorbellKinds)]uint32
 	start   time.Time
@@ -302,7 +302,7 @@ func (pd *PendingDoorbell) Err(fr wire.FrameResult) error {
 // frames encoded in a single streaming pass over two buffers — the batch
 // costs one response allocation however many verbs it carries, where the
 // scalar path pays one per verb.
-func (n *Node) handleDoorbell(from simnet.NodeID, req []byte) ([]byte, error) {
+func (n *Node) handleDoorbell(from transport.NodeID, req []byte) ([]byte, error) {
 	r := wire.NewReader(req)
 	count := r.Uint32()
 	if err := r.Err(); err != nil {

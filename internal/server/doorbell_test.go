@@ -6,8 +6,8 @@ import (
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cluster"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -16,10 +16,10 @@ import (
 // into table 1 on node 1.
 func newTestPair(t *testing.T) (sender, dest *Node) {
 	t.Helper()
-	net := simnet.New(simnet.Config{Latency: 2 * time.Microsecond})
+	net := simfab.New(simfab.Config{Latency: 2 * time.Microsecond})
 	topo := cluster.NewTopology(2, 1)
 	dir := cluster.NewDirectory(topo, cluster.HashPartitioner{N: 2})
-	mk := func(id simnet.NodeID, part cluster.PartitionID) *Node {
+	mk := func(id simfab.NodeID, part cluster.PartitionID) *Node {
 		st := storage.NewStore()
 		tbl := st.CreateTable(1, 64)
 		for k := storage.Key(0); k < 20; k++ {

@@ -8,8 +8,8 @@ import (
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cluster"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -17,7 +17,7 @@ import (
 // requested lane count (nodes size their executors from the directory).
 func newLanedNode(t *testing.T, lanes int) *Node {
 	t.Helper()
-	net := simnet.New(simnet.Config{})
+	net := simfab.New(simfab.Config{})
 	topo := cluster.NewTopology(1, 1)
 	dir := cluster.NewDirectory(topo, cluster.HashPartitioner{N: 1})
 	dir.SetLanes(lanes)

@@ -17,8 +17,8 @@ import (
 	"sync/atomic"
 
 	"github.com/chillerdb/chiller/internal/cluster"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -30,7 +30,7 @@ type AccessObserver interface {
 
 // Node is one machine in the cluster.
 type Node struct {
-	ep       *simnet.Endpoint
+	ep       transport.Endpoint
 	store    *storage.Store
 	registry *txn.Registry
 	dir      *cluster.Directory
@@ -115,7 +115,7 @@ type lockRef struct {
 // execution lane per directory lane (Directory.SetLanes must have been
 // called before node construction); callers that are done with a node
 // should Close it to stop the lane goroutines.
-func New(ep *simnet.Endpoint, st *storage.Store, reg *txn.Registry, dir *cluster.Directory, part cluster.PartitionID) *Node {
+func New(ep transport.Endpoint, st *storage.Store, reg *txn.Registry, dir *cluster.Directory, part cluster.PartitionID) *Node {
 	n := &Node{
 		ep:       ep,
 		store:    st,
@@ -165,10 +165,10 @@ func New(ep *simnet.Endpoint, st *storage.Store, reg *txn.Registry, dir *cluster
 func (n *Node) VerbMetrics() *VerbMetrics { return n.vm }
 
 // ID returns the node's fabric identity.
-func (n *Node) ID() simnet.NodeID { return n.ep.ID() }
+func (n *Node) ID() transport.NodeID { return n.ep.ID() }
 
 // Endpoint returns the node's fabric endpoint.
-func (n *Node) Endpoint() *simnet.Endpoint { return n.ep }
+func (n *Node) Endpoint() transport.Endpoint { return n.ep }
 
 // Store returns the node's storage engine.
 func (n *Node) Store() *storage.Store { return n.store }
@@ -399,7 +399,7 @@ func ApplyWrites(st *storage.Store, writes []WriteOp) error {
 // across lanes, just without lane affinity. Either way the batch stays
 // whole, preserving LockReadLocal's all-or-nothing rollback.
 
-func (n *Node) handleLockRead(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
+func (n *Node) handleLockRead(_ transport.NodeID, req []byte, reply func([]byte, error)) {
 	txnID, entries, err := DecodeLockRequest(req)
 	if err != nil {
 		reply(nil, err)
@@ -415,7 +415,7 @@ func (n *Node) handleLockRead(_ simnet.NodeID, req []byte, reply func([]byte, er
 	})
 }
 
-func (n *Node) handleCommit(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
+func (n *Node) handleCommit(_ transport.NodeID, req []byte, reply func([]byte, error)) {
 	txnID, writes, err := DecodeWrites(req)
 	if err != nil {
 		reply(nil, err)
@@ -430,7 +430,7 @@ func (n *Node) handleCommit(_ simnet.NodeID, req []byte, reply func([]byte, erro
 	})
 }
 
-func (n *Node) handleAbort(_ simnet.NodeID, req []byte) ([]byte, error) {
+func (n *Node) handleAbort(_ transport.NodeID, req []byte) ([]byte, error) {
 	txnID, err := DecodeAbort(req)
 	if err != nil {
 		return nil, err
@@ -444,7 +444,7 @@ func (n *Node) handleAbort(_ simnet.NodeID, req []byte) ([]byte, error) {
 // (they forward through the partition primary, see handleReplForward,
 // so every record has exactly one replication pipe); it remains for
 // tooling and direct-apply tests.
-func (n *Node) handleReplApply(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
+func (n *Node) handleReplApply(_ transport.NodeID, req []byte, reply func([]byte, error)) {
 	_, writes, err := DecodeWrites(req)
 	if err != nil {
 		reply(nil, err)
@@ -470,7 +470,7 @@ const fwdAckBit = uint64(1) << 63
 // the property direct coordinator→replica RPCs could not give (they
 // race the inner stream on a different link; the chaos harness caught
 // exactly that as a replica mismatch under delay spikes).
-func (n *Node) handleReplForward(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
+func (n *Node) handleReplForward(_ transport.NodeID, req []byte, reply func([]byte, error)) {
 	_, writes, err := DecodeWrites(req)
 	if err != nil {
 		reply(nil, err)
@@ -518,7 +518,7 @@ func (n *Node) ForwardRepl(writes []WriteOp, done func(error)) {
 		case <-n.ep.Closed():
 			n.CancelInnerAcks(fid)
 			n.ReleaseInnerWaiter(ack)
-			done(simnet.ErrClosed)
+			done(transport.ErrClosed)
 		}
 	}()
 }
@@ -529,7 +529,7 @@ func (n *Node) ForwardRepl(writes []WriteOp, done func(error)) {
 // coordinator node id appended by the primary.
 
 // EncodeInnerRepl builds the one-way primary→replica message.
-func EncodeInnerRepl(txnID uint64, coordinator simnet.NodeID, writes []WriteOp) []byte {
+func EncodeInnerRepl(txnID uint64, coordinator transport.NodeID, writes []WriteOp) []byte {
 	base := EncodeWrites(txnID, writes)
 	out := make([]byte, 0, len(base)+4)
 	out = append(out, base...)
@@ -538,13 +538,13 @@ func EncodeInnerRepl(txnID uint64, coordinator simnet.NodeID, writes []WriteOp) 
 }
 
 // DecodeInnerRepl parses the primary→replica message.
-func DecodeInnerRepl(p []byte) (txnID uint64, coordinator simnet.NodeID, writes []WriteOp, err error) {
+func DecodeInnerRepl(p []byte) (txnID uint64, coordinator transport.NodeID, writes []WriteOp, err error) {
 	if len(p) < 4 {
 		return 0, 0, nil, fmt.Errorf("server: short inner-repl message")
 	}
 	body, tail := p[:len(p)-4], p[len(p)-4:]
 	txnID, writes, err = DecodeWrites(body)
-	coordinator = simnet.NodeID(uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24)
+	coordinator = transport.NodeID(uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24)
 	return txnID, coordinator, writes, err
 }
 
@@ -561,7 +561,7 @@ func DecodeInnerRepl(p []byte) (txnID uint64, coordinator simnet.NodeID, writes 
 // holds). Apply failures on a locked, already-committed write set are
 // engine invariant violations — same class as a failed post-commit
 // apply at a primary — so they surface loudly instead.
-func (n *Node) handleInnerRepl(_ simnet.NodeID, req []byte, reply func([]byte, error)) {
+func (n *Node) handleInnerRepl(_ transport.NodeID, req []byte, reply func([]byte, error)) {
 	txnID, coord, writes, err := DecodeInnerRepl(req)
 	if err != nil {
 		panic(fmt.Sprintf("server: replica %d: undecodable replication stream message: %v", n.ID(), err))
@@ -571,7 +571,7 @@ func (n *Node) handleInnerRepl(_ simnet.NodeID, req []byte, reply func([]byte, e
 			panic(fmt.Sprintf("server: replica %d: apply of committed write set failed: %v", n.ID(), aerr))
 		}
 		n.vm.Add(KindInnerAck)
-		if err := n.ep.Send(coord, VerbInnerAck, EncodeAbort(txnID)); err != nil && !errors.Is(err, simnet.ErrClosed) {
+		if err := n.ep.Send(coord, VerbInnerAck, EncodeAbort(txnID)); err != nil && !errors.Is(err, transport.ErrClosed) {
 			// Same wedge as a swallowed apply failure: an undelivered ack
 			// leaves the waiter counting forever. The ack verb rides the
 			// protected control plane under every fault plan, so a failed
@@ -584,7 +584,7 @@ func (n *Node) handleInnerRepl(_ simnet.NodeID, req []byte, reply func([]byte, e
 }
 
 // handleInnerAck runs on the coordinator: count down the waiter.
-func (n *Node) handleInnerAck(_ simnet.NodeID, req []byte) ([]byte, error) {
+func (n *Node) handleInnerAck(_ transport.NodeID, req []byte) ([]byte, error) {
 	txnID, err := DecodeAbort(req)
 	if err != nil {
 		return nil, err

@@ -3,7 +3,7 @@ package server
 import (
 	"errors"
 
-	"github.com/chillerdb/chiller/internal/simnet"
+	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -15,7 +15,7 @@ import (
 // pre-commit-point paths — a post-commit-point failure is never cleanly
 // retryable and must stay AbortInternal regardless of cause.
 func TransportAbortReason(err error) txn.AbortReason {
-	if errors.Is(err, simnet.ErrUnreachable) {
+	if errors.Is(err, transport.ErrUnreachable) {
 		return txn.AbortUnreachable
 	}
 	return txn.AbortInternal

@@ -6,14 +6,14 @@ import (
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cluster"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
-func newTestNode(t *testing.T) (*Node, *simnet.Network) {
+func newTestNode(t *testing.T) (*Node, *simfab.Network) {
 	t.Helper()
-	net := simnet.New(simnet.Config{})
+	net := simfab.New(simfab.Config{})
 	topo := cluster.NewTopology(1, 1)
 	dir := cluster.NewDirectory(topo, cluster.HashPartitioner{N: 1})
 	st := storage.NewStore()

@@ -5,8 +5,8 @@ import (
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cluster"
-	"github.com/chillerdb/chiller/internal/simnet"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
 )
 
@@ -16,10 +16,10 @@ import (
 
 func benchPair(b *testing.B, latency time.Duration) (sender, dest *Node) {
 	b.Helper()
-	net := simnet.New(simnet.Config{Latency: latency})
+	net := simfab.New(simfab.Config{Latency: latency})
 	topo := cluster.NewTopology(2, 1)
 	dir := cluster.NewDirectory(topo, cluster.HashPartitioner{N: 2})
-	mk := func(id simnet.NodeID, part cluster.PartitionID) *Node {
+	mk := func(id simfab.NodeID, part cluster.PartitionID) *Node {
 		st := storage.NewStore()
 		tbl := st.CreateTable(1, 64)
 		for k := storage.Key(0); k < 20; k++ {

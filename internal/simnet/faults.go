@@ -1,12 +1,13 @@
 package simnet
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/chillerdb/chiller/internal/transport"
 )
 
 // Fault injection. The chaos harness (internal/check) drives the fabric
@@ -65,8 +66,10 @@ type FaultPlan struct {
 // ErrUnreachable is the family error for injected transport faults:
 // every dropped or partition-blocked send wraps it. Engines classify it
 // as a transient, retryable transport failure (txn.AbortUnreachable) —
-// distinct from ErrClosed and from engine-invariant internal errors.
-var ErrUnreachable = errors.New("simnet: destination unreachable")
+// distinct from ErrClosed and from engine-invariant internal errors. It
+// is the shared transport sentinel, so tcpnet's connection failures
+// classify identically.
+var ErrUnreachable = transport.ErrUnreachable
 
 // ErrInjectedDrop marks a message dropped by the fault plan's drop dice.
 // It wraps ErrUnreachable.

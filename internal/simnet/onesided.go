@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/chillerdb/chiller/internal/transport"
 )
 
 // One-sided verbs. In real RDMA these are serviced by the remote NIC
@@ -193,14 +195,10 @@ func (b *OneSidedBatch) Execute() error {
 	return nil
 }
 
-// OneSidedHandler services a doorbell-batched one-sided verb. It runs on
-// the caller's side of the wire (the destination's dispatcher and lanes
-// are never involved) and must synchronize only through data structures
-// that tolerate concurrent access — bucket lock words, mutex-protected
-// buckets — exactly as NIC-executed RDMA verbs synchronize through
-// memory. from identifies the caller; the returned bytes travel back as
-// the doorbell's completion.
-type OneSidedHandler func(from NodeID, req []byte) ([]byte, error)
+// OneSidedHandler services a doorbell-batched one-sided verb (see
+// transport.OneSidedHandler). In simnet it runs on the caller's side of
+// the wire — the destination's dispatcher and lanes are never involved.
+type OneSidedHandler = transport.OneSidedHandler
 
 // PendingOneSided is an in-flight doorbell ring started by GoOneSided.
 // Pendings are pooled: Wait recycles the value, so it must not be used
@@ -259,7 +257,7 @@ func (p *PendingOneSided) Reap() ([]byte, error) {
 // the physical arrival instant is far below the scheduling noise of the
 // two-sided path and shifts acquire and release alike, leaving lock
 // spans honest.
-func (e *Endpoint) GoOneSided(to NodeID, method string, payload []byte, verbs int) (*PendingOneSided, error) {
+func (e *Endpoint) GoOneSided(to NodeID, method string, payload []byte, verbs int) (transport.Pending, error) {
 	dst, ok := e.net.endpoint(to)
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchNode, to)

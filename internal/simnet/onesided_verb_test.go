@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/chillerdb/chiller/internal/transport"
 )
 
 func TestGoOneSidedRoundTrip(t *testing.T) {
@@ -57,7 +59,7 @@ func TestGoOneSidedOverlaps(t *testing.T) {
 		})
 	}
 	start := time.Now()
-	var pending []*PendingOneSided
+	var pending []transport.Pending
 	for id := NodeID(1); id <= 4; id++ {
 		p, err := a.GoOneSided(id, "nop", nil, 1)
 		if err != nil {

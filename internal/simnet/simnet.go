@@ -34,16 +34,19 @@
 package simnet
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/chillerdb/chiller/internal/transport"
 )
 
-// NodeID identifies a machine in the simulated cluster.
-type NodeID int32
+// NodeID identifies a machine in the simulated cluster. It is the
+// shared transport identity; simnet re-exports it so the fabric's own
+// tests and the simfab adapter read naturally.
+type NodeID = transport.NodeID
 
 // Config controls the fabric's timing model.
 type Config struct {
@@ -68,27 +71,8 @@ type Config struct {
 	Faults *FaultPlan
 }
 
-// Stats aggregates fabric-wide counters. All fields are updated atomically
-// and may be read concurrently with traffic.
-type Stats struct {
-	// MessagesSent counts every one-way traversal of the fabric,
-	// including the two legs of each RPC and one-sided round trip.
-	MessagesSent atomic.Uint64
-	// BytesSent counts payload bytes shipped.
-	BytesSent atomic.Uint64
-	// RPCs counts two-sided request/response exchanges.
-	RPCs atomic.Uint64
-	// OneSidedReads counts one-sided READ verbs.
-	OneSidedReads atomic.Uint64
-	// OneSidedCAS counts one-sided CAS verbs.
-	OneSidedCAS atomic.Uint64
-	// Doorbells counts doorbell rings on the one-sided verb path: each is
-	// one round trip regardless of how many verbs the batch carried.
-	Doorbells atomic.Uint64
-	// OneSidedVerbs counts verbs carried by those doorbells. The ratio
-	// OneSidedVerbs/Doorbells is the achieved batching factor.
-	OneSidedVerbs atomic.Uint64
-}
+// Stats aggregates fabric-wide counters (see transport.Stats).
+type Stats = transport.Stats
 
 // Network is the fabric. Create one per simulated cluster, then create an
 // Endpoint per node.
@@ -158,19 +142,22 @@ func (n *Network) Close() {
 	}
 }
 
-// ErrClosed is returned for operations on a closed fabric.
-var ErrClosed = errors.New("simnet: network closed")
-
-// ErrNoSuchNode is returned when addressing an unregistered node.
-var ErrNoSuchNode = errors.New("simnet: no such node")
-
-// ErrNoSuchMethod is returned when the destination has no handler for the
-// requested RPC method.
-var ErrNoSuchMethod = errors.New("simnet: no such method")
+// The shared transport sentinels, re-exported: one error value across
+// fabrics, so errors.Is classification is backend-independent.
+var (
+	// ErrClosed is returned for operations on a closed fabric.
+	ErrClosed = transport.ErrClosed
+	// ErrNoSuchNode is returned when addressing an unregistered node.
+	ErrNoSuchNode = transport.ErrNoSuchNode
+	// ErrNoSuchMethod is returned when the destination has no handler
+	// for the requested RPC method.
+	ErrNoSuchMethod = transport.ErrNoSuchMethod
+)
 
 // ErrNoSuchRegion is returned by one-sided verbs targeting an unregistered
-// memory region.
-var ErrNoSuchRegion = errors.New("simnet: no such memory region")
+// memory region. Registered-memory verbs are a simnet extra (the engines
+// use the doorbell verb path), so this sentinel stays local.
+var ErrNoSuchRegion = fmt.Errorf("simnet: no such memory region")
 
 // Endpoint returns (creating if necessary) the endpoint for node id.
 func (n *Network) Endpoint(id NodeID) *Endpoint {
@@ -423,16 +410,12 @@ func (l *link) send(msg message, extra time.Duration) error {
 	return nil
 }
 
-// RPCHandler serves a two-sided RPC. from identifies the caller. The
-// returned bytes are shipped back as the response; a non-nil error is
-// delivered to the caller as a string-wrapped remote error.
-type RPCHandler func(from NodeID, req []byte) ([]byte, error)
+// RPCHandler serves a two-sided RPC (see transport.RPCHandler).
+type RPCHandler = transport.RPCHandler
 
 // AsyncRPCHandler serves a two-sided RPC without blocking the fabric's
-// dispatcher: it must arrange for reply to be called exactly once
-// (typically from its own goroutine). Use it for handlers that do real
-// work — a slow inline handler stalls delivery for the whole fabric.
-type AsyncRPCHandler func(from NodeID, req []byte, reply func([]byte, error))
+// dispatcher (see transport.AsyncRPCHandler).
+type AsyncRPCHandler = transport.AsyncRPCHandler
 
 // Memory is a region that remote nodes can access with one-sided verbs.
 // Implementations must be safe for concurrent use: in real RDMA the NIC
@@ -475,6 +458,10 @@ type rpcResult struct {
 
 // ID returns the endpoint's node ID.
 func (e *Endpoint) ID() NodeID { return e.id }
+
+// Stats returns the fabric-wide traffic counters (shared by every
+// endpoint of this Network).
+func (e *Endpoint) Stats() *Stats { return &e.net.stats }
 
 // Closed returns a channel that is closed when the fabric shuts down.
 // Long waits that are completed by one-way messages (ack countdowns)
@@ -530,16 +517,9 @@ func (e *Endpoint) RegisterMemory(region string, m Memory) {
 }
 
 // RemoteError is an application-level error returned by a remote RPC
-// handler, distinguished from transport failures.
-type RemoteError struct {
-	Method string
-	Msg    string
-}
-
-// Error formats the remote failure with its originating method.
-func (e *RemoteError) Error() string {
-	return fmt.Sprintf("simnet: remote %s: %s", e.Method, e.Msg)
-}
+// handler, distinguished from transport failures (see
+// transport.RemoteError).
+type RemoteError = transport.RemoteError
 
 // Call performs a synchronous RPC to node `to`, blocking through one
 // network round trip (two one-way latencies).
@@ -581,7 +561,7 @@ func (c *Call) Wait() ([]byte, error) {
 // Go starts an asynchronous RPC. The returned Call's Wait method yields
 // the response. Multiple Go calls may be outstanding simultaneously; this
 // is how Chiller's coordinator fans out outer-region lock requests.
-func (e *Endpoint) Go(to NodeID, method string, req []byte) (*Call, error) {
+func (e *Endpoint) Go(to NodeID, method string, req []byte) (transport.Call, error) {
 	if _, ok := e.net.endpoint(to); !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoSuchNode, to)
 	}

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/chillerdb/chiller/internal/transport"
 )
 
 func TestRPCBasic(t *testing.T) {
@@ -185,7 +187,7 @@ func TestAsyncGoFanOut(t *testing.T) {
 		})
 	}
 	start := time.Now()
-	calls := make([]*Call, 0, fan)
+	calls := make([]transport.Call, 0, fan)
 	for i := 1; i <= fan; i++ {
 		c, err := coord.Go(NodeID(i), "work", nil)
 		if err != nil {

@@ -1,0 +1,226 @@
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/chillerdb/chiller/internal/transport"
+)
+
+// pair builds a two-node loopback cluster and wires the peer maps.
+func pair(t *testing.T) (*Fabric, *Fabric) {
+	t.Helper()
+	a, err := New(Config{ID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{ID: 1})
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	a.SetPeers(map[transport.NodeID]string{1: b.Addr()})
+	b.SetPeers(map[transport.NodeID]string{0: a.Addr()})
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	a, b := pair(t)
+	b.Handle("echo", func(from transport.NodeID, req []byte) ([]byte, error) {
+		if from != 0 {
+			return nil, fmt.Errorf("from = %d, want 0", from)
+		}
+		return append([]byte("re:"), req...), nil
+	})
+	resp, err := a.Call(1, "echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "re:ping" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestAsyncHandlerAndConcurrentCalls(t *testing.T) {
+	a, b := pair(t)
+	b.HandleAsync("slowdouble", func(from transport.NodeID, req []byte, reply func([]byte, error)) {
+		go func() {
+			time.Sleep(time.Millisecond)
+			reply([]byte{req[0] * 2}, nil)
+		}()
+	})
+	const fan = 32
+	calls := make([]transport.Call, fan)
+	for i := 0; i < fan; i++ {
+		c, err := a.Go(1, "slowdouble", []byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls[i] = c
+	}
+	for i, c := range calls {
+		resp, err := c.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp[0] != byte(i*2) {
+			t.Fatalf("call %d: got %d", i, resp[0])
+		}
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	a, b := pair(t)
+	b.Handle("fail", func(transport.NodeID, []byte) ([]byte, error) {
+		return nil, errors.New("application refused")
+	})
+	_, err := a.Call(1, "fail", nil)
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("want RemoteError, got %v", err)
+	}
+	if re.Method != "fail" {
+		t.Fatalf("method = %q", re.Method)
+	}
+	// A missing method is also a remote error, not a transport failure.
+	if _, err := a.Call(1, "nope", nil); err == nil || errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("missing method: got %v", err)
+	}
+}
+
+func TestSendFIFO(t *testing.T) {
+	a, b := pair(t)
+	const n = 200
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	b.Handle("seq", func(_ transport.NodeID, req []byte) ([]byte, error) {
+		mu.Lock()
+		got = append(got, int(req[0])<<8|int(req[1]))
+		full := len(got) == n
+		mu.Unlock()
+		if full {
+			close(done)
+		}
+		return nil, nil
+	})
+	for i := 0; i < n; i++ {
+		if err := a.Send(1, "seq", []byte{byte(i >> 8), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for sends")
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("send %d arrived out of order (got %d)", i, v)
+		}
+	}
+}
+
+func TestDoorbell(t *testing.T) {
+	a, b := pair(t)
+	b.HandleOneSided("bell", func(from transport.NodeID, req []byte) ([]byte, error) {
+		return append([]byte("rung:"), req...), nil
+	})
+	p, err := a.GoOneSided(1, "bell", []byte("x3"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "rung:x3" {
+		t.Fatalf("resp = %q", resp)
+	}
+	if got := a.Stats().Doorbells.Load(); got != 1 {
+		t.Fatalf("caller doorbells = %d", got)
+	}
+	if got := a.Stats().OneSidedVerbs.Load(); got != 3 {
+		t.Fatalf("caller verbs = %d", got)
+	}
+	if got := b.Stats().Doorbells.Load(); got != 1 {
+		t.Fatalf("destination doorbells = %d", got)
+	}
+}
+
+func TestSelfDispatch(t *testing.T) {
+	a, _ := pair(t)
+	a.Handle("local", func(from transport.NodeID, req []byte) ([]byte, error) {
+		return []byte{req[0] + 1}, nil
+	})
+	a.HandleOneSided("localbell", func(from transport.NodeID, req []byte) ([]byte, error) {
+		return []byte{req[0] + 2}, nil
+	})
+	if resp, err := a.Call(0, "local", []byte{5}); err != nil || resp[0] != 6 {
+		t.Fatalf("self call: %v %v", resp, err)
+	}
+	if resp, err := a.CallOneSided(0, "localbell", []byte{5}, 1); err != nil || resp[0] != 7 {
+		t.Fatalf("self ring: %v %v", resp, err)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	a, err := New(Config{ID: 0, DialRetries: 2, DialBackoff: time.Millisecond, DialTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// An unknown node is a config error, not an unreachable one.
+	if _, err := a.Call(9, "m", nil); !errors.Is(err, transport.ErrNoSuchNode) {
+		t.Fatalf("unknown node: got %v", err)
+	}
+	// A known peer nobody listens on is unreachable.
+	a.SetPeers(map[transport.NodeID]string{1: "127.0.0.1:1"})
+	if _, err := a.Call(1, "m", nil); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("dead peer: got %v", err)
+	}
+}
+
+func TestPeerDeathFailsInFlight(t *testing.T) {
+	a, b := pair(t)
+	b.HandleAsync("hang", func(_ transport.NodeID, _ []byte, reply func([]byte, error)) {
+		// Never reply; the caller must be failed by the broken conn.
+	})
+	c, err := a.Go(1, "hang", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if _, err := c.Wait(); !errors.Is(err, transport.ErrUnreachable) && !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("want unreachable/closed, got %v", err)
+	}
+	// The fabric recovers: once the peer is back (new fabric, same
+	// role), a fresh dial succeeds.
+	b2, err := New(Config{ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	b2.Handle("echo", func(_ transport.NodeID, req []byte) ([]byte, error) { return req, nil })
+	a.SetPeers(map[transport.NodeID]string{1: b2.Addr()})
+	if _, err := a.Call(1, "echo", []byte("back")); err != nil {
+		t.Fatalf("redial: %v", err)
+	}
+}
+
+func TestClosedFabric(t *testing.T) {
+	a, _ := pair(t)
+	a.Close()
+	if _, err := a.Call(1, "m", nil); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("closed fabric: got %v", err)
+	}
+	select {
+	case <-a.Closed():
+	default:
+		t.Fatal("Closed() channel not closed")
+	}
+}

@@ -23,6 +23,24 @@ const (
 	EngineOCC     EngineKind = "OCC"
 )
 
+// TransportKind selects the fabric a DB runs over.
+type TransportKind string
+
+// The two fabrics a DB can be opened on.
+const (
+	// TransportSim is the default: an embedded, simulated multi-node
+	// cluster inside this process, with configurable latency, jitter,
+	// and deterministic fault injection.
+	TransportSim TransportKind = "simnet"
+	// TransportTCP joins a cluster of chiller-node processes over TCP as
+	// a coordinator-only client. Requires WithPeers; the
+	// simulation-only options (WithPartitions, WithLatency, WithJitter,
+	// WithSampling) are rejected with ErrBadConfig, and store-touching
+	// DB methods return ErrUnsupported (the data lives in the node
+	// processes). See docs/NETWORK.md for the transport semantics.
+	TransportTCP TransportKind = "tcp"
+)
+
 // config collects Open's settings; Options mutate it.
 type config struct {
 	partitions   int
@@ -36,6 +54,14 @@ type config struct {
 	sampleRate   float64
 	verbBatching bool
 	recorder     *history.Recorder
+
+	transport  TransportKind
+	listenAddr string
+	peers      []string
+
+	// simOnly names every simulation-only option that was explicitly
+	// set, so Open can reject the combination with TransportTCP by name.
+	simOnly []string
 }
 
 // Option configures Open.
@@ -46,9 +72,10 @@ type Option func(*config) error
 func WithPartitions(n int) Option {
 	return func(c *config) error {
 		if n <= 0 {
-			return fmt.Errorf("chiller: partitions must be positive, got %d", n)
+			return fmt.Errorf("chiller: partitions must be positive, got %d: %w", n, ErrBadConfig)
 		}
 		c.partitions = n
+		c.simOnly = append(c.simOnly, "WithPartitions")
 		return nil
 	}
 }
@@ -59,7 +86,7 @@ func WithPartitions(n int) Option {
 func WithReplication(degree int) Option {
 	return func(c *config) error {
 		if degree <= 0 {
-			return fmt.Errorf("chiller: replication degree must be positive, got %d", degree)
+			return fmt.Errorf("chiller: replication degree must be positive, got %d: %w", degree, ErrBadConfig)
 		}
 		c.replication = degree
 		return nil
@@ -72,9 +99,10 @@ func WithReplication(degree int) Option {
 func WithLatency(d time.Duration) Option {
 	return func(c *config) error {
 		if d < 0 {
-			return fmt.Errorf("chiller: negative latency %v", d)
+			return fmt.Errorf("chiller: negative latency %v: %w", d, ErrBadConfig)
 		}
 		c.latency = d
+		c.simOnly = append(c.simOnly, "WithLatency")
 		return nil
 	}
 }
@@ -83,9 +111,10 @@ func WithLatency(d time.Duration) Option {
 func WithJitter(d time.Duration) Option {
 	return func(c *config) error {
 		if d < 0 {
-			return fmt.Errorf("chiller: negative jitter %v", d)
+			return fmt.Errorf("chiller: negative jitter %v: %w", d, ErrBadConfig)
 		}
 		c.jitter = d
+		c.simOnly = append(c.simOnly, "WithJitter")
 		return nil
 	}
 }
@@ -97,7 +126,7 @@ func WithJitter(d time.Duration) Option {
 func WithLanes(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
-			return fmt.Errorf("chiller: negative lane count %d", n)
+			return fmt.Errorf("chiller: negative lane count %d: %w", n, ErrBadConfig)
 		}
 		c.lanes = n
 		return nil
@@ -138,7 +167,7 @@ func WithEngine(kind EngineKind) Option {
 			c.engine = kind
 			return nil
 		}
-		return fmt.Errorf("chiller: unknown engine kind %q", kind)
+		return fmt.Errorf("chiller: unknown engine kind %q: %w", kind, ErrBadConfig)
 	}
 }
 
@@ -172,7 +201,7 @@ func WithRangePartitioner(maxKey map[Table]Key) Option {
 func WithPartitionFunc(name string, fn func(table Table, key Key) int) Option {
 	return func(c *config) error {
 		if fn == nil {
-			return fmt.Errorf("chiller: nil partition func")
+			return fmt.Errorf("chiller: nil partition func: %w", ErrBadConfig)
 		}
 		c.partitioner = funcPartitioner{name: name, fn: fn}
 		return nil
@@ -185,9 +214,60 @@ func WithPartitionFunc(name string, fn func(table Table, key Key) int) Option {
 func WithSampling(rate float64) Option {
 	return func(c *config) error {
 		if rate <= 0 || rate > 1 {
-			return fmt.Errorf("chiller: sampling rate %v outside (0, 1]", rate)
+			return fmt.Errorf("chiller: sampling rate %v outside (0, 1]: %w", rate, ErrBadConfig)
 		}
 		c.sampleRate = rate
+		c.simOnly = append(c.simOnly, "WithSampling")
+		return nil
+	}
+}
+
+// WithTransport selects the fabric: TransportSim (the default, an
+// embedded simulated cluster) or TransportTCP (join a running
+// chiller-node cluster; requires WithPeers). The two transports are
+// mutually exclusive with each other's knobs — see TransportTCP for
+// which options the TCP client rejects.
+func WithTransport(kind TransportKind) Option {
+	return func(c *config) error {
+		switch kind {
+		case TransportSim, TransportTCP:
+			c.transport = kind
+			return nil
+		}
+		return fmt.Errorf("chiller: unknown transport %q: %w", kind, ErrBadConfig)
+	}
+}
+
+// WithPeers lists every node of the TCP cluster to join; index i is
+// node i, exactly as the nodes' own -peers flags order them. The
+// partition count is derived from the peer list (one partition per
+// node), so WithPartitions is rejected alongside it. Only valid with
+// WithTransport(TransportTCP).
+//
+// The client is a full coordinator: replication degree, lane count,
+// and partitioner must match what the nodes were started with (they
+// shape verb addressing and are not negotiated on the wire).
+func WithPeers(addrs ...string) Option {
+	return func(c *config) error {
+		if len(addrs) == 0 {
+			return fmt.Errorf("chiller: WithPeers needs at least one address: %w", ErrBadConfig)
+		}
+		c.peers = append([]string(nil), addrs...)
+		return nil
+	}
+}
+
+// WithListenAddr sets the TCP client's own listen address (completions
+// and replies arrive on connections the client dialed, so the listener
+// mostly matters when node processes are expected to dial back; the
+// default "127.0.0.1:0" picks a free loopback port). Only valid with
+// WithTransport(TransportTCP).
+func WithListenAddr(addr string) Option {
+	return func(c *config) error {
+		if addr == "" {
+			return fmt.Errorf("chiller: empty listen address: %w", ErrBadConfig)
+		}
+		c.listenAddr = addr
 		return nil
 	}
 }

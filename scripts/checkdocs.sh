@@ -11,6 +11,11 @@
 #   3. Every relative markdown link in README.md and docs/ must point at
 #      a file or directory that exists (anchors are stripped; external
 #      http(s)/mailto links are skipped).
+#   4. Transport layering: no package outside internal/transport (and
+#      internal/simnet itself) may import internal/simnet. Engines and
+#      harnesses program against the transport interface; composition
+#      roots reach the simulator only through internal/transport/simfab,
+#      so the TCP fabric (or a future RDMA one) stays a drop-in.
 #
 # Exits non-zero with a list of offenders on failure.
 set -eu
@@ -28,6 +33,18 @@ fi
 
 # --- 2. exported-symbol docs in the fabric packages ---------------------
 if ! go run ./scripts/doccheck internal/simnet internal/wire; then
+    fail=1
+fi
+
+# --- 4. simnet import lint ----------------------------------------------
+# Only transport implementations may import the simulator directly.
+offenders=$(go list -f '{{$p := .ImportPath}}{{range .Imports}}{{if eq . "github.com/chillerdb/chiller/internal/simnet"}}{{$p}}{{println}}{{end}}{{end}}{{range .TestImports}}{{if eq . "github.com/chillerdb/chiller/internal/simnet"}}{{$p}} (tests){{println}}{{end}}{{end}}{{range .XTestImports}}{{if eq . "github.com/chillerdb/chiller/internal/simnet"}}{{$p}} (external tests){{println}}{{end}}{{end}}' ./... |
+    sed '/^$/d' | sort -u |
+    grep -v -e '^github.com/chillerdb/chiller/internal/simnet' \
+            -e '^github.com/chillerdb/chiller/internal/transport' || true)
+if [ -n "$offenders" ]; then
+    echo "packages importing internal/simnet directly (use internal/transport or internal/transport/simfab):" >&2
+    echo "$offenders" >&2
     fail=1
 fi
 
