@@ -3,6 +3,7 @@ package chiller
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller/internal/wal"
 )
 
 // DB is a Chiller deployment handle: by default an embedded simulated
@@ -42,6 +44,11 @@ type DB struct {
 	nodes    []*server.Node
 	engines  []cc.Engine
 	sampler  *stats.Sampler
+	wals     []*wal.Log // per-node write-ahead logs; empty without WithDurability
+	// recovered reports that Open found durable state under the
+	// WithDurability dir and replayed it into the stores; Load then
+	// yields to recovered values instead of overwriting them.
+	recovered bool
 
 	next   atomic.Uint64 // round-robin coordinator choice
 	closed atomic.Bool
@@ -116,6 +123,10 @@ func Open(opts ...Option) (*DB, error) {
 		cfg.partitioner = p
 	}
 
+	if cfg.fsync != (FsyncPolicy{}) && cfg.walDir == "" {
+		return nil, fmt.Errorf("chiller: WithFsyncPolicy requires WithDurability: %w", ErrBadConfig)
+	}
+
 	if cfg.transport == TransportTCP {
 		return openTCP(cfg)
 	}
@@ -144,6 +155,32 @@ func Open(opts ...Option) (*DB, error) {
 			db.registry, dir, cluster.PartitionID(p))
 		if db.sampler != nil {
 			node.SetSampler(db.sampler)
+		}
+		if cfg.walDir != "" {
+			// Recover-then-attach before the node registers verbs: any
+			// state a previous incarnation logged is back in the store
+			// before the first message can arrive.
+			l, rec, err := wal.Recover(filepath.Join(cfg.walDir, fmt.Sprintf("node-%d", p)), cfg.lanes, wal.Policy{
+				FlushInterval: cfg.fsync.FlushInterval,
+				FlushBytes:    cfg.fsync.FlushBytes,
+				NoSync:        cfg.fsync.NoSync,
+				SnapshotBytes: cfg.fsync.SnapshotBytes,
+			})
+			if err == nil && !rec.Empty() {
+				db.recovered = true
+				if err = server.RecoverStore(node.Store(), rec); err != nil {
+					l.Close()
+				}
+			}
+			if err != nil {
+				for _, l := range db.wals {
+					l.Close()
+				}
+				net.Close()
+				return nil, fmt.Errorf("chiller: durability for node %d: %w", p, err)
+			}
+			db.wals = append(db.wals, l)
+			node.SetWAL(l)
 		}
 		occ.RegisterVerbs(node)
 		core.RegisterVerbs(node)
@@ -256,7 +293,15 @@ func (db *DB) Close() error {
 	for _, n := range db.nodes {
 		n.Close()
 	}
-	return nil
+	// WALs close last: the nodes' lane executors have drained, so every
+	// logged record is flushed before the files are released.
+	var err error
+	for _, l := range db.wals {
+		if cerr := l.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Partitions returns the partition count the DB was opened with.
@@ -293,6 +338,11 @@ func (db *DB) Register(p *Proc) error {
 // Load inserts a record directly, bypassing transaction execution: it
 // routes by the current directory state and writes the primary and every
 // replica copy. Use it for initial data loading, before traffic.
+//
+// On a DB recovered from a WithDurability dir, Load yields to recovery:
+// a key the replayed log already holds keeps its recovered value (which
+// reflects committed transactions, strictly newer than initial data),
+// so restart code can rerun its loading phase unconditionally.
 func (db *DB) Load(t Table, key Key, value []byte) error {
 	if db.closed.Load() {
 		return ErrClosed
@@ -310,6 +360,11 @@ func (db *DB) Load(t Table, key Key, value []byte) error {
 		tbl := db.nodes[int(target)].Store().Table(rid.Table)
 		if tbl == nil {
 			return fmt.Errorf("chiller: load into missing table %d (CreateTable first)", t)
+		}
+		if db.recovered {
+			if _, _, err := tbl.Bucket(rid.Key).Get(rid.Key); err == nil {
+				continue
+			}
 		}
 		if err := tbl.Bucket(rid.Key).Insert(rid.Key, value); err != nil {
 			return fmt.Errorf("chiller: load %d/%d: %w", t, key, err)

@@ -23,8 +23,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/chillerdb/chiller/internal/bench"
 	"github.com/chillerdb/chiller/internal/cc/occ"
@@ -35,6 +37,7 @@ import (
 	"github.com/chillerdb/chiller/internal/tcpnet"
 	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller/internal/wal"
 	"github.com/chillerdb/chiller/internal/workload/tpcc"
 )
 
@@ -48,15 +51,17 @@ func main() {
 		batching    = flag.Bool("verb-batching", false, "route this node's Chiller fan-outs (for transactions routed here) over doorbell-batched one-sided verbs")
 		customers   = flag.Int("customers", 300, "TPC-C customers per district; must match the bench client")
 		items       = flag.Int("items", 2000, "TPC-C items per warehouse; must match the bench client")
+		dataDir     = flag.String("data-dir", "", "directory for this node's write-ahead log; a restart with the same dir replays it, making acknowledged commits survive the process")
+		peerTimeout = flag.Duration("peer-timeout", 30*time.Second, "how long to wait for every peer to answer a ping at startup before exiting non-zero (0 = wait forever, the pre-probe behaviour)")
 	)
 	flag.Parse()
-	if err := run(*id, *listen, *peersFlag, *replication, *lanes, *batching, *customers, *items); err != nil {
+	if err := run(*id, *listen, *peersFlag, *replication, *lanes, *batching, *customers, *items, *dataDir, *peerTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "chiller-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, listen, peersFlag string, replication, lanes int, batching bool, customers, items int) error {
+func run(id int, listen, peersFlag string, replication, lanes int, batching bool, customers, items int, dataDir string, peerTimeout time.Duration) error {
 	if peersFlag == "" {
 		return fmt.Errorf("-peers is required")
 	}
@@ -102,6 +107,28 @@ func run(id int, listen, peersFlag string, replication, lanes int, batching bool
 	st := storage.NewStore()
 	node := server.New(fab, st, reg, dir, cluster.PartitionID(id))
 	defer node.Close()
+
+	recovered := false
+	if dataDir != "" {
+		// Recover-then-attach before the node registers verbs: a restart
+		// with the same -data-dir replays the previous incarnation's
+		// snapshot+tail into the store before any peer traffic can land.
+		l, rec, err := wal.Recover(filepath.Join(dataDir, fmt.Sprintf("node-%d", id)), lanes, wal.Policy{})
+		if err != nil {
+			return fmt.Errorf("wal at %s: %w", dataDir, err)
+		}
+		defer l.Close()
+		if !rec.Empty() {
+			if err := server.RecoverStore(st, rec); err != nil {
+				return fmt.Errorf("recover from %s: %w", dataDir, err)
+			}
+			recovered = true
+			fmt.Printf("chiller-node %d: recovered durable state from %s (last lsn %d)\n",
+				id, dataDir, l.LastLSN())
+		}
+		node.SetWAL(l)
+	}
+
 	occ.RegisterVerbs(node)
 	core.RegisterVerbs(node)
 	// The engine instance serves transactions routed here for
@@ -111,11 +138,23 @@ func run(id int, listen, peersFlag string, replication, lanes int, batching bool
 	chiller.SetVerbBatching(batching)
 	defer chiller.Drain()
 
-	loader := bench.NodeStores{ID: transport.NodeID(id), Store: st, Topo: topo, Dir: dir}
+	// The loading phase runs unconditionally — on a recovered node it
+	// yields to replayed values (strictly newer: they reflect committed
+	// transactions), so restart needs no special casing by the operator.
+	loader := bench.NodeStores{ID: transport.NodeID(id), Store: st, Topo: topo, Dir: dir, SkipExisting: recovered}
 	if err := tpcc.Load(loader, tcfg); err != nil {
 		return fmt.Errorf("load: %w", err)
 	}
 	tpcc.MarkHot(dir, tcfg)
+
+	// Startup barrier: every peer must answer a ping before this node
+	// reports ready, so a cluster with a dead or misaddressed member
+	// fails fast with a non-zero exit instead of hanging until killed.
+	// All nodes probe concurrently (the ping verb is served as soon as
+	// the fabric listens, before "ready"), so mutual probing converges.
+	if err := probePeers(fab, nodes, id, peerTimeout); err != nil {
+		return err
+	}
 
 	// Stdout "ready" is the startup barrier scripts wait on; the dial
 	// retry in tcpnet absorbs the remaining race for peers that are
@@ -127,5 +166,33 @@ func run(id int, listen, peersFlag string, replication, lanes int, batching bool
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	fmt.Printf("chiller-node %d: %v, shutting down\n", id, s)
+	return nil
+}
+
+// probePeers pings every other node until it answers or the deadline
+// passes. The returned error wraps the transport's final failure —
+// errors.Is(err, transport.ErrUnreachable) for a peer that never came
+// up — so callers and scripts can tell "peer missing" from local
+// misconfiguration. timeout 0 waits forever.
+func probePeers(fab *tcpnet.Fabric, nodes, id int, timeout time.Duration) error {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for peer := 0; peer < nodes; peer++ {
+		if peer == id {
+			continue
+		}
+		for {
+			_, err := fab.Call(transport.NodeID(peer), server.VerbPing, nil)
+			if err == nil {
+				break
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return fmt.Errorf("peer %d did not come up within %v: %w", peer, timeout, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
 	return nil
 }

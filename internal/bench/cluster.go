@@ -6,6 +6,7 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cc"
@@ -20,6 +21,7 @@ import (
 	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/transport/simfab"
 	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller/internal/wal"
 )
 
 // EngineKind selects a concurrency-control engine.
@@ -80,6 +82,15 @@ type ClusterConfig struct {
 	// dice, delay spikes, partition verb filtering) — the chaos
 	// harness's knob (internal/check). nil runs a reliable fabric.
 	Faults *simfab.FaultPlan
+	// WALDir, when non-empty, attaches a write-ahead log to every node
+	// under WALDir/node-<id>: commit-point applies append before
+	// acknowledging, and CrashNode/RecoverNode exercise replay. Empty
+	// runs the cluster volatile (the default — benchmarks measure the
+	// paper's in-memory protocol unless durability is the experiment).
+	WALDir string
+	// WALPolicy tunes group commit and snapshotting when WALDir is set;
+	// the zero value takes wal.Open's defaults.
+	WALPolicy wal.Policy
 }
 
 // DefaultLanes derives the per-node lane count from the host CPU count
@@ -102,6 +113,7 @@ type Cluster struct {
 	Sampler  *stats.Sampler // shared global sampler (nil if disabled)
 
 	fabrics []*tcpnet.Fabric // per-node TCP fabrics (TransportTCP only)
+	wals    []*wal.Log       // per-node write-ahead logs (WALDir only)
 	engines map[EngineKind][]cc.Engine
 }
 
@@ -184,6 +196,14 @@ func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
 		if c.Sampler != nil {
 			node.SetSampler(c.Sampler)
 		}
+		if cfg.WALDir != "" {
+			l, err := wal.Open(filepath.Join(cfg.WALDir, fmt.Sprintf("node-%d", p)), cfg.Lanes, cfg.WALPolicy)
+			if err != nil {
+				panic(fmt.Sprintf("bench: wal for node %d: %v", p, err))
+			}
+			c.wals = append(c.wals, l)
+			node.SetWAL(l)
+		}
 		occ.RegisterVerbs(node)
 		core.RegisterVerbs(node)
 		c.Nodes = append(c.Nodes, node)
@@ -264,6 +284,72 @@ func (c *Cluster) Close() {
 	for _, n := range c.Nodes {
 		n.Close()
 	}
+	for _, l := range c.wals {
+		l.Close()
+	}
+}
+
+// Settle blocks until the fabric carries no in-flight message and every
+// node's lane executors have drained — the strong quiesce barrier the
+// crash schedule needs before oracle-reading or wiping a store. Engine
+// drains and participant-state polls cannot see a replica apply still
+// queued behind a one-way stream; this can. Lane work may itself send
+// messages (apply acks), so the loop runs until a lane barrier completes
+// with the fabric quiet on both sides. Call only with client traffic
+// stopped and engines drained. Over TCP it degrades to lane barriers.
+func (c *Cluster) Settle() {
+	for {
+		if c.Net != nil && !c.Net.Quiet() {
+			time.Sleep(20 * time.Microsecond)
+			continue
+		}
+		for _, n := range c.Nodes {
+			n.LaneBarrier()
+		}
+		if c.Net == nil || c.Net.Quiet() {
+			return
+		}
+	}
+}
+
+// WAL returns node i's write-ahead log, or nil when the cluster runs
+// volatile.
+func (c *Cluster) WAL(i int) *wal.Log {
+	if len(c.wals) == 0 {
+		return nil
+	}
+	return c.wals[i]
+}
+
+// CrashNode simulates killing node i: its fabric links stop carrying
+// droppable verbs (the protected control plane drains in-flight
+// commits; see simnet.Crash) and, once the caller has quiesced the
+// cluster, WipeNode models the memory loss. Simnet only.
+func (c *Cluster) CrashNode(i int) { c.Net.Crash(simfab.NodeID(i)) }
+
+// RestartNode revives a crashed node's links.
+func (c *Cluster) RestartNode(i int) { c.Net.Restart(simfab.NodeID(i)) }
+
+// WipeNode drops node i's volatile store — the crash's memory loss.
+// Call only on a quiesced cluster (no in-flight transactions touch the
+// node); pair with a reload of initial state plus RecoverNode before
+// RestartNode.
+func (c *Cluster) WipeNode(i int) { c.Nodes[i].Store().Reset() }
+
+// RecoverNode replays node i's WAL (snapshot + tail) into its store —
+// the restart path. The caller reloads tables and initial values first
+// (mirroring the operator restoring a fresh deployment image); replay
+// then reapplies every logged commit on top.
+func (c *Cluster) RecoverNode(i int) error {
+	l := c.WAL(i)
+	if l == nil {
+		return fmt.Errorf("bench: node %d has no WAL", i)
+	}
+	rec, err := l.Replay()
+	if err != nil {
+		return err
+	}
+	return server.RecoverStore(c.Nodes[i].Store(), rec)
 }
 
 // CreateTable creates the table on every node (primaries and replicas

@@ -377,6 +377,11 @@ type NodeStores struct {
 	Store *storage.Store
 	Topo  *cluster.Topology
 	Dir   *cluster.Directory
+	// SkipExisting makes LoadRecord leave keys the store already holds
+	// untouched instead of failing: a store pre-populated by WAL
+	// recovery keeps its replayed values (which reflect committed
+	// transactions) while the loader fills in only what is missing.
+	SkipExisting bool
 }
 
 // CreateTable implements the Loader interface.
@@ -404,6 +409,11 @@ func (l NodeStores) LoadRecord(table storage.TableID, key storage.Key, value []b
 	tbl := l.Store.Table(table)
 	if tbl == nil {
 		return fmt.Errorf("bench: table %d missing on node %d", table, l.ID)
+	}
+	if l.SkipExisting {
+		if _, _, err := tbl.Bucket(key).Get(key); err == nil {
+			return nil
+		}
 	}
 	if err := tbl.Bucket(key).Insert(key, value); err != nil {
 		return fmt.Errorf("bench: load %v on node %d: %w", rid, l.ID, err)

@@ -353,7 +353,6 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 
 	// --- validation phase 1: write-lock every write set ---
 	lockedNodes := make(map[transport.NodeID]bool)
-	writeNodeOf := make(map[transport.NodeID]cluster.PartitionID)
 	for pid, ws := range writes {
 		if reason, done := cc.Cancelled(ctx); done {
 			n.AbortAll(lockedNodes, txnID)
@@ -375,7 +374,6 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 			}
 		}
 		lockedNodes[target] = true
-		writeNodeOf[target] = pid
 		if !ok {
 			n.AbortAll(lockedNodes, txnID)
 			return txn.Result{Reason: txn.AbortValidation, Distributed: distributed}
@@ -419,8 +417,17 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 		n.AbortAll(lockedNodes, txnID)
 		return txn.Result{Reason: server.TransportAbortReason(err), Detail: err.Error(), Distributed: distributed}
 	}
-	for target, pid := range writeNodeOf {
-		if err := n.CommitAt(target, txnID, writes[pid]); err != nil {
+	// Each write participant applies the concatenation of every partition
+	// it currently fronts — one partition normally, several right after a
+	// replica promotion (keying the apply by a single partition would drop
+	// the adopted partition's writes at the shared primary).
+	commitBy := make(map[transport.NodeID][]server.WriteOp, len(lockedNodes))
+	for pid, ws := range writes {
+		t := topo.Primary(pid)
+		commitBy[t] = append(commitBy[t], ws...)
+	}
+	for target, ws := range commitBy {
+		if err := n.CommitAt(target, txnID, ws); err != nil {
 			return txn.Result{Reason: txn.AbortInternal, Detail: err.Error(), Distributed: distributed}
 		}
 	}

@@ -73,7 +73,6 @@ func (e *Engine) RunOrdered(ctx context.Context, req *txn.Request, proc *txn.Pro
 		pending:      make(map[storage.RID][]byte),
 		writes:       make(map[cluster.PartitionID][]server.WriteOp),
 		participants: make(map[transport.NodeID]bool),
-		partOfNode:   make(map[transport.NodeID]cluster.PartitionID),
 	}
 
 	for idx := 0; idx < len(order); {
@@ -87,7 +86,6 @@ func (e *Engine) RunOrdered(ctx context.Context, req *txn.Request, proc *txn.Pro
 			return txn.Result{Reason: txn.ReasonOf(err), Distributed: st.distributed()}
 		}
 		st.participants[target] = true
-		st.partOfNode[target] = pid
 
 		resp, callErr := n.LockRead(target, txnID, batch)
 		if callErr != nil {
@@ -141,7 +139,6 @@ type execState struct {
 	pending      map[storage.RID][]byte // buffered writes: read-your-own-writes
 	writes       map[cluster.PartitionID][]server.WriteOp
 	participants map[transport.NodeID]bool
-	partOfNode   map[transport.NodeID]cluster.PartitionID
 	readRIDs     []storage.RID
 	writeRIDs    []storage.RID
 	ridOf        []ridOp // per processed op, for absorb
@@ -178,7 +175,10 @@ func (e *Engine) nextBatch(proc *txn.Procedure, args txn.Args, order []int, idx 
 		t := n.Directory().Topology().Primary(p)
 		if j == idx {
 			target, pid = t, p
-		} else if t != target || e.DisableBatching {
+		} else if t != target || p != pid || e.DisableBatching {
+			// A batch stays within one partition, not just one node: the
+			// whole batch's writes are replicated under its pid, and after
+			// a replica promotion one node can front several partitions.
 			break
 		}
 		batch = append(batch, server.LockEntry{
@@ -262,12 +262,21 @@ func replicateAll(n *server.Node, txnID uint64, writes map[cluster.PartitionID][
 	return <-errs
 }
 
-// commitAll fans the 2PC commit phase out to all participants.
+// commitAll fans the 2PC commit phase out to all participants. Each
+// participant's write set is the concatenation of every partition it is
+// currently primary for — one partition almost always, several right
+// after a replica promotion (keying by a single partition would drop
+// the adopted partition's writes at the shared primary).
 func commitAll(n *server.Node, txnID uint64, st *execState) error {
+	topo := n.Directory().Topology()
+	byNode := make(map[transport.NodeID][]server.WriteOp, len(st.participants))
+	for pid, ws := range st.writes {
+		t := topo.Primary(pid)
+		byNode[t] = append(byNode[t], ws...)
+	}
 	pending := make([]*server.PendingCommit, 0, len(st.participants))
 	for target := range st.participants {
-		pid := st.partOfNode[target]
-		pending = append(pending, n.CommitAsync(target, txnID, st.writes[pid]))
+		pending = append(pending, n.CommitAsync(target, txnID, byNode[target]))
 	}
 	var firstErr error
 	for _, pc := range pending {

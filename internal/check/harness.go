@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"github.com/chillerdb/chiller/internal/server"
 	"github.com/chillerdb/chiller/internal/storage"
 	"github.com/chillerdb/chiller/internal/transport/simfab"
+	"github.com/chillerdb/chiller/internal/wal"
 )
 
 // The chaos harness: assemble a cluster, wrap every engine in a history
@@ -82,6 +84,34 @@ type Config struct {
 	Keys int
 	// Faults is the fault schedule; nil runs a reliable fabric.
 	Faults *Faults
+
+	// Crash enables the crash-restart schedule: every node gets a
+	// write-ahead log, and between two workload phases a seeded-random
+	// node is crashed (its links cut), its volatile store wiped, the
+	// deployment image re-loaded, and the WAL replayed on top. The node
+	// stays down into phase two — transactions needing it abort and
+	// retry — and is revived mid-phase. Every end-of-run check (history
+	// serializability, replica consistency, quiesce) then covers the
+	// recovered state, and a direct pre-crash/post-recovery diff counts
+	// acknowledged-then-lost commits as named violations. Simnet only.
+	Crash bool
+	// Promote additionally runs the primary-death recovery protocol: the
+	// crashed node's partition is promoted to one of its replicas while
+	// the node is down, phase-two clients of that partition coordinate
+	// at the new primary, and the recovered node rejoins as a replica.
+	// Requires Crash and Replication >= 2.
+	Promote bool
+	// WALDir roots the per-node logs when Crash is set; empty uses a
+	// fresh temp dir, removed when the run ends.
+	WALDir string
+	// WALPolicy tunes group commit/snapshotting for crash cells; the
+	// zero value takes the harness default (NoSync — the simulated
+	// crash never loses the page cache — with a tight flush interval).
+	WALPolicy wal.Policy
+	// ForgeLostCommit is the checker-sensitivity hook: after recovery
+	// it silently reverts one recovered record to its initial value,
+	// forging a lost acknowledged commit the run MUST flag.
+	ForgeLostCommit bool
 }
 
 func (cfg *Config) defaults() {
@@ -129,6 +159,13 @@ type Result struct {
 	// Quiesced reports whether every node drained its participant state
 	// (no leaked locks).
 	Quiesced bool
+	// LostCommits counts records whose post-recovery value diverged
+	// from the crashed node's acknowledged pre-crash state — each one
+	// is an acknowledged-then-lost commit, the violation durability
+	// exists to rule out. Always 0 without Config.Crash.
+	LostCommits int
+	// CrashedNode is the node the crash schedule hit (-1 when none).
+	CrashedNode int
 }
 
 // Err folds every end-of-run assertion into one error: the history must
@@ -136,6 +173,9 @@ type Result struct {
 func (r *Result) Err() error {
 	if err := r.Report.Err(); err != nil {
 		return err
+	}
+	if r.LostCommits != 0 {
+		return fmt.Errorf("check: %d lost acknowledged commits (recovered state diverged from pre-crash state)", r.LostCommits)
 	}
 	if r.ReplicaMismatches != 0 {
 		return fmt.Errorf("check: %d replica mismatches after quiesce", r.ReplicaMismatches)
@@ -155,6 +195,12 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Transport == bench.TransportTCP && cfg.Faults != nil {
 		return nil, fmt.Errorf("check: fault injection requires the simnet transport")
 	}
+	if cfg.Crash && cfg.Transport == bench.TransportTCP {
+		return nil, fmt.Errorf("check: the crash schedule requires the simnet transport")
+	}
+	if cfg.Promote && (!cfg.Crash || cfg.Replication < 2) {
+		return nil, fmt.Errorf("check: Promote requires Crash and Replication >= 2")
+	}
 
 	var plan *simfab.FaultPlan
 	if cfg.Faults != nil {
@@ -165,6 +211,28 @@ func Run(cfg Config) (*Result, error) {
 			DelaySpike: cfg.Faults.DelaySpike,
 			Droppable:  server.PreCommitVerbs,
 		}
+	} else if cfg.Crash {
+		// A crash needs a verb filter even with no drop dice: Crash cuts
+		// only droppable verbs (the protected control plane must drain),
+		// and a nil plan would make every verb fair game.
+		plan = &simfab.FaultPlan{Seed: cfg.Seed, Droppable: server.PreCommitVerbs}
+	}
+	walDir := cfg.WALDir
+	if cfg.Crash && walDir == "" {
+		d, err := os.MkdirTemp("", "chiller-wal-")
+		if err != nil {
+			return nil, fmt.Errorf("check: wal dir: %w", err)
+		}
+		defer os.RemoveAll(d)
+		walDir = d
+	}
+	walPolicy := cfg.WALPolicy
+	if cfg.Crash && walPolicy == (wal.Policy{}) {
+		// The simulated crash keeps the process (and so the page cache)
+		// alive, so NoSync loses nothing while keeping the cell fast;
+		// the tight interval keeps group-commit waits off the critical
+		// path at the harness's tiny transaction sizes.
+		walPolicy = wal.Policy{FlushInterval: 100 * time.Microsecond, NoSync: true}
 	}
 	maxKey := storage.Key(cfg.Partitions * cfg.Keys)
 	c := bench.NewCluster(bench.ClusterConfig{
@@ -176,6 +244,8 @@ func Run(cfg Config) (*Result, error) {
 		Lanes:        cfg.Lanes,
 		VerbBatching: cfg.VerbBatching,
 		Faults:       plan,
+		WALDir:       walDir,
+		WALPolicy:    walPolicy,
 	}, cluster.RangePartitioner{N: cfg.Partitions, MaxKey: map[storage.TableID]storage.Key{CheckTable: maxKey}})
 	defer c.Close()
 
@@ -208,92 +278,136 @@ func Run(cfg Config) (*Result, error) {
 		engines[p] = history.Engine(c.Engine(cfg.Engine, p), c.Registry, rec)
 	}
 
-	// Fault schedule: partition windows cut a seeded-random node pair,
-	// heal, pause, repeat. Only pre-commit verbs are blocked (the plan's
-	// Droppable), so in-flight commit tails finish and the cluster stays
-	// live; clients ride the windows out through their retry budget.
-	stopFaults := make(chan struct{})
-	var faultWG sync.WaitGroup
-	if cfg.Faults != nil && cfg.Faults.PartitionWindows > 0 && cfg.Partitions > 1 {
-		faultWG.Add(1)
-		go func() {
-			defer faultWG.Done()
-			frng := rand.New(rand.NewSource(cfg.Seed ^ 0x7a57))
-			for i := 0; i < cfg.Faults.PartitionWindows; i++ {
-				a := simfab.NodeID(frng.Intn(cfg.Partitions))
-				b := simfab.NodeID((int(a) + 1 + frng.Intn(cfg.Partitions-1)) % cfg.Partitions)
-				c.Net.Partition(a, b)
-				if !sleepOrStop(stopFaults, cfg.Faults.WindowLen) {
-					c.Net.Heal(a, b)
-					return
-				}
-				c.Net.Heal(a, b)
-				if !sleepOrStop(stopFaults, cfg.Faults.WindowGap) {
-					return
-				}
-			}
-		}()
-	}
-
-	// Clients: retry-until-commit with a fresh nonce per attempt (the
-	// checker needs every attempt's writes unique) and jittered backoff.
+	// One workload phase: a fault-window goroutine (partition windows cut
+	// a seeded-random node pair, heal, pause, repeat — only pre-commit
+	// verbs are blocked, so in-flight commit tails finish and the cluster
+	// stays live) plus retry-until-commit clients with a fresh nonce per
+	// attempt (the checker needs every attempt's writes unique) and
+	// jittered backoff. engs maps each partition to the engine its
+	// clients coordinate at — normally engs[p] runs on node p; after a
+	// promotion the crashed partition's slot points at the new primary.
 	var nonces atomic.Int64
 	var committed, aborted, gaveUp atomic.Int64
 	const maxAttempts = 2000
-	var wg sync.WaitGroup
-	for p := 0; p < cfg.Partitions; p++ {
-		for cl := 0; cl < cfg.Clients; cl++ {
-			wg.Add(1)
-			go func(part, client int) {
-				defer wg.Done()
-				eng := engines[part]
-				rng := rand.New(rand.NewSource(cfg.Seed + int64(part*1009+client)*7919))
-				for i := 0; i < cfg.Txns; i++ {
-					req := gen.Next(part, rng)
-					ok := false
-					for attempt := 0; attempt < maxAttempts; attempt++ {
-						req.Args[len(req.Args)-1] = nonces.Add(1)
-						req.ID = 0
-						res := eng.Run(context.Background(), req)
-						if res.Committed {
-							committed.Add(1)
-							ok = true
-							break
-						}
-						aborted.Add(1)
-						// Jittered exponential backoff, capped so a whole
-						// partition window fits in the retry budget.
-						shift := attempt
-						if shift > 7 {
-							shift = 7
-						}
-						base := int64(2<<shift) * int64(time.Microsecond)
-						time.Sleep(time.Duration(rng.Int63n(base) + 1))
+	runPhase := func(phase int, engs []cc.Engine) {
+		stopFaults := make(chan struct{})
+		var faultWG sync.WaitGroup
+		if cfg.Faults != nil && cfg.Faults.PartitionWindows > 0 && cfg.Partitions > 1 {
+			faultWG.Add(1)
+			go func() {
+				defer faultWG.Done()
+				frng := rand.New(rand.NewSource(cfg.Seed ^ 0x7a57 + int64(phase)*0x9e37))
+				for i := 0; i < cfg.Faults.PartitionWindows; i++ {
+					a := simfab.NodeID(frng.Intn(cfg.Partitions))
+					b := simfab.NodeID((int(a) + 1 + frng.Intn(cfg.Partitions-1)) % cfg.Partitions)
+					c.Net.Partition(a, b)
+					if !sleepOrStop(stopFaults, cfg.Faults.WindowLen) {
+						c.Net.Heal(a, b)
+						return
 					}
-					if !ok {
-						gaveUp.Add(1)
+					c.Net.Heal(a, b)
+					if !sleepOrStop(stopFaults, cfg.Faults.WindowGap) {
+						return
 					}
 				}
-			}(p, cl)
+			}()
 		}
+		var wg sync.WaitGroup
+		for p := 0; p < cfg.Partitions; p++ {
+			for cl := 0; cl < cfg.Clients; cl++ {
+				wg.Add(1)
+				go func(part, client int) {
+					defer wg.Done()
+					eng := engs[part]
+					rng := rand.New(rand.NewSource(cfg.Seed + int64(part*1009+client)*7919 + int64(phase)*31337))
+					for i := 0; i < cfg.Txns; i++ {
+						req := gen.Next(part, rng)
+						ok := false
+						for attempt := 0; attempt < maxAttempts; attempt++ {
+							req.Args[len(req.Args)-1] = nonces.Add(1)
+							req.ID = 0
+							res := eng.Run(context.Background(), req)
+							if res.Committed {
+								committed.Add(1)
+								ok = true
+								break
+							}
+							aborted.Add(1)
+							// Jittered exponential backoff, capped so a whole
+							// partition window fits in the retry budget.
+							shift := attempt
+							if shift > 7 {
+								shift = 7
+							}
+							base := int64(2<<shift) * int64(time.Microsecond)
+							time.Sleep(time.Duration(rng.Int63n(base) + 1))
+						}
+						if !ok {
+							gaveUp.Add(1)
+						}
+					}
+				}(p, cl)
+			}
+		}
+		wg.Wait()
+		close(stopFaults)
+		faultWG.Wait()
 	}
-	wg.Wait()
-	close(stopFaults)
-	faultWG.Wait()
-	if c.Net != nil {
-		c.Net.HealAll()
-	}
-	c.Drain()
 
-	// Quiesce: participant state drains once the commit tails and abort
-	// waves land; give stragglers a few grace rounds.
-	quiesced := false
-	for i := 0; i < 50; i++ {
-		if c.Quiesced() {
-			quiesced = true
-			break
+	// settle quiesces the cluster between phases and at the end of the
+	// run: heal partitions (crashed nodes stay crashed), join the async
+	// commit tails, then give participant state a few grace rounds to
+	// drain.
+	settle := func() bool {
+		if c.Net != nil {
+			c.Net.HealAll()
 		}
-		time.Sleep(time.Millisecond)
+		c.Drain()
+		// Fabric-level barrier: engine drains join coordinator work, but a
+		// replica apply queued behind a one-way stream leaves no state to
+		// poll — Settle waits until no message is in flight and every lane
+		// executor has drained, so the crash schedule may safely read or
+		// wipe stores.
+		c.Settle()
+		for i := 0; i < 50; i++ {
+			if c.Quiesced() {
+				return true
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return false
+	}
+
+	runPhase(0, engines)
+	quiesced := settle()
+
+	crashed := -1
+	lost := 0
+	if cfg.Crash {
+		v, nLost, err := crashAndRecover(cfg, c, maxKey)
+		if err != nil {
+			return nil, err
+		}
+		crashed, lost = v, nLost
+
+		// Phase two starts with the recovered node still down — its links
+		// carry only the protected control plane — and revives it
+		// mid-phase, so the history covers traffic that raced the outage.
+		var reviveWG sync.WaitGroup
+		reviveWG.Add(1)
+		go func() {
+			defer reviveWG.Done()
+			time.Sleep(2 * time.Millisecond)
+			c.RestartNode(crashed)
+		}()
+		engs := engines
+		if cfg.Promote {
+			engs = append([]cc.Engine(nil), engines...)
+			engs[crashed] = engines[int(c.Topo.Primary(cluster.PartitionID(crashed)))]
+		}
+		runPhase(1, engs)
+		reviveWG.Wait()
+		quiesced = settle()
 	}
 
 	res := &Result{
@@ -303,9 +417,98 @@ func Run(cfg Config) (*Result, error) {
 		GaveUp:            int(gaveUp.Load()),
 		ReplicaMismatches: c.VerifyReplicaConsistency(CheckTable),
 		Quiesced:          quiesced,
+		LostCommits:       lost,
+		CrashedNode:       crashed,
 	}
 	res.Report = Histories(rec.Txns(), Options{IsInitial: IsInitialVal})
 	return res, nil
+}
+
+// crashAndRecover is the inter-phase crash schedule: pick a seeded-random
+// victim, oracle-snapshot its acknowledged state, crash and wipe it,
+// restore a fresh deployment image, replay its WAL, and diff the result
+// against the oracle — every divergence is an acknowledged-then-lost
+// commit. With Promote it then flips the victim's partition to a replica
+// (the primary-death recovery protocol) while the victim is still down.
+// Called only on a quiesced cluster; the victim's links stay cut when it
+// returns.
+func crashAndRecover(cfg Config, c *bench.Cluster, maxKey storage.Key) (victim, lost int, err error) {
+	crng := rand.New(rand.NewSource(cfg.Seed ^ 0x0dd5))
+	v := crng.Intn(cfg.Partitions)
+	var promoteTo simfab.NodeID
+	if cfg.Promote {
+		promoteTo = c.Topo.Replicas(cluster.PartitionID(v))[0]
+	}
+
+	// Oracle: the victim's full table image at the moment of the crash.
+	// Everything here was acknowledged (the cluster is quiesced), so
+	// recovery must reproduce it exactly.
+	st := c.Nodes[v].Store()
+	oracle := make(map[storage.Key]string)
+	if tbl := st.Table(CheckTable); tbl != nil {
+		tbl.Range(func(k storage.Key, val []byte, _ uint64) bool {
+			oracle[k] = string(val)
+			return true
+		})
+	}
+
+	c.CrashNode(v)
+	c.WipeNode(v)
+
+	// The operator restart path: restore the fresh deployment image
+	// (table plus initial values of every key the node hosts as primary
+	// or replica), then replay the WAL on top.
+	st.CreateTable(CheckTable, 4096)
+	for k := storage.Key(0); k < maxKey; k++ {
+		pid := c.Dir.Partition(storage.RID{Table: CheckTable, Key: k})
+		hosted := c.Topo.Primary(pid) == simfab.NodeID(v)
+		for _, r := range c.Topo.Replicas(pid) {
+			hosted = hosted || r == simfab.NodeID(v)
+		}
+		if hosted {
+			st.Bucket(CheckTable, k).Upsert(k, InitialVal(k))
+		}
+	}
+	if err := c.RecoverNode(v); err != nil {
+		return v, 0, fmt.Errorf("check: recover node %d: %w", v, err)
+	}
+
+	// Checker-sensitivity hook: silently revert one recovered record,
+	// simulating a durability bug that lost an acknowledged commit. The
+	// oracle diff below MUST flag it.
+	if cfg.ForgeLostCommit {
+		forged := false
+		tbl := st.Table(CheckTable)
+		tbl.Range(func(k storage.Key, val []byte, _ uint64) bool {
+			if string(val) != string(InitialVal(k)) {
+				tbl.Bucket(k).Upsert(k, InitialVal(k))
+				forged = true
+				return false
+			}
+			return true
+		})
+		if !forged {
+			for k := range oracle {
+				tbl.Bucket(k).Upsert(k, []byte("forged-lost-commit"))
+				break
+			}
+		}
+	}
+
+	tbl := st.Table(CheckTable)
+	for k, want := range oracle {
+		got, _, gerr := tbl.Bucket(k).Get(k)
+		if gerr != nil || string(got) != want {
+			lost++
+		}
+	}
+
+	if cfg.Promote {
+		if !c.Topo.Promote(cluster.PartitionID(v), promoteTo) {
+			return v, lost, fmt.Errorf("check: promote partition %d to node %d failed", v, promoteTo)
+		}
+	}
+	return v, lost, nil
 }
 
 func sleepOrStop(stop <-chan struct{}, d time.Duration) bool {

@@ -12,23 +12,25 @@ import (
 	"github.com/chillerdb/chiller/internal/testutil"
 )
 
-// cell is one point of the engine × transport × lanes matrix.
+// cell is one point of the engine × transport × lanes × crash matrix.
 type cell struct {
 	name      string
 	engine    bench.EngineKind
 	batched   bool
 	lanes     int
 	transport string // "" = simnet
+	crash     bool   // crash-restart schedule (WAL recovery between phases)
+	promote   bool   // additionally promote the crashed partition to a replica
 }
 
 func matrixCells() []cell {
 	var cells []cell
 	for _, lanes := range []int{1, 4} {
 		cells = append(cells,
-			cell{fmt.Sprintf("2pl-lanes%d", lanes), bench.Engine2PL, false, lanes, ""},
-			cell{fmt.Sprintf("occ-lanes%d", lanes), bench.EngineOCC, false, lanes, ""},
-			cell{fmt.Sprintf("chiller-scalar-lanes%d", lanes), bench.EngineChiller, false, lanes, ""},
-			cell{fmt.Sprintf("chiller-batched-lanes%d", lanes), bench.EngineChiller, true, lanes, ""},
+			cell{name: fmt.Sprintf("2pl-lanes%d", lanes), engine: bench.Engine2PL, lanes: lanes},
+			cell{name: fmt.Sprintf("occ-lanes%d", lanes), engine: bench.EngineOCC, lanes: lanes},
+			cell{name: fmt.Sprintf("chiller-scalar-lanes%d", lanes), engine: bench.EngineChiller, lanes: lanes},
+			cell{name: fmt.Sprintf("chiller-batched-lanes%d", lanes), engine: bench.EngineChiller, batched: true, lanes: lanes},
 		)
 	}
 	// Loopback-TCP cells: the same workload and checker over real
@@ -37,8 +39,22 @@ func matrixCells() []cell {
 	// the wire path itself: framing, per-connection FIFO, inline
 	// dispatch ordering, and doorbell servicing at the destination.
 	cells = append(cells,
-		cell{"tcp-2pl", bench.Engine2PL, false, 1, bench.TransportTCP},
-		cell{"tcp-chiller-batched", bench.EngineChiller, true, 1, bench.TransportTCP},
+		cell{name: "tcp-2pl", engine: bench.Engine2PL, lanes: 1, transport: bench.TransportTCP},
+		cell{name: "tcp-chiller-batched", engine: bench.EngineChiller, batched: true, lanes: 1, transport: bench.TransportTCP},
+	)
+	// Crash-restart cells: every node runs a WAL, and between two
+	// workload phases a seeded-random node is killed, wiped, and
+	// recovered by snapshot+tail replay — then phase two races traffic
+	// against its revival. The promote cell additionally runs the
+	// primary-death protocol: the crashed partition fails over to its
+	// replica while the node is down. Recovered histories must check
+	// serializable and the recovered store must match the acknowledged
+	// pre-crash state exactly (LostCommits == 0).
+	cells = append(cells,
+		cell{name: "crash-2pl", engine: bench.Engine2PL, lanes: 2, crash: true},
+		cell{name: "crash-occ", engine: bench.EngineOCC, lanes: 2, crash: true},
+		cell{name: "crash-chiller-batched", engine: bench.EngineChiller, batched: true, lanes: 2, crash: true},
+		cell{name: "crash-promote-chiller", engine: bench.EngineChiller, lanes: 1, crash: true, promote: true},
 	)
 	return cells
 }
@@ -95,6 +111,8 @@ func TestCheckerMatrix(t *testing.T) {
 					Lanes:        c.lanes,
 					Seed:         seed,
 					Faults:       faults,
+					Crash:        c.crash,
+					Promote:      c.promote,
 				})
 				if err != nil {
 					t.Fatalf("run %d (seed %d): harness: %v", run, seed, err)
@@ -121,7 +139,7 @@ func TestCheckerMatrixNoFaults(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			t.Parallel()
-			res, err := Run(Config{Engine: c.engine, VerbBatching: c.batched, Transport: c.transport, Lanes: c.lanes, Seed: seed})
+			res, err := Run(Config{Engine: c.engine, VerbBatching: c.batched, Transport: c.transport, Lanes: c.lanes, Seed: seed, Crash: c.crash, Promote: c.promote})
 			if err != nil {
 				t.Fatalf("harness: %v", err)
 			}
@@ -160,6 +178,31 @@ func TestCheckerSensitivity(t *testing.T) {
 		if rep.Serializable() {
 			t.Fatalf("lanes=%d: forged lost update (txn %d) checked clean", lanes, mut)
 		}
+	}
+}
+
+// TestCheckerLostCommitSensitivity proves the durability check has
+// teeth: with ForgeLostCommit the harness silently reverts one recovered
+// record after WAL replay — exactly what a durability bug that dropped
+// an acknowledged commit would look like — and the run MUST flag it as a
+// lost-commit violation. A green crash matrix is only meaningful if this
+// forgery is caught.
+func TestCheckerLostCommitSensitivity(t *testing.T) {
+	seed := testutil.Seed(t, 88)
+	res, err := Run(Config{
+		Engine: bench.EngineChiller, VerbBatching: true, Lanes: 2,
+		Seed: seed, Crash: true, ForgeLostCommit: true,
+	})
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if res.LostCommits == 0 {
+		t.Fatal("forged lost commit not counted (durability check has no teeth)")
+	}
+	if err := res.Err(); err == nil {
+		t.Fatal("forged lost commit checked clean")
+	} else {
+		t.Logf("caught as expected: %v", err)
 	}
 }
 

@@ -84,6 +84,34 @@ func (t *Topology) Replicas(p PartitionID) []transport.NodeID {
 	return t.Partitions[p].Replicas
 }
 
+// Promote makes the given replica of partition p its primary, demoting
+// the old primary to the replica slot — the recovery protocol's answer
+// to a primary dying: replication strictly precedes every commit wave
+// (outer writes relay through the primary's FIFO streams, inner commits
+// stream before applying), so a replica holds every acknowledged commit
+// and can serve the partition the moment routing flips. It reports
+// whether node was actually a replica of p.
+//
+// Topology is read lock-free on every message send, so Promote may only
+// be called while the cluster is quiesced (no in-flight transactions;
+// the caller establishes the happens-before, e.g. the chaos harness's
+// drain between workload phases). The crashed old primary keeps its
+// replica slot so it rejoins as a backup after recovery.
+func (t *Topology) Promote(p PartitionID, node transport.NodeID) bool {
+	if int(p) < 0 || int(p) >= len(t.Partitions) {
+		return false
+	}
+	info := &t.Partitions[p]
+	for i, r := range info.Replicas {
+		if r == node {
+			info.Replicas[i] = info.Primary
+			info.Primary = node
+			return true
+		}
+	}
+	return false
+}
+
 // PartitionOfNode returns the partition primaried on the given node, or
 // -1 if none.
 func (t *Topology) PartitionOfNode(n transport.NodeID) PartitionID {

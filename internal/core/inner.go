@@ -169,8 +169,21 @@ func RegisterVerbs(n *server.Node) {
 			// the response.
 			collect := make(txn.ReadSet, len(req.InnerOps))
 			exec := func() {
-				resp := execInnerLocked(n, req.TxnID, req.Coord, proc, req.Args, req.InnerOps, req.Reads, collect)
-				reply(resp.encode(), nil)
+				resp, wait := execInnerLocked(n, req.TxnID, req.Coord, proc, req.Args, req.InnerOps, req.Reads, collect)
+				if wait == nil {
+					reply(resp.encode(), nil)
+					return
+				}
+				// The reply is the region's commit acknowledgement:
+				// hold it until the WAL flush lands, but on a fresh
+				// goroutine so the lane executor moves on to the next
+				// inner region while this one's fsync batch is pending.
+				go func() {
+					if err := wait(); err != nil {
+						panic(fmt.Sprintf("core: inner commit %d not durable: %v", req.TxnID, err))
+					}
+					reply(resp.encode(), nil)
+				}()
 			}
 			if n.NumLanes() <= 1 {
 				exec() // already on lane 0
@@ -281,9 +294,19 @@ func ExecInnerLocal(n *server.Node, txnID uint64, coord transport.NodeID, procNa
 	// in parallel, and the replication stream leaves each lane in commit
 	// order.
 	var resp *innerResponse
+	var wait func() error
 	n.WithLaneSerial(innerLane(n, proc, args, innerOps, reads), func() {
-		resp = execInnerLocked(n, txnID, coord, proc, args, innerOps, reads, collect)
+		resp, wait = execInnerLocked(n, txnID, coord, proc, args, innerOps, reads, collect)
 	})
+	// Durability wait off the lane, on the coordinator's goroutine: the
+	// lane is free to run the next inner region while this commit's
+	// group flush lands, and the coordinator cannot acknowledge (or
+	// build outer writes on) the region before it is durable.
+	if wait != nil {
+		if err := wait(); err != nil {
+			panic(fmt.Sprintf("core: inner commit %d not durable: %v", txnID, err))
+		}
+	}
 	return resp
 }
 
@@ -299,10 +322,22 @@ type innerLockRef struct {
 	mode storage.LockMode
 }
 
-func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc *txn.Procedure, args txn.Args, innerOps []int, reads txn.ReadSet, collect txn.ReadSet) *innerResponse {
+// execInnerLocked runs the inner region on the current goroutine (the
+// owning lane's executor). The second return is the durability wait for
+// the unilateral commit — nil when nothing needs flushing — which the
+// caller must complete off-lane before acknowledging the region.
+func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc *txn.Procedure, args txn.Args, innerOps []int, reads txn.ReadSet, collect txn.ReadSet) (*innerResponse, func() error) {
 	var pending map[storage.RID][]byte // read-your-own-writes, lazily built
 	writes := make([]server.WriteOp, 0, len(innerOps))
 	locks := make([]innerLockRef, 0, len(innerOps))
+	// The partition whose replicas receive this region's stream. Every
+	// inner op targets the single delegated partition; resolve it from
+	// the first op's record rather than this node's identity, which
+	// diverge after a replica promotion (the new primary executes inner
+	// regions for the adopted partition). Falls back to the node's own
+	// partition for a region with no ops.
+	innerPID := n.Partition()
+	innerPIDSet := false
 
 	release := func() {
 		for _, l := range locks {
@@ -364,20 +399,24 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 
 	for _, opID := range innerOps {
 		if opID < 0 || opID >= len(proc.Ops) {
-			return abort(txn.AbortInternal)
+			return abort(txn.AbortInternal), nil
 		}
 		op := &proc.Ops[opID]
 		key, ok := op.Key(args, reads)
 		if !ok {
-			return abort(txn.AbortInternal)
+			return abort(txn.AbortInternal), nil
 		}
 		tbl := n.Store().Table(op.Table)
 		if tbl == nil {
-			return abort(txn.AbortInternal)
+			return abort(txn.AbortInternal), nil
+		}
+		if !innerPIDSet {
+			innerPID = n.Directory().Partition(storage.RID{Table: op.Table, Key: key})
+			innerPIDSet = true
 		}
 		b := tbl.Bucket(key)
 		if !lock(b, op.Type.LockMode()) {
-			return abort(txn.AbortLockConflict)
+			return abort(txn.AbortLockConflict), nil
 		}
 
 		read := op.Type == txn.OpRead || op.Type == txn.OpUpdate
@@ -389,7 +428,7 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 				v, _, err = b.Get(key)
 				if err != nil {
 					if op.Type != txn.OpInsert {
-						return abort(txn.AbortNotFound)
+						return abort(txn.AbortNotFound), nil
 					}
 					v = nil
 				}
@@ -403,7 +442,7 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 		}
 		if op.Check != nil {
 			if err := op.Check(reads[opID], args, reads); err != nil {
-				return abort(txn.AbortConstraint)
+				return abort(txn.AbortConstraint), nil
 			}
 		}
 		if op.Type.IsWrite() {
@@ -415,7 +454,7 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 				}
 				nv, err := op.Mutate(old, args, reads)
 				if err != nil {
-					return abort(txn.AbortConstraint)
+					return abort(txn.AbortConstraint), nil
 				}
 				newVal = nv
 			}
@@ -435,7 +474,7 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 	if n.FaultInjector != nil {
 		if err := n.FaultInjector(server.VerbCommit, txnID); err != nil {
 			release()
-			return &innerResponse{Reason: txn.AbortInternal}
+			return &innerResponse{Reason: txn.AbortInternal}, nil
 		}
 	}
 
@@ -453,7 +492,7 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 	// coordinator reports as aborted. The send is a local enqueue and
 	// never waits on the network.
 	if len(writes) > 0 {
-		if sent, err := n.StreamInnerRepl(n.Partition(), txnID, coord, writes); err != nil {
+		if sent, err := n.StreamInnerRepl(innerPID, txnID, coord, writes); err != nil {
 			if sent > 0 {
 				// A partially-sent stream means some replica will apply a
 				// write set this abort disowns; no compensation exists, so
@@ -463,23 +502,31 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 				panic(fmt.Sprintf("core: inner replication stream partially sent (%d replicas) then failed (txn %d): %v", sent, txnID, err))
 			}
 			release()
-			return &innerResponse{Reason: txn.AbortInternal}
+			return &innerResponse{Reason: txn.AbortInternal}, nil
 		}
 	}
 	if err := server.ApplyWrites(n.Store(), writes); err != nil {
 		// A write to a locked, verified record cannot legitimately fail;
 		// engine invariant violation.
 		release()
-		return &innerResponse{Reason: txn.AbortInternal}
+		return &innerResponse{Reason: txn.AbortInternal}, nil
 	}
+	// Append to the lane's WAL while the bucket locks are still held —
+	// log order must equal commit order — then release. The flush wait
+	// is returned to the caller: the inner region's reply is its commit
+	// acknowledgement, so the reply must not leave the node before the
+	// record is durable, but the wait must happen OFF this lane's
+	// executor (blocking it would cap the lane at one inner region per
+	// fsync batch; see ExecInnerLocal and RegisterVerbs).
+	wait := n.LogWrites(txnID, writes)
 	release()
 	if len(writes) == 0 {
 		// Nothing to replicate: satisfy the coordinator's ack
 		// expectation directly so it does not wait forever.
-		for range n.Directory().Topology().Replicas(n.Partition()) {
+		for range n.Directory().Topology().Replicas(innerPID) {
 			n.VerbMetrics().Add(server.KindInnerAck)
 			_ = n.Endpoint().Send(coord, server.VerbInnerAck, server.EncodeAbort(txnID))
 		}
 	}
-	return &innerResponse{OK: true, Reads: collect}
+	return &innerResponse{OK: true, Reads: collect}, wait
 }

@@ -196,7 +196,7 @@ func (n *Node) forwardTo(pr *PendingReplication, pid cluster.PartitionID, txnID 
 	primary := n.dir.Topology().Primary(pid)
 	if primary == n.ID() {
 		lf := localFwd{ch: make(chan error, 1), target: primary, start: time.Now()}
-		n.ForwardRepl(ws, func(err error) { lf.ch <- err })
+		n.ForwardRepl(pid, ws, func(err error) { lf.ch <- err })
 		pr.locals = append(pr.locals, lf)
 		return
 	}
@@ -275,23 +275,34 @@ type CommitTarget struct {
 // applies while they are in flight, and every completion is gathered,
 // joining all errors. Every error names the participant node it came
 // from.
+//
+// Each participant applies the concatenation of every partition it is
+// currently primary for — one partition almost always, several right
+// after a replica promotion (the targets' PID labels record only the
+// first partition that routed to each node, so keying the write set by
+// that single PID would drop the adopted partition's writes).
 func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluster.PartitionID][]WriteOp, batched bool) error {
+	byNode := make(map[transport.NodeID][]WriteOp, len(targets))
+	for pid, ws := range writes {
+		t := n.dir.Topology().Primary(pid)
+		byNode[t] = append(byNode[t], ws...)
+	}
 	var pending []*PendingCommit
 	var doorbells []*PendingDoorbell
 	var errs []error
-	localPID, local := cluster.PartitionID(0), false
+	local := false
 	for _, t := range targets {
 		if t.Node == n.ID() {
-			localPID, local = t.PID, true
+			local = true
 			continue
 		}
 		if batched {
 			d := n.NewDoorbell(t.Node)
-			d.PostCommit(txnID, writes[t.PID])
+			d.PostCommit(txnID, byNode[t.Node])
 			doorbells = append(doorbells, d.Ring())
 			continue
 		}
-		c, err := n.ep.Go(t.Node, VerbCommit, EncodeWrites(txnID, writes[t.PID]))
+		c, err := n.ep.Go(t.Node, VerbCommit, EncodeWrites(txnID, byNode[t.Node]))
 		if err != nil {
 			errs = append(errs, fmt.Errorf("server: commit at node %d: %w", t.Node, err))
 			continue
@@ -301,7 +312,7 @@ func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluste
 		pending = append(pending, p)
 	}
 	if local {
-		if err := n.CommitLocal(txnID, writes[localPID]); err != nil {
+		if err := n.CommitLocal(txnID, byNode[n.ID()]); err != nil {
 			errs = append(errs, fmt.Errorf("server: commit at node %d: %w", n.ID(), err))
 		}
 	}

@@ -1,0 +1,230 @@
+package server
+
+import (
+	"fmt"
+
+	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller/internal/wal"
+	"github.com/chillerdb/chiller/internal/wire"
+)
+
+// Durability integration: when a node has a write-ahead log attached,
+// every commit-point apply (participant commit, inner-region unilateral
+// commit, replica stream apply) appends its write set to the owning
+// lane's log *after* applying and *before* acknowledging, and the ack
+// waits for the group-commit flush. The append happens while the
+// transaction still holds its bucket lock words, so within one lane the
+// log's record order equals commit order — the invariant replay relies
+// on. Without a log attached every hook is a no-op and the hot path is
+// untouched (a nil check).
+
+// SetWAL attaches a write-ahead log to the node. Call before the node
+// serves traffic; the lane count of the log should match the node's
+// (Append tolerates mismatch by folding lanes together, which loses
+// parallelism but not correctness).
+func (n *Node) SetWAL(l *wal.Log) { n.wal = l }
+
+// WAL returns the attached log, or nil.
+func (n *Node) WAL() *wal.Log { return n.wal }
+
+// SnapshotErr returns the most recent background snapshot failure, if
+// any. A failed snapshot leaves the log untruncated — recovery still
+// works, the log just keeps growing — so it is reported, not fatal.
+func (n *Node) SnapshotErr() error {
+	if v := n.snapErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// LogWrites appends a committed write set to the WAL, one record per
+// owning lane, and returns a function that blocks until every record's
+// group-commit flush lands — or nil when there is nothing to wait on
+// (no WAL attached, or an empty write set), so callers can skip the
+// wait without spawning anything. Call it after ApplyWrites while the
+// transaction still holds its locks; call the returned wait after
+// releasing them, and never on a lane executor (the flush wait must
+// extend neither lock hold times nor the lane's serial schedule — that
+// is the whole point of group commit riding the async tails).
+func (n *Node) LogWrites(txnID uint64, writes []WriteOp) func() error {
+	if n.wal == nil || len(writes) == 0 {
+		return nil
+	}
+	if len(n.lanes) <= 1 {
+		return n.logLane(txnID, 0, writes)
+	}
+	// Group per lane, mirroring applyByLane's linear scan.
+	type group struct {
+		lane   int
+		writes []WriteOp
+	}
+	var groups []*group
+	for _, w := range writes {
+		lane := n.Lane(storage.RID{Table: w.Table, Key: w.Key})
+		var g *group
+		for _, cand := range groups {
+			if cand.lane == lane {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &group{lane: lane}
+			groups = append(groups, g)
+		}
+		g.writes = append(g.writes, w)
+	}
+	if len(groups) == 1 {
+		return n.logLane(txnID, groups[0].lane, groups[0].writes)
+	}
+	waits := make([]func() error, len(groups))
+	for i, g := range groups {
+		waits[i] = n.logLane(txnID, g.lane, g.writes)
+	}
+	return func() error {
+		for _, w := range waits {
+			if err := w(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// logLane appends one lane's slice of a write set and arms the lane's
+// snapshot trigger.
+func (n *Node) logLane(txnID uint64, lane int, writes []WriteOp) func() error {
+	tk := n.wal.Append(lane, wal.RecCommit, EncodeWrites(txnID, writes))
+	n.maybeSnapshot(lane)
+	return tk.Wait
+}
+
+// maybeSnapshot starts a background snapshot of the lane when its log
+// has outgrown the policy threshold. At most one snapshot per lane runs
+// at a time; the build scans the store for the lane's records while the
+// lane's appends are blocked (see wal.Snapshot for why the cutoff is
+// safe).
+func (n *Node) maybeSnapshot(lane int) {
+	l := n.wal
+	if !l.NeedsSnapshot(lane) || !l.TrySnapshotLock(lane) {
+		return
+	}
+	go func() {
+		defer l.SnapshotUnlock(lane)
+		err := l.Snapshot(lane, func() []byte { return n.encodeLaneSnapshot(lane) })
+		if err != nil {
+			n.snapErr.Store(err)
+		}
+	}()
+}
+
+// encodeLaneSnapshot serializes every record the lane owns, grouped per
+// table: [table u32][nBuckets u32][count u32] then count × ([key u64]
+// [value bytes32]). Bucket counts ride along so recovery into a fresh
+// store can recreate tables before the application's own CreateTable
+// calls (which are idempotent and adopt the recovered table).
+func (n *Node) encodeLaneSnapshot(lane int) []byte {
+	lane = n.laneIndex(lane)
+	w := wire.NewWriter(4096)
+	for _, tid := range n.store.Tables() {
+		tbl := n.store.Table(tid)
+		if tbl == nil {
+			continue
+		}
+		var keys []storage.Key
+		var vals [][]byte
+		tbl.Range(func(key storage.Key, value []byte, _ uint64) bool {
+			if n.Lane(storage.RID{Table: tid, Key: key}) == lane {
+				v := make([]byte, len(value))
+				copy(v, value)
+				keys = append(keys, key)
+				vals = append(vals, v)
+			}
+			return true
+		})
+		if len(keys) == 0 {
+			continue
+		}
+		w.Uint32(uint32(tid))
+		w.Uint32(uint32(tbl.NumBuckets()))
+		w.Uint32(uint32(len(keys)))
+		for i, k := range keys {
+			w.Uint64(uint64(k))
+			w.Bytes32(vals[i])
+		}
+	}
+	return w.Bytes()
+}
+
+// RecoverStore replays recovered durable state into a store: snapshots
+// first, then the cross-lane tail in LSN order. Missing tables are
+// created (snapshot groups carry their bucket counts; tail-only tables
+// get the default sizing). Replay is idempotent — records carry full
+// values and apply with upsert semantics — so recovering into a store
+// pre-loaded with initial values converges to the logged state.
+func RecoverStore(st *storage.Store, rec *wal.Recovered) error {
+	for _, snap := range rec.Snapshots {
+		if err := applyLaneSnapshot(st, snap.Payload); err != nil {
+			return err
+		}
+	}
+	for _, tr := range rec.Tail {
+		if tr.Type != wal.RecCommit {
+			continue
+		}
+		_, writes, err := DecodeWrites(tr.Payload)
+		if err != nil {
+			return fmt.Errorf("server: recover lsn %d: %w", tr.LSN, err)
+		}
+		if err := replayWrites(st, writes); err != nil {
+			return fmt.Errorf("server: recover lsn %d: %w", tr.LSN, err)
+		}
+	}
+	return nil
+}
+
+// replayWrites applies a logged write set with pure upsert semantics:
+// unlike the live ApplyWrites, an update to a key the store does not
+// hold yet must succeed (the key's insert may live in a snapshot the
+// crash predates, with initial values re-loaded by the caller).
+func replayWrites(st *storage.Store, writes []WriteOp) error {
+	for _, w := range writes {
+		tbl := st.Table(w.Table)
+		if tbl == nil {
+			tbl = st.CreateTable(w.Table, 0)
+		}
+		b := tbl.Bucket(w.Key)
+		switch w.Type {
+		case txn.OpDelete:
+			if err := b.Delete(w.Key); err != nil && err != storage.ErrNotFound {
+				return err
+			}
+		default:
+			b.Upsert(w.Key, w.Value)
+		}
+	}
+	return nil
+}
+
+func applyLaneSnapshot(st *storage.Store, p []byte) error {
+	r := wire.NewReader(p)
+	for r.Err() == nil && r.Remaining() > 0 {
+		tid := storage.TableID(r.Uint32())
+		nBuckets := int(r.Uint32())
+		count := r.Uint32()
+		tbl := st.Table(tid)
+		if tbl == nil {
+			tbl = st.CreateTable(tid, nBuckets)
+		}
+		for i := uint32(0); i < count && r.Err() == nil; i++ {
+			key := storage.Key(r.Uint64())
+			val := r.Bytes32()
+			tbl.Bucket(key).Upsert(key, val)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("server: snapshot decode: %w", err)
+	}
+	return nil
+}

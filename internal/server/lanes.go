@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -154,6 +155,20 @@ func (n *Node) WithLaneSerial(lane int, f func()) {
 	doneChanPool.Put(done)
 }
 
+// LaneBarrier blocks until every lane executor has drained the work
+// queued before the call. It says nothing about work submitted after it
+// starts — a useful barrier only on a quiesced cluster (the crash
+// schedule's pre-wipe fence: replica applies ride one-way streams, so
+// no participant state betrays a still-queued apply).
+func (n *Node) LaneBarrier() {
+	var wg sync.WaitGroup
+	wg.Add(len(n.lanes))
+	for i := range n.lanes {
+		n.SubmitLane(i, wg.Done)
+	}
+	wg.Wait()
+}
+
 // Close stops the node's lane executors, draining queued work first.
 // Call after the fabric is closed and engines are drained; submissions
 // arriving after Close degrade to inline execution.
@@ -181,13 +196,50 @@ func (n *Node) Lane(rid storage.RID) int {
 // stream messages writing the same record always land on the same lane
 // (the mapping is stable), so they apply in arrival order, while
 // messages for independent lanes no longer serialize on each other.
-func (n *Node) applyByLane(writes []WriteOp, done func(error)) {
-	if len(writes) == 0 || len(n.lanes) <= 1 {
-		var err error
-		if len(writes) > 0 {
-			err = ApplyWrites(n.store, writes)
+//
+// With a WAL attached, each lane's slice of the write set is appended
+// to that lane's log right after applying (still on the lane executor,
+// so log order = apply order) and done is deferred to a goroutine that
+// waits out the group-commit flush — replicas are durable too, which is
+// what makes post-crash replica promotion safe. A flush failure here is
+// fatal (see CommitLocal).
+func (n *Node) applyByLane(txnID uint64, writes []WriteOp, done func(error)) {
+	// applyLog runs on the lane executor (or inline at <=1 lane): apply
+	// one lane's slice, then append it to the lane's log while still on
+	// the executor — the next stream message for this lane cannot apply,
+	// let alone append, until this closure returns, so log order = apply
+	// order per lane. The returned wait is nil when nothing was logged.
+	applyLog := func(lane int, ws []WriteOp) (func() error, error) {
+		if err := ApplyWrites(n.store, ws); err != nil {
+			return nil, err
 		}
-		done(err)
+		if n.wal == nil {
+			return nil, nil
+		}
+		return n.logLane(txnID, lane, ws), nil
+	}
+	// finish invokes done, waiting out the group-commit flush first on a
+	// fresh goroutine (never on the invoking lane executor or fabric
+	// dispatcher — an fsync batch must not stall them).
+	finish := func(wait func() error, err error) {
+		if wait == nil {
+			done(err)
+			return
+		}
+		go func() {
+			if ferr := wait(); ferr != nil {
+				panic(fmt.Sprintf("server: node %d: replica apply %d not durable: %v", n.ID(), txnID, ferr))
+			}
+			done(err)
+		}()
+	}
+	if len(writes) == 0 || len(n.lanes) <= 1 {
+		if len(writes) == 0 {
+			done(nil)
+			return
+		}
+		wait, err := applyLog(0, writes)
+		finish(wait, err)
 		return
 	}
 	// Group by lane; write sets are small, so a linear scan over a tiny
@@ -214,26 +266,46 @@ func (n *Node) applyByLane(writes []WriteOp, done func(error)) {
 	}
 	if len(groups) == 1 {
 		g := groups[0]
-		n.SubmitLane(g.lane, func() { done(ApplyWrites(n.store, g.writes)) })
+		n.SubmitLane(g.lane, func() {
+			wait, err := applyLog(g.lane, g.writes)
+			finish(wait, err)
+		})
 		return
 	}
 	var pending atomic.Int32
 	pending.Store(int32(len(groups)))
 	var errMu sync.Mutex
 	var errs []error
+	var waits []func() error
 	for _, g := range groups {
 		g := g
 		n.SubmitLane(g.lane, func() {
-			if err := ApplyWrites(n.store, g.writes); err != nil {
-				errMu.Lock()
+			wait, err := applyLog(g.lane, g.writes)
+			errMu.Lock()
+			if err != nil {
 				errs = append(errs, err)
-				errMu.Unlock()
 			}
+			if wait != nil {
+				waits = append(waits, wait)
+			}
+			errMu.Unlock()
 			if pending.Add(-1) == 0 {
 				errMu.Lock()
 				err := errors.Join(errs...)
+				all := waits
 				errMu.Unlock()
-				done(err)
+				if len(all) == 0 {
+					finish(nil, err)
+					return
+				}
+				finish(func() error {
+					for _, w := range all {
+						if werr := w(); werr != nil {
+							return werr
+						}
+					}
+					return nil
+				}, err)
 			}
 		})
 	}

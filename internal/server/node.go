@@ -20,6 +20,7 @@ import (
 	"github.com/chillerdb/chiller/internal/storage"
 	"github.com/chillerdb/chiller/internal/transport"
 	"github.com/chillerdb/chiller/internal/txn"
+	"github.com/chillerdb/chiller/internal/wal"
 )
 
 // AccessObserver receives sampled transaction access sets; the statistics
@@ -63,6 +64,11 @@ type Node struct {
 	// FaultInjector, when non-nil, is consulted before commits; tests
 	// use it to simulate participant failures.
 	FaultInjector func(verb string, txnID uint64) error
+
+	// wal, when non-nil, is the node's write-ahead log: commit-point
+	// applies append to it before acknowledging (see durability.go).
+	wal     *wal.Log
+	snapErr atomic.Value // last background snapshot error
 
 	// vm collects per-verb counts and round-trip latency histograms for
 	// this node's coordinator activity (see metrics.go).
@@ -150,6 +156,7 @@ func New(ep transport.Endpoint, st *storage.Store, reg *txn.Registry, dir *clust
 	ep.HandleAsync(VerbReplForward, n.handleReplForward)
 	ep.HandleAsync(VerbInnerRepl, n.handleInnerRepl)
 	ep.Handle(VerbInnerAck, n.handleInnerAck)
+	ep.Handle(VerbPing, func(transport.NodeID, []byte) ([]byte, error) { return nil, nil })
 	// The doorbell envelope is serviced on the one-sided path: batched
 	// senders bypass the dispatcher and lanes entirely, scalar senders
 	// keep the two-sided verbs above — one node serves both at once.
@@ -328,21 +335,48 @@ func (n *Node) LockReadLocal(txnID uint64, entries []LockEntry) *LockResponse {
 }
 
 // CommitLocal applies the write set and releases the transaction's locks
-// on this participant.
+// on this participant. With a WAL attached, the write set is appended to
+// the log before the locks release (so per-lane log order equals commit
+// order) and the call returns only once the record's group-commit flush
+// has landed: a CommitLocal acknowledgement implies durability. Callers
+// on a lane executor must use commitLocalStart instead and take the
+// flush wait elsewhere (see handleCommit).
 func (n *Node) CommitLocal(txnID uint64, writes []WriteOp) error {
+	wait, err := n.commitLocalStart(txnID, writes)
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		if ferr := wait(); ferr != nil {
+			// The writes are applied and the locks are gone; a failed
+			// flush cannot be unwound and every later commit shares the
+			// broken disk. Same invariant class as a failed post-commit
+			// apply.
+			panic(fmt.Sprintf("server: node %d: commit %d not durable: %v", n.ID(), txnID, ferr))
+		}
+	}
+	return nil
+}
+
+// commitLocalStart is CommitLocal without the durability wait: apply,
+// append to the WAL under the transaction's locks, release. The
+// returned wait (nil when there is nothing to flush) completes the
+// commit; it must not run on a lane executor.
+func (n *Node) commitLocalStart(txnID uint64, writes []WriteOp) (func() error, error) {
 	if n.FaultInjector != nil {
 		if err := n.FaultInjector(VerbCommit, txnID); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if err := ApplyWrites(n.store, writes); err != nil {
 		// A write to a locked, verified record cannot legitimately fail;
 		// treat as an engine invariant violation.
 		n.releaseAll(txnID)
-		return fmt.Errorf("server: commit apply: %w", err)
+		return nil, fmt.Errorf("server: commit apply: %w", err)
 	}
+	wait := n.LogWrites(txnID, writes)
 	n.releaseAll(txnID)
-	return nil
+	return wait, nil
 }
 
 // AbortLocal releases the transaction's locks without applying writes.
@@ -426,7 +460,21 @@ func (n *Node) handleCommit(_ transport.NodeID, req []byte, reply func([]byte, e
 		lane = n.Lane(storage.RID{Table: writes[0].Table, Key: writes[0].Key})
 	}
 	n.submitVerb(lane, func() {
-		reply(nil, n.CommitLocal(txnID, writes))
+		wait, cerr := n.commitLocalStart(txnID, writes)
+		if wait == nil {
+			reply(nil, cerr)
+			return
+		}
+		// Ack only after the group-commit flush, but never block the
+		// lane executor on it — the flush wait rides a goroutine, the
+		// async reply keeps the fabric free, and the lane moves on to
+		// the next (already logically committed) transaction.
+		go func() {
+			if ferr := wait(); ferr != nil {
+				panic(fmt.Sprintf("server: node %d: commit %d not durable: %v", n.ID(), txnID, ferr))
+			}
+			reply(nil, cerr)
+		}()
 	})
 }
 
@@ -445,12 +493,12 @@ func (n *Node) handleAbort(_ transport.NodeID, req []byte) ([]byte, error) {
 // so every record has exactly one replication pipe); it remains for
 // tooling and direct-apply tests.
 func (n *Node) handleReplApply(_ transport.NodeID, req []byte, reply func([]byte, error)) {
-	_, writes, err := DecodeWrites(req)
+	txnID, writes, err := DecodeWrites(req)
 	if err != nil {
 		reply(nil, err)
 		return
 	}
-	n.applyByLane(writes, func(aerr error) { reply(nil, aerr) })
+	n.applyByLane(txnID, writes, func(aerr error) { reply(nil, aerr) })
 }
 
 // fwdAckBit namespaces the synthetic ack ids of forwarded replication
@@ -476,25 +524,36 @@ func (n *Node) handleReplForward(_ transport.NodeID, req []byte, reply func([]by
 		reply(nil, err)
 		return
 	}
-	n.ForwardRepl(writes, func(aerr error) { reply(nil, aerr) })
+	if len(writes) == 0 {
+		reply(nil, nil)
+		return
+	}
+	// The forward carries one partition's write group (coordinators fan
+	// out per partition); resolve which from the records rather than
+	// from this node's identity — after a replica promotion a node
+	// relays for partitions other than its own.
+	pid := n.dir.Partition(storage.RID{Table: writes[0].Table, Key: writes[0].Key})
+	n.ForwardRepl(pid, writes, func(aerr error) { reply(nil, aerr) })
 }
 
-// ForwardRepl streams writes (to records of this node's own partition)
-// to the partition's replicas and calls done once every replica acked —
-// immediately when the partition has no replicas. Callable directly by
-// a co-located coordinator (the common case: a transaction's writes
-// mostly target its coordinator's partition). A fabric teardown racing
-// the ack wait fails the relay with ErrClosed instead of hanging (acks
-// are one-way and die silently with the dispatcher).
-func (n *Node) ForwardRepl(writes []WriteOp, done func(error)) {
-	replicas := n.dir.Topology().Replicas(n.part)
+// ForwardRepl streams writes (records of one partition this node is
+// primary for — usually its own, or an adopted one after a replica
+// promotion) to that partition's replicas and calls done once every
+// replica acked — immediately when the partition has no replicas.
+// Callable directly by a co-located coordinator (the common case: a
+// transaction's writes mostly target its coordinator's partition). A
+// fabric teardown racing the ack wait fails the relay with ErrClosed
+// instead of hanging (acks are one-way and die silently with the
+// dispatcher).
+func (n *Node) ForwardRepl(pid cluster.PartitionID, writes []WriteOp, done func(error)) {
+	replicas := n.dir.Topology().Replicas(pid)
 	if len(replicas) == 0 {
 		done(nil)
 		return
 	}
 	fid := n.NextTxnID() | fwdAckBit
 	ack := n.ExpectInnerAcks(fid, len(replicas))
-	if sent, err := n.StreamInnerRepl(n.part, fid, n.ID(), writes); err != nil {
+	if sent, err := n.StreamInnerRepl(pid, fid, n.ID(), writes); err != nil {
 		if sent > 0 {
 			// Part of the stream is out: some replica will apply a write
 			// set whose transaction is about to report failure. There is
@@ -566,7 +625,7 @@ func (n *Node) handleInnerRepl(_ transport.NodeID, req []byte, reply func([]byte
 	if err != nil {
 		panic(fmt.Sprintf("server: replica %d: undecodable replication stream message: %v", n.ID(), err))
 	}
-	n.applyByLane(writes, func(aerr error) {
+	n.applyByLane(txnID, writes, func(aerr error) {
 		if aerr != nil {
 			panic(fmt.Sprintf("server: replica %d: apply of committed write set failed: %v", n.ID(), aerr))
 		}

@@ -39,6 +39,11 @@ const (
 	// control plane — dropping a commit frame would wedge participant
 	// locks, not exercise a recovery path. See internal/simnet/faults.go.
 	VerbDoorbellTail = "db2"
+	// VerbPing is a trivial liveness probe: empty request, empty reply.
+	// chiller-node uses it at startup to verify every peer is reachable
+	// before declaring the cluster up (bounded, instead of hanging in
+	// lazy-dial retries on the first real transaction).
+	VerbPing = "ping"
 )
 
 // PreCommitVerbs is the verb set whose loss an engine recovers from by

@@ -79,16 +79,67 @@ var ErrInjectedDrop = fmt.Errorf("%w: message dropped (injected fault)", ErrUnre
 // ErrUnreachable.
 var ErrPartitioned = fmt.Errorf("%w: link partitioned", ErrUnreachable)
 
+// ErrCrashed marks a send blocked because one end of the link is a
+// crashed node. It wraps ErrUnreachable.
+var ErrCrashed = fmt.Errorf("%w: node crashed", ErrUnreachable)
+
 // faultState is the Network's runtime fault machinery: the installed
-// plan plus the mutable partition set. cuts mirrors len(cut) so the
-// fault-free message hot path learns "no partitions" from one atomic
-// load instead of taking the mutex per send.
+// plan plus the mutable partition set and the crashed-node set. cuts
+// mirrors len(cut)+len(down) so the fault-free message hot path learns
+// "no partitions, no crashes" from one atomic load instead of taking
+// the mutex per send.
 type faultState struct {
 	plan *FaultPlan
 
 	mu   sync.RWMutex
 	cut  map[linkKey]bool
+	down map[NodeID]bool
 	cuts atomic.Int64
+}
+
+func (f *faultState) reCount() {
+	f.cuts.Store(int64(len(f.cut) + len(f.down)))
+}
+
+// Crash marks a node as crashed: every droppable verb to or from it
+// fails with ErrCrashed until Restart. Like Partition, the protected
+// control plane (commit tails, replication streams, acks) keeps
+// flowing, which models the §3.3 presumed-commit reality — a node's
+// in-flight commit decisions drain even as new work is refused — and
+// lets the harness quiesce cleanly before wiping the node's volatile
+// state. The node's durable state (its WAL directory) is untouched;
+// the harness pairs Crash with storage.Store.Reset plus a wal replay,
+// then Restart.
+func (n *Network) Crash(id NodeID) {
+	n.faults.mu.Lock()
+	defer n.faults.mu.Unlock()
+	if n.faults.down == nil {
+		n.faults.down = make(map[NodeID]bool)
+	}
+	n.faults.down[id] = true
+	n.faults.reCount()
+}
+
+// Restart revives a crashed node: its links carry traffic again.
+func (n *Network) Restart(id NodeID) {
+	n.faults.mu.Lock()
+	defer n.faults.mu.Unlock()
+	delete(n.faults.down, id)
+	n.faults.reCount()
+}
+
+// Crashed reports whether the node is currently marked crashed.
+func (n *Network) Crashed(id NodeID) bool {
+	n.faults.mu.RLock()
+	defer n.faults.mu.RUnlock()
+	return n.faults.down[id]
+}
+
+// linkDown reports whether either end of from→to is crashed.
+func (n *Network) linkDown(from, to NodeID) bool {
+	n.faults.mu.RLock()
+	defer n.faults.mu.RUnlock()
+	return n.faults.down[from] || n.faults.down[to]
 }
 
 // Partition cuts the links between a and b in both directions: sends of
@@ -108,7 +159,7 @@ func (n *Network) Partition(a, b NodeID) {
 	}
 	n.faults.cut[linkKey{a, b}] = true
 	n.faults.cut[linkKey{b, a}] = true
-	n.faults.cuts.Store(int64(len(n.faults.cut)))
+	n.faults.reCount()
 }
 
 // Heal restores the links between a and b.
@@ -117,15 +168,16 @@ func (n *Network) Heal(a, b NodeID) {
 	defer n.faults.mu.Unlock()
 	delete(n.faults.cut, linkKey{a, b})
 	delete(n.faults.cut, linkKey{b, a})
-	n.faults.cuts.Store(int64(len(n.faults.cut)))
+	n.faults.reCount()
 }
 
-// HealAll removes every partition.
+// HealAll removes every partition. Crashed nodes stay crashed; Restart
+// is their explicit revival.
 func (n *Network) HealAll() {
 	n.faults.mu.Lock()
 	defer n.faults.mu.Unlock()
 	n.faults.cut = nil
-	n.faults.cuts.Store(0)
+	n.faults.reCount()
 }
 
 // Partitioned reports whether the directed link from→to is currently
@@ -155,8 +207,13 @@ func (n *Network) requestFault(l *link, from, to NodeID, method string) (time.Du
 	if f.plan == nil && f.cuts.Load() == 0 {
 		return 0, nil
 	}
-	if from != to && f.cuts.Load() > 0 && n.Partitioned(from, to) && f.droppable(method) {
-		return 0, fmt.Errorf("%w: node %d -> node %d", ErrPartitioned, from, to)
+	if from != to && f.cuts.Load() > 0 && f.droppable(method) {
+		if n.Partitioned(from, to) {
+			return 0, fmt.Errorf("%w: node %d -> node %d", ErrPartitioned, from, to)
+		}
+		if n.linkDown(from, to) {
+			return 0, fmt.Errorf("%w: node %d -> node %d", ErrCrashed, from, to)
+		}
 	}
 	p := f.plan
 	if p == nil || (p.DropProb <= 0 && p.DelayProb <= 0) {

@@ -96,6 +96,13 @@ type Network struct {
 	active []*link // links with queued messages
 	nudge  chan struct{}
 	done   chan struct{}
+
+	// inflight counts messages between send-enqueue and the return of
+	// their destination handler (handlers run inline on the dispatcher).
+	// Quiet() reads it: the chaos harness's crash schedule needs a
+	// fabric-level quiesce barrier because one-way streams (replica
+	// applies) leave no participant state to poll.
+	inflight atomic.Int64
 }
 
 type linkKey struct{ from, to NodeID }
@@ -120,6 +127,12 @@ func New(cfg Config) *Network {
 
 // Stats returns the fabric counters.
 func (n *Network) Stats() *Stats { return &n.stats }
+
+// Quiet reports whether no message is currently in flight: every sent
+// message has been delivered and its destination handler has returned.
+// Only meaningful on a fabric with no concurrent senders (a quiesced
+// cluster) — with traffic running it is a momentary snapshot.
+func (n *Network) Quiet() bool { return n.inflight.Load() == 0 }
 
 // Close tears the fabric down. Outstanding RPCs fail with ErrClosed.
 func (n *Network) Close() {
@@ -315,6 +328,7 @@ func (n *Network) dispatch() {
 				if dst, ok := n.endpoint(l.to); ok {
 					dst.dispatch(msg)
 				}
+				n.inflight.Add(-1)
 				now = time.Now()
 			}
 		}
@@ -388,6 +402,7 @@ func (l *link) send(msg message, extra time.Duration) error {
 	env.msg = msg
 	env.deliver = time.Now().Add(l.latency() + extra)
 
+	l.net.inflight.Add(1)
 	l.qmu.Lock()
 	l.q = append(l.q, env)
 	register := !l.queued

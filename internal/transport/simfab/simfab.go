@@ -46,4 +46,5 @@ var (
 	ErrNoSuchRegion = simnet.ErrNoSuchRegion
 	ErrInjectedDrop = simnet.ErrInjectedDrop
 	ErrPartitioned  = simnet.ErrPartitioned
+	ErrCrashed      = simnet.ErrCrashed
 )

@@ -1,0 +1,442 @@
+// Package wal is Chiller's durability subsystem: one append-only log
+// per execution lane, group-committed with batched fsyncs, plus
+// per-lane snapshots with log truncation and a replay path that
+// rebuilds a node's store after a crash.
+//
+// The per-lane layout is the cheap path the lane architecture was built
+// for: a lane serializes execution of its records, and commit-time
+// appends happen under the committing transaction's bucket locks, so
+// within one lane file the record order for any given record equals its
+// commit order — no log-level latching beyond a per-lane append mutex.
+// Records carry a node-global logical sequence number (LSN) so replay
+// can merge the lane tails into one cluster of writes ordered
+// consistently even when a record migrates lanes (MarkHot,
+// Repartition) between runs.
+//
+// Group commit: Append writes the framed record into the lane file's
+// userspace buffer and returns a Ticket; a single flusher goroutine
+// batches the flush+fsync of every dirty lane on a configurable
+// interval/byte threshold and then releases every ticket the batch
+// covers. An acknowledged commit therefore waits for exactly one fsync,
+// shared with every other commit in the same window — the paper's async
+// commit tails absorb the wait without holding locks (callers release
+// their bucket locks before Ticket.Wait).
+//
+// On-disk record framing (little-endian, matching internal/wire):
+//
+//	[len u32][crc u32][type u8][lsn u64][payload ...]
+//
+// len counts type+lsn+payload; crc is IEEE CRC-32 over the same bytes.
+// Payloads are opaque to this package — internal/server encodes write
+// sets with its existing wire codecs (EncodeWrites).
+//
+// See docs/DURABILITY.md for the recovery sequence and the
+// fsync-vs-throughput tradeoffs.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Record types.
+const (
+	// RecCommit is a committed write set (payload: server.EncodeWrites).
+	RecCommit uint8 = 1
+)
+
+// recHeaderSize is the fixed framing prefix: len u32 + crc u32.
+const recHeaderSize = 8
+
+// recBodyPrefix is type u8 + lsn u64, the framed bytes before the payload.
+const recBodyPrefix = 9
+
+// Policy configures group commit and snapshotting.
+type Policy struct {
+	// FlushInterval is the longest a committed record waits for its
+	// fsync batch (default 200µs). Shorter favors latency, longer
+	// favors batching.
+	FlushInterval time.Duration
+	// FlushBytes triggers an early flush once this many unflushed bytes
+	// accumulate across lanes (default 256 KiB).
+	FlushBytes int
+	// NoSync skips the fsync syscall: records are still written to the
+	// OS (surviving process death within the same boot, which is what
+	// the simulated crash harness exercises) but not a power failure.
+	NoSync bool
+	// SnapshotBytes, when > 0, arms NeedsSnapshot: a lane whose log
+	// grows past this many bytes since its last snapshot reports that
+	// it wants one. 0 disables automatic snapshot pressure.
+	SnapshotBytes int64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.FlushInterval <= 0 {
+		p.FlushInterval = 200 * time.Microsecond
+	}
+	if p.FlushBytes <= 0 {
+		p.FlushBytes = 256 << 10
+	}
+	return p
+}
+
+// Stats counts the log's activity; all fields update atomically.
+type Stats struct {
+	// Appends counts Append calls; Flushes counts fsync batches. The
+	// ratio Appends/Flushes is the achieved group-commit factor.
+	Appends atomic.Uint64
+	Flushes atomic.Uint64
+	// Snapshots counts completed snapshot+truncate cycles.
+	Snapshots atomic.Uint64
+}
+
+// laneLog is one lane's append state.
+type laneLog struct {
+	mu        sync.Mutex // serializes appends and snapshot/truncate
+	wmu       sync.Mutex // serializes file writes vs truncation (mu → wmu)
+	f         *os.File
+	buf       []byte // userspace write buffer, drained by the flusher
+	sinceSnap int64  // bytes appended since the last snapshot
+	dirty     bool   // has unflushed buffered or unsynced data
+}
+
+// Log is a node's write-ahead log: one append-only file per lane plus
+// one snapshot file per lane, all under a single directory.
+type Log struct {
+	dir    string
+	policy Policy
+	lanes  []*laneLog
+	stats  Stats
+
+	lsn atomic.Uint64 // last assigned LSN
+
+	// Corruption lists the named errors (*CorruptError) Open hit while
+	// scanning existing lane files; the valid prefix before each was
+	// kept and the files were truncated to it, so appends continue
+	// cleanly. Callers decide whether a corrupt tail is fatal.
+	Corruption []error
+
+	fmu          sync.Mutex // flusher state
+	flushedLSN   uint64
+	flushErr     error
+	unflushed    int
+	flushCond    *sync.Cond
+	nudge        chan struct{}
+	done         chan struct{}
+	flusherGone  sync.WaitGroup
+	snapInFlight []atomic.Bool
+}
+
+// Open creates or reopens the log directory with one file per lane.
+// Existing lane files are scanned: the LSN counter resumes past the
+// highest record found, a torn final record (short write at EOF — the
+// normal crash artifact) is silently dropped, and a CRC mismatch
+// truncates the file at the corruption point and is reported in
+// Corruption as a *CorruptError. Replay reads the state back.
+func Open(dir string, lanes int, policy Policy) (*Log, error) {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+	}
+	l := &Log{
+		dir:          dir,
+		policy:       policy.withDefaults(),
+		lanes:        make([]*laneLog, lanes),
+		nudge:        make(chan struct{}, 1),
+		done:         make(chan struct{}),
+		snapInFlight: make([]atomic.Bool, lanes),
+	}
+	l.flushCond = sync.NewCond(&l.fmu)
+	var maxLSN uint64
+	for i := range l.lanes {
+		path := l.lanePath(i)
+		valid, laneMax, corrupt, err := scanLaneFile(path, i)
+		if err != nil {
+			return nil, err
+		}
+		if corrupt != nil {
+			l.Corruption = append(l.Corruption, corrupt)
+		}
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open lane %d: %w", i, err)
+		}
+		// Drop the torn/corrupt tail so new appends start at a record
+		// boundary.
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: truncate lane %d: %w", i, err)
+		}
+		if _, err := f.Seek(valid, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: seek lane %d: %w", i, err)
+		}
+		l.lanes[i] = &laneLog{f: f, sinceSnap: valid}
+		if laneMax > maxLSN {
+			maxLSN = laneMax
+		}
+		if cut, _, err := readSnapshotFile(l.snapPath(i)); err == nil && cut > maxLSN {
+			maxLSN = cut
+		}
+	}
+	l.lsn.Store(maxLSN)
+	l.flusherGone.Add(1)
+	go l.flusher()
+	return l, nil
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats returns the log's activity counters.
+func (l *Log) Stats() *Stats { return &l.stats }
+
+// Lanes returns the number of lane files.
+func (l *Log) Lanes() int { return len(l.lanes) }
+
+func (l *Log) lanePath(lane int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("lane-%03d.wal", lane))
+}
+
+func (l *Log) snapPath(lane int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("lane-%03d.snap", lane))
+}
+
+// Ticket is one append's durability handle: Wait blocks until the
+// record's fsync batch lands (immediately if it already has).
+type Ticket struct {
+	l   *Log
+	lsn uint64
+}
+
+// Wait blocks until the ticket's record is durable per the policy
+// (flushed, and fsynced unless NoSync). It returns the flusher's sticky
+// error if the disk failed — after which no append is durable.
+func (t Ticket) Wait() error {
+	if t.l == nil {
+		return nil
+	}
+	l := t.l
+	l.fmu.Lock()
+	defer l.fmu.Unlock()
+	for l.flushedLSN < t.lsn && l.flushErr == nil {
+		l.flushCond.Wait()
+	}
+	return l.flushErr
+}
+
+// Append frames payload as a record of the given type on the lane's
+// log, assigns it the next LSN, and returns a Ticket for the group
+// commit. The write lands in a userspace buffer; durability comes from
+// the ticket. Safe for concurrent use across lanes; appends to one lane
+// serialize on the lane's mutex (callers already hold the records'
+// bucket locks, so this adds no new ordering constraint).
+func (l *Log) Append(lane int, typ uint8, payload []byte) Ticket {
+	ll := l.lanes[lane%len(l.lanes)]
+	ll.mu.Lock()
+	lsn := l.lsn.Add(1)
+	ll.buf = appendRecord(ll.buf, typ, lsn, payload)
+	ll.sinceSnap += int64(recHeaderSize + recBodyPrefix + len(payload))
+	ll.dirty = true
+	ll.mu.Unlock()
+
+	l.stats.Appends.Add(1)
+	l.fmu.Lock()
+	l.unflushed += recHeaderSize + recBodyPrefix + len(payload)
+	over := l.unflushed >= l.policy.FlushBytes
+	l.fmu.Unlock()
+	if over {
+		select {
+		case l.nudge <- struct{}{}:
+		default:
+		}
+	}
+	return Ticket{l: l, lsn: lsn}
+}
+
+// appendRecord frames one record onto buf.
+func appendRecord(buf []byte, typ uint8, lsn uint64, payload []byte) []byte {
+	body := recBodyPrefix + len(payload)
+	var hdr [recHeaderSize + recBodyPrefix]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(body))
+	hdr[8] = typ
+	binary.LittleEndian.PutUint64(hdr[9:], lsn)
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[8:])
+	crc.Write(payload)
+	binary.LittleEndian.PutUint32(hdr[4:], crc.Sum32())
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// flusher is the group-commit loop: wake on the interval timer or a
+// byte-threshold nudge, write out every dirty lane buffer, fsync the
+// dirty files, and release every ticket the batch covers.
+func (l *Log) flusher() {
+	defer l.flusherGone.Done()
+	timer := time.NewTimer(l.policy.FlushInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-l.done:
+			l.flushOnce() // final drain so Close leaves nothing buffered
+			return
+		case <-l.nudge:
+		case <-timer.C:
+		}
+		l.flushOnce()
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(l.policy.FlushInterval)
+	}
+}
+
+// flushOnce drains every dirty lane buffer to its file (fsyncing unless
+// NoSync) and advances the flushed-LSN watermark. Taking each lane's
+// mutex means an in-flight Append finishes its buffer write first, so
+// every LSN at or below the pre-batch watermark is on disk when the
+// batch completes.
+func (l *Log) flushOnce() {
+	// Watermark first: any append that gets an LSN after this read will
+	// be flushed either by this batch (harmless over-delivery) or the
+	// next one, and is never signalled early.
+	watermark := l.lsn.Load()
+	var firstErr error
+	flushedAny := false
+	for _, ll := range l.lanes {
+		ll.mu.Lock()
+		buf := ll.buf
+		ll.buf = nil
+		dirty := ll.dirty
+		ll.dirty = false
+		ll.mu.Unlock()
+		// wmu keeps this write from interleaving with a concurrent
+		// Snapshot truncation (which holds mu, then wmu) — without it a
+		// stale buffer could land mid-truncate at a racing file offset.
+		ll.wmu.Lock()
+		if len(buf) > 0 {
+			if _, err := ll.f.Write(buf); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("wal: write: %w", err)
+			}
+			flushedAny = true
+		}
+		if dirty && !l.policy.NoSync {
+			if err := ll.f.Sync(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("wal: fsync: %w", err)
+			}
+		}
+		ll.wmu.Unlock()
+	}
+	if flushedAny {
+		l.stats.Flushes.Add(1)
+	}
+	l.fmu.Lock()
+	if firstErr != nil && l.flushErr == nil {
+		l.flushErr = firstErr
+	}
+	if watermark > l.flushedLSN {
+		l.flushedLSN = watermark
+	}
+	l.unflushed = 0
+	l.fmu.Unlock()
+	l.flushCond.Broadcast()
+}
+
+// NeedsSnapshot reports whether the lane's log has grown past the
+// policy's snapshot threshold since its last snapshot (always false
+// when SnapshotBytes is 0).
+func (l *Log) NeedsSnapshot(lane int) bool {
+	if l.policy.SnapshotBytes <= 0 {
+		return false
+	}
+	ll := l.lanes[lane%len(l.lanes)]
+	ll.mu.Lock()
+	defer ll.mu.Unlock()
+	return ll.sinceSnap >= l.policy.SnapshotBytes
+}
+
+// TrySnapshotLock claims the lane's single snapshot slot; the caller
+// must pair a successful claim with SnapshotUnlock. It keeps concurrent
+// triggers from stacking snapshot scans behind one another.
+func (l *Log) TrySnapshotLock(lane int) bool {
+	return l.snapInFlight[lane%len(l.lanes)].CompareAndSwap(false, true)
+}
+
+// SnapshotUnlock releases the slot claimed by TrySnapshotLock.
+func (l *Log) SnapshotUnlock(lane int) {
+	l.snapInFlight[lane%len(l.lanes)].Store(false)
+}
+
+// Snapshot captures the lane's state and truncates its log. build runs
+// with the lane's appends blocked and must return a payload covering
+// every record of the lane as currently applied (internal/server scans
+// the store); the snapshot's cutoff LSN is taken before build, so a
+// write is either applied before build sees the store (in the payload)
+// or appended after the cutoff (replayed from the tail) — replay
+// converges either way because write sets carry full values.
+//
+// The snapshot file is written atomically (tmp+rename, fsynced) before
+// the log truncates, so a crash at any point leaves either the old
+// snapshot+full log or the new snapshot+empty log.
+func (l *Log) Snapshot(lane int, build func() []byte) error {
+	ll := l.lanes[lane%len(l.lanes)]
+	ll.mu.Lock()
+	defer ll.mu.Unlock()
+
+	cutoff := l.lsn.Load()
+	payload := build()
+
+	if err := writeSnapshotFile(l.snapPath(lane), cutoff, payload, l.policy.NoSync); err != nil {
+		return err
+	}
+	// Truncate the lane log: buffered-but-unwritten records all have
+	// LSN <= cutoff (their appends finished before we took the lane
+	// mutex) and are covered by the snapshot, so the buffer drops too.
+	// wmu waits out any in-flight flusher write of a stale buffer.
+	ll.buf = nil
+	ll.dirty = false
+	ll.wmu.Lock()
+	defer ll.wmu.Unlock()
+	if err := ll.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate after snapshot: %w", err)
+	}
+	if _, err := ll.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("wal: seek after snapshot: %w", err)
+	}
+	ll.sinceSnap = 0
+	l.stats.Snapshots.Add(1)
+	return nil
+}
+
+// LastLSN returns the most recently assigned LSN.
+func (l *Log) LastLSN() uint64 { return l.lsn.Load() }
+
+// Close flushes and fsyncs outstanding records and closes the files.
+func (l *Log) Close() error {
+	select {
+	case <-l.done:
+		return nil
+	default:
+	}
+	close(l.done)
+	l.flusherGone.Wait()
+	var firstErr error
+	for _, ll := range l.lanes {
+		if err := ll.f.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -54,6 +54,8 @@ type config struct {
 	sampleRate   float64
 	verbBatching bool
 	recorder     *history.Recorder
+	walDir       string
+	fsync        FsyncPolicy
 
 	transport  TransportKind
 	listenAddr string
@@ -218,6 +220,67 @@ func WithSampling(rate float64) Option {
 		}
 		c.sampleRate = rate
 		c.simOnly = append(c.simOnly, "WithSampling")
+		return nil
+	}
+}
+
+// FsyncPolicy tunes the write-ahead log's group commit and snapshot
+// cadence (see WithDurability). The zero value takes the engine
+// defaults. See docs/DURABILITY.md for the trade-offs.
+type FsyncPolicy struct {
+	// FlushInterval is the longest a committed transaction's
+	// acknowledgement waits for its fsync batch (default 200µs).
+	// Shorter favors commit latency, longer favors batching.
+	FlushInterval time.Duration
+	// FlushBytes triggers an early flush once this many unflushed log
+	// bytes accumulate on a node (default 256 KiB).
+	FlushBytes int
+	// NoSync skips the fsync syscall: records still reach the OS
+	// (surviving process death within the same boot) but not a power
+	// failure. Substantially faster; the durability contract weakens
+	// from crash-safe to process-death-safe.
+	NoSync bool
+	// SnapshotBytes, when > 0, snapshots a lane's records and truncates
+	// its log once the log grows past this many bytes (default: no
+	// automatic snapshots; the log grows until Close).
+	SnapshotBytes int64
+}
+
+// WithDurability attaches a write-ahead log under dir — one directory
+// per node, one append-only log per execution lane — making every
+// acknowledged commit durable: a transaction's acknowledgement waits
+// for its log records' group-commit flush, and a subsequent Open with
+// the same dir replays snapshot+tail into the stores before serving
+// traffic, so records Loaded or committed in a previous process
+// incarnation come back. Simulation-only: over TransportTCP the data
+// (and its durability, via chiller-node's -data-dir flag) lives in the
+// node processes.
+func WithDurability(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("chiller: empty durability dir: %w", ErrBadConfig)
+		}
+		c.walDir = dir
+		c.simOnly = append(c.simOnly, "WithDurability")
+		return nil
+	}
+}
+
+// WithFsyncPolicy tunes the group-commit and snapshot behaviour of the
+// write-ahead log attached by WithDurability (which it requires).
+func WithFsyncPolicy(p FsyncPolicy) Option {
+	return func(c *config) error {
+		if p.FlushInterval < 0 {
+			return fmt.Errorf("chiller: negative flush interval %v: %w", p.FlushInterval, ErrBadConfig)
+		}
+		if p.FlushBytes < 0 {
+			return fmt.Errorf("chiller: negative flush bytes %d: %w", p.FlushBytes, ErrBadConfig)
+		}
+		if p.SnapshotBytes < 0 {
+			return fmt.Errorf("chiller: negative snapshot bytes %d: %w", p.SnapshotBytes, ErrBadConfig)
+		}
+		c.fsync = p
+		c.simOnly = append(c.simOnly, "WithFsyncPolicy")
 		return nil
 	}
 }
