@@ -150,11 +150,25 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.sampleRate > 0 {
 		db.sampler = stats.NewSampler(cfg.sampleRate, cfg.seed+1)
 	}
+	var clock *storage.Clock
+	if cfg.mvcc {
+		// One commit clock shared by every node: timestamps are reserved
+		// at commit points and released once a transaction's applies have
+		// landed cluster-wide, so the clock's stable watermark is a
+		// consistent snapshot boundary for the whole deployment.
+		clock = storage.NewClock()
+	}
 	for p := 0; p < cfg.partitions; p++ {
 		node := server.New(net.Endpoint(simfab.NodeID(p)), storage.NewStore(),
 			db.registry, dir, cluster.PartitionID(p))
 		if db.sampler != nil {
 			node.SetSampler(db.sampler)
+		}
+		if clock != nil {
+			// Before WAL recovery: SetClock flips the store to versioned
+			// records, so replay rebuilds version chains at their logged
+			// commit timestamps.
+			node.SetClock(clock)
 		}
 		if cfg.walDir != "" {
 			// Recover-then-attach before the node registers verbs: any
@@ -168,8 +182,11 @@ func Open(opts ...Option) (*DB, error) {
 			})
 			if err == nil && !rec.Empty() {
 				db.recovered = true
-				if err = server.RecoverStore(node.Store(), rec); err != nil {
+				var maxTS uint64
+				if maxTS, err = server.RecoverStore(node.Store(), rec); err != nil {
 					l.Close()
+				} else if clock != nil {
+					clock.AdvanceTo(maxTS)
 				}
 			}
 			if err != nil {

@@ -56,7 +56,9 @@ var experiments = []experiment{
 		return []*bench.Figure{thr, abr, brk}, nil
 	}},
 	{"fig9lanes", "TPC-C throughput vs execution lanes per node (intra-node scale-out, Figure 9a companion)", one(bench.Figure9Lanes)},
+	{"fig7ro", "read-heavy bank workload: MVCC snapshot reads vs the same reads on the locking path, open-loop window sweep", one(bench.Figure7ReadHeavy)},
 	{"fig10", "NewOrder+Payment throughput as the distributed fraction sweeps 0..100%", one(bench.Figure10)},
+	{"fig10fsync", "Figure 10 shape under durability: one Chiller series per WAL fsync policy (-fsync-policy)", one(bench.Figure10Fsync)},
 	{"a1", "ablation: hot-record reordering alone vs reordering plus contention-aware placement", func(opt bench.Options) ([]*bench.Figure, error) {
 		f, err := bench.AblationReorderOnly(4, opt)
 		if err != nil {
@@ -98,6 +100,7 @@ func main() {
 		customers  = flag.Int("customers", 300, "TPC-C customers per district")
 		items      = flag.Int("items", 2000, "TPC-C items per warehouse")
 		maxConc    = flag.Int("max-concurrency", 8, "Figure 9 concurrency sweep upper bound")
+		fsync      = flag.String("fsync-policy", "", "comma-separated WAL policies for fig10fsync: none, nosync, sync (empty = all three)")
 		jsonOut    = flag.String("json", "", "also write all figures as JSON to this file (- for stdout)")
 		transport  = flag.String("transport", bench.TransportSim, "fabric to bench over: simnet (in-process simulation) or tcp (join a chiller-node cluster; requires -peers)")
 		peersFlag  = flag.String("peers", "", "comma-separated chiller-node addresses, index = node ID (tcp transport only)")
@@ -139,6 +142,9 @@ func main() {
 		Customers:      *customers,
 		Items:          *items,
 		MaxConcurrency: *maxConc,
+	}
+	if *fsync != "" {
+		opt.FsyncPolicies = strings.Split(*fsync, ",")
 	}
 
 	var figures []*bench.Figure

@@ -119,7 +119,9 @@ func run(id int, listen, peersFlag string, replication, lanes int, batching bool
 		}
 		defer l.Close()
 		if !rec.Empty() {
-			if err := server.RecoverStore(st, rec); err != nil {
+			// maxTS is discarded: chiller-node clusters run without MVCC
+			// (the commit clock is in-process and cannot span processes).
+			if _, err := server.RecoverStore(st, rec); err != nil {
 				return fmt.Errorf("recover from %s: %w", dataDir, err)
 			}
 			recovered = true
@@ -166,6 +168,19 @@ func run(id int, listen, peersFlag string, replication, lanes int, batching bool
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
 	fmt.Printf("chiller-node %d: %v, shutting down\n", id, s)
+	if node.WAL() != nil {
+		// Compact the log on the way out: without this, only log-size
+		// pressure ever snapshots, so a node stopped cleanly after
+		// moderate traffic would replay its entire commit history on the
+		// next start. Drain the engine first so the snapshots cover every
+		// commit this node coordinated.
+		chiller.Drain()
+		if err := node.SnapshotAll(); err != nil {
+			fmt.Fprintf(os.Stderr, "chiller-node %d: shutdown snapshot: %v\n", id, err)
+		} else {
+			fmt.Printf("chiller-node %d: log compacted (restart replays snapshot + empty tail)\n", id)
+		}
+	}
 	return nil
 }
 

@@ -46,6 +46,12 @@ var (
 	// Retry); it also matches ErrInternal, so existing
 	// "ErrInternal-family" handling keeps working.
 	ErrUnreachable = errors.New("participant unreachable")
+	// ErrStaleRead means a read-only snapshot transaction's timestamp
+	// fell behind a node's version-retention watermark (a recovery
+	// raised it mid-read) more times than the engine's internal
+	// fresh-snapshot retry budget. Retryable: the next attempt takes a
+	// newer snapshot. Only possible under WithMVCC.
+	ErrStaleRead = errors.New("stale snapshot read")
 	// ErrUnknownProc means Execute named a procedure that was never
 	// registered.
 	ErrUnknownProc = errors.New("unknown procedure")
@@ -113,6 +119,8 @@ func (e *AbortError) Is(target error) bool {
 		return e.reason == txn.AbortInternal || e.reason == txn.AbortUnreachable
 	case ErrUnreachable:
 		return e.reason == txn.AbortUnreachable
+	case ErrStaleRead:
+		return e.reason == txn.AbortStaleRead
 	}
 	return false
 }
@@ -133,11 +141,12 @@ func abortError(ctx context.Context, proc string, res txn.Result) error {
 
 // Retryable reports whether the error is a transient condition that a
 // retry with backoff may resolve: a NO_WAIT lock denial, an OCC
-// validation failure, or an unreachable participant (the transaction
-// released everything before aborting; the network may heal). Plain
-// internal errors, constraint violations, missing records, unknown
-// procedures, and cancellations are not retryable.
+// validation failure, an unreachable participant (the transaction
+// released everything before aborting; the network may heal), or a
+// stale snapshot read (the next attempt takes a fresher snapshot).
+// Plain internal errors, constraint violations, missing records,
+// unknown procedures, and cancellations are not retryable.
 func Retryable(err error) bool {
 	return errors.Is(err, ErrLockConflict) || errors.Is(err, ErrValidation) ||
-		errors.Is(err, ErrUnreachable)
+		errors.Is(err, ErrUnreachable) || errors.Is(err, ErrStaleRead)
 }

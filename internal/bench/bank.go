@@ -32,6 +32,15 @@ type Bank struct {
 	// celebrity account cluster-wide instead of each partition's own —
 	// the single-hot-record worst case used by the latency ablation.
 	GlobalCelebrity bool
+	// ReadOnlyProb is the probability a transaction is a three-account
+	// audit instead of a transfer — the knob behind the read-heavy MVCC
+	// sweep (0 keeps the workload pure transfers).
+	ReadOnlyProb float64
+	// SnapshotReads emits the audits as the ReadOnly-declared variant
+	// (BankSnapAuditProc), which a WithMVCC/ClusterConfig.MVCC cluster
+	// executes on the lock-free snapshot path. Off, audits take locks
+	// like any other transaction.
+	SnapshotReads bool
 	// Amount transferred per transaction (fixed, so conservation checks
 	// are trivial).
 	Amount int64
@@ -61,6 +70,12 @@ const BankTransferProc = "bank.transfer"
 // BankAuditProc is the registered name of the read-only audit procedure.
 const BankAuditProc = "bank.audit"
 
+// BankSnapAuditProc is the audit with the ReadOnly declaration: same
+// three reads, but an MVCC cluster runs it on the snapshot path (no
+// locks, no lane scheduling, no aborts). Registered alongside
+// BankAuditProc so one deployment can A/B the two.
+const BankSnapAuditProc = "bank.saudit"
+
 // transfer args: [0]=src key, [1]=dst key, [2]=amount.
 func bankTransferProcedure(allowOverdraft bool) *txn.Procedure {
 	srcKey := func(args txn.Args, _ txn.ReadSet) (storage.Key, bool) {
@@ -89,14 +104,15 @@ func bankTransferProcedure(allowOverdraft bool) *txn.Procedure {
 }
 
 // audit args: [0..2] = three account keys; result = their balances.
-func bankAuditProcedure() *txn.Procedure {
+func bankAuditProcedure(name string, readOnly bool) *txn.Procedure {
 	keyAt := func(i int) txn.KeyFunc {
 		return func(args txn.Args, _ txn.ReadSet) (storage.Key, bool) {
 			return storage.Key(args[i]), true
 		}
 	}
 	return &txn.Procedure{
-		Name: BankAuditProc,
+		Name:     name,
+		ReadOnly: readOnly,
 		Ops: []txn.OpSpec{
 			{ID: 0, Type: txn.OpRead, Table: BankTable, Key: keyAt(0)},
 			{ID: 1, Type: txn.OpRead, Table: BankTable, Key: keyAt(1)},
@@ -119,7 +135,10 @@ func SetupBank(c *Cluster, b *Bank, allowOverdraft bool) error {
 	if err := c.Registry.Register(bankTransferProcedure(allowOverdraft)); err != nil {
 		return err
 	}
-	if err := c.Registry.Register(bankAuditProcedure()); err != nil {
+	if err := c.Registry.Register(bankAuditProcedure(BankAuditProc, false)); err != nil {
+		return err
+	}
+	if err := c.Registry.Register(bankAuditProcedure(BankSnapAuditProc, true)); err != nil {
 		return err
 	}
 	c.CreateTable(BankTable, 4096)
@@ -137,9 +156,14 @@ func (b *Bank) CelebrityKey(p int) storage.Key {
 	return storage.Key(p * b.AccountsPerPartition)
 }
 
-// Next implements Workload: a transfer from a local account (possibly
-// the celebrity) to a random other account, remote with RemoteProb.
+// Next implements Workload: with ReadOnlyProb a three-account audit
+// (snapshot variant when SnapshotReads), otherwise a transfer from a
+// local account (possibly the celebrity) to a random other account,
+// remote with RemoteProb.
 func (b *Bank) Next(part int, rng *rand.Rand) *txn.Request {
+	if b.ReadOnlyProb > 0 && rng.Float64() < b.ReadOnlyProb {
+		return b.nextAudit(part, rng)
+	}
 	app := b.AccountsPerPartition
 	var src int
 	if b.HotProb > 0 && rng.Float64() < b.HotProb {
@@ -166,6 +190,53 @@ func (b *Bank) Next(part int, rng *rand.Rand) *txn.Request {
 		Proc: BankTransferProc,
 		Args: txn.Args{int64(src), int64(dst), b.Amount},
 	}
+}
+
+// nextAudit draws a three-account audit: the partition's celebrity with
+// HotProb (audits race the transfer traffic on the same hot keys), the
+// rest uniform, each remote with RemoteProb, all distinct.
+func (b *Bank) nextAudit(part int, rng *rand.Rand) *txn.Request {
+	app := b.AccountsPerPartition
+	total := app * b.Partitions
+	args := make(txn.Args, 0, 3)
+	used := make(map[int]bool, 3)
+	pick := func(hot bool) int {
+		for {
+			p := part
+			if b.RemoteProb > 0 && b.Partitions > 1 && rng.Float64() < b.RemoteProb {
+				p = rng.Intn(b.Partitions)
+			}
+			var k int
+			if hot {
+				k = p * app
+				if b.GlobalCelebrity {
+					k = 0
+				}
+			} else {
+				k = p*app + rng.Intn(app)
+			}
+			if !used[k] {
+				used[k] = true
+				return k
+			}
+			hot = false // celebrity taken: fall back to a cold account
+			if len(used) >= total {
+				return (k + 1) % total
+			}
+		}
+	}
+	hotIdx := -1
+	if b.HotProb > 0 && rng.Float64() < b.HotProb {
+		hotIdx = rng.Intn(3)
+	}
+	for i := 0; i < 3; i++ {
+		args = append(args, int64(pick(i == hotIdx)))
+	}
+	proc := BankAuditProc
+	if b.SnapshotReads {
+		proc = BankSnapAuditProc
+	}
+	return &txn.Request{Proc: proc, Args: args}
 }
 
 // TotalBalance sums every account's balance across primary stores — the

@@ -91,6 +91,13 @@ type ClusterConfig struct {
 	// WALPolicy tunes group commit and snapshotting when WALDir is set;
 	// the zero value takes wal.Open's defaults.
 	WALPolicy wal.Policy
+	// MVCC attaches a cluster-shared commit clock to every node and
+	// switches the stores to versioned records: commit-point applies are
+	// stamped with clock timestamps and read-only procedures execute on
+	// the lock-free snapshot path. Works over both transports — bench
+	// clusters keep all nodes in one process even over loopback TCP, so
+	// the clock is shared directly.
+	MVCC bool
 }
 
 // DefaultLanes derives the per-node lane count from the host CPU count
@@ -111,6 +118,8 @@ type Cluster struct {
 	Registry *txn.Registry
 	Nodes    []*server.Node
 	Sampler  *stats.Sampler // shared global sampler (nil if disabled)
+	// Clock is the cluster-shared commit clock (nil unless Cfg.MVCC).
+	Clock *storage.Clock
 
 	fabrics []*tcpnet.Fabric // per-node TCP fabrics (TransportTCP only)
 	wals    []*wal.Log       // per-node write-ahead logs (WALDir only)
@@ -146,6 +155,9 @@ func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
 	}
 	if cfg.SampleRate > 0 {
 		c.Sampler = stats.NewSampler(cfg.SampleRate, cfg.Seed+1)
+	}
+	if cfg.MVCC {
+		c.Clock = storage.NewClock()
 	}
 
 	// Endpoints: one simnet endpoint per node, or — over TransportTCP —
@@ -203,6 +215,9 @@ func NewCluster(cfg ClusterConfig, def cluster.DefaultPartitioner) *Cluster {
 			}
 			c.wals = append(c.wals, l)
 			node.SetWAL(l)
+		}
+		if c.Clock != nil {
+			node.SetClock(c.Clock)
 		}
 		occ.RegisterVerbs(node)
 		core.RegisterVerbs(node)
@@ -349,7 +364,17 @@ func (c *Cluster) RecoverNode(i int) error {
 	if err != nil {
 		return err
 	}
-	return server.RecoverStore(c.Nodes[i].Store(), rec)
+	maxTS, err := server.RecoverStore(c.Nodes[i].Store(), rec)
+	if err != nil {
+		return err
+	}
+	if c.Clock != nil {
+		// Future commits must stamp past everything the replayed log
+		// already installed, or the recovered chains would go non-
+		// monotonic.
+		c.Clock.AdvanceTo(maxTS)
+	}
+	return nil
 }
 
 // CreateTable creates the table on every node (primaries and replicas

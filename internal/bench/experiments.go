@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"github.com/chillerdb/chiller/internal/cluster"
@@ -11,6 +12,7 @@ import (
 	"github.com/chillerdb/chiller/internal/partition/schism"
 	"github.com/chillerdb/chiller/internal/stats"
 	"github.com/chillerdb/chiller/internal/storage"
+	"github.com/chillerdb/chiller/internal/wal"
 	"github.com/chillerdb/chiller/internal/workload/instacart"
 	"github.com/chillerdb/chiller/internal/workload/tpcc"
 )
@@ -46,6 +48,16 @@ type Options struct {
 	Customers      int
 	Items          int
 	MaxConcurrency int // Figure 9 sweeps 1..MaxConcurrency
+
+	// FsyncPolicies selects the WAL durability variants the fsync sweep
+	// (Figure10Fsync) compares, from FsyncNone, FsyncNoSync, FsyncSync.
+	// Empty runs all three.
+	FsyncPolicies []string
+
+	// walDir/walPolicy attach a write-ahead log to clusters built by
+	// SetupTPCC. Internal: Figure10Fsync sets them per measurement.
+	walDir    string
+	walPolicy wal.Policy
 }
 
 // DefaultOptions returns a configuration that completes each figure in
@@ -254,6 +266,8 @@ func SetupTPCC(opt Options, cfg tpcc.Config) (*TPCCDeployment, error) {
 		Seed:         opt.Seed,
 		Lanes:        opt.laneCount(),
 		VerbBatching: opt.VerbBatching,
+		WALDir:       opt.walDir,
+		WALPolicy:    opt.walPolicy,
 	}, tpcc.Partitioner(cfg.Warehouses, cfg.Partitions))
 	if err := tpcc.RegisterAll(c.Registry); err != nil {
 		c.Close()
@@ -434,6 +448,168 @@ func Figure10(opt Options) (*Figure, error) {
 			fig.Add(label, float64(pct), m.Throughput())
 			fig.AddAborts(label, m)
 			fig.AddVerbs(label, m)
+		}
+	}
+	return fig, nil
+}
+
+// Figure7ReadHeavy is the MVCC companion sweep: a read-heavy bank
+// workload (85% three-account read-only audits, 15% contended
+// transfers) on the Chiller engine, open-loop window swept on the X
+// axis, with the audits executed both ways — on the locking path
+// ("locking reads") and as ReadOnly snapshot transactions on an MVCC
+// cluster ("MVCC snapshot reads"). The expected shape: the snapshot
+// series pulls away as the window widens (snapshot reads take no locks,
+// never abort, and resolve replica-locally with zero verbs, so they
+// neither queue behind writers nor pay network round trips), while the
+// locking series is capped by lock conflicts against the transfer
+// traffic on the celebrity accounts. The per-series abort and verb
+// profiles in the figure JSON carry the evidence: the snapshot series
+// shows no read aborts and no lock-read verbs for the audits.
+func Figure7ReadHeavy(opt Options) (*Figure, error) {
+	fig := &Figure{
+		Name:         "Figure 7 (read-heavy)",
+		Title:        "Read-heavy throughput: MVCC snapshot reads vs locking reads",
+		XLabel:       "outstanding txns per client",
+		YLabel:       "txns/sec",
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
+	}
+	for _, outstanding := range []int{1, 2, 4, 8} {
+		for _, mvcc := range []bool{false, true} {
+			m, err := runReadHeavy(opt, 4, outstanding, mvcc)
+			if err != nil {
+				return nil, err
+			}
+			label := "locking reads"
+			if mvcc {
+				label = "MVCC snapshot reads"
+			}
+			fig.Add(label, float64(outstanding), m.Throughput())
+			fig.AddAborts(label, m)
+			fig.AddVerbs(label, m)
+		}
+	}
+	return fig, nil
+}
+
+// runReadHeavy runs one read-heavy bank measurement; mvcc selects both
+// the cluster's versioned stores and the ReadOnly audit variant.
+func runReadHeavy(opt Options, parts, outstanding int, mvcc bool) (*Metrics, error) {
+	const accounts = 400
+	b := &Bank{
+		AccountsPerPartition: accounts,
+		HotProb:              0.6,
+		RemoteProb:           0.5,
+		ReadOnlyProb:         0.85,
+		SnapshotReads:        mvcc,
+	}
+	def := cluster.RangePartitioner{
+		N:      parts,
+		MaxKey: map[storage.TableID]storage.Key{BankTable: storage.Key(parts * accounts)},
+	}
+	c := NewCluster(ClusterConfig{
+		Partitions:   parts,
+		Replication:  opt.Replication,
+		Latency:      opt.Latency,
+		Seed:         opt.Seed,
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
+		MVCC:         mvcc,
+	}, def)
+	if err := SetupBank(c, b, true); err != nil {
+		c.Close()
+		return nil, err
+	}
+	b.MarkCelebritiesHot(c)
+	m := c.Run(b, RunConfig{
+		Engine:         EngineChiller,
+		Concurrency:    opt.Concurrency,
+		Duration:       opt.Duration,
+		Retry:          true,
+		WarmupFraction: 0.25,
+		Seed:           opt.Seed,
+		Outstanding:    outstanding,
+	})
+	c.Close()
+	return m, nil
+}
+
+// Fsync policy names for the Figure 10 durability sweep.
+const (
+	// FsyncNone runs without a WAL — the pre-durability baseline.
+	FsyncNone = "none"
+	// FsyncNoSync logs every commit with group-committed writes but
+	// skips the fsync syscall (survives process death, not power loss).
+	FsyncNoSync = "nosync"
+	// FsyncSync is the full policy: acknowledged commits wait for their
+	// batch's fsync.
+	FsyncSync = "sync"
+)
+
+// Figure10Fsync is the durability A/B over the Figure 10 shape: the
+// NewOrder+Payment 50/50 mix on the Chiller engine as the distributed
+// fraction sweeps, one series per WAL fsync policy. What it shows: how
+// much of the paper's throughput survives real durability, and that the
+// cost is a near-constant factor (group commit amortizes the fsync
+// across the batch) rather than growing with the distributed fraction —
+// the WAL appends ride the async commit tails, off the contention span.
+func Figure10Fsync(opt Options) (*Figure, error) {
+	fig := &Figure{
+		Name:         "Figure 10 (fsync)",
+		Title:        "Durability cost: WAL fsync policy (Chiller, NewOrder+Payment 50/50)",
+		XLabel:       "% distributed txns",
+		YLabel:       "txns/sec",
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
+	}
+	policies := opt.FsyncPolicies
+	if len(policies) == 0 {
+		policies = []string{FsyncNone, FsyncNoSync, FsyncSync}
+	}
+	for _, pol := range policies {
+		switch pol {
+		case FsyncNone, FsyncNoSync, FsyncSync:
+		default:
+			return nil, fmt.Errorf("bench: unknown fsync policy %q (want %s, %s or %s)",
+				pol, FsyncNone, FsyncNoSync, FsyncSync)
+		}
+	}
+	for pct := 0; pct <= 100; pct += 25 {
+		cfg := opt.tpccConfig()
+		cfg.NewOrderPct, cfg.PaymentPct = 50, 50
+		cfg.OrderStatusPct, cfg.DeliveryPct, cfg.StockLevelPct = 0, 0, 0
+		cfg.TxnLevelRemote = true
+		cfg.TxnRemoteProb = float64(pct) / 100
+		for _, pol := range policies {
+			wopt := opt
+			if pol != FsyncNone {
+				dir, err := os.MkdirTemp("", "chiller-fsync-")
+				if err != nil {
+					return nil, err
+				}
+				wopt.walDir = dir
+				wopt.walPolicy = wal.Policy{NoSync: pol == FsyncNoSync}
+			}
+			dep, err := SetupTPCC(wopt, cfg)
+			if err != nil {
+				return nil, err
+			}
+			m := dep.Cluster.Run(dep.W, RunConfig{
+				Engine:         EngineChiller,
+				Concurrency:    5,
+				Duration:       opt.Duration,
+				Retry:          true,
+				WarmupFraction: 0.25,
+				Seed:           opt.Seed,
+			})
+			dep.Cluster.Close()
+			if wopt.walDir != "" {
+				os.RemoveAll(wopt.walDir)
+			}
+			fig.Add(pol, float64(pct), m.Throughput())
+			fig.AddAborts(pol, m)
+			fig.AddVerbs(pol, m)
 		}
 	}
 	return fig, nil

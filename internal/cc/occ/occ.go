@@ -277,6 +277,15 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 	if proc == nil {
 		return txn.Result{Reason: txn.AbortInternal}
 	}
+	if proc.ReadOnly && n.Clock() != nil {
+		// MVCC snapshot path: lock-free, validation-free, zero verbs for
+		// replica-local partitions.
+		res, err := n.RunSnapshot(ctx, *req, false)
+		if err != nil {
+			return txn.Result{Reason: txn.AbortInternal, Detail: err.Error()}
+		}
+		return *res
+	}
 	txnID := req.ID
 	if txnID == 0 {
 		txnID = n.NextTxnID()
@@ -406,6 +415,19 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 		return txn.Result{Reason: reason, Distributed: distributed}
 	}
 
+	// Commit point: validation held, so the apply cannot fail. Reserve
+	// the commit timestamp under the validated write locks (per-key ts
+	// order = lock order); every apply below is stamped with it and the
+	// deferred Release — after every participant commit has gathered —
+	// lets snapshots include it. The abort paths below apply nothing
+	// (a failed relay streams to no replica), so their release just
+	// retires an unused timestamp.
+	var ts uint64
+	if c := n.Clock(); c != nil {
+		ts = c.Reserve()
+		defer c.Release(ts)
+	}
+
 	// --- commit: replicate then apply+release at each write participant ---
 	// One overlapped scatter (the relays run concurrently; Wait joins
 	// every replica ack) — serializing the per-partition relays would
@@ -413,7 +435,7 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 	// partition. A replication failure aborts cleanly (nothing applied
 	// yet; every participant rolls back), so a transient fault there is
 	// retryable — the same classification twopl gives this stage.
-	if err := n.ReplicateAsync(txnID, writes).Wait(); err != nil {
+	if err := n.ReplicateAsync(txnID, ts, writes).Wait(); err != nil {
 		n.AbortAll(lockedNodes, txnID)
 		return txn.Result{Reason: server.TransportAbortReason(err), Detail: err.Error(), Distributed: distributed}
 	}
@@ -427,7 +449,7 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 		commitBy[t] = append(commitBy[t], ws...)
 	}
 	for target, ws := range commitBy {
-		if err := n.CommitAt(target, txnID, ws); err != nil {
+		if err := n.CommitAt(target, txnID, ts, ws); err != nil {
 			return txn.Result{Reason: txn.AbortInternal, Detail: err.Error(), Distributed: distributed}
 		}
 	}

@@ -49,6 +49,15 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 	if proc == nil {
 		return txn.Result{Reason: txn.AbortInternal}
 	}
+	if proc.ReadOnly && e.node.Clock() != nil {
+		// MVCC snapshot path: lock-free, conflict-abort-free, zero verbs
+		// for replica-local partitions.
+		res, err := e.node.RunSnapshot(ctx, *req, false)
+		if err != nil {
+			return txn.Result{Reason: txn.AbortInternal, Detail: err.Error()}
+		}
+		return *res
+	}
 	order := make([]int, len(proc.Ops))
 	for i := range order {
 		order[i] = i
@@ -107,11 +116,25 @@ func (e *Engine) RunOrdered(ctx context.Context, req *txn.Request, proc *txn.Pro
 		idx += len(batch)
 	}
 
-	// All locks held: implicitly prepared. Replicate cold write sets,
-	// then run the commit phase of 2PC, fanned out. A replication
-	// failure aborts cleanly (nothing applied; every participant rolls
-	// back), so a transient fault there is retryable.
-	if err := replicateAll(n, txnID, st.writes); err != nil {
+	// All locks held: implicitly prepared — the commit point. Reserve
+	// the commit timestamp here, under the locks, so per-key timestamp
+	// order equals lock order; every apply below (replica streams,
+	// participant commits) is stamped with it. The deferred Release runs
+	// once commitAll has gathered every participant — all applies have
+	// landed cluster-wide, so snapshots may now include this timestamp.
+	// Abort paths after the reserve apply nothing anywhere (a failed
+	// replication relay streams to no replica), so releasing there just
+	// lets the stable watermark move past an unused timestamp.
+	var ts uint64
+	if c := n.Clock(); c != nil {
+		ts = c.Reserve()
+		defer c.Release(ts)
+	}
+	// Replicate cold write sets, then run the commit phase of 2PC,
+	// fanned out. A replication failure aborts cleanly (nothing applied;
+	// every participant rolls back), so a transient fault there is
+	// retryable.
+	if err := replicateAll(n, txnID, ts, st.writes); err != nil {
 		n.AbortAll(st.participants, txnID)
 		return txn.Result{
 			Reason:      server.TransportAbortReason(err),
@@ -119,7 +142,7 @@ func (e *Engine) RunOrdered(ctx context.Context, req *txn.Request, proc *txn.Pro
 			Distributed: st.distributed(),
 		}
 	}
-	if err := commitAll(n, txnID, &st); err != nil {
+	if err := commitAll(n, txnID, ts, &st); err != nil {
 		// Post-prepare commit delivery failed: participants that did not
 		// hear the commit keep their locks; surface as internal (never
 		// retryable — the transaction's locks may be wedged).
@@ -242,7 +265,7 @@ func (st *execState) absorb(proc *txn.Procedure, args txn.Args, batch []server.L
 
 // replicateAll ships each partition's write set to its replicas in
 // parallel and waits for every acknowledgement.
-func replicateAll(n *server.Node, txnID uint64, writes map[cluster.PartitionID][]server.WriteOp) error {
+func replicateAll(n *server.Node, txnID, ts uint64, writes map[cluster.PartitionID][]server.WriteOp) error {
 	if len(writes) == 0 {
 		return nil
 	}
@@ -252,7 +275,7 @@ func replicateAll(n *server.Node, txnID uint64, writes map[cluster.PartitionID][
 		wg.Add(1)
 		go func(pid cluster.PartitionID, ws []server.WriteOp) {
 			defer wg.Done()
-			if err := n.Replicate(pid, txnID, ws); err != nil {
+			if err := n.Replicate(pid, txnID, ts, ws); err != nil {
 				errs <- err
 			}
 		}(pid, ws)
@@ -267,7 +290,7 @@ func replicateAll(n *server.Node, txnID uint64, writes map[cluster.PartitionID][
 // currently primary for — one partition almost always, several right
 // after a replica promotion (keying by a single partition would drop
 // the adopted partition's writes at the shared primary).
-func commitAll(n *server.Node, txnID uint64, st *execState) error {
+func commitAll(n *server.Node, txnID, ts uint64, st *execState) error {
 	topo := n.Directory().Topology()
 	byNode := make(map[transport.NodeID][]server.WriteOp, len(st.participants))
 	for pid, ws := range st.writes {
@@ -276,7 +299,7 @@ func commitAll(n *server.Node, txnID uint64, st *execState) error {
 	}
 	pending := make([]*server.PendingCommit, 0, len(st.participants))
 	for target := range st.participants {
-		pending = append(pending, n.CommitAsync(target, txnID, byNode[target]))
+		pending = append(pending, n.CommitAsync(target, txnID, ts, byNode[target]))
 	}
 	var firstErr error
 	for _, pc := range pending {

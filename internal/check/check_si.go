@@ -1,0 +1,177 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/chillerdb/chiller/internal/history"
+)
+
+// Snapshot-isolation certification for MVCC histories.
+//
+// Under WithMVCC the workload splits in two: writing transactions keep
+// executing on the locking protocol and must stay serializable, while
+// read-only transactions execute on the lock-free snapshot path, whose
+// contract is snapshot isolation — every read-only transaction observes
+// one transactionally consistent committed prefix. The certifier
+// enforces exactly that split:
+//
+//  1. The writing transactions alone are run through the black-box
+//     serializability checker (Histories). Any violation there is an
+//     engine bug independent of MVCC and is reported as-is.
+//  2. The full history — writers plus committed read-only transactions
+//     — is then checked. With the writers already certified
+//     serializable, every NEW violation is attributable to the
+//     snapshot reads, and the certifier renames it to the SI anomaly
+//     it witnesses:
+//
+//     - A dependency cycle threading TWO OR MORE read-only
+//       transactions is a long fork: two snapshots observed two
+//       incompatible orders of independent writers (reader A saw x
+//       new/y old, reader B saw x old/y new), which SI forbids —
+//       all snapshots must order commits along one timeline.
+//     - A cycle threading exactly ONE read-only transaction is a
+//       fractured read: a single snapshot straddled a committed
+//       transaction, seeing some of its writes and missing others
+//       (atomic visibility violated).
+//     - A read of a value no committed transaction wrote is an
+//       aborted read (SI snapshots contain committed data only).
+//
+// The classification is for diagnosis; any violation fails the cell.
+// Lost updates among writers are already rejected by step 1 — the
+// read-only path cannot cause them (it writes nothing).
+
+// SI-specific violation codes (reader-attributable anomalies found in
+// step 2; writer-only violations keep their check.go codes).
+const (
+	// ViolationLongFork: two or more snapshot reads observed
+	// incompatible serialization orders of independent writers.
+	ViolationLongFork = "long-fork"
+	// ViolationFracturedRead: one snapshot observed part of a committed
+	// transaction's writes (non-atomic visibility).
+	ViolationFracturedRead = "fractured-read"
+	// ViolationAbortedRead: a snapshot read returned a value no
+	// committed transaction wrote.
+	ViolationAbortedRead = "aborted-read"
+)
+
+// SIReport is the snapshot-isolation certifier's outcome.
+type SIReport struct {
+	// WriterReport is the serializability verdict over the writing
+	// transactions alone (read-only transactions excluded).
+	WriterReport *Report
+	// Readers counts the committed read-only transactions certified.
+	Readers int
+	// Violations lists the reader-attributable SI anomalies (empty iff
+	// the snapshot reads certify). Writer-only violations live in
+	// WriterReport.
+	Violations []Violation
+	// Cycle is the minimal witness when a long fork or fractured read
+	// was found.
+	Cycle []Edge
+}
+
+// OK reports whether writers certified serializable and snapshot reads
+// certified SI.
+func (r *SIReport) OK() bool {
+	return r.WriterReport.Serializable() && len(r.Violations) == 0
+}
+
+// Err returns nil for a clean history, or an error naming the anomaly.
+func (r *SIReport) Err() error {
+	if err := r.WriterReport.Err(); err != nil {
+		return fmt.Errorf("check: writers not serializable: %w", err)
+	}
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: snapshot reads not SI: %d violation(s):", len(r.Violations))
+	for i, v := range r.Violations {
+		if i >= 5 {
+			fmt.Fprintf(&b, " ... (%d more)", len(r.Violations)-i)
+			break
+		}
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	for _, e := range r.Cycle {
+		b.WriteString("\n    ")
+		b.WriteString(e.String())
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// SnapshotIsolation certifies an MVCC history: serializability for the
+// writing transactions, snapshot isolation for the read-only ones. It
+// never mutates txns.
+func SnapshotIsolation(txns []history.Txn, opts Options) *SIReport {
+	readOnly := make(map[uint64]bool)
+	writers := make([]history.Txn, 0, len(txns))
+	rep := &SIReport{}
+	for i := range txns {
+		t := &txns[i]
+		if t.ReadOnly {
+			if t.Committed {
+				readOnly[t.Seq] = true
+				rep.Readers++
+			}
+			// Aborted read-only attempts install nothing and observed
+			// nothing the committed history must honor; they carry no
+			// recorded reads either way.
+			continue
+		}
+		writers = append(writers, *t)
+	}
+
+	// Step 1: writers alone must be serializable. If they are not, the
+	// engine is broken beneath the snapshot layer; classifying reader
+	// anomalies on top of a broken write history would be noise.
+	rep.WriterReport = Histories(writers, opts)
+	if !rep.WriterReport.Serializable() {
+		return rep
+	}
+	if rep.Readers == 0 {
+		return rep
+	}
+
+	// Step 2: the full history, readers joined in. Histories derives the
+	// readers' WR edges (writer → reader on each version read) and RW
+	// anti-dependency edges (reader → the writer that overwrote a read
+	// version); with the writers certified acyclic, any violation below
+	// is reader-attributable.
+	full := Histories(txns, opts)
+	for _, v := range full.Violations {
+		switch v.Code {
+		case ViolationCycle:
+			nReaders := 0
+			for _, seq := range v.Txns {
+				if readOnly[seq] {
+					nReaders++
+				}
+			}
+			code, msg := ViolationFracturedRead,
+				"a snapshot observed part of a committed transaction's writes (atomic visibility violated)"
+			if nReaders >= 2 {
+				code, msg = ViolationLongFork,
+					"snapshot reads observed incompatible serialization orders of independent writers"
+			}
+			rep.Violations = append(rep.Violations, Violation{
+				Code: code, On: v.On, Txns: v.Txns, Msg: msg,
+			})
+			rep.Cycle = full.Cycle
+		case ViolationDirtyRead:
+			rep.Violations = append(rep.Violations, Violation{
+				Code: ViolationAbortedRead, On: v.On, Txns: v.Txns,
+				Msg: "snapshot read returned a value no committed transaction wrote",
+			})
+		default:
+			// Reconstruction-level violations (two-initials, untraceable,
+			// ...) that only appear once readers join: surface verbatim —
+			// they still mean the snapshot reads observed impossible
+			// values.
+			rep.Violations = append(rep.Violations, v)
+		}
+	}
+	return rep
+}

@@ -85,6 +85,16 @@ type Config struct {
 	// Faults is the fault schedule; nil runs a reliable fabric.
 	Faults *Faults
 
+	// MVCC runs the cell with versioned stores and a cluster commit
+	// clock: the workload's read-only slice switches to ProcSRO (the
+	// snapshot path — no locks, no lane scheduling), and certification
+	// splits per the MVCC contract — the writing transactions must stay
+	// serializable, the snapshot reads must observe snapshot isolation
+	// (Result.SI). Works over both transports: the bench cluster keeps
+	// every node in one process, so the clock is shareable even when the
+	// verbs cross loopback TCP.
+	MVCC bool
+
 	// Crash enables the crash-restart schedule: every node gets a
 	// write-ahead log, and between two workload phases a seeded-random
 	// node is crashed (its links cut), its volatile store wiped, the
@@ -148,8 +158,13 @@ func (cfg *Config) defaults() {
 type Result struct {
 	// Recorder holds the full history (for artifacts on failure).
 	Recorder *history.Recorder
-	// Report is the checker's verdict over the history.
+	// Report is the checker's verdict over the history. On an MVCC cell
+	// this is the writers-only serializability verdict (SI.WriterReport);
+	// the snapshot reads are certified separately in SI.
 	Report *Report
+	// SI is the snapshot-isolation verdict over the full history
+	// (writers + snapshot readers); nil unless Config.MVCC.
+	SI *SIReport
 	// Committed and Aborted count transaction attempts; GaveUp counts
 	// client slots that exhausted their retry budget (0 on a healthy
 	// run — fault windows heal well inside the budget).
@@ -171,7 +186,13 @@ type Result struct {
 // Err folds every end-of-run assertion into one error: the history must
 // check serializable, replicas must converge, and no lock may leak.
 func (r *Result) Err() error {
-	if err := r.Report.Err(); err != nil {
+	if r.SI != nil {
+		// SI.Err covers both halves of the MVCC contract: writers
+		// serializable, snapshot reads SI.
+		if err := r.SI.Err(); err != nil {
+			return err
+		}
+	} else if err := r.Report.Err(); err != nil {
 		return err
 	}
 	if r.LostCommits != 0 {
@@ -243,6 +264,7 @@ func Run(cfg Config) (*Result, error) {
 		Seed:         cfg.Seed,
 		Lanes:        cfg.Lanes,
 		VerbBatching: cfg.VerbBatching,
+		MVCC:         cfg.MVCC,
 		Faults:       plan,
 		WALDir:       walDir,
 		WALPolicy:    walPolicy,
@@ -260,10 +282,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	gen := &Generator{
-		Partitions: cfg.Partitions,
-		Keys:       cfg.Keys,
-		HotProb:    0.6,
-		RemoteProb: 0.5,
+		Partitions:    cfg.Partitions,
+		Keys:          cfg.Keys,
+		HotProb:       0.6,
+		RemoteProb:    0.5,
+		SnapshotReads: cfg.MVCC,
 	}
 	// Mark each partition's celebrity hot so Chiller exercises the
 	// two-region path (ignored by 2PL/OCC).
@@ -420,7 +443,12 @@ func Run(cfg Config) (*Result, error) {
 		LostCommits:       lost,
 		CrashedNode:       crashed,
 	}
-	res.Report = Histories(rec.Txns(), Options{IsInitial: IsInitialVal})
+	if cfg.MVCC {
+		res.SI = SnapshotIsolation(rec.Txns(), Options{IsInitial: IsInitialVal})
+		res.Report = res.SI.WriterReport
+	} else {
+		res.Report = Histories(rec.Txns(), Options{IsInitial: IsInitialVal})
+	}
 	return res, nil
 }
 

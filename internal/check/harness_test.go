@@ -21,6 +21,7 @@ type cell struct {
 	transport string // "" = simnet
 	crash     bool   // crash-restart schedule (WAL recovery between phases)
 	promote   bool   // additionally promote the crashed partition to a replica
+	mvcc      bool   // versioned stores; read-only slice on the snapshot path
 }
 
 func matrixCells() []cell {
@@ -55,6 +56,32 @@ func matrixCells() []cell {
 		cell{name: "crash-occ", engine: bench.EngineOCC, lanes: 2, crash: true},
 		cell{name: "crash-chiller-batched", engine: bench.EngineChiller, batched: true, lanes: 2, crash: true},
 		cell{name: "crash-promote-chiller", engine: bench.EngineChiller, lanes: 1, crash: true, promote: true},
+	)
+	// MVCC cells: versioned stores, shared commit clock, the workload's
+	// read-only slice on the lock-free snapshot path (ProcSRO). The
+	// verdict splits: writers must stay serializable, snapshot reads must
+	// certify snapshot isolation (Result.SI). The crash cell additionally
+	// recovers the victim's version chains from its WAL between phases —
+	// snapshot reads spanning the crash boundary must still certify SI.
+	for _, eng := range []struct {
+		key     string
+		kind    bench.EngineKind
+		batched bool
+	}{
+		{"2pl", bench.Engine2PL, false},
+		{"occ", bench.EngineOCC, false},
+		{"chiller", bench.EngineChiller, true},
+	} {
+		for _, lanes := range []int{1, 4} {
+			cells = append(cells, cell{
+				name:   fmt.Sprintf("mvcc-%s-lanes%d", eng.key, lanes),
+				engine: eng.kind, batched: eng.batched, lanes: lanes, mvcc: true,
+			})
+		}
+	}
+	cells = append(cells,
+		cell{name: "mvcc-tcp-chiller", engine: bench.EngineChiller, batched: true, lanes: 1, transport: bench.TransportTCP, mvcc: true},
+		cell{name: "mvcc-crash-chiller", engine: bench.EngineChiller, batched: true, lanes: 2, crash: true, mvcc: true},
 	)
 	return cells
 }
@@ -113,6 +140,7 @@ func TestCheckerMatrix(t *testing.T) {
 					Faults:       faults,
 					Crash:        c.crash,
 					Promote:      c.promote,
+					MVCC:         c.mvcc,
 				})
 				if err != nil {
 					t.Fatalf("run %d (seed %d): harness: %v", run, seed, err)
@@ -123,6 +151,11 @@ func TestCheckerMatrix(t *testing.T) {
 				if err := res.Err(); err != nil {
 					saveArtifact(t, c.name, seed, res.Recorder)
 					t.Fatalf("run %d (seed %d): %v", run, seed, err)
+				}
+				if c.mvcc && res.SI.Readers == 0 {
+					// A green MVCC cell that never exercised the snapshot
+					// path certified nothing.
+					t.Fatalf("run %d (seed %d): no snapshot reads committed", run, seed)
 				}
 			}
 		})
@@ -139,7 +172,7 @@ func TestCheckerMatrixNoFaults(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			t.Parallel()
-			res, err := Run(Config{Engine: c.engine, VerbBatching: c.batched, Transport: c.transport, Lanes: c.lanes, Seed: seed, Crash: c.crash, Promote: c.promote})
+			res, err := Run(Config{Engine: c.engine, VerbBatching: c.batched, Transport: c.transport, Lanes: c.lanes, Seed: seed, Crash: c.crash, Promote: c.promote, MVCC: c.mvcc})
 			if err != nil {
 				t.Fatalf("harness: %v", err)
 			}

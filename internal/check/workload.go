@@ -58,6 +58,11 @@ const (
 	ProcRMW4 = "chk.rmw4" // update k1..k4
 	ProcMix  = "chk.mix"  // read k1, update k2, update k3
 	ProcRO   = "chk.ro"   // read k1..k3
+	// ProcSRO is the snapshot read: the same three reads as ProcRO but
+	// declared ReadOnly, so on a WithMVCC cluster it executes on the
+	// lock-free snapshot path instead of the locking protocol. MVCC
+	// cells draw it in place of ProcRO (Generator.SnapshotReads).
+	ProcSRO = "chk.sro" // snapshot-read k1..k3
 )
 
 func keyArg(i int) txn.KeyFunc {
@@ -87,6 +92,7 @@ func RegisterProcs(reg *txn.Registry) error {
 		{Name: ProcRMW4, Ops: []txn.OpSpec{updateOp(0, 0, 4), updateOp(1, 1, 4), updateOp(2, 2, 4), updateOp(3, 3, 4)}},
 		{Name: ProcMix, Ops: []txn.OpSpec{readOp(0, 0), updateOp(1, 1, 3), updateOp(2, 2, 3)}},
 		{Name: ProcRO, Ops: []txn.OpSpec{readOp(0, 0), readOp(1, 1), readOp(2, 2)}},
+		{Name: ProcSRO, ReadOnly: true, Ops: []txn.OpSpec{readOp(0, 0), readOp(1, 1), readOp(2, 2)}},
 	}
 	for _, p := range procs {
 		if err := reg.Register(p); err != nil {
@@ -108,6 +114,9 @@ type Generator struct {
 	// RemoteProb is the probability each non-first key lives on a
 	// different partition than the first.
 	RemoteProb float64
+	// SnapshotReads swaps ProcSRO in for ProcRO, so the read-only slice
+	// of the mix runs on the MVCC snapshot path. Set on MVCC cells.
+	SnapshotReads bool
 }
 
 // HotKey returns partition p's hot record.
@@ -128,6 +137,9 @@ func (g *Generator) Next(part int, rng *rand.Rand) *txn.Request {
 		proc, nKeys = ProcMix, 3
 	default:
 		proc, nKeys = ProcRO, 3
+		if g.SnapshotReads {
+			proc = ProcSRO
+		}
 	}
 	used := make(map[int64]bool, nKeys)
 	args := make(txn.Args, 0, nKeys+1)

@@ -199,6 +199,16 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 	if proc == nil {
 		return txn.Result{Reason: txn.AbortInternal}
 	}
+	if proc.ReadOnly && n.Clock() != nil {
+		// MVCC snapshot path: lock-free, conflict-abort-free, zero verbs
+		// for replica-local partitions. Region analysis is moot — a
+		// snapshot read has no contention span to shrink.
+		res, err := n.RunSnapshot(ctx, *req, e.batched)
+		if err != nil {
+			return txn.Result{Reason: txn.AbortInternal, Detail: err.Error()}
+		}
+		return *res
+	}
 	g, err := e.graph(proc)
 	if err != nil {
 		return txn.Result{Reason: txn.AbortInternal}
@@ -331,6 +341,15 @@ func (e *Engine) runTwoRegion(ctx context.Context, req *txn.Request, proc *txn.P
 	for id, v := range iresp.Reads {
 		st.reads[id] = v
 	}
+	// The inner host reserved the transaction's commit timestamp at its
+	// unilateral commit point (under the hot records' bucket locks, so
+	// per-key timestamp order equals lock order) and stamped the inner
+	// stream with it; every outer apply below carries the same stamp, and
+	// the coordinator releases it only after the whole commit wave has
+	// landed cluster-wide — the stable snapshot watermark never includes
+	// a half-applied transaction. Zero when MVCC is off (Release(0) is a
+	// no-op).
+	ts := iresp.TS
 
 	// The transaction is now committed (the inner host decided). The
 	// steps below cannot abort it; a failure here is an engine invariant
@@ -350,9 +369,9 @@ func (e *Engine) runTwoRegion(ctx context.Context, req *txn.Request, proc *txn.P
 	}
 	var repl *server.PendingReplication
 	if e.batched {
-		repl = n.ReplicateDoorbell(txnID, writes)
+		repl = n.ReplicateDoorbell(txnID, ts, writes)
 	} else {
-		repl = n.ReplicateAsync(txnID, writes)
+		repl = n.ReplicateAsync(txnID, ts, writes)
 	}
 
 	// Wait for the inner region's replicas to acknowledge (to us, the
@@ -374,8 +393,13 @@ func (e *Engine) runTwoRegion(ctx context.Context, req *txn.Request, proc *txn.P
 		if err := repl.Wait(); err != nil {
 			panic(fmt.Sprintf("core: outer replication failed after inner commit: %v", err))
 		}
-		if err := n.CommitAll(txnID, targets, writes, e.batched); err != nil {
+		if err := n.CommitAll(txnID, ts, targets, writes, e.batched); err != nil {
 			panic(fmt.Sprintf("core: outer commit failed after inner commit: %v", err))
+		}
+		// Every apply — inner stream, outer replicas, outer primaries —
+		// has landed; snapshots may now advance past this timestamp.
+		if c := n.Clock(); c != nil {
+			c.Release(ts)
 		}
 		n.SampleCommit(st.readRIDs, st.writeRIDs)
 	}

@@ -55,6 +55,11 @@ type innerResponse struct {
 	OK     bool
 	Reason txn.AbortReason
 	Reads  txn.ReadSet
+	// TS is the commit timestamp the inner host reserved at its
+	// unilateral commit point (zero when MVCC is off). The coordinator
+	// stamps every outer apply with it and releases it once the commit
+	// wave has landed cluster-wide.
+	TS uint64
 	// detail is coordinator-local failure context (transport errors on
 	// the delegation RPC); it never travels on the wire.
 	detail string
@@ -64,6 +69,7 @@ func (r *innerResponse) encode() []byte {
 	w := wire.NewWriter(64)
 	w.Bool(r.OK)
 	w.Uint8(uint8(r.Reason))
+	w.Uint64(r.TS)
 	r.Reads.Encode(w)
 	return w.Bytes()
 }
@@ -73,6 +79,7 @@ func decodeInnerResponse(p []byte) (*innerResponse, error) {
 	resp := &innerResponse{}
 	resp.OK = r.Bool()
 	resp.Reason = txn.AbortReason(r.Uint8())
+	resp.TS = r.Uint64()
 	resp.Reads = txn.DecodeReadSet(r)
 	return resp, r.Err()
 }
@@ -478,6 +485,21 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 		}
 	}
 
+	// Reserve the transaction's commit timestamp here — under the inner
+	// region's bucket locks, past the last abortable check — so per-key
+	// timestamp order equals lock order on the hot records. The stamp
+	// covers the inner stream, the local apply, and (carried back in the
+	// response) every outer apply; the coordinator releases it at the end
+	// of its commit tail. The re-request ladder cannot double-reserve: a
+	// lock conflict aborts before this point, and a committed region
+	// (reserved) answers OK, which ends the ladder. The two failure paths
+	// below release immediately — they apply nothing anywhere.
+	var ts uint64
+	clock := n.Clock()
+	if clock != nil {
+		ts = clock.Reserve()
+	}
+
 	// Stream the new values to this partition's replicas without
 	// waiting; replicas acknowledge to the coordinator (Figure 6). The
 	// stream is enqueued *before* the local apply and before the bucket
@@ -492,7 +514,7 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 	// coordinator reports as aborted. The send is a local enqueue and
 	// never waits on the network.
 	if len(writes) > 0 {
-		if sent, err := n.StreamInnerRepl(innerPID, txnID, coord, writes); err != nil {
+		if sent, err := n.StreamInnerRepl(innerPID, txnID, ts, coord, writes); err != nil {
 			if sent > 0 {
 				// A partially-sent stream means some replica will apply a
 				// write set this abort disowns; no compensation exists, so
@@ -502,13 +524,19 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 				panic(fmt.Sprintf("core: inner replication stream partially sent (%d replicas) then failed (txn %d): %v", sent, txnID, err))
 			}
 			release()
+			if clock != nil {
+				clock.Release(ts)
+			}
 			return &innerResponse{Reason: txn.AbortInternal}, nil
 		}
 	}
-	if err := server.ApplyWrites(n.Store(), writes); err != nil {
+	if err := server.ApplyWrites(n.Store(), ts, writes); err != nil {
 		// A write to a locked, verified record cannot legitimately fail;
 		// engine invariant violation.
 		release()
+		if clock != nil {
+			clock.Release(ts)
+		}
 		return &innerResponse{Reason: txn.AbortInternal}, nil
 	}
 	// Append to the lane's WAL while the bucket locks are still held —
@@ -518,7 +546,7 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 	// record is durable, but the wait must happen OFF this lane's
 	// executor (blocking it would cap the lane at one inner region per
 	// fsync batch; see ExecInnerLocal and RegisterVerbs).
-	wait := n.LogWrites(txnID, writes)
+	wait := n.LogWrites(txnID, ts, writes)
 	release()
 	if len(writes) == 0 {
 		// Nothing to replicate: satisfy the coordinator's ack
@@ -528,5 +556,5 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 			_ = n.Endpoint().Send(coord, server.VerbInnerAck, server.EncodeAbort(txnID))
 		}
 	}
-	return &innerResponse{OK: true, Reads: collect}, wait
+	return &innerResponse{OK: true, Reads: collect, TS: ts}, wait
 }

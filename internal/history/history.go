@@ -70,6 +70,11 @@ type Txn struct {
 	Detail string `json:"detail,omitempty"`
 	// Distributed reports whether the transaction spanned partitions.
 	Distributed bool `json:"distributed"`
+	// ReadOnly reports the procedure was declared read-only; under MVCC
+	// such transactions run on the snapshot path and are certified
+	// against snapshot isolation rather than joined into the writers'
+	// serializability check.
+	ReadOnly bool `json:"readonly,omitempty"`
 	// Reads and Writes are empty for aborted attempts: an aborted
 	// transaction installed nothing, and its partial reads are not part
 	// of the committed history.
@@ -120,6 +125,9 @@ func (r *Recorder) Observe(proc *txn.Procedure, req *txn.Request, res *txn.Resul
 		Reason:      res.Reason.String(),
 		Detail:      res.Detail,
 		Distributed: res.Distributed,
+	}
+	if proc != nil {
+		t.ReadOnly = proc.ReadOnly
 	}
 	if res.Committed && proc != nil {
 		t.Reads, t.Writes = replay(proc, req.Args, res.Reads)

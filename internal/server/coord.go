@@ -68,8 +68,8 @@ func (p *PendingLock) Wait() (*LockResponse, error) {
 }
 
 // CommitAt applies writes and releases locks at the target participant.
-func (n *Node) CommitAt(target transport.NodeID, txnID uint64, writes []WriteOp) error {
-	return n.CommitAsync(target, txnID, writes).Wait()
+func (n *Node) CommitAt(target transport.NodeID, txnID, ts uint64, writes []WriteOp) error {
+	return n.CommitAsync(target, txnID, ts, writes).Wait()
 }
 
 // PendingCommit is an in-flight commit started by CommitAsync (used to
@@ -88,16 +88,16 @@ var pendingCommitPool = sync.Pool{New: func() any { return new(PendingCommit) }}
 
 // CommitAsync starts a commit without waiting. A local target commits
 // synchronously before returning (its Wait just reports the outcome).
-func (n *Node) CommitAsync(target transport.NodeID, txnID uint64, writes []WriteOp) *PendingCommit {
+func (n *Node) CommitAsync(target transport.NodeID, txnID, ts uint64, writes []WriteOp) *PendingCommit {
 	p := pendingCommitPool.Get().(*PendingCommit)
 	p.target = target
 	if target == n.ID() {
-		if err := n.CommitLocal(txnID, writes); err != nil {
+		if err := n.CommitLocal(txnID, ts, writes); err != nil {
 			p.err = fmt.Errorf("server: commit at node %d: %w", target, err)
 		}
 		return p
 	}
-	c, err := n.ep.Go(target, VerbCommit, EncodeWrites(txnID, writes))
+	c, err := n.ep.Go(target, VerbCommit, EncodeWrites(txnID, ts, writes))
 	if err != nil {
 		p.err = fmt.Errorf("server: commit at node %d: %w", target, err)
 		return p
@@ -150,12 +150,12 @@ func (n *Node) AbortAll(participants map[transport.NodeID]bool, txnID uint64) {
 // Callers hold the records' locks across this call (replication
 // strictly precedes the commit wave), which is what orders the relay
 // against the partition's inner-region streams.
-func (n *Node) Replicate(pid cluster.PartitionID, txnID uint64, writes []WriteOp) error {
+func (n *Node) Replicate(pid cluster.PartitionID, txnID, ts uint64, writes []WriteOp) error {
 	if len(writes) == 0 {
 		return nil
 	}
 	pr := &PendingReplication{vm: n.vm}
-	n.forwardTo(pr, pid, txnID, writes)
+	n.forwardTo(pr, pid, txnID, ts, writes)
 	return pr.Wait()
 }
 
@@ -189,18 +189,18 @@ type PendingReplication struct {
 // forwardTo starts one partition's replication relay: a direct local
 // relay when this node is the partition's primary, a forward RPC to the
 // primary otherwise.
-func (n *Node) forwardTo(pr *PendingReplication, pid cluster.PartitionID, txnID uint64, ws []WriteOp) {
+func (n *Node) forwardTo(pr *PendingReplication, pid cluster.PartitionID, txnID, ts uint64, ws []WriteOp) {
 	if len(ws) == 0 || len(n.dir.Topology().Replicas(pid)) == 0 {
 		return
 	}
 	primary := n.dir.Topology().Primary(pid)
 	if primary == n.ID() {
 		lf := localFwd{ch: make(chan error, 1), target: primary, start: time.Now()}
-		n.ForwardRepl(pid, ws, func(err error) { lf.ch <- err })
+		n.ForwardRepl(pid, ts, ws, func(err error) { lf.ch <- err })
 		pr.locals = append(pr.locals, lf)
 		return
 	}
-	c, err := n.ep.Go(primary, VerbReplForward, EncodeWrites(txnID, ws))
+	c, err := n.ep.Go(primary, VerbReplForward, EncodeWrites(txnID, ts, ws))
 	if err != nil {
 		pr.errs = append(pr.errs, fmt.Errorf("server: replicate to node %d: %w", primary, err))
 		return
@@ -213,10 +213,10 @@ func (n *Node) forwardTo(pr *PendingReplication, pid cluster.PartitionID, txnID 
 // the replica round trip with other work (Chiller's coordinator runs it
 // under the inner-replica-ack wait) and joins the acks with Wait before
 // releasing any lock.
-func (n *Node) ReplicateAsync(txnID uint64, writes map[cluster.PartitionID][]WriteOp) *PendingReplication {
+func (n *Node) ReplicateAsync(txnID, ts uint64, writes map[cluster.PartitionID][]WriteOp) *PendingReplication {
 	pr := &PendingReplication{vm: n.vm}
 	for pid, ws := range writes {
-		n.forwardTo(pr, pid, txnID, ws)
+		n.forwardTo(pr, pid, txnID, ts, ws)
 	}
 	return pr
 }
@@ -229,8 +229,8 @@ func (n *Node) ReplicateAsync(txnID uint64, writes map[cluster.PartitionID][]Wri
 // scattering. Since the relay targets partition primaries (typically
 // one or two nodes whose write sets were already coalesced per
 // partition), the scalar forward path is the batched path.
-func (n *Node) ReplicateDoorbell(txnID uint64, writes map[cluster.PartitionID][]WriteOp) *PendingReplication {
-	return n.ReplicateAsync(txnID, writes)
+func (n *Node) ReplicateDoorbell(txnID, ts uint64, writes map[cluster.PartitionID][]WriteOp) *PendingReplication {
+	return n.ReplicateAsync(txnID, ts, writes)
 }
 
 // Empty reports whether the fan-out has nothing in flight and no errors.
@@ -281,7 +281,7 @@ type CommitTarget struct {
 // after a replica promotion (the targets' PID labels record only the
 // first partition that routed to each node, so keying the write set by
 // that single PID would drop the adopted partition's writes).
-func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluster.PartitionID][]WriteOp, batched bool) error {
+func (n *Node) CommitAll(txnID, ts uint64, targets []CommitTarget, writes map[cluster.PartitionID][]WriteOp, batched bool) error {
 	byNode := make(map[transport.NodeID][]WriteOp, len(targets))
 	for pid, ws := range writes {
 		t := n.dir.Topology().Primary(pid)
@@ -298,11 +298,11 @@ func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluste
 		}
 		if batched {
 			d := n.NewDoorbell(t.Node)
-			d.PostCommit(txnID, byNode[t.Node])
+			d.PostCommit(txnID, ts, byNode[t.Node])
 			doorbells = append(doorbells, d.Ring())
 			continue
 		}
-		c, err := n.ep.Go(t.Node, VerbCommit, EncodeWrites(txnID, byNode[t.Node]))
+		c, err := n.ep.Go(t.Node, VerbCommit, EncodeWrites(txnID, ts, byNode[t.Node]))
 		if err != nil {
 			errs = append(errs, fmt.Errorf("server: commit at node %d: %w", t.Node, err))
 			continue
@@ -312,7 +312,7 @@ func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluste
 		pending = append(pending, p)
 	}
 	if local {
-		if err := n.CommitLocal(txnID, byNode[n.ID()]); err != nil {
+		if err := n.CommitLocal(txnID, ts, byNode[n.ID()]); err != nil {
 			errs = append(errs, fmt.Errorf("server: commit at node %d: %w", n.ID(), err))
 		}
 	}
@@ -352,12 +352,12 @@ func (n *Node) CommitAll(txnID uint64, targets []CommitTarget, writes map[cluste
 // callers abort cleanly only when sent == 0 (nothing reached any
 // replica); a partial stream has no compensation path and is an engine
 // invariant violation.
-func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID uint64, coordinator transport.NodeID, writes []WriteOp) (sent int, err error) {
+func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID, ts uint64, coordinator transport.NodeID, writes []WriteOp) (sent int, err error) {
 	replicas := n.dir.Topology().Replicas(pid)
 	if len(replicas) == 0 {
 		return 0, nil
 	}
-	payload := EncodeInnerRepl(txnID, coordinator, writes)
+	payload := EncodeInnerRepl(txnID, ts, coordinator, writes)
 	for _, r := range replicas {
 		if err := n.ep.Send(r, VerbInnerRepl, payload); err != nil {
 			return sent, fmt.Errorf("server: inner repl to node %d: %w", r, err)

@@ -50,7 +50,7 @@ type Doorbell struct {
 
 // doorbellKinds indexes the kind counters a doorbell tracks for metric
 // attribution (the batchable verb set).
-var doorbellKinds = [...]string{KindLockRead, KindCommit, KindReplApply, KindAbort}
+var doorbellKinds = [...]string{KindLockRead, KindCommit, KindReplApply, KindAbort, KindSnapRead}
 
 func doorbellKindIndex(verb string) int {
 	switch verb {
@@ -62,6 +62,8 @@ func doorbellKindIndex(verb string) int {
 		return 2
 	case VerbAbort:
 		return 3
+	case VerbSnapshotRead:
+		return 4
 	}
 	return -1
 }
@@ -115,9 +117,9 @@ func (d *Doorbell) PostLockRead(txnID uint64, entries []LockEntry) int {
 }
 
 // PostCommit posts a commit (apply writes + release locks).
-func (d *Doorbell) PostCommit(txnID uint64, writes []WriteOp) int {
+func (d *Doorbell) PostCommit(txnID, ts uint64, writes []WriteOp) int {
 	mark := d.begin(VerbCommit)
-	EncodeWritesTo(&d.w, txnID, writes)
+	EncodeWritesTo(&d.w, txnID, ts, writes)
 	d.w.EndBytes32(mark)
 	return d.count - 1
 }
@@ -129,9 +131,21 @@ func (d *Doorbell) PostCommit(txnID uint64, writes []WriteOp) int {
 // acks, see ReplicateDoorbell). The frame stays a supported one-sided
 // verb for tooling and for state-sync paths that copy records outside
 // any transaction.
-func (d *Doorbell) PostReplApply(txnID uint64, writes []WriteOp) int {
+func (d *Doorbell) PostReplApply(txnID, ts uint64, writes []WriteOp) int {
 	mark := d.begin(VerbReplApply)
-	EncodeWritesTo(&d.w, txnID, writes)
+	EncodeWritesTo(&d.w, txnID, ts, writes)
+	d.w.EndBytes32(mark)
+	return d.count - 1
+}
+
+// PostSnapshotRead posts an MVCC snapshot-read batch: read the listed
+// records at the snapshot timestamp off the version chains, lock-free.
+// Pure snapshot-read rings stay on the droppable lock-wave envelope
+// (VerbSnapshotRead has no kind counter among the post-commit tail
+// kinds), matching the verb's droppable classification.
+func (d *Doorbell) PostSnapshotRead(ts uint64, entries []SnapReadEntry) int {
+	mark := d.begin(VerbSnapshotRead)
+	EncodeSnapReadTo(&d.w, ts, entries)
 	d.w.EndBytes32(mark)
 	return d.count - 1
 }
@@ -345,17 +359,27 @@ func (n *Node) applyVerb(w *wire.Writer, verb string, payload []byte) {
 		n.LockReadLocal(txnID, entries).EncodeTo(w)
 		w.EndBytes32(mark)
 	case VerbCommit:
-		txnID, writes, err := DecodeWrites(payload)
+		txnID, ts, writes, err := DecodeWrites(payload)
 		if err == nil {
-			err = n.CommitLocal(txnID, writes)
+			err = n.CommitLocal(txnID, ts, writes)
 		}
 		writeFrameError(w, err)
 	case VerbReplApply:
-		_, writes, err := DecodeWrites(payload)
+		_, ts, writes, err := DecodeWrites(payload)
 		if err == nil {
-			err = ApplyWrites(n.store, writes)
+			err = ApplyWrites(n.store, ts, writes)
 		}
 		writeFrameError(w, err)
+	case VerbSnapshotRead:
+		ts, entries, err := DecodeSnapRead(payload)
+		if err != nil {
+			writeFrameError(w, err)
+			return
+		}
+		w.String("")
+		mark := w.BeginBytes32()
+		n.SnapshotReadLocal(ts, entries).EncodeTo(w)
+		w.EndBytes32(mark)
 	case VerbAbort:
 		txnID, err := DecodeAbort(payload)
 		if err == nil {

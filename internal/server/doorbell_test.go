@@ -150,8 +150,8 @@ func TestDoorbellCommitAndReplApply(t *testing.T) {
 	}
 
 	d := sender.NewDoorbell(dest.ID())
-	d.PostCommit(7, []WriteOp{{Table: 1, Key: keys[0], Type: txn.OpUpdate, Value: []byte{0xAA}}})
-	d.PostReplApply(8, []WriteOp{{Table: 1, Key: keys[1], Type: txn.OpUpdate, Value: []byte{0xBB}}})
+	d.PostCommit(7, 0, []WriteOp{{Table: 1, Key: keys[0], Type: txn.OpUpdate, Value: []byte{0xAA}}})
+	d.PostReplApply(8, 0, []WriteOp{{Table: 1, Key: keys[1], Type: txn.OpUpdate, Value: []byte{0xBB}}})
 	results, err := d.Ring().Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +208,7 @@ func TestDoorbellRejectsNonBatchableVerb(t *testing.T) {
 func TestDoorbellTransportErrorNamesNode(t *testing.T) {
 	sender, _ := newTestPair(t)
 	d := sender.NewDoorbell(42)
-	d.PostCommit(1, nil)
+	d.PostCommit(1, 0, nil)
 	if _, err := d.Ring().Wait(); err == nil || !strings.Contains(err.Error(), "node 42") {
 		t.Fatalf("err = %v", err)
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/chillerdb/chiller/internal/storage"
 	"github.com/chillerdb/chiller/internal/txn"
@@ -47,12 +48,12 @@ func (n *Node) SnapshotErr() error {
 // releasing them, and never on a lane executor (the flush wait must
 // extend neither lock hold times nor the lane's serial schedule — that
 // is the whole point of group commit riding the async tails).
-func (n *Node) LogWrites(txnID uint64, writes []WriteOp) func() error {
+func (n *Node) LogWrites(txnID, ts uint64, writes []WriteOp) func() error {
 	if n.wal == nil || len(writes) == 0 {
 		return nil
 	}
 	if len(n.lanes) <= 1 {
-		return n.logLane(txnID, 0, writes)
+		return n.logLane(txnID, ts, 0, writes)
 	}
 	// Group per lane, mirroring applyByLane's linear scan.
 	type group struct {
@@ -76,11 +77,11 @@ func (n *Node) LogWrites(txnID uint64, writes []WriteOp) func() error {
 		g.writes = append(g.writes, w)
 	}
 	if len(groups) == 1 {
-		return n.logLane(txnID, groups[0].lane, groups[0].writes)
+		return n.logLane(txnID, ts, groups[0].lane, groups[0].writes)
 	}
 	waits := make([]func() error, len(groups))
 	for i, g := range groups {
-		waits[i] = n.logLane(txnID, g.lane, g.writes)
+		waits[i] = n.logLane(txnID, ts, g.lane, g.writes)
 	}
 	return func() error {
 		for _, w := range waits {
@@ -94,8 +95,8 @@ func (n *Node) LogWrites(txnID uint64, writes []WriteOp) func() error {
 
 // logLane appends one lane's slice of a write set and arms the lane's
 // snapshot trigger.
-func (n *Node) logLane(txnID uint64, lane int, writes []WriteOp) func() error {
-	tk := n.wal.Append(lane, wal.RecCommit, EncodeWrites(txnID, writes))
+func (n *Node) logLane(txnID, ts uint64, lane int, writes []WriteOp) func() error {
+	tk := n.wal.Append(lane, wal.RecCommit, EncodeWrites(txnID, ts, writes))
 	n.maybeSnapshot(lane)
 	return tk.Wait
 }
@@ -119,11 +120,43 @@ func (n *Node) maybeSnapshot(lane int) {
 	}()
 }
 
+// SnapshotAll snapshots every WAL lane synchronously and truncates the
+// logs — the clean-shutdown path. Log-size pressure (maybeSnapshot) only
+// compacts lanes that outgrow the policy threshold, so a node that exits
+// cleanly after moderate traffic would otherwise leave its entire commit
+// tail behind and replay every record ever logged on the next start;
+// after SnapshotAll a restart replays one snapshot per lane plus an
+// empty tail. Waits out any in-flight pressure-triggered background
+// snapshot of the same lane. No-op without a WAL. Call after the node's
+// engines drain, so the snapshots cover every acknowledged commit.
+func (n *Node) SnapshotAll() error {
+	l := n.wal
+	if l == nil {
+		return nil
+	}
+	var firstErr error
+	for lane := 0; lane < l.Lanes(); lane++ {
+		for !l.TrySnapshotLock(lane) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		err := l.Snapshot(lane, func() []byte { return n.encodeLaneSnapshot(lane) })
+		l.SnapshotUnlock(lane)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
 // encodeLaneSnapshot serializes every record the lane owns, grouped per
 // table: [table u32][nBuckets u32][count u32] then count × ([key u64]
-// [value bytes32]). Bucket counts ride along so recovery into a fresh
-// store can recreate tables before the application's own CreateTable
-// calls (which are idempotent and adopt the recovered table).
+// [ts u64][value bytes32]). Bucket counts ride along so recovery into a
+// fresh store can recreate tables before the application's own
+// CreateTable calls (which are idempotent and adopt the recovered
+// table). Each record carries its commit timestamp: a snapshot keeps
+// only the newest version per key, so recovery raises the MVCC
+// watermark to the highest snapshot timestamp — the history a snapshot
+// discarded is exactly what the watermark declares unreadable.
 func (n *Node) encodeLaneSnapshot(lane int) []byte {
 	lane = n.laneIndex(lane)
 	w := wire.NewWriter(4096)
@@ -134,12 +167,12 @@ func (n *Node) encodeLaneSnapshot(lane int) []byte {
 		}
 		var keys []storage.Key
 		var vals [][]byte
-		tbl.Range(func(key storage.Key, value []byte, _ uint64) bool {
+		var stamps []uint64
+		tbl.RangeTS(func(key storage.Key, value []byte, _, ts uint64) bool {
 			if n.Lane(storage.RID{Table: tid, Key: key}) == lane {
-				v := make([]byte, len(value))
-				copy(v, value)
 				keys = append(keys, key)
-				vals = append(vals, v)
+				vals = append(vals, value)
+				stamps = append(stamps, ts)
 			}
 			return true
 		})
@@ -151,6 +184,7 @@ func (n *Node) encodeLaneSnapshot(lane int) []byte {
 		w.Uint32(uint32(len(keys)))
 		for i, k := range keys {
 			w.Uint64(uint64(k))
+			w.Uint64(stamps[i])
 			w.Bytes32(vals[i])
 		}
 	}
@@ -163,36 +197,70 @@ func (n *Node) encodeLaneSnapshot(lane int) []byte {
 // get the default sizing). Replay is idempotent — records carry full
 // values and apply with upsert semantics — so recovering into a store
 // pre-loaded with initial values converges to the logged state.
-func RecoverStore(st *storage.Store, rec *wal.Recovered) error {
+//
+// Under MVCC the tail rebuilds version chains at the original commit
+// timestamps, the watermark rises to the highest snapshot-record stamp
+// (a snapshot keeps only each key's newest version, so older history is
+// gone — ErrStaleRead, not silence, for snapshots that predate it), and
+// the returned maxTS is the highest timestamp seen anywhere: the caller
+// advances the commit clock past it so post-recovery reservations never
+// collide with replayed versions.
+func RecoverStore(st *storage.Store, rec *wal.Recovered) (maxTS uint64, err error) {
+	var snapTS uint64
 	for _, snap := range rec.Snapshots {
-		if err := applyLaneSnapshot(st, snap.Payload); err != nil {
-			return err
+		ts, err := applyLaneSnapshot(st, snap.Payload)
+		if err != nil {
+			return 0, err
+		}
+		if ts > snapTS {
+			snapTS = ts
 		}
 	}
+	maxTS = snapTS
 	for _, tr := range rec.Tail {
 		if tr.Type != wal.RecCommit {
 			continue
 		}
-		_, writes, err := DecodeWrites(tr.Payload)
+		_, ts, writes, err := DecodeWrites(tr.Payload)
 		if err != nil {
-			return fmt.Errorf("server: recover lsn %d: %w", tr.LSN, err)
+			return 0, fmt.Errorf("server: recover lsn %d: %w", tr.LSN, err)
 		}
-		if err := replayWrites(st, writes); err != nil {
-			return fmt.Errorf("server: recover lsn %d: %w", tr.LSN, err)
+		if err := replayWrites(st, ts, writes); err != nil {
+			return 0, fmt.Errorf("server: recover lsn %d: %w", tr.LSN, err)
+		}
+		if ts > maxTS {
+			maxTS = ts
 		}
 	}
-	return nil
+	if st.MVCCEnabled() {
+		st.SetWatermark(snapTS)
+	}
+	return maxTS, nil
 }
 
 // replayWrites applies a logged write set with pure upsert semantics:
 // unlike the live ApplyWrites, an update to a key the store does not
 // hold yet must succeed (the key's insert may live in a snapshot the
-// crash predates, with initial values re-loaded by the caller).
-func replayWrites(st *storage.Store, writes []WriteOp) error {
+// crash predates, with initial values re-loaded by the caller). On an
+// MVCC store the replay is stamped, so chains above the watermark come
+// back readable.
+func replayWrites(st *storage.Store, ts uint64, writes []WriteOp) error {
+	mvcc := st.MVCCEnabled()
 	for _, w := range writes {
 		tbl := st.Table(w.Table)
 		if tbl == nil {
 			tbl = st.CreateTable(w.Table, 0)
+		}
+		if mvcc {
+			switch w.Type {
+			case txn.OpDelete:
+				if err := tbl.DeleteAt(w.Key, ts); err != nil && err != storage.ErrNotFound {
+					return err
+				}
+			default:
+				tbl.UpsertAt(w.Key, w.Value, ts)
+			}
+			continue
 		}
 		b := tbl.Bucket(w.Key)
 		switch w.Type {
@@ -207,7 +275,10 @@ func replayWrites(st *storage.Store, writes []WriteOp) error {
 	return nil
 }
 
-func applyLaneSnapshot(st *storage.Store, p []byte) error {
+// applyLaneSnapshot loads one lane snapshot, returning the highest
+// record timestamp it carried.
+func applyLaneSnapshot(st *storage.Store, p []byte) (maxTS uint64, err error) {
+	mvcc := st.MVCCEnabled()
 	r := wire.NewReader(p)
 	for r.Err() == nil && r.Remaining() > 0 {
 		tid := storage.TableID(r.Uint32())
@@ -219,12 +290,20 @@ func applyLaneSnapshot(st *storage.Store, p []byte) error {
 		}
 		for i := uint32(0); i < count && r.Err() == nil; i++ {
 			key := storage.Key(r.Uint64())
+			ts := r.Uint64()
 			val := r.Bytes32()
-			tbl.Bucket(key).Upsert(key, val)
+			if ts > maxTS {
+				maxTS = ts
+			}
+			if mvcc {
+				tbl.UpsertAt(key, val, ts)
+			} else {
+				tbl.Bucket(key).Upsert(key, val)
+			}
 		}
 	}
 	if err := r.Err(); err != nil {
-		return fmt.Errorf("server: snapshot decode: %w", err)
+		return 0, fmt.Errorf("server: snapshot decode: %w", err)
 	}
-	return nil
+	return maxTS, nil
 }

@@ -203,20 +203,20 @@ func (n *Node) Lane(rid storage.RID) int {
 // waits out the group-commit flush — replicas are durable too, which is
 // what makes post-crash replica promotion safe. A flush failure here is
 // fatal (see CommitLocal).
-func (n *Node) applyByLane(txnID uint64, writes []WriteOp, done func(error)) {
+func (n *Node) applyByLane(txnID, ts uint64, writes []WriteOp, done func(error)) {
 	// applyLog runs on the lane executor (or inline at <=1 lane): apply
 	// one lane's slice, then append it to the lane's log while still on
 	// the executor — the next stream message for this lane cannot apply,
 	// let alone append, until this closure returns, so log order = apply
 	// order per lane. The returned wait is nil when nothing was logged.
 	applyLog := func(lane int, ws []WriteOp) (func() error, error) {
-		if err := ApplyWrites(n.store, ws); err != nil {
+		if err := ApplyWrites(n.store, ts, ws); err != nil {
 			return nil, err
 		}
 		if n.wal == nil {
 			return nil, nil
 		}
-		return n.logLane(txnID, lane, ws), nil
+		return n.logLane(txnID, ts, lane, ws), nil
 	}
 	// finish invokes done, waiting out the group-commit flush first on a
 	// fresh goroutine (never on the invoking lane executor or fabric

@@ -132,7 +132,7 @@ func TestApplyByLaneAppliesAll(t *testing.T) {
 		writes = append(writes, WriteOp{Table: 1, Key: k, Type: txn.OpInsert, Value: []byte{byte(k)}})
 	}
 	doneCh := make(chan error, 1)
-	n.applyByLane(1, writes, func(err error) { doneCh <- err })
+	n.applyByLane(1, 0, writes, func(err error) { doneCh <- err })
 	select {
 	case err := <-doneCh:
 		if err != nil {

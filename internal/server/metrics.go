@@ -27,6 +27,7 @@ const (
 	KindInnerRepl = "inner-repl" // one-way inner replication stream send
 	KindInnerAck  = "inner-ack"  // one-way replica→coordinator ack send
 	KindDoorbell  = "doorbell"   // whole doorbell-batch round trip
+	KindSnapRead  = "snap-read"  // MVCC snapshot-read batch round trip
 )
 
 // verbKinds is the fixed key set; VerbMetrics maps are never mutated
@@ -34,6 +35,7 @@ const (
 var verbKinds = []string{
 	KindLockRead, KindCommit, KindAbort, KindReplApply,
 	KindInnerExec, KindRoute, KindInnerRepl, KindInnerAck, KindDoorbell,
+	KindSnapRead,
 }
 
 // verbStat holds one kind's round-trip latency histogram (the sample

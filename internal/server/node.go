@@ -73,6 +73,11 @@ type Node struct {
 	// vm collects per-verb counts and round-trip latency histograms for
 	// this node's coordinator activity (see metrics.go).
 	vm *VerbMetrics
+
+	// clock, when non-nil, is the cluster-shared commit-timestamp oracle
+	// (MVCC deployments only). Engines Reserve from it at their commit
+	// points and read-only transactions snapshot at its Stable watermark.
+	clock *storage.Clock
 }
 
 // AckWaiter tracks one transaction's pending inner-replica acks. Waiters
@@ -157,6 +162,11 @@ func New(ep transport.Endpoint, st *storage.Store, reg *txn.Registry, dir *clust
 	ep.HandleAsync(VerbInnerRepl, n.handleInnerRepl)
 	ep.Handle(VerbInnerAck, n.handleInnerAck)
 	ep.Handle(VerbPing, func(transport.NodeID, []byte) ([]byte, error) { return nil, nil })
+	// Snapshot reads are lock-free and touch no participant state, so
+	// they run inline on the dispatcher instead of a lane (queueing a
+	// versioned read behind inner regions would add exactly the latency
+	// the MVCC path exists to avoid).
+	ep.Handle(VerbSnapshotRead, n.handleSnapshotRead)
 	// The doorbell envelope is serviced on the one-sided path: batched
 	// senders bypass the dispatcher and lanes entirely, scalar senders
 	// keep the two-sided verbs above — one node serves both at once.
@@ -188,6 +198,18 @@ func (n *Node) Directory() *cluster.Directory { return n.dir }
 
 // Partition returns the partition this node primaries.
 func (n *Node) Partition() cluster.PartitionID { return n.part }
+
+// SetClock installs the cluster-shared commit clock and enables version
+// retention on the node's store. Call at deployment time, before traffic.
+func (n *Node) SetClock(c *storage.Clock) {
+	n.clock = c
+	if c != nil {
+		n.store.EnableMVCC()
+	}
+}
+
+// Clock returns the commit clock, or nil when MVCC is off.
+func (n *Node) Clock() *storage.Clock { return n.clock }
 
 // SetSampler installs the statistics observer (may be nil).
 func (n *Node) SetSampler(s AccessObserver) { n.sampler = s }
@@ -341,8 +363,8 @@ func (n *Node) LockReadLocal(txnID uint64, entries []LockEntry) *LockResponse {
 // has landed: a CommitLocal acknowledgement implies durability. Callers
 // on a lane executor must use commitLocalStart instead and take the
 // flush wait elsewhere (see handleCommit).
-func (n *Node) CommitLocal(txnID uint64, writes []WriteOp) error {
-	wait, err := n.commitLocalStart(txnID, writes)
+func (n *Node) CommitLocal(txnID, ts uint64, writes []WriteOp) error {
+	wait, err := n.commitLocalStart(txnID, ts, writes)
 	if err != nil {
 		return err
 	}
@@ -362,19 +384,19 @@ func (n *Node) CommitLocal(txnID uint64, writes []WriteOp) error {
 // append to the WAL under the transaction's locks, release. The
 // returned wait (nil when there is nothing to flush) completes the
 // commit; it must not run on a lane executor.
-func (n *Node) commitLocalStart(txnID uint64, writes []WriteOp) (func() error, error) {
+func (n *Node) commitLocalStart(txnID, ts uint64, writes []WriteOp) (func() error, error) {
 	if n.FaultInjector != nil {
 		if err := n.FaultInjector(VerbCommit, txnID); err != nil {
 			return nil, err
 		}
 	}
-	if err := ApplyWrites(n.store, writes); err != nil {
+	if err := ApplyWrites(n.store, ts, writes); err != nil {
 		// A write to a locked, verified record cannot legitimately fail;
 		// treat as an engine invariant violation.
 		n.releaseAll(txnID)
 		return nil, fmt.Errorf("server: commit apply: %w", err)
 	}
-	wait := n.LogWrites(txnID, writes)
+	wait := n.LogWrites(txnID, ts, writes)
 	n.releaseAll(txnID)
 	return wait, nil
 }
@@ -396,12 +418,33 @@ func (n *Node) releaseAll(txnID uint64) {
 
 // ApplyWrites applies a write set to a store (used by participants at
 // commit and by replicas). Inserts that find the key already present
-// degrade to updates, which makes replica application idempotent.
-func ApplyWrites(st *storage.Store, writes []WriteOp) error {
+// degrade to updates, which makes replica application idempotent. ts is
+// the transaction's commit timestamp; when the store retains versions
+// (MVCC) the overwritten values go onto the version chains stamped with
+// it, otherwise it is ignored.
+func ApplyWrites(st *storage.Store, ts uint64, writes []WriteOp) error {
+	mvcc := st.MVCCEnabled()
 	for _, w := range writes {
 		tbl := st.Table(w.Table)
 		if tbl == nil {
 			return fmt.Errorf("server: no table %d", w.Table)
+		}
+		if mvcc {
+			switch w.Type {
+			case txn.OpUpdate:
+				if err := tbl.PutAt(w.Key, w.Value, ts); err != nil {
+					return fmt.Errorf("server: update %v/%d: %w", w.Table, w.Key, err)
+				}
+			case txn.OpInsert:
+				tbl.UpsertAt(w.Key, w.Value, ts)
+			case txn.OpDelete:
+				if err := tbl.DeleteAt(w.Key, ts); err != nil && err != storage.ErrNotFound {
+					return err
+				}
+			default:
+				return fmt.Errorf("server: bad write type %v", w.Type)
+			}
+			continue
 		}
 		b := tbl.Bucket(w.Key)
 		switch w.Type {
@@ -450,7 +493,7 @@ func (n *Node) handleLockRead(_ transport.NodeID, req []byte, reply func([]byte,
 }
 
 func (n *Node) handleCommit(_ transport.NodeID, req []byte, reply func([]byte, error)) {
-	txnID, writes, err := DecodeWrites(req)
+	txnID, ts, writes, err := DecodeWrites(req)
 	if err != nil {
 		reply(nil, err)
 		return
@@ -460,7 +503,7 @@ func (n *Node) handleCommit(_ transport.NodeID, req []byte, reply func([]byte, e
 		lane = n.Lane(storage.RID{Table: writes[0].Table, Key: writes[0].Key})
 	}
 	n.submitVerb(lane, func() {
-		wait, cerr := n.commitLocalStart(txnID, writes)
+		wait, cerr := n.commitLocalStart(txnID, ts, writes)
 		if wait == nil {
 			reply(nil, cerr)
 			return
@@ -493,12 +536,12 @@ func (n *Node) handleAbort(_ transport.NodeID, req []byte) ([]byte, error) {
 // so every record has exactly one replication pipe); it remains for
 // tooling and direct-apply tests.
 func (n *Node) handleReplApply(_ transport.NodeID, req []byte, reply func([]byte, error)) {
-	txnID, writes, err := DecodeWrites(req)
+	txnID, ts, writes, err := DecodeWrites(req)
 	if err != nil {
 		reply(nil, err)
 		return
 	}
-	n.applyByLane(txnID, writes, func(aerr error) { reply(nil, aerr) })
+	n.applyByLane(txnID, ts, writes, func(aerr error) { reply(nil, aerr) })
 }
 
 // fwdAckBit namespaces the synthetic ack ids of forwarded replication
@@ -519,7 +562,7 @@ const fwdAckBit = uint64(1) << 63
 // race the inner stream on a different link; the chaos harness caught
 // exactly that as a replica mismatch under delay spikes).
 func (n *Node) handleReplForward(_ transport.NodeID, req []byte, reply func([]byte, error)) {
-	_, writes, err := DecodeWrites(req)
+	_, ts, writes, err := DecodeWrites(req)
 	if err != nil {
 		reply(nil, err)
 		return
@@ -533,7 +576,7 @@ func (n *Node) handleReplForward(_ transport.NodeID, req []byte, reply func([]by
 	// from this node's identity — after a replica promotion a node
 	// relays for partitions other than its own.
 	pid := n.dir.Partition(storage.RID{Table: writes[0].Table, Key: writes[0].Key})
-	n.ForwardRepl(pid, writes, func(aerr error) { reply(nil, aerr) })
+	n.ForwardRepl(pid, ts, writes, func(aerr error) { reply(nil, aerr) })
 }
 
 // ForwardRepl streams writes (records of one partition this node is
@@ -545,7 +588,7 @@ func (n *Node) handleReplForward(_ transport.NodeID, req []byte, reply func([]by
 // fabric teardown racing the ack wait fails the relay with ErrClosed
 // instead of hanging (acks are one-way and die silently with the
 // dispatcher).
-func (n *Node) ForwardRepl(pid cluster.PartitionID, writes []WriteOp, done func(error)) {
+func (n *Node) ForwardRepl(pid cluster.PartitionID, ts uint64, writes []WriteOp, done func(error)) {
 	replicas := n.dir.Topology().Replicas(pid)
 	if len(replicas) == 0 {
 		done(nil)
@@ -553,7 +596,7 @@ func (n *Node) ForwardRepl(pid cluster.PartitionID, writes []WriteOp, done func(
 	}
 	fid := n.NextTxnID() | fwdAckBit
 	ack := n.ExpectInnerAcks(fid, len(replicas))
-	if sent, err := n.StreamInnerRepl(pid, fid, n.ID(), writes); err != nil {
+	if sent, err := n.StreamInnerRepl(pid, fid, ts, n.ID(), writes); err != nil {
 		if sent > 0 {
 			// Part of the stream is out: some replica will apply a write
 			// set whose transaction is about to report failure. There is
@@ -588,8 +631,8 @@ func (n *Node) ForwardRepl(pid cluster.PartitionID, writes []WriteOp, done func(
 // coordinator node id appended by the primary.
 
 // EncodeInnerRepl builds the one-way primary→replica message.
-func EncodeInnerRepl(txnID uint64, coordinator transport.NodeID, writes []WriteOp) []byte {
-	base := EncodeWrites(txnID, writes)
+func EncodeInnerRepl(txnID, ts uint64, coordinator transport.NodeID, writes []WriteOp) []byte {
+	base := EncodeWrites(txnID, ts, writes)
 	out := make([]byte, 0, len(base)+4)
 	out = append(out, base...)
 	out = append(out, byte(coordinator), byte(coordinator>>8), byte(coordinator>>16), byte(coordinator>>24))
@@ -597,14 +640,14 @@ func EncodeInnerRepl(txnID uint64, coordinator transport.NodeID, writes []WriteO
 }
 
 // DecodeInnerRepl parses the primary→replica message.
-func DecodeInnerRepl(p []byte) (txnID uint64, coordinator transport.NodeID, writes []WriteOp, err error) {
+func DecodeInnerRepl(p []byte) (txnID, ts uint64, coordinator transport.NodeID, writes []WriteOp, err error) {
 	if len(p) < 4 {
-		return 0, 0, nil, fmt.Errorf("server: short inner-repl message")
+		return 0, 0, 0, nil, fmt.Errorf("server: short inner-repl message")
 	}
 	body, tail := p[:len(p)-4], p[len(p)-4:]
-	txnID, writes, err = DecodeWrites(body)
+	txnID, ts, writes, err = DecodeWrites(body)
 	coordinator = transport.NodeID(uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24)
-	return txnID, coordinator, writes, err
+	return txnID, ts, coordinator, writes, err
 }
 
 // handleInnerRepl runs on a replica: apply the streamed write set —
@@ -621,11 +664,11 @@ func DecodeInnerRepl(p []byte) (txnID uint64, coordinator transport.NodeID, writ
 // engine invariant violations — same class as a failed post-commit
 // apply at a primary — so they surface loudly instead.
 func (n *Node) handleInnerRepl(_ transport.NodeID, req []byte, reply func([]byte, error)) {
-	txnID, coord, writes, err := DecodeInnerRepl(req)
+	txnID, ts, coord, writes, err := DecodeInnerRepl(req)
 	if err != nil {
 		panic(fmt.Sprintf("server: replica %d: undecodable replication stream message: %v", n.ID(), err))
 	}
-	n.applyByLane(txnID, writes, func(aerr error) {
+	n.applyByLane(txnID, ts, writes, func(aerr error) {
 		if aerr != nil {
 			panic(fmt.Sprintf("server: replica %d: apply of committed write set failed: %v", n.ID(), aerr))
 		}

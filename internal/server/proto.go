@@ -30,7 +30,14 @@ const (
 	VerbOCCRead     = "ord" // OCC unlocked read
 	VerbOCCValid    = "ovl" // OCC validate + write-lock
 	VerbOCCFinish   = "ofn" // OCC commit or abort after validation
-	VerbDoorbell    = "db1" // doorbell-batched one-sided verb envelope (see doorbell.go)
+	// VerbSnapshotRead reads records at a snapshot timestamp from a
+	// node's version chains (MVCC): lock-free, off the lane schedules,
+	// serving the read-only transaction path for partitions the
+	// coordinator holds no local replica of. Droppable — a lost snapshot
+	// read is retried by the coordinator (reads hold nothing anywhere),
+	// and like lock waves it batches over doorbells.
+	VerbSnapshotRead = "sr"
+	VerbDoorbell     = "db1" // doorbell-batched one-sided verb envelope (see doorbell.go)
 	// VerbDoorbellTail is the doorbell envelope for rings that carry any
 	// post-commit-point frame (commit, replica apply, abort). It is
 	// served by the same handler as VerbDoorbell; the distinct name lets
@@ -53,7 +60,7 @@ const (
 // the protected control plane.
 func PreCommitVerbs(method string) bool {
 	switch method {
-	case VerbLockRead, VerbOCCRead, VerbOCCValid, VerbInnerExec, VerbTxnRoute, VerbDoorbell:
+	case VerbLockRead, VerbOCCRead, VerbOCCValid, VerbInnerExec, VerbTxnRoute, VerbDoorbell, VerbSnapshotRead:
 		return true
 	}
 	return false
@@ -155,16 +162,19 @@ func DecodeLockResponse(p []byte) (*LockResponse, error) {
 	return lr, r.Err()
 }
 
-// EncodeWrites serializes a write set with a transaction id header.
-func EncodeWrites(txnID uint64, writes []WriteOp) []byte {
-	w := wire.NewWriter(16 + len(writes)*32)
-	EncodeWritesTo(w, txnID, writes)
+// EncodeWrites serializes a write set with a transaction id header and
+// the transaction's commit timestamp (0 when MVCC is off — applies
+// then skip version retention).
+func EncodeWrites(txnID, ts uint64, writes []WriteOp) []byte {
+	w := wire.NewWriter(24 + len(writes)*32)
+	EncodeWritesTo(w, txnID, ts, writes)
 	return w.Bytes()
 }
 
 // EncodeWritesTo appends a write-set payload to an existing writer.
-func EncodeWritesTo(w *wire.Writer, txnID uint64, writes []WriteOp) {
+func EncodeWritesTo(w *wire.Writer, txnID, ts uint64, writes []WriteOp) {
 	w.Uint64(txnID)
+	w.Uint64(ts)
 	w.Uint32(uint32(len(writes)))
 	for _, wr := range writes {
 		w.Uint32(uint32(wr.Table))
@@ -177,9 +187,10 @@ func EncodeWritesTo(w *wire.Writer, txnID uint64, writes []WriteOp) {
 // DecodeWrites parses a write-set payload. Values alias the payload
 // buffer: every apply path copies into storage (Bucket.Put/Insert), so
 // an extra copy here would only feed the garbage collector.
-func DecodeWrites(p []byte) (txnID uint64, writes []WriteOp, err error) {
+func DecodeWrites(p []byte) (txnID, ts uint64, writes []WriteOp, err error) {
 	r := wire.NewReader(p)
 	txnID = r.Uint64()
+	ts = r.Uint64()
 	n := r.Uint32()
 	writes = make([]WriteOp, 0, n)
 	for i := uint32(0); i < n; i++ {
@@ -191,7 +202,59 @@ func DecodeWrites(p []byte) (txnID uint64, writes []WriteOp, err error) {
 		wr.Value = r.Bytes32()
 		writes = append(writes, wr)
 	}
-	return txnID, writes, r.Err()
+	return txnID, ts, writes, r.Err()
+}
+
+// SnapReadEntry is one record of a snapshot-read request.
+type SnapReadEntry struct {
+	OpID  int
+	Table storage.TableID
+	Key   storage.Key
+	// MustExist aborts with AbortNotFound when the key had no live
+	// version at the snapshot timestamp.
+	MustExist bool
+}
+
+// EncodeSnapRead builds the VerbSnapshotRead payload: the snapshot
+// timestamp plus the records to read at it. The response is a
+// LockResponse (the shapes coincide: ok/reason plus an opID→value read
+// set), with AbortStaleRead as the reason when the timestamp fell
+// below the serving node's retention watermark.
+func EncodeSnapRead(ts uint64, entries []SnapReadEntry) []byte {
+	w := wire.NewWriter(16 + len(entries)*20)
+	EncodeSnapReadTo(w, ts, entries)
+	return w.Bytes()
+}
+
+// EncodeSnapReadTo appends the VerbSnapshotRead payload to an existing
+// writer (doorbells pack frame payloads straight into the envelope).
+func EncodeSnapReadTo(w *wire.Writer, ts uint64, entries []SnapReadEntry) {
+	w.Uint64(ts)
+	w.Uint32(uint32(len(entries)))
+	for _, e := range entries {
+		w.Uint32(uint32(e.OpID))
+		w.Uint32(uint32(e.Table))
+		w.Uint64(uint64(e.Key))
+		w.Bool(e.MustExist)
+	}
+}
+
+// DecodeSnapRead parses the VerbSnapshotRead payload.
+func DecodeSnapRead(p []byte) (ts uint64, entries []SnapReadEntry, err error) {
+	r := wire.NewReader(p)
+	ts = r.Uint64()
+	n := r.Uint32()
+	entries = make([]SnapReadEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		e := SnapReadEntry{
+			OpID:  int(r.Uint32()),
+			Table: storage.TableID(r.Uint32()),
+			Key:   storage.Key(r.Uint64()),
+		}
+		e.MustExist = r.Bool()
+		entries = append(entries, e)
+	}
+	return ts, entries, r.Err()
 }
 
 // EncodeAbort serializes an abort request.

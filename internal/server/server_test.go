@@ -133,7 +133,7 @@ func TestCommitAppliesWritesAndReleases(t *testing.T) {
 	if !resp.OK {
 		t.Fatal(resp.Reason)
 	}
-	err := n.CommitLocal(5, []WriteOp{
+	err := n.CommitLocal(5, 0, []WriteOp{
 		{Table: 1, Key: 1, Type: txn.OpUpdate, Value: []byte{99}},
 		{Table: 1, Key: 77, Type: txn.OpInsert, Value: []byte{77}},
 		{Table: 1, Key: 2, Type: txn.OpDelete},
@@ -166,7 +166,7 @@ func TestFaultInjectorBlocksCommit(t *testing.T) {
 		return nil
 	}
 	n.LockReadLocal(6, []LockEntry{{OpID: 0, Table: 1, Key: 1, Mode: storage.LockExclusive, Read: true, MustExist: true}})
-	err := n.CommitLocal(6, []WriteOp{{Table: 1, Key: 1, Type: txn.OpUpdate, Value: []byte{1}}})
+	err := n.CommitLocal(6, 0, []WriteOp{{Table: 1, Key: 1, Type: txn.OpUpdate, Value: []byte{1}}})
 	if !errors.Is(err, injected) {
 		t.Fatalf("err = %v", err)
 	}
@@ -180,18 +180,18 @@ func TestFaultInjectorBlocksCommit(t *testing.T) {
 
 func TestInnerReplEncodeDecode(t *testing.T) {
 	writes := []WriteOp{{Table: 1, Key: 5, Type: txn.OpUpdate, Value: []byte{1, 2}}}
-	p := EncodeInnerRepl(42, 7, writes)
-	txnID, coord, got, err := DecodeInnerRepl(p)
+	p := EncodeInnerRepl(42, 9, 7, writes)
+	txnID, ts, coord, got, err := DecodeInnerRepl(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if txnID != 42 || coord != 7 {
-		t.Fatalf("txnID=%d coord=%d", txnID, coord)
+	if txnID != 42 || ts != 9 || coord != 7 {
+		t.Fatalf("txnID=%d ts=%d coord=%d", txnID, ts, coord)
 	}
 	if len(got) != 1 || got[0].Key != 5 || got[0].Value[1] != 2 {
 		t.Fatalf("writes = %+v", got)
 	}
-	if _, _, _, err := DecodeInnerRepl([]byte{1}); err == nil {
+	if _, _, _, _, err := DecodeInnerRepl([]byte{1}); err == nil {
 		t.Fatal("short message accepted")
 	}
 }

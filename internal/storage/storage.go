@@ -41,11 +41,14 @@ var ErrExists = errors.New("storage: key already exists")
 type Store struct {
 	mu     sync.RWMutex
 	tables map[TableID]*Table
+	// mv is the store-wide MVCC switchboard (version retention flag and
+	// GC watermark), shared with every table. See mvcc.go.
+	mv *mvccMeta
 }
 
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{tables: make(map[TableID]*Table)}
+	return &Store{tables: make(map[TableID]*Table), mv: &mvccMeta{}}
 }
 
 // CreateTable creates a table with nBuckets hash buckets. It returns the
@@ -63,6 +66,7 @@ func (s *Store) CreateTable(id TableID, nBuckets int) *Table {
 	t := &Table{
 		id:      id,
 		buckets: make([]Bucket, nBuckets),
+		mv:      s.mv,
 	}
 	s.tables[id] = t
 	return t
@@ -111,6 +115,7 @@ func (s *Store) Bucket(id TableID, key Key) *Bucket {
 type Table struct {
 	id      TableID
 	buckets []Bucket
+	mv      *mvccMeta // shared with the owning Store
 }
 
 // ID returns the table's identifier.
@@ -149,6 +154,11 @@ type entry struct {
 	value   []byte
 	version uint64
 	dead    bool // tombstone left by Delete
+	// ts is the commit timestamp of the current value (0 = initial
+	// load, visible to every snapshot); prev chains retained older
+	// versions, newest first (MVCC only — nil otherwise). See mvcc.go.
+	ts   uint64
+	prev *version
 }
 
 // Bucket holds a small set of records plus an embedded lock word. Buckets

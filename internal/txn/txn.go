@@ -168,6 +168,12 @@ type OpSpec struct {
 type Procedure struct {
 	Name string
 	Ops  []OpSpec
+	// ReadOnly declares the procedure a snapshot candidate: every op is
+	// an OpRead (Validate enforces it), and engines with MVCC enabled
+	// route its requests onto the lock-free snapshot read path instead
+	// of the locking protocol. Without MVCC the declaration is inert —
+	// the procedure runs the normal serializable path.
+	ReadOnly bool
 }
 
 // Validate checks structural invariants: op IDs are positional, dependency
@@ -181,6 +187,9 @@ func (p *Procedure) Validate() error {
 		op := &p.Ops[i]
 		if op.ID != i {
 			return fmt.Errorf("txn: %s op %d has ID %d (must be positional)", p.Name, i, op.ID)
+		}
+		if p.ReadOnly && op.Type != OpRead {
+			return fmt.Errorf("txn: %s is declared read-only but op %d is a %s", p.Name, i, op.Type)
 		}
 		if op.Key == nil {
 			return fmt.Errorf("txn: %s op %d has no Key func", p.Name, i)
@@ -303,6 +312,11 @@ const (
 	// succeed once the network heals. Post-commit-point transport
 	// failures stay AbortInternal — they are not cleanly retryable.
 	AbortUnreachable
+	// AbortStaleRead is a read-only snapshot transaction whose snapshot
+	// timestamp fell below a store's version-retention watermark (the
+	// GC horizon, typically right after a recovery discarded old
+	// versions). Retryable: a fresh attempt takes a fresher snapshot.
+	AbortStaleRead
 )
 
 func (a AbortReason) String() string {
@@ -323,6 +337,8 @@ func (a AbortReason) String() string {
 		return "cancelled"
 	case AbortUnreachable:
 		return "unreachable"
+	case AbortStaleRead:
+		return "stale-read"
 	}
 	return fmt.Sprintf("abort(%d)", uint8(a))
 }

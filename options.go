@@ -56,6 +56,7 @@ type config struct {
 	recorder     *history.Recorder
 	walDir       string
 	fsync        FsyncPolicy
+	mvcc         bool
 
 	transport  TransportKind
 	listenAddr string
@@ -147,6 +148,25 @@ func WithLanes(n int) Option {
 func WithVerbBatching(on bool) Option {
 	return func(c *config) error {
 		c.verbBatching = on
+		return nil
+	}
+}
+
+// WithMVCC switches the stores to multi-version records and attaches a
+// cluster-shared commit clock: every commit-point apply (primary and
+// replica alike) is stamped with a commit timestamp, and procedures
+// registered ReadOnly execute on a lock-free snapshot path — they take
+// a stable snapshot timestamp, read committed versions without touching
+// any lock word, never conflict-abort, and issue zero network verbs for
+// partitions this coordinator holds locally (as primary or replica).
+// Writing procedures are unaffected and keep full serializability; the
+// snapshot path guarantees snapshot isolation for the read-only
+// transactions (see docs/MVCC.md). Simulation-only: over TransportTCP
+// the stores live in the node processes.
+func WithMVCC() Option {
+	return func(c *config) error {
+		c.mvcc = true
+		c.simOnly = append(c.simOnly, "WithMVCC")
 		return nil
 	}
 }

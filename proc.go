@@ -67,8 +67,9 @@ func Arg(i int) KeyFunc {
 // (dependencies, checks, co-location hints) and records it in procedure
 // order. Builder mistakes surface as an error from DB.Register.
 type Proc struct {
-	name string
-	ops  []*Op
+	name     string
+	ops      []*Op
+	readOnly bool
 }
 
 // Op is one operation of a procedure under construction.
@@ -95,6 +96,18 @@ func (p *Proc) add(t txn.OpType, table Table, key KeyFunc, mutate MutateFunc) *O
 // Read appends a shared-lock read of table at key.
 func (p *Proc) Read(table Table, key KeyFunc) *Op {
 	return p.add(txn.OpRead, table, key, nil)
+}
+
+// ReadOnly declares the procedure reads and never writes. Registration
+// fails if any operation is a write. On a DB opened WithMVCC, read-only
+// procedures execute on the lock-free snapshot path: a stable snapshot
+// timestamp, versioned reads with no lock words touched, no conflict
+// aborts, and zero network verbs for partitions held locally. Without
+// WithMVCC the declaration is accepted and the procedure runs on the
+// engine's normal locking path.
+func (p *Proc) ReadOnly() *Proc {
+	p.readOnly = true
+	return p
 }
 
 // Update appends a read-modify-write: the record is read under an
@@ -172,7 +185,7 @@ func (p *Proc) build() (*txn.Procedure, error) {
 	if p == nil {
 		return nil, fmt.Errorf("chiller: nil procedure")
 	}
-	out := &txn.Procedure{Name: p.name, Ops: make([]txn.OpSpec, len(p.ops))}
+	out := &txn.Procedure{Name: p.name, Ops: make([]txn.OpSpec, len(p.ops)), ReadOnly: p.readOnly}
 	for i, op := range p.ops {
 		out.Ops[i] = op.spec
 	}
