@@ -40,7 +40,7 @@ func TestInnerOuterBucketCollision(t *testing.T) {
 	}
 
 	// Find a cold destination sharing the hot source's bucket.
-	tbl := db.nodes[0].Store().Table(storage.TableID(tAccounts))
+	tbl := db.nodeList()[0].Store().Table(storage.TableID(tAccounts))
 	dst := int64(-1)
 	for k := int64(1); k < 100; k++ {
 		if tbl.BucketIndex(storage.Key(k)) == tbl.BucketIndex(0) {
@@ -63,7 +63,7 @@ func TestInnerOuterBucketCollision(t *testing.T) {
 		t.Errorf("balances = %d, %d; want 975, 1025", decBal(src), decBal(got))
 	}
 	db.drain()
-	for i, n := range db.nodes {
+	for i, n := range db.nodeList() {
 		if n.ActiveTxns() != 0 {
 			t.Errorf("node %d leaked participant state", i)
 		}
@@ -101,7 +101,7 @@ func TestInnerOuterBucketCollisionSharedUpgrade(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	tbl := db.nodes[0].Store().Table(storage.TableID(tAccounts))
+	tbl := db.nodeList()[0].Store().Table(storage.TableID(tAccounts))
 	coldKey := int64(-1)
 	for k := int64(1); k < 100; k++ {
 		if tbl.BucketIndex(storage.Key(k)) == tbl.BucketIndex(0) {
@@ -121,7 +121,7 @@ func TestInnerOuterBucketCollisionSharedUpgrade(t *testing.T) {
 		t.Errorf("hot balance = %d; want %d", decBal(src), 1000-1000%100)
 	}
 	db.drain()
-	for i, n := range db.nodes {
+	for i, n := range db.nodeList() {
 		if n.ActiveTxns() != 0 {
 			t.Errorf("node %d leaked participant state", i)
 		}

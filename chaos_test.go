@@ -99,7 +99,7 @@ func TestPartitionHealExecuteWithRetry(t *testing.T) {
 // (non-retryable — locks may be wedged) abort naming the node.
 func TestFailedCommitVerbSurfacesTyped(t *testing.T) {
 	db := openBank(t, 2, WithReplication(1), WithEngine(Engine2PL))
-	db.nodes[1].FaultInjector = func(verb string, _ uint64) error {
+	db.nodeList()[1].FaultInjector = func(verb string, _ uint64) error {
 		return fmt.Errorf("injected %s failure", verb)
 	}
 	_, err := db.Execute(context.Background(), "bank.transfer", 10, 150, 25)

@@ -41,10 +41,14 @@ type DB struct {
 	topo     *cluster.Topology
 	dir      *cluster.Directory
 	registry *txn.Registry
-	nodes    []*server.Node
-	engines  []cc.Engine
-	sampler  *stats.Sampler
-	wals     []*wal.Log // per-node write-ahead logs; empty without WithDurability
+	// nodes and engines are copy-on-write: AddNode swaps in a longer
+	// slice while Execute and the tooling paths read the old one
+	// lock-free, so cluster growth never stalls in-flight transactions.
+	nodes   atomic.Pointer[[]*server.Node]
+	engines atomic.Pointer[[]cc.Engine]
+	sampler *stats.Sampler
+	clock   *storage.Clock // MVCC commit clock; nil without WithMVCC
+	wals    []*wal.Log     // per-node write-ahead logs; empty without WithDurability
 	// recovered reports that Open found durable state under the
 	// WithDurability dir and replayed it into the stores; Load then
 	// yields to recovered values instead of overwriting them.
@@ -52,8 +56,19 @@ type DB struct {
 
 	next   atomic.Uint64 // round-robin coordinator choice
 	closed atomic.Bool
-	mu     sync.Mutex // serializes Close and Repartition
+	mu     sync.Mutex // serializes Close, Repartition, and membership changes
+
+	stopBg chan struct{}  // closed by Close to stop background loops
+	bg     sync.WaitGroup // MVCC GC + auto-repartition goroutines
 }
+
+// nodeList returns the current node slice. The slice is immutable once
+// published; callers may iterate it without holding db.mu.
+func (db *DB) nodeList() []*server.Node { return *db.nodes.Load() }
+
+// engineList returns the current engine slice (same publication rules
+// as nodeList).
+func (db *DB) engineList() []cc.Engine { return *db.engines.Load() }
 
 // Open assembles a cluster and returns the embedded database handle.
 // With no options it is a single-partition, single-replica deployment of
@@ -126,6 +141,9 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.fsync != (FsyncPolicy{}) && cfg.walDir == "" {
 		return nil, fmt.Errorf("chiller: WithFsyncPolicy requires WithDurability: %w", ErrBadConfig)
 	}
+	if cfg.autoRepartition > 0 && cfg.sampleRate <= 0 {
+		return nil, fmt.Errorf("chiller: WithAutoRepartition requires WithSampling: %w", ErrBadConfig)
+	}
 
 	if cfg.transport == TransportTCP {
 		return openTCP(cfg)
@@ -150,25 +168,25 @@ func Open(opts ...Option) (*DB, error) {
 	if cfg.sampleRate > 0 {
 		db.sampler = stats.NewSampler(cfg.sampleRate, cfg.seed+1)
 	}
-	var clock *storage.Clock
 	if cfg.mvcc {
 		// One commit clock shared by every node: timestamps are reserved
 		// at commit points and released once a transaction's applies have
 		// landed cluster-wide, so the clock's stable watermark is a
 		// consistent snapshot boundary for the whole deployment.
-		clock = storage.NewClock()
+		db.clock = storage.NewClock()
 	}
+	var nodes []*server.Node
 	for p := 0; p < cfg.partitions; p++ {
 		node := server.New(net.Endpoint(simfab.NodeID(p)), storage.NewStore(),
 			db.registry, dir, cluster.PartitionID(p))
 		if db.sampler != nil {
 			node.SetSampler(db.sampler)
 		}
-		if clock != nil {
+		if db.clock != nil {
 			// Before WAL recovery: SetClock flips the store to versioned
 			// records, so replay rebuilds version chains at their logged
 			// commit timestamps.
-			node.SetClock(clock)
+			node.SetClock(db.clock)
 		}
 		if cfg.walDir != "" {
 			// Recover-then-attach before the node registers verbs: any
@@ -185,8 +203,8 @@ func Open(opts ...Option) (*DB, error) {
 				var maxTS uint64
 				if maxTS, err = server.RecoverStore(node.Store(), rec); err != nil {
 					l.Close()
-				} else if clock != nil {
-					clock.AdvanceTo(maxTS)
+				} else if db.clock != nil {
+					db.clock.AdvanceTo(maxTS)
 				}
 			}
 			if err != nil {
@@ -201,28 +219,46 @@ func Open(opts ...Option) (*DB, error) {
 		}
 		occ.RegisterVerbs(node)
 		core.RegisterVerbs(node)
-		db.nodes = append(db.nodes, node)
+		nodes = append(nodes, node)
 	}
-	for _, n := range db.nodes {
-		var eng cc.Engine
-		switch cfg.engine {
-		case Engine2PL:
-			eng = twopl.New(n)
-		case EngineOCC:
-			eng = occ.New(n)
-		default:
-			chillerEng := core.New(n)
-			chillerEng.SetVerbBatching(cfg.verbBatching)
-			eng = chillerEng
-		}
-		if cfg.recorder != nil {
-			// WithHistoryRecorder: record every Run outcome at the
-			// engine boundary (reads observed, writes installed).
-			eng = history.Engine(eng, db.registry, cfg.recorder)
-		}
-		db.engines = append(db.engines, eng)
+	var engines []cc.Engine
+	for _, n := range nodes {
+		engines = append(engines, db.buildEngine(n))
+	}
+	db.nodes.Store(&nodes)
+	db.engines.Store(&engines)
+	db.stopBg = make(chan struct{})
+	if cfg.mvcc {
+		db.bg.Add(1)
+		go db.mvccGCLoop()
+	}
+	if cfg.autoRepartition > 0 {
+		db.bg.Add(1)
+		go db.autoRepartitionLoop()
 	}
 	return db, nil
+}
+
+// buildEngine constructs the configured concurrency-control engine for a
+// node, wrapped in the history recorder when one was requested.
+func (db *DB) buildEngine(n *server.Node) cc.Engine {
+	var eng cc.Engine
+	switch db.cfg.engine {
+	case Engine2PL:
+		eng = twopl.New(n)
+	case EngineOCC:
+		eng = occ.New(n)
+	default:
+		chillerEng := core.New(n)
+		chillerEng.SetVerbBatching(db.cfg.verbBatching)
+		eng = chillerEng
+	}
+	if db.cfg.recorder != nil {
+		// WithHistoryRecorder: record every Run outcome at the
+		// engine boundary (reads observed, writes installed).
+		eng = history.Engine(eng, db.registry, db.cfg.recorder)
+	}
+	return eng
 }
 
 // openTCP joins a chiller-node cluster as a coordinator-only client:
@@ -259,23 +295,11 @@ func openTCP(cfg config) (*DB, error) {
 	node := server.New(fab, storage.NewStore(), db.registry, dir, cluster.PartitionID(-1))
 	occ.RegisterVerbs(node)
 	core.RegisterVerbs(node)
-	db.nodes = append(db.nodes, node)
-
-	var eng cc.Engine
-	switch cfg.engine {
-	case Engine2PL:
-		eng = twopl.New(node)
-	case EngineOCC:
-		eng = occ.New(node)
-	default:
-		chillerEng := core.New(node)
-		chillerEng.SetVerbBatching(cfg.verbBatching)
-		eng = chillerEng
-	}
-	if cfg.recorder != nil {
-		eng = history.Engine(eng, db.registry, cfg.recorder)
-	}
-	db.engines = append(db.engines, eng)
+	nodes := []*server.Node{node}
+	engines := []cc.Engine{db.buildEngine(node)}
+	db.nodes.Store(&nodes)
+	db.engines.Store(&engines)
+	db.stopBg = make(chan struct{})
 	return db, nil
 }
 
@@ -295,11 +319,16 @@ func (db *DB) unsupported(op string) error {
 // the nodes' lane executors stop. Close is idempotent; after it every
 // other method returns ErrClosed.
 func (db *DB) Close() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	if db.closed.Swap(true) {
 		return nil
 	}
+	// Stop the background loops before taking db.mu: the auto-repartition
+	// loop acquires db.mu inside Repartition, so waiting for it while
+	// holding the lock would deadlock.
+	close(db.stopBg)
+	db.bg.Wait()
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.drain()
 	if db.net != nil {
 		db.net.Close()
@@ -307,7 +336,7 @@ func (db *DB) Close() error {
 	if db.fab != nil {
 		db.fab.Close()
 	}
-	for _, n := range db.nodes {
+	for _, n := range db.nodeList() {
 		n.Close()
 	}
 	// WALs close last: the nodes' lane executors have drained, so every
@@ -334,7 +363,7 @@ func (db *DB) CreateTable(t Table, buckets int) error {
 	if err := db.unsupported("CreateTable"); err != nil {
 		return err
 	}
-	for _, n := range db.nodes {
+	for _, n := range db.nodeList() {
 		n.Store().CreateTable(storage.TableID(t), buckets)
 	}
 	return nil
@@ -372,9 +401,10 @@ func (db *DB) Load(t Table, key Key, value []byte) error {
 	// No defensive copy needed: the store copies the value into fresh
 	// immutable storage on every Insert, so the caller's buffer is never
 	// aliased and may be reused immediately.
+	nodes := db.nodeList()
 	targets := append([]simfab.NodeID{db.topo.Primary(pid)}, db.topo.Replicas(pid)...)
 	for _, target := range targets {
-		tbl := db.nodes[int(target)].Store().Table(rid.Table)
+		tbl := nodes[int(target)].Store().Table(rid.Table)
 		if tbl == nil {
 			return fmt.Errorf("chiller: load into missing table %d (CreateTable first)", t)
 		}
@@ -393,7 +423,7 @@ func (db *DB) Load(t Table, key Key, value []byte) error {
 // drain joins every engine's outstanding background commit work (async
 // commit tails), after which the cluster's lock state is stable.
 func (db *DB) drain() {
-	for _, e := range db.engines {
+	for _, e := range db.engineList() {
 		if d, ok := e.(cc.Drainer); ok {
 			d.Drain()
 		}
@@ -414,7 +444,7 @@ func (db *DB) Get(t Table, key Key) ([]byte, error) {
 	}
 	db.drain()
 	rid := storage.RID{Table: storage.TableID(t), Key: storage.Key(key)}
-	tbl := db.nodes[int(db.topo.Primary(db.dir.Partition(rid)))].Store().Table(rid.Table)
+	tbl := db.nodeList()[int(db.topo.Primary(db.dir.Partition(rid)))].Store().Table(rid.Table)
 	if tbl == nil {
 		return nil, fmt.Errorf("chiller: table %d: %w", t, ErrNotFound)
 	}
@@ -469,7 +499,8 @@ func (db *DB) Execute(ctx context.Context, proc string, args ...int64) (Result, 
 	if db.registry.Lookup(proc) == nil {
 		return Result{}, fmt.Errorf("chiller: %q: %w", proc, ErrUnknownProc)
 	}
-	engine := db.engines[int(db.next.Add(1)%uint64(len(db.engines)))]
+	engines := db.engineList()
+	engine := engines[int(db.next.Add(1)%uint64(len(engines)))]
 	res := engine.Run(ctx, &txn.Request{Proc: proc, Args: txn.Args(args)})
 	if !res.Committed {
 		return Result{Distributed: res.Distributed}, abortError(ctx, proc, res)
@@ -566,13 +597,25 @@ func (db *DB) Repartition(ctx context.Context) (RepartitionReport, error) {
 	}
 
 	// Relocate hot records whose new home differs from their current
-	// partition: copy primary value out under the old routing, install
-	// the layout, then write every copy at the new home and delete the
-	// old ones. Load-time replicas of unmoved records are untouched.
+	// partition. The pass must not lose writes racing it: for each
+	// moving record the old primary bucket's lock word is held
+	// exclusively across the whole move, so concurrent writers hit a
+	// NO_WAIT conflict and retry instead of committing into the copy
+	// window; the value is re-read under that lock, the copies land at
+	// the new home BEFORE the layout flips routing to it, and the old
+	// copies are deleted only after the flip. Load-time replicas of
+	// unmoved records are untouched.
 	type move struct {
 		rid      storage.RID
 		val      []byte
 		from, to cluster.PartitionID
+	}
+	nodes := db.nodeList()
+	locked := map[*storage.Bucket]bool{}
+	unlockAll := func() {
+		for b := range locked {
+			b.Lock.Unlock(storage.LockExclusive)
+		}
 	}
 	var moves []move
 	for rid, newPID := range res.Layout.Hot {
@@ -580,38 +623,57 @@ func (db *DB) Repartition(ctx context.Context) (RepartitionReport, error) {
 		if oldPID == newPID {
 			continue
 		}
-		tbl := db.nodes[int(db.topo.Primary(oldPID))].Store().Table(rid.Table)
+		tbl := nodes[int(db.topo.Primary(oldPID))].Store().Table(rid.Table)
 		if tbl == nil {
 			continue
 		}
-		v, _, err := tbl.Bucket(rid.Key).Get(rid.Key)
+		b := tbl.Bucket(rid.Key)
+		// Two hot records can share a bucket; lock each bucket once.
+		for !locked[b] {
+			if !b.Lock.TryLock(storage.LockExclusive) {
+				if err := ctx.Err(); err != nil {
+					unlockAll()
+					return RepartitionReport{}, fmt.Errorf("chiller: repartition: %w", err)
+				}
+				time.Sleep(2 * time.Microsecond)
+				continue
+			}
+			locked[b] = true
+		}
+		v, _, err := b.Get(rid.Key)
 		if err != nil {
 			continue // sampled but since deleted
 		}
 		moves = append(moves, move{rid: rid, val: v, from: oldPID, to: newPID})
 	}
+	// Copies first: a transaction routed by the new layout the instant
+	// it installs must find its record already at the new home.
+	holds := make([]map[simfab.NodeID]bool, len(moves))
+	for i, m := range moves {
+		holds[i] = make(map[simfab.NodeID]bool)
+		for _, target := range append([]simfab.NodeID{db.topo.Primary(m.to)}, db.topo.Replicas(m.to)...) {
+			if tbl := nodes[int(target)].Store().Table(m.rid.Table); tbl != nil {
+				tbl.Bucket(m.rid.Key).Upsert(m.rid.Key, m.val)
+				holds[i][target] = true
+			}
+		}
+	}
 	res.Layout.Install(db.dir)
-	for _, m := range moves {
+	for i, m := range moves {
 		// With few nodes the old and new homes may share physical
 		// machines (a node primaries one partition and replicates
 		// another); delete only from nodes that hold no copy under the
 		// new placement.
-		holds := make(map[simfab.NodeID]bool)
-		for _, target := range append([]simfab.NodeID{db.topo.Primary(m.to)}, db.topo.Replicas(m.to)...) {
-			if tbl := db.nodes[int(target)].Store().Table(m.rid.Table); tbl != nil {
-				tbl.Bucket(m.rid.Key).Upsert(m.rid.Key, m.val)
-				holds[target] = true
-			}
-		}
 		for _, target := range append([]simfab.NodeID{db.topo.Primary(m.from)}, db.topo.Replicas(m.from)...) {
-			if holds[target] {
+			if holds[i][target] {
 				continue
 			}
-			if tbl := db.nodes[int(target)].Store().Table(m.rid.Table); tbl != nil {
+			if tbl := nodes[int(target)].Store().Table(m.rid.Table); tbl != nil {
 				_ = tbl.Bucket(m.rid.Key).Delete(m.rid.Key)
 			}
 		}
 	}
+	unlockAll()
 
 	return RepartitionReport{
 		SampledTxns:     len(samples),
@@ -619,4 +681,214 @@ func (db *DB) Repartition(ctx context.Context) (RepartitionReport, error) {
 		Moved:           len(moves),
 		LookupTableSize: db.dir.LookupTableSize(),
 	}, nil
+}
+
+// MVCC garbage collection cadence: the watermark trails the clock's
+// stable point by gcRetention timestamps so in-flight snapshot readers
+// keep their versions, and advances every gcInterval so version chains
+// stay bounded under long-running write workloads.
+const (
+	gcRetention = 1024
+	gcInterval  = 5 * time.Millisecond
+)
+
+// mvccGCLoop periodically raises every store's MVCC GC watermark to the
+// commit clock's stable point minus a retention window. Without it the
+// watermark only moved during WAL recovery, so version chains grew
+// without bound for the lifetime of the process.
+func (db *DB) mvccGCLoop() {
+	defer db.bg.Done()
+	t := time.NewTicker(gcInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.stopBg:
+			return
+		case <-t.C:
+			if w := db.clock.Stable(); w > gcRetention {
+				for _, n := range db.nodeList() {
+					n.Store().SetWatermark(w - gcRetention)
+				}
+			}
+		}
+	}
+}
+
+// autoRepartitionLoop runs a Repartition pass every WithAutoRepartition
+// interval. Passes are best-effort: one with no fresh samples (or one
+// racing Close) is skipped, not fatal.
+func (db *DB) autoRepartitionLoop() {
+	defer db.bg.Done()
+	t := time.NewTicker(db.cfg.autoRepartition)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.stopBg:
+			return
+		case <-t.C:
+			_, _ = db.Repartition(context.Background())
+		}
+	}
+}
+
+// AddNode grows the simulated cluster by one node and returns its ID.
+// The node starts empty — it primaries no partition — but is a full
+// cluster member: it mirrors the existing schema, joins the fabric, and
+// contributes a coordinator engine to Execute's round-robin. Hand it
+// data with MovePartition. Traffic keeps flowing during the call;
+// nothing is quiesced.
+func (db *DB) AddNode() (int, error) {
+	if db.closed.Load() {
+		return 0, ErrClosed
+	}
+	if err := db.unsupported("AddNode"); err != nil {
+		return 0, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	nodes := db.nodeList()
+	id := len(nodes)
+	st := storage.NewStore()
+	node := server.New(db.net.Endpoint(simfab.NodeID(id)), st,
+		db.registry, db.dir, cluster.PartitionID(-1))
+	if db.sampler != nil {
+		node.SetSampler(db.sampler)
+	}
+	if db.clock != nil {
+		node.SetClock(db.clock)
+	}
+	// Mirror the existing schema so handed-off ranges land in real
+	// tables with matching bucket counts rather than the tolerant
+	// replica-apply defaults.
+	if len(nodes) > 0 {
+		src := nodes[0].Store()
+		for _, tid := range src.Tables() {
+			if tbl := src.Table(tid); tbl != nil {
+				st.CreateTable(tid, tbl.NumBuckets())
+			}
+		}
+	}
+	if db.cfg.walDir != "" {
+		l, rec, err := wal.Recover(filepath.Join(db.cfg.walDir, fmt.Sprintf("node-%d", id)), db.cfg.lanes, wal.Policy{
+			FlushInterval: db.cfg.fsync.FlushInterval,
+			FlushBytes:    db.cfg.fsync.FlushBytes,
+			NoSync:        db.cfg.fsync.NoSync,
+			SnapshotBytes: db.cfg.fsync.SnapshotBytes,
+		})
+		if err == nil && !rec.Empty() {
+			var maxTS uint64
+			if maxTS, err = server.RecoverStore(st, rec); err != nil {
+				l.Close()
+			} else if db.clock != nil {
+				db.clock.AdvanceTo(maxTS)
+			}
+		}
+		if err != nil {
+			node.Close()
+			return 0, fmt.Errorf("chiller: durability for node %d: %w", id, err)
+		}
+		db.wals = append(db.wals, l)
+		node.SetWAL(l)
+	}
+	occ.RegisterVerbs(node)
+	core.RegisterVerbs(node)
+	grown := append(append([]*server.Node(nil), nodes...), node)
+	db.nodes.Store(&grown)
+	engines := append(append([]cc.Engine(nil), db.engineList()...), db.buildEngine(node))
+	db.engines.Store(&engines)
+	return id, nil
+}
+
+// MovePartition hands primary ownership of partition p to the given
+// node via the incremental handoff protocol (see docs/ELASTICITY.md):
+// the target warms up on the live replication stream while a backfill
+// copies the partition's records behind it, then a brief per-partition
+// fence drains pinned transactions and flips the routing. Transactions
+// caught mid-flight abort with ErrMoved and succeed on retry against
+// the new primary; no other partition is disturbed.
+func (db *DB) MovePartition(p int, node int) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := db.unsupported("MovePartition"); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	nodes := db.nodeList()
+	if p < 0 || p >= db.cfg.partitions {
+		return fmt.Errorf("chiller: no partition %d: %w", p, ErrBadConfig)
+	}
+	if node < 0 || node >= len(nodes) {
+		return fmt.Errorf("chiller: no node %d: %w", node, ErrBadConfig)
+	}
+	pid := cluster.PartitionID(p)
+	from := db.topo.Primary(pid)
+	if int(from) == node {
+		return nil
+	}
+	if err := nodes[int(from)].HandoffPartition(pid, transport.NodeID(node)); err != nil {
+		return fmt.Errorf("chiller: move partition %d: %w", p, err)
+	}
+	// Trim back to the configured replication degree. The demoted old
+	// primary sits in the last replica slot (the join appends the
+	// warming node, then the promotion swaps the old primary into the
+	// promoted node's slot), so dropping from the tail frees the old
+	// node first.
+	for {
+		reps := db.topo.Replicas(pid)
+		if len(reps) <= db.cfg.replication-1 {
+			return nil
+		}
+		if err := db.topo.RemoveReplica(pid, reps[len(reps)-1]); err != nil {
+			return fmt.Errorf("chiller: move partition %d: trim replicas: %w", p, err)
+		}
+	}
+}
+
+// RemoveNode retires a node from data ownership: every partition it
+// primaries is handed off to that partition's first synced replica (no
+// backfill needed — the replica already holds the data), and its
+// remaining replica slots are dropped. The node object stays alive as
+// an empty coordinator so in-flight transactions it started can finish;
+// it owns no data afterwards. Fails if a primaried partition has no
+// replica to absorb it.
+func (db *DB) RemoveNode(id int) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if err := db.unsupported("RemoveNode"); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	nodes := db.nodeList()
+	if id < 0 || id >= len(nodes) {
+		return fmt.Errorf("chiller: no node %d: %w", id, ErrBadConfig)
+	}
+	nid := transport.NodeID(id)
+	for _, part := range db.topo.Snapshot() {
+		if part.Primary != nid {
+			continue
+		}
+		reps := db.topo.Replicas(part.ID)
+		if len(reps) == 0 {
+			return fmt.Errorf("chiller: remove node %d: partition %d has no replica to absorb it: %w",
+				id, part.ID, ErrBadConfig)
+		}
+		if err := nodes[id].HandoffPartition(part.ID, reps[0]); err != nil {
+			return fmt.Errorf("chiller: remove node %d: partition %d: %w", id, part.ID, err)
+		}
+	}
+	for _, part := range db.topo.Snapshot() {
+		for _, r := range part.Replicas {
+			if r == nid {
+				if err := db.topo.RemoveReplica(part.ID, nid); err != nil {
+					return fmt.Errorf("chiller: remove node %d: %w", id, err)
+				}
+				break
+			}
+		}
+	}
+	return nil
 }

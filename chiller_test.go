@@ -129,7 +129,7 @@ func TestTypedErrors(t *testing.T) {
 
 	// Lock conflict: hold the bucket lock under the engine's feet.
 	rid := storage.RID{Table: storage.TableID(tAccounts), Key: 3}
-	bucket := db.nodes[int(db.dir.Partition(rid))].Store().Table(rid.Table).Bucket(rid.Key)
+	bucket := db.nodeList()[int(db.dir.Partition(rid))].Store().Table(rid.Table).Bucket(rid.Key)
 	if !bucket.Lock.TryLock(storage.LockExclusive) {
 		t.Fatal("setup: bucket already locked")
 	}
@@ -149,7 +149,7 @@ func TestRetryPolicy(t *testing.T) {
 
 	// A held lock makes every attempt fail: MaxAttempts bounds the loop.
 	rid := storage.RID{Table: storage.TableID(tAccounts), Key: 5}
-	bucket := db.nodes[0].Store().Table(rid.Table).Bucket(rid.Key)
+	bucket := db.nodeList()[0].Store().Table(rid.Table).Bucket(rid.Key)
 	if !bucket.Lock.TryLock(storage.LockExclusive) {
 		t.Fatal("setup: bucket already locked")
 	}
@@ -237,7 +237,7 @@ func TestCancelMidTransactionReleasesLocks(t *testing.T) {
 		t.Fatalf("post-cancel conflicting transfer: %v", err)
 	}
 	db.drain() // join async commit tails before inspecting lock state
-	for i, n := range db.nodes {
+	for i, n := range db.nodeList() {
 		if got := n.ActiveTxns(); got != 0 {
 			t.Errorf("node %d still holds %d transactions' participant state", i, got)
 		}
@@ -245,7 +245,7 @@ func TestCancelMidTransactionReleasesLocks(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	for i, n := range db.nodes {
+	for i, n := range db.nodeList() {
 		if got := n.ActiveTxns(); got != 0 {
 			t.Errorf("node %d lock table not empty after Close: %d txns", i, got)
 		}
@@ -289,7 +289,7 @@ func TestCancelTwoRegionMidOuterWave(t *testing.T) {
 	// record's home — so the engine coordinates locally instead of
 	// routing the whole transaction away (routed transactions execute
 	// remotely and are not cancellable mid-flight).
-	db.next.Store(uint64(len(db.engines)) - 1)
+	db.next.Store(uint64(len(db.engineList())) - 1)
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
@@ -304,7 +304,7 @@ func TestCancelTwoRegionMidOuterWave(t *testing.T) {
 		t.Fatalf("post-cancel transfer over same records: %v", err)
 	}
 	db.drain() // join async commit tails before inspecting lock state
-	for i, n := range db.nodes {
+	for i, n := range db.nodeList() {
 		if got := n.ActiveTxns(); got != 0 {
 			t.Errorf("node %d leaked %d transactions' locks", i, got)
 		}

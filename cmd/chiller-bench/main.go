@@ -59,6 +59,7 @@ var experiments = []experiment{
 	{"fig7ro", "read-heavy bank workload: MVCC snapshot reads vs the same reads on the locking path, open-loop window sweep", one(bench.Figure7ReadHeavy)},
 	{"fig10", "NewOrder+Payment throughput as the distributed fraction sweeps 0..100%", one(bench.Figure10)},
 	{"fig10fsync", "Figure 10 shape under durability: one Chiller series per WAL fsync policy (-fsync-policy)", one(bench.Figure10Fsync)},
+	{"churn", "bank throughput before/during/after a live node join with incremental partition handoff", one(bench.MembershipChurn)},
 	{"a1", "ablation: hot-record reordering alone vs reordering plus contention-aware placement", func(opt bench.Options) ([]*bench.Figure, error) {
 		f, err := bench.AblationReorderOnly(4, opt)
 		if err != nil {

@@ -53,21 +53,39 @@ func main() {
 		items       = flag.Int("items", 2000, "TPC-C items per warehouse; must match the bench client")
 		dataDir     = flag.String("data-dir", "", "directory for this node's write-ahead log; a restart with the same dir replays it, making acknowledged commits survive the process")
 		peerTimeout = flag.Duration("peer-timeout", 30*time.Second, "how long to wait for every peer to answer a ping at startup before exiting non-zero (0 = wait forever, the pre-probe behaviour)")
+		join        = flag.Bool("join", false, "join a running cluster as a new (initially empty) node instead of being a founding member; requires -id beyond the -peers list (IDs len(peers)+1 upward — len(peers) itself is conventionally the bench client) and an explicit -listen")
+		joinPart    = flag.Int("join-partition", -1, "with -join: partition to take over through the incremental handoff protocol once up (-1 joins without data)")
 	)
 	flag.Parse()
-	if err := run(*id, *listen, *peersFlag, *replication, *lanes, *batching, *customers, *items, *dataDir, *peerTimeout); err != nil {
+	if err := run(*id, *listen, *peersFlag, *replication, *lanes, *batching, *customers, *items, *dataDir, *peerTimeout, *join, *joinPart); err != nil {
 		fmt.Fprintln(os.Stderr, "chiller-node:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id int, listen, peersFlag string, replication, lanes int, batching bool, customers, items int, dataDir string, peerTimeout time.Duration) error {
+func run(id int, listen, peersFlag string, replication, lanes int, batching bool, customers, items int, dataDir string, peerTimeout time.Duration, join bool, joinPart int) error {
 	if peersFlag == "" {
 		return fmt.Errorf("-peers is required")
 	}
 	peers := strings.Split(peersFlag, ",")
-	if id < 0 || id >= len(peers) {
-		return fmt.Errorf("-id %d out of range for %d peers", id, len(peers))
+	if join {
+		// A joiner lives outside the founding peer list: its ID must not
+		// collide with a founder (0..len(peers)-1) or with the bench
+		// client's conventional ID (len(peers)).
+		if id <= len(peers) {
+			return fmt.Errorf("-join requires -id > %d (founders are 0..%d, %d is the bench client)",
+				len(peers), len(peers)-1, len(peers))
+		}
+		if listen == "" {
+			return fmt.Errorf("-join requires an explicit -listen (the joiner has no -peers entry)")
+		}
+	} else {
+		if joinPart >= 0 {
+			return fmt.Errorf("-join-partition requires -join")
+		}
+		if id < 0 || id >= len(peers) {
+			return fmt.Errorf("-id %d out of range for %d peers", id, len(peers))
+		}
 	}
 	if listen == "" {
 		listen = peers[id]
@@ -105,7 +123,14 @@ func run(id int, listen, peersFlag string, replication, lanes int, batching bool
 	}
 
 	st := storage.NewStore()
-	node := server.New(fab, st, reg, dir, cluster.PartitionID(id))
+	// A joiner primaries nothing at startup; ownership arrives through
+	// the handoff protocol and is tracked by the topology, not the home
+	// partition hint.
+	home := cluster.PartitionID(id)
+	if join {
+		home = cluster.PartitionID(-1)
+	}
+	node := server.New(fab, st, reg, dir, home)
 	defer node.Close()
 
 	recovered := false
@@ -156,6 +181,42 @@ func run(id int, listen, peersFlag string, replication, lanes int, batching bool
 	// the fabric listens, before "ready"), so mutual probing converges.
 	if err := probePeers(fab, nodes, id, peerTimeout); err != nil {
 		return err
+	}
+
+	if join {
+		// The cluster's layout may have churned since it started (earlier
+		// joins, promotions); adopt the current one before asking for a
+		// partition. The fetch also merges any node addresses this joiner's
+		// static -peers list lacks (other joiners).
+		payload, err := fab.Call(transport.NodeID(0), server.VerbTopoGet, nil)
+		if err != nil {
+			return fmt.Errorf("fetch topology from node 0: %w", err)
+		}
+		parts, addrMap, err := server.DecodeTopoPayload(payload)
+		if err != nil {
+			return fmt.Errorf("decode topology: %w", err)
+		}
+		if len(addrMap) > 0 {
+			fab.SetPeers(addrMap)
+		}
+		topo.Install(parts)
+
+		if joinPart >= 0 {
+			if joinPart >= nodes {
+				return fmt.Errorf("-join-partition %d out of range for %d partitions", joinPart, nodes)
+			}
+			// Ask the partition's current primary to run the incremental
+			// handoff: it streams commits to us while backfilling, fences,
+			// flushes, flips the topology, and broadcasts the new layout
+			// (to us first, so we name ourselves primary before re-routed
+			// traffic arrives). The call returns once we own the partition.
+			pid := cluster.PartitionID(joinPart)
+			req := server.EncodeHandoffReq(pid, transport.NodeID(id), fab.Addr())
+			if _, err := fab.Call(topo.Primary(pid), server.VerbHandoff, req); err != nil {
+				return fmt.Errorf("handoff of partition %d: %w", joinPart, err)
+			}
+			fmt.Printf("chiller-node %d: took partition %d via incremental handoff\n", id, joinPart)
+		}
 	}
 
 	// Stdout "ready" is the startup barrier scripts wait on; the dial

@@ -52,6 +52,12 @@ var (
 	// fresh-snapshot retry budget. Retryable: the next attempt takes a
 	// newer snapshot. Only possible under WithMVCC.
 	ErrStaleRead = errors.New("stale snapshot read")
+	// ErrMoved means the transaction addressed a node that no longer (or
+	// not yet) owns one of its partitions: a live membership change or a
+	// hot-record migration installed a new routing layout mid-flight.
+	// Retryable — the retry consults the updated directory and routes to
+	// the new owner. See docs/ELASTICITY.md.
+	ErrMoved = errors.New("partition moved")
 	// ErrUnknownProc means Execute named a procedure that was never
 	// registered.
 	ErrUnknownProc = errors.New("unknown procedure")
@@ -121,6 +127,8 @@ func (e *AbortError) Is(target error) bool {
 		return e.reason == txn.AbortUnreachable
 	case ErrStaleRead:
 		return e.reason == txn.AbortStaleRead
+	case ErrMoved:
+		return e.reason == txn.AbortMoved
 	}
 	return false
 }
@@ -142,11 +150,13 @@ func abortError(ctx context.Context, proc string, res txn.Result) error {
 // Retryable reports whether the error is a transient condition that a
 // retry with backoff may resolve: a NO_WAIT lock denial, an OCC
 // validation failure, an unreachable participant (the transaction
-// released everything before aborting; the network may heal), or a
-// stale snapshot read (the next attempt takes a fresher snapshot).
+// released everything before aborting; the network may heal), a stale
+// snapshot read (the next attempt takes a fresher snapshot), or a
+// stale-layout routing miss (the retry consults the new layout).
 // Plain internal errors, constraint violations, missing records,
 // unknown procedures, and cancellations are not retryable.
 func Retryable(err error) bool {
 	return errors.Is(err, ErrLockConflict) || errors.Is(err, ErrValidation) ||
-		errors.Is(err, ErrUnreachable) || errors.Is(err, ErrStaleRead)
+		errors.Is(err, ErrUnreachable) || errors.Is(err, ErrStaleRead) ||
+		errors.Is(err, ErrMoved)
 }

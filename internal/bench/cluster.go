@@ -424,6 +424,121 @@ func (c *Cluster) Quiesced() bool {
 	return true
 }
 
+// AddNode grows the cluster by one node (ID = len(Nodes), preserving
+// the NodeID-equals-slice-index invariant) wired onto the same fabric:
+// simnet endpoints are created on demand; over TCP a fresh fabric is
+// dialed in and the address book merged on every existing fabric. The
+// new node owns no partition — hand one off with MovePrimary. Tables
+// are not pre-created: the tolerant replica apply and WAL-replay
+// semantics create them on first backfill or stream message.
+func (c *Cluster) AddNode() (int, error) {
+	id := len(c.Nodes)
+	var ep transport.Endpoint
+	if c.Net != nil {
+		ep = c.Net.Endpoint(simfab.NodeID(id))
+	} else {
+		fab, err := tcpnet.New(tcpnet.Config{ID: transport.NodeID(id)})
+		if err != nil {
+			return 0, fmt.Errorf("bench: tcp fabric for node %d: %w", id, err)
+		}
+		addrs := c.fabrics[0].Peers()
+		addrs[transport.NodeID(id)] = fab.Addr()
+		fab.SetPeers(addrs)
+		for _, f := range c.fabrics {
+			f.SetPeers(map[transport.NodeID]string{transport.NodeID(id): fab.Addr()})
+		}
+		c.fabrics = append(c.fabrics, fab)
+		ep = fab
+	}
+	st := storage.NewStore()
+	node := server.New(ep, st, c.Registry, c.Dir, cluster.PartitionID(-1))
+	if c.Sampler != nil {
+		node.SetSampler(c.Sampler)
+	}
+	if c.Cfg.WALDir != "" {
+		l, err := wal.Open(filepath.Join(c.Cfg.WALDir, fmt.Sprintf("node-%d", id)), c.Cfg.Lanes, c.Cfg.WALPolicy)
+		if err != nil {
+			return 0, fmt.Errorf("bench: wal for node %d: %w", id, err)
+		}
+		c.wals = append(c.wals, l)
+		node.SetWAL(l)
+	}
+	if c.Clock != nil {
+		node.SetClock(c.Clock)
+	}
+	occ.RegisterVerbs(node)
+	core.RegisterVerbs(node)
+	c.Nodes = append(c.Nodes, node)
+	c.engines[Engine2PL] = append(c.engines[Engine2PL], twopl.New(node))
+	c.engines[EngineOCC] = append(c.engines[EngineOCC], occ.New(node))
+	chiller := core.New(node)
+	chiller.SetVerbBatching(c.Cfg.VerbBatching)
+	c.engines[EngineChiller] = append(c.engines[EngineChiller], chiller)
+	return id, nil
+}
+
+// MovePrimary hands partition pid off to node `to` — an existing
+// replica (no backfill; the streams kept it synced) or a freshly added
+// node (backfilled over the same streams) — while traffic keeps
+// committing (docs/ELASTICITY.md). When the move grew the partition's
+// copy count past the configured replication degree (a warming joiner
+// became a replica and then primary), the demoted old primary is
+// dropped from the replica set: that is the point of scaling out — the
+// old node's capacity is freed, and the remaining replicas still
+// satisfy the configured degree.
+func (c *Cluster) MovePrimary(pid cluster.PartitionID, to int) error {
+	from := int(c.Topo.Primary(pid))
+	if from == to {
+		return nil
+	}
+	if err := c.Nodes[from].HandoffPartition(pid, transport.NodeID(to)); err != nil {
+		return err
+	}
+	for {
+		reps := c.Topo.Replicas(pid)
+		if len(reps) <= c.Cfg.Replication-1 {
+			return nil
+		}
+		if err := c.Topo.RemoveReplica(pid, reps[len(reps)-1]); err != nil {
+			return err
+		}
+	}
+}
+
+// RemoveNode drains node id out of the topology: every partition it
+// primaries is handed to one of that partition's synced replicas (no
+// backfill — fence, drain, flush, flip), then every replica slot it
+// still holds is dropped. The node object stays alive but idle
+// afterwards (in-process clusters cannot reap a goroutine set that
+// stragglers may still message), which is also what keeps the handoff
+// safe: in-flight stream messages to it are acknowledged, not lost.
+func (c *Cluster) RemoveNode(id int) error {
+	nid := transport.NodeID(id)
+	for _, part := range c.Topo.Snapshot() {
+		if part.Primary != nid {
+			continue
+		}
+		reps := c.Topo.Replicas(part.ID)
+		if len(reps) == 0 {
+			return fmt.Errorf("bench: partition %d has no replica to absorb node %d's primary role", part.ID, id)
+		}
+		if err := c.Nodes[id].HandoffPartition(part.ID, reps[0]); err != nil {
+			return err
+		}
+	}
+	for _, part := range c.Topo.Snapshot() {
+		for _, r := range part.Replicas {
+			if r == nid {
+				if err := c.Topo.RemoveReplica(part.ID, nid); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
 // VerifyReplicaConsistency compares, for every partition with replicas,
 // each table's records between primary and replica stores. It returns
 // the number of mismatching records (0 means consistent). Call only on a

@@ -821,3 +821,87 @@ func AblationLatency(parts int, opt Options) (*Figure, error) {
 	}
 	return fig, nil
 }
+
+// MembershipChurn measures throughput across a live membership change:
+// the bank transfer mix on a 3-partition cluster, sampled in three equal
+// windows — steady state, a window during which a new node joins and
+// takes over partition 0 through the incremental handoff protocol, and
+// steady state on the grown cluster. Clients retry moved-aborts, so the
+// "during" window quantifies the handoff's cost without any global
+// quiesce: the paper-faithful outcome is a dip bounded by the fenced
+// partition's share, never a stall to zero.
+func MembershipChurn(opt Options) (*Figure, error) {
+	const parts = 3
+	const accounts = 500
+	fig := &Figure{
+		Name:         "Membership churn",
+		Title:        "Throughput across a live node join (bank transfers)",
+		XLabel:       "phase (0=before, 1=during handoff, 2=after)",
+		YLabel:       "txns/sec",
+		Lanes:        opt.laneCount(),
+		VerbBatching: opt.VerbBatching,
+	}
+	for _, kind := range []EngineKind{Engine2PL, EngineChiller} {
+		b := &Bank{
+			AccountsPerPartition: accounts,
+			HotProb:              0.2,
+			RemoteProb:           0.3,
+		}
+		c := NewCluster(ClusterConfig{
+			Partitions:   parts,
+			Replication:  opt.Replication,
+			Latency:      opt.Latency,
+			Seed:         opt.Seed,
+			Lanes:        opt.laneCount(),
+			VerbBatching: opt.VerbBatching,
+		}, cluster.RangePartitioner{
+			N:      parts,
+			MaxKey: map[storage.TableID]storage.Key{BankTable: storage.Key(parts * accounts)},
+		})
+		if err := SetupBank(c, b, true); err != nil {
+			c.Close()
+			return nil, err
+		}
+		run := func() *Metrics {
+			return c.Run(b, RunConfig{
+				Engine:         kind,
+				Concurrency:    opt.Concurrency,
+				Duration:       opt.Duration,
+				Retry:          true,
+				WarmupFraction: 0.25,
+				Seed:           opt.Seed,
+			})
+		}
+
+		before := run()
+		fig.Add(string(kind), 0, before.Throughput())
+		fig.AddAborts(string(kind), before)
+
+		// The churn overlaps the measured window: wait out the warmup
+		// quarter, then add a node and hand it partition 0 while clients
+		// keep issuing transfers against the moving range.
+		churnErr := make(chan error, 1)
+		go func() {
+			time.Sleep(opt.Duration / 4)
+			id, err := c.AddNode()
+			if err != nil {
+				churnErr <- err
+				return
+			}
+			churnErr <- c.MovePrimary(cluster.PartitionID(0), id)
+		}()
+		during := run()
+		if err := <-churnErr; err != nil {
+			c.Close()
+			return nil, err
+		}
+		fig.Add(string(kind), 1, during.Throughput())
+		fig.AddAborts(string(kind), during)
+
+		after := run()
+		fig.Add(string(kind), 2, after.Throughput())
+		fig.AddAborts(string(kind), after)
+		c.Close()
+	}
+	return fig, nil
+}

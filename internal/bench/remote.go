@@ -126,6 +126,55 @@ func (rc *RemoteClient) Engine(kind EngineKind) cc.Engine {
 	return rc.engines[kind]
 }
 
+// RefreshTopology fetches the cluster's current layout from node 0 and
+// installs it into the client's topology, merging any node addresses
+// the client's static peer list lacks (nodes that joined after it
+// connected). Nodes cannot push layout changes to the client — they
+// have no dialable address for it — so a client that must survive
+// membership churn polls (see WatchTopology).
+func (rc *RemoteClient) RefreshTopology() error {
+	payload, err := rc.fab.Call(transport.NodeID(0), server.VerbTopoGet, nil)
+	if err != nil {
+		return fmt.Errorf("bench: fetch topology: %w", err)
+	}
+	parts, addrs, err := server.DecodeTopoPayload(payload)
+	if err != nil {
+		return fmt.Errorf("bench: decode topology: %w", err)
+	}
+	if len(addrs) > 0 {
+		rc.fab.SetPeers(addrs)
+	}
+	rc.Topo.Install(parts)
+	return nil
+}
+
+// WatchTopology polls RefreshTopology every interval (default 100ms)
+// until the returned stop func is called, so the client follows live
+// node joins and partition handoffs: a transaction aborted with the
+// moved reason retries against the refreshed layout. Safe to call once
+// per client; errors (a node mid-restart) leave the previous layout in
+// place and are retried next tick.
+func (rc *RemoteClient) WatchTopology(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				_ = rc.RefreshTopology()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // Drain joins outstanding background commit tails on the client.
 func (rc *RemoteClient) Drain() {
 	for _, e := range rc.engines {
@@ -323,6 +372,13 @@ func Figure10Remote(opt Options, peers []string) (*Figure, error) {
 		return nil, err
 	}
 	tpcc.MarkHot(rc.Dir, tcfg)
+	// Adopt the cluster's current layout and follow it for the sweep's
+	// duration: the CI churn job live-adds a node mid-sweep, and the
+	// client must route to whoever primaries each partition now.
+	if err := rc.RefreshTopology(); err != nil {
+		return nil, err
+	}
+	defer rc.WatchTopology(100 * time.Millisecond)()
 
 	fig := &Figure{
 		Name:         "Figure 10 (tcp)",

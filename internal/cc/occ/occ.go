@@ -199,13 +199,17 @@ func handleValidate(n *server.Node, req []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	ok := validateLocal(n, v)
-	w := wire.NewWriter(1)
+	ok, reason := validateLocal(n, v)
+	w := wire.NewWriter(2)
 	w.Bool(ok)
+	// The failure reason rides along so the coordinator can distinguish a
+	// retryable stale-layout abort (AbortMoved, a handoff flipped the
+	// partition mid-validate) from a genuine validation conflict.
+	w.Uint8(uint8(reason))
 	return w.Bytes(), nil
 }
 
-func validateLocal(n *server.Node, v *validateReq) bool {
+func validateLocal(n *server.Node, v *validateReq) (bool, txn.AbortReason) {
 	switch v.phase {
 	case phaseLock:
 		entries := make([]server.LockEntry, 0, len(v.writeKeys))
@@ -216,12 +220,15 @@ func validateLocal(n *server.Node, v *validateReq) bool {
 			})
 		}
 		resp := n.LockReadLocal(v.txnID, entries)
-		return resp.OK
+		if !resp.OK {
+			return false, resp.Reason
+		}
+		return true, txn.AbortNone
 	case phaseCheck:
 		for i, k := range v.readKeys {
 			tbl := n.Store().Table(k.Table)
 			if tbl == nil {
-				return false
+				return false, txn.AbortValidation
 			}
 			b := tbl.Bucket(k.Key)
 			cur, err := b.Version(k.Key)
@@ -229,7 +236,7 @@ func validateLocal(n *server.Node, v *validateReq) bool {
 				cur = 0
 			}
 			if cur != v.versions[i] {
-				return false
+				return false, txn.AbortValidation
 			}
 			// An unchanged version is not enough: a concurrent writer
 			// past its lock phase (1) holds this bucket exclusively and
@@ -245,13 +252,13 @@ func validateLocal(n *server.Node, v *validateReq) bool {
 				continue
 			}
 			if !b.Lock.TryLock(storage.LockShared) {
-				return false
+				return false, txn.AbortValidation
 			}
 			b.Lock.Unlock(storage.LockShared)
 		}
-		return true
+		return true, txn.AbortNone
 	}
-	return false
+	return false, txn.AbortInternal
 }
 
 // --- coordinator engine ---
@@ -373,7 +380,7 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 			keys = append(keys, storage.RID{Table: w.Table, Key: w.Key})
 		}
 		v := &validateReq{txnID: txnID, phase: phaseLock, writeKeys: keys}
-		ok, err := e.validateAt(target, v)
+		ok, reason, err := e.validateAt(target, v)
 		if err != nil {
 			n.AbortAll(lockedNodes, txnID)
 			return txn.Result{
@@ -385,7 +392,10 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 		lockedNodes[target] = true
 		if !ok {
 			n.AbortAll(lockedNodes, txnID)
-			return txn.Result{Reason: txn.AbortValidation, Distributed: distributed}
+			if reason == txn.AbortNone {
+				reason = txn.AbortValidation
+			}
+			return txn.Result{Reason: reason, Distributed: distributed}
 		}
 	}
 
@@ -396,10 +406,13 @@ func (e *Engine) Run(ctx context.Context, req *txn.Request) txn.Result {
 		for _, rid := range rids {
 			v.versions = append(v.versions, versions[rid])
 		}
-		ok, err := e.validateAt(target, v)
+		ok, vreason, err := e.validateAt(target, v)
 		if err != nil || !ok {
 			n.AbortAll(lockedNodes, txnID)
-			reason, detail := txn.AbortValidation, ""
+			reason, detail := vreason, ""
+			if reason == txn.AbortNone {
+				reason = txn.AbortValidation
+			}
 			if err != nil {
 				reason = server.TransportAbortReason(err)
 				detail = fmt.Sprintf("validate at node %d: %v", target, err)
@@ -476,15 +489,17 @@ func (e *Engine) readOne(target transport.NodeID, opID int, rid storage.RID, mus
 	return rr
 }
 
-func (e *Engine) validateAt(target transport.NodeID, v *validateReq) (bool, error) {
+func (e *Engine) validateAt(target transport.NodeID, v *validateReq) (bool, txn.AbortReason, error) {
 	if target == e.node.ID() {
-		return validateLocal(e.node, v), nil
+		ok, reason := validateLocal(e.node, v)
+		return ok, reason, nil
 	}
 	raw, err := e.node.Endpoint().Call(target, verbValidate, v.encode())
 	if err != nil {
-		return false, err
+		return false, txn.AbortNone, err
 	}
 	r := wire.NewReader(raw)
 	ok := r.Bool()
-	return ok, r.Err()
+	reason := txn.AbortReason(r.Uint8())
+	return ok, reason, r.Err()
 }

@@ -113,7 +113,10 @@ func TestValidationWriteLockConflict(t *testing.T) {
 	defer b.Lock.Unlock(storage.LockExclusive)
 	e := occ.New(node)
 	res := e.Run(context.Background(), &txn.Request{Proc: bench.BankTransferProc, Args: txn.Args{3, 4, 1}})
-	if res.Committed || res.Reason != txn.AbortValidation {
+	// The validate response now carries the participant's precise abort
+	// reason: a write-lock conflict reports as lock-conflict rather than
+	// the catch-all validation reason.
+	if res.Committed || res.Reason != txn.AbortLockConflict {
 		t.Fatalf("res = %+v", res)
 	}
 	if !c.Quiesced() {

@@ -111,6 +111,16 @@ type Config struct {
 	// at the new primary, and the recovered node rejoins as a replica.
 	// Requires Crash and Replication >= 2.
 	Promote bool
+	// Elastic runs a membership-change schedule concurrently with the
+	// workload: a fresh node joins mid-phase and receives a seeded-random
+	// partition through the incremental handoff protocol (warming stream
+	// + backfill + fenced cutover — see docs/ELASTICITY.md), serves it
+	// under live traffic, hands it back, and is retired. Clients caught
+	// at a cutover see retryable moved-aborts and must stay within their
+	// retry budget; after the run a lost-key oracle asserts every loaded
+	// key is still present at its current primary (Result.LostKeys).
+	// Works over both transports; incompatible with Crash.
+	Elastic bool
 	// WALDir roots the per-node logs when Crash is set; empty uses a
 	// fresh temp dir, removed when the run ends.
 	WALDir string
@@ -181,6 +191,13 @@ type Result struct {
 	LostCommits int
 	// CrashedNode is the node the crash schedule hit (-1 when none).
 	CrashedNode int
+	// LostKeys counts loaded keys absent from their current primary
+	// after the membership schedule settled — each one is a record the
+	// handoff dropped. Always 0 without Config.Elastic.
+	LostKeys int
+	// ElasticNode is the node the membership schedule added (-1 when
+	// none).
+	ElasticNode int
 }
 
 // Err folds every end-of-run assertion into one error: the history must
@@ -197,6 +214,9 @@ func (r *Result) Err() error {
 	}
 	if r.LostCommits != 0 {
 		return fmt.Errorf("check: %d lost acknowledged commits (recovered state diverged from pre-crash state)", r.LostCommits)
+	}
+	if r.LostKeys != 0 {
+		return fmt.Errorf("check: %d keys missing from their primary after handoff", r.LostKeys)
 	}
 	if r.ReplicaMismatches != 0 {
 		return fmt.Errorf("check: %d replica mismatches after quiesce", r.ReplicaMismatches)
@@ -221,6 +241,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Promote && (!cfg.Crash || cfg.Replication < 2) {
 		return nil, fmt.Errorf("check: Promote requires Crash and Replication >= 2")
+	}
+	if cfg.Elastic && cfg.Crash {
+		return nil, fmt.Errorf("check: Elastic and Crash schedules cannot combine")
 	}
 
 	var plan *simfab.FaultPlan
@@ -401,7 +424,24 @@ func Run(cfg Config) (*Result, error) {
 		return false
 	}
 
+	// The membership schedule runs concurrently with phase-0 clients (and
+	// any fault windows): the whole point is that handoff happens under
+	// live traffic, with no global quiesce.
+	var memberWG sync.WaitGroup
+	var memberErr error
+	elasticNode := -1
+	if cfg.Elastic {
+		memberWG.Add(1)
+		go func() {
+			defer memberWG.Done()
+			elasticNode, memberErr = membershipChurn(cfg, c)
+		}()
+	}
 	runPhase(0, engines)
+	memberWG.Wait()
+	if memberErr != nil {
+		return nil, memberErr
+	}
 	quiesced := settle()
 
 	crashed := -1
@@ -433,6 +473,25 @@ func Run(cfg Config) (*Result, error) {
 		quiesced = settle()
 	}
 
+	// Lost-key oracle: after the cluster settles, every loaded key must
+	// still be present at whichever node the directory now names as its
+	// primary — a key the handoff dropped (backfill missed it, or the
+	// cutover raced a commit into the void) shows up here.
+	lostKeys := 0
+	if cfg.Elastic {
+		for k := storage.Key(0); k < maxKey; k++ {
+			pid := c.Dir.Partition(storage.RID{Table: CheckTable, Key: k})
+			tbl := c.Nodes[int(c.Topo.Primary(pid))].Store().Table(CheckTable)
+			if tbl == nil {
+				lostKeys++
+				continue
+			}
+			if _, _, gerr := tbl.Bucket(k).Get(k); gerr != nil {
+				lostKeys++
+			}
+		}
+	}
+
 	res := &Result{
 		Recorder:          rec,
 		Committed:         int(committed.Load()),
@@ -442,6 +501,8 @@ func Run(cfg Config) (*Result, error) {
 		Quiesced:          quiesced,
 		LostCommits:       lost,
 		CrashedNode:       crashed,
+		LostKeys:          lostKeys,
+		ElasticNode:       elasticNode,
 	}
 	if cfg.MVCC {
 		res.SI = SnapshotIsolation(rec.Txns(), Options{IsInitial: IsInitialVal})
@@ -532,11 +593,43 @@ func crashAndRecover(cfg Config, c *bench.Cluster, maxKey storage.Key) (victim, 
 	}
 
 	if cfg.Promote {
-		if !c.Topo.Promote(cluster.PartitionID(v), promoteTo) {
-			return v, lost, fmt.Errorf("check: promote partition %d to node %d failed", v, promoteTo)
+		if err := c.Topo.Promote(cluster.PartitionID(v), promoteTo); err != nil {
+			return v, lost, fmt.Errorf("check: %w", err)
 		}
 	}
 	return v, lost, nil
+}
+
+// membershipChurn is the elastic schedule, run concurrently with
+// phase-0 clients: grow the cluster by one node, hand it a
+// seeded-random partition via the incremental handoff protocol, let it
+// serve as primary under live traffic, hand the partition back, and
+// retire the node. Every step runs against open-loop client load;
+// transactions caught at a cutover abort with the retryable moved
+// reason and re-route on retry.
+func membershipChurn(cfg Config, c *bench.Cluster) (int, error) {
+	// Let traffic build before the join so the warming stream and the
+	// backfill genuinely race live commits.
+	time.Sleep(500 * time.Microsecond)
+	id, err := c.AddNode()
+	if err != nil {
+		return -1, fmt.Errorf("check: add node: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x0317))
+	pid := cluster.PartitionID(rng.Intn(cfg.Partitions))
+	old := int(c.Topo.Primary(pid))
+	if err := c.MovePrimary(pid, id); err != nil {
+		return id, fmt.Errorf("check: handoff partition %d to node %d: %w", pid, id, err)
+	}
+	// Serve a stretch of the workload as the partition's primary.
+	time.Sleep(time.Millisecond)
+	if err := c.MovePrimary(pid, old); err != nil {
+		return id, fmt.Errorf("check: hand partition %d back to node %d: %w", pid, old, err)
+	}
+	if err := c.RemoveNode(id); err != nil {
+		return id, fmt.Errorf("check: remove node %d: %w", id, err)
+	}
+	return id, nil
 }
 
 func sleepOrStop(stop <-chan struct{}, d time.Duration) bool {

@@ -22,6 +22,7 @@ type cell struct {
 	crash     bool   // crash-restart schedule (WAL recovery between phases)
 	promote   bool   // additionally promote the crashed partition to a replica
 	mvcc      bool   // versioned stores; read-only slice on the snapshot path
+	elastic   bool   // live node add/remove with incremental handoff mid-run
 }
 
 func matrixCells() []cell {
@@ -83,6 +84,16 @@ func matrixCells() []cell {
 		cell{name: "mvcc-tcp-chiller", engine: bench.EngineChiller, batched: true, lanes: 1, transport: bench.TransportTCP, mvcc: true},
 		cell{name: "mvcc-crash-chiller", engine: bench.EngineChiller, batched: true, lanes: 2, crash: true, mvcc: true},
 	)
+	// Elastic cells: a node joins mid-run, takes a partition through the
+	// incremental handoff protocol under live traffic (and, on simnet,
+	// under the default fault schedule), serves it, hands it back, and
+	// is retired. The history must still check serializable, replicas
+	// must converge on the post-churn topology, and the lost-key oracle
+	// must find every loaded key at its current primary.
+	cells = append(cells,
+		cell{name: "elastic-chiller-batched", engine: bench.EngineChiller, batched: true, lanes: 2, elastic: true},
+		cell{name: "elastic-tcp-chiller", engine: bench.EngineChiller, batched: true, lanes: 1, transport: bench.TransportTCP, elastic: true},
+	)
 	return cells
 }
 
@@ -141,6 +152,7 @@ func TestCheckerMatrix(t *testing.T) {
 					Crash:        c.crash,
 					Promote:      c.promote,
 					MVCC:         c.mvcc,
+					Elastic:      c.elastic,
 				})
 				if err != nil {
 					t.Fatalf("run %d (seed %d): harness: %v", run, seed, err)
@@ -172,7 +184,7 @@ func TestCheckerMatrixNoFaults(t *testing.T) {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			t.Parallel()
-			res, err := Run(Config{Engine: c.engine, VerbBatching: c.batched, Transport: c.transport, Lanes: c.lanes, Seed: seed, Crash: c.crash, Promote: c.promote, MVCC: c.mvcc})
+			res, err := Run(Config{Engine: c.engine, VerbBatching: c.batched, Transport: c.transport, Lanes: c.lanes, Seed: seed, Crash: c.crash, Promote: c.promote, MVCC: c.mvcc, Elastic: c.elastic})
 			if err != nil {
 				t.Fatalf("harness: %v", err)
 			}

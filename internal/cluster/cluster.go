@@ -11,12 +11,15 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/chillerdb/chiller/internal/storage"
 	"github.com/chillerdb/chiller/internal/transport"
+	"github.com/chillerdb/chiller/internal/wire"
 )
 
 // DefaultLanes derives the per-node execution-lane count from the host
@@ -39,10 +42,17 @@ func DefaultLanes() int {
 // PartitionID identifies a horizontal partition.
 type PartitionID int32
 
-// Topology describes where partitions live.
+// Topology describes where partitions live. Reads are lock-free —
+// accessors load an immutable snapshot through an atomic pointer, so
+// the per-message routing cost stays a single pointer load — while
+// mutators (promotion, warming-replica bookkeeping, membership changes)
+// clone the snapshot under an internal mutex and publish the result
+// atomically. A reader therefore always sees a consistent layout,
+// possibly one mutation stale; engines absorb that staleness with the
+// AbortMoved retry path (see docs/ELASTICITY.md).
 type Topology struct {
-	// Partitions[i] describes partition i.
-	Partitions []PartitionInfo
+	mu   sync.Mutex
+	view atomic.Pointer[[]PartitionInfo]
 }
 
 // PartitionInfo names the primary node and replica nodes of one partition.
@@ -50,7 +60,26 @@ type PartitionInfo struct {
 	ID       PartitionID
 	Primary  transport.NodeID
 	Replicas []transport.NodeID
+	// Warming names nodes receiving this partition's backfill during a
+	// live handoff: the primary streams every commit to them (so writes
+	// concurrent with the backfill land in order), but they do not yet
+	// count as synced replicas — snapshot reads, replica-consistency
+	// checks, and promotion skip them until CommitWarming flips them
+	// into Replicas.
+	Warming []transport.NodeID
 }
+
+// Typed topology-mutation failures, matchable with errors.Is.
+var (
+	// ErrUnknownPartition means the partition ID was out of range.
+	ErrUnknownPartition = errors.New("unknown partition")
+	// ErrNotReplica means the named node holds no replica of the
+	// partition (promotion and replica removal require one).
+	ErrNotReplica = errors.New("node is not a replica of the partition")
+	// ErrNotWarming means the named node was not warming for the
+	// partition (CommitWarming requires a prior AddWarming).
+	ErrNotWarming = errors.New("node is not warming for the partition")
+)
 
 // NewTopology builds a topology with n partitions, partition i primaried
 // on node i, and replicationDegree-1 replicas placed on the following
@@ -60,67 +89,324 @@ func NewTopology(n int, replicationDegree int) *Topology {
 	if replicationDegree < 1 {
 		replicationDegree = 1
 	}
-	t := &Topology{Partitions: make([]PartitionInfo, n)}
+	parts := make([]PartitionInfo, n)
 	for i := 0; i < n; i++ {
 		info := PartitionInfo{ID: PartitionID(i), Primary: transport.NodeID(i)}
 		for r := 1; r < replicationDegree && n > 1; r++ {
 			info.Replicas = append(info.Replicas, transport.NodeID((i+r)%n))
 		}
-		t.Partitions[i] = info
+		parts[i] = info
 	}
+	t := &Topology{}
+	t.view.Store(&parts)
 	return t
 }
 
-// NumPartitions returns the partition count.
-func (t *Topology) NumPartitions() int { return len(t.Partitions) }
+func (t *Topology) load() []PartitionInfo { return *t.view.Load() }
+
+// mutate runs fn over a shallow clone of the current snapshot under the
+// mutation lock and publishes whatever it returns. fn must not modify
+// the inner Replicas/Warming slices in place (they are shared with the
+// published snapshot); it replaces the whole PartitionInfo entry with
+// fresh slices instead.
+func (t *Topology) mutate(fn func(parts []PartitionInfo) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cur := t.load()
+	next := make([]PartitionInfo, len(cur))
+	copy(next, cur)
+	if err := fn(next); err != nil {
+		return err
+	}
+	t.view.Store(&next)
+	return nil
+}
+
+// NumPartitions returns the partition count (fixed for the lifetime of
+// the cluster — elasticity moves partitions between nodes, it does not
+// split them).
+func (t *Topology) NumPartitions() int { return len(t.load()) }
 
 // Primary returns the primary node of partition p.
 func (t *Topology) Primary(p PartitionID) transport.NodeID {
-	return t.Partitions[p].Primary
+	return t.load()[p].Primary
 }
 
-// Replicas returns the replica nodes of partition p.
+// Replicas returns the synced replica nodes of partition p (excluding
+// any warming nodes still being backfilled). The returned slice is a
+// live view of an immutable snapshot; callers must not modify it.
 func (t *Topology) Replicas(p PartitionID) []transport.NodeID {
-	return t.Partitions[p].Replicas
+	return t.load()[p].Replicas
+}
+
+// Warming returns the nodes currently being backfilled for partition p.
+func (t *Topology) Warming(p PartitionID) []transport.NodeID {
+	return t.load()[p].Warming
+}
+
+// StreamTargets returns every node the primary of partition p must
+// stream commits to: the synced replicas plus any warming nodes. The
+// two sets come from one snapshot, so a concurrent CommitWarming can
+// never make a commit miss the flipping node.
+func (t *Topology) StreamTargets(p PartitionID) []transport.NodeID {
+	info := t.load()[p]
+	if len(info.Warming) == 0 {
+		return info.Replicas
+	}
+	out := make([]transport.NodeID, 0, len(info.Replicas)+len(info.Warming))
+	out = append(out, info.Replicas...)
+	out = append(out, info.Warming...)
+	return out
 }
 
 // Promote makes the given replica of partition p its primary, demoting
 // the old primary to the replica slot — the recovery protocol's answer
-// to a primary dying: replication strictly precedes every commit wave
-// (outer writes relay through the primary's FIFO streams, inner commits
-// stream before applying), so a replica holds every acknowledged commit
-// and can serve the partition the moment routing flips. It reports
-// whether node was actually a replica of p.
+// to a primary dying, and the cutover step of a live handoff:
+// replication strictly precedes every commit wave (outer writes relay
+// through the primary's FIFO streams, inner commits stream before
+// applying), so a replica holds every acknowledged commit and can serve
+// the partition the moment routing flips.
 //
-// Topology is read lock-free on every message send, so Promote may only
-// be called while the cluster is quiesced (no in-flight transactions;
-// the caller establishes the happens-before, e.g. the chaos harness's
-// drain between workload phases). The crashed old primary keeps its
-// replica slot so it rejoins as a backup after recovery.
-func (t *Topology) Promote(p PartitionID, node transport.NodeID) bool {
-	if int(p) < 0 || int(p) >= len(t.Partitions) {
-		return false
+// The flip itself is atomic (snapshot swap), but Promote does not drain
+// in-flight transactions — the caller establishes that either by
+// quiescing (the crash-recovery harness) or with the fence-and-drain
+// handoff protocol (server.HandoffPartition, docs/ELASTICITY.md). The
+// demoted primary keeps the replica slot so it continues as a backup.
+//
+// The error is typed: errors.Is(err, ErrUnknownPartition) when p is out
+// of range, errors.Is(err, ErrNotReplica) when node holds no replica of
+// p (e.g. it was still warming, or was never added).
+func (t *Topology) Promote(p PartitionID, node transport.NodeID) error {
+	return t.mutate(func(parts []PartitionInfo) error {
+		if int(p) < 0 || int(p) >= len(parts) {
+			return fmt.Errorf("cluster: promote partition %d to node %d: %w", p, node, ErrUnknownPartition)
+		}
+		info := parts[p]
+		idx := -1
+		for i, r := range info.Replicas {
+			if r == node {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("cluster: promote partition %d to node %d: %w", p, node, ErrNotReplica)
+		}
+		reps := append([]transport.NodeID(nil), info.Replicas...)
+		reps[idx] = info.Primary
+		info.Primary = node
+		info.Replicas = reps
+		parts[p] = info
+		return nil
+	})
+}
+
+// AddWarming registers node as a warming replica of partition p: from
+// the snapshot's publication on, the primary streams every commit to it
+// (StreamTargets includes it) while the backfill copies the partition's
+// existing records over the same FIFO streams. Idempotent — a node
+// already hosting p in any role is left where it is.
+func (t *Topology) AddWarming(p PartitionID, node transport.NodeID) error {
+	return t.mutate(func(parts []PartitionInfo) error {
+		if int(p) < 0 || int(p) >= len(parts) {
+			return fmt.Errorf("cluster: add warming node %d to partition %d: %w", node, p, ErrUnknownPartition)
+		}
+		info := parts[p]
+		if info.Primary == node {
+			return nil
+		}
+		for _, r := range info.Replicas {
+			if r == node {
+				return nil
+			}
+		}
+		for _, r := range info.Warming {
+			if r == node {
+				return nil
+			}
+		}
+		info.Warming = append(append([]transport.NodeID(nil), info.Warming...), node)
+		parts[p] = info
+		return nil
+	})
+}
+
+// RemoveWarming drops node from partition p's warming set (aborting a
+// handoff). A node not warming is a no-op.
+func (t *Topology) RemoveWarming(p PartitionID, node transport.NodeID) {
+	_ = t.mutate(func(parts []PartitionInfo) error {
+		if int(p) < 0 || int(p) >= len(parts) {
+			return nil
+		}
+		info := parts[p]
+		warm := make([]transport.NodeID, 0, len(info.Warming))
+		for _, r := range info.Warming {
+			if r != node {
+				warm = append(warm, r)
+			}
+		}
+		info.Warming = warm
+		parts[p] = info
+		return nil
+	})
+}
+
+// CommitWarming flips a warming node into the synced replica set, the
+// step after its backfill completed and the handoff flush confirmed
+// every in-flight stream message landed. From this snapshot on the node
+// is a full replica: snapshot reads may serve from it, consistency
+// checks cover it, and Promote accepts it.
+func (t *Topology) CommitWarming(p PartitionID, node transport.NodeID) error {
+	return t.mutate(func(parts []PartitionInfo) error {
+		if int(p) < 0 || int(p) >= len(parts) {
+			return fmt.Errorf("cluster: commit warming node %d of partition %d: %w", node, p, ErrUnknownPartition)
+		}
+		info := parts[p]
+		idx := -1
+		for i, r := range info.Warming {
+			if r == node {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("cluster: commit warming node %d of partition %d: %w", node, p, ErrNotWarming)
+		}
+		warm := make([]transport.NodeID, 0, len(info.Warming)-1)
+		warm = append(warm, info.Warming[:idx]...)
+		warm = append(warm, info.Warming[idx+1:]...)
+		info.Warming = warm
+		info.Replicas = append(append([]transport.NodeID(nil), info.Replicas...), node)
+		parts[p] = info
+		return nil
+	})
+}
+
+// RemoveReplica drops node from partition p's replica set — the tail of
+// a handoff that would otherwise leave the partition over-replicated,
+// or of a node removal. The primary cannot be removed (promote first).
+func (t *Topology) RemoveReplica(p PartitionID, node transport.NodeID) error {
+	return t.mutate(func(parts []PartitionInfo) error {
+		if int(p) < 0 || int(p) >= len(parts) {
+			return fmt.Errorf("cluster: remove replica %d of partition %d: %w", node, p, ErrUnknownPartition)
+		}
+		info := parts[p]
+		idx := -1
+		for i, r := range info.Replicas {
+			if r == node {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("cluster: remove replica %d of partition %d: %w", node, p, ErrNotReplica)
+		}
+		reps := make([]transport.NodeID, 0, len(info.Replicas)-1)
+		reps = append(reps, info.Replicas[:idx]...)
+		reps = append(reps, info.Replicas[idx+1:]...)
+		info.Replicas = reps
+		parts[p] = info
+		return nil
+	})
+}
+
+// Snapshot returns a deep copy of the current layout (safe to hold or
+// mutate; used by the topology-exchange codec).
+func (t *Topology) Snapshot() []PartitionInfo {
+	parts := t.load()
+	out := make([]PartitionInfo, len(parts))
+	for i, info := range parts {
+		info.Replicas = append([]transport.NodeID(nil), info.Replicas...)
+		info.Warming = append([]transport.NodeID(nil), info.Warming...)
+		out[i] = info
 	}
-	info := &t.Partitions[p]
-	for i, r := range info.Replicas {
-		if r == node {
-			info.Replicas[i] = info.Primary
-			info.Primary = node
-			return true
+	return out
+}
+
+// Install atomically replaces the whole layout with the given snapshot
+// (which the topology takes ownership of) — the receiving side of the
+// topology-exchange verbs, and the joiner's bootstrap.
+func (t *Topology) Install(parts []PartitionInfo) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.view.Store(&parts)
+}
+
+// NumNodes returns the number of member nodes implied by the layout:
+// one past the highest node ID appearing as a primary, replica, or
+// warming node.
+func (t *Topology) NumNodes() int {
+	max := transport.NodeID(-1)
+	for _, info := range t.load() {
+		if info.Primary > max {
+			max = info.Primary
+		}
+		for _, r := range info.Replicas {
+			if r > max {
+				max = r
+			}
+		}
+		for _, r := range info.Warming {
+			if r > max {
+				max = r
+			}
 		}
 	}
-	return false
+	return int(max) + 1
 }
 
 // PartitionOfNode returns the partition primaried on the given node, or
 // -1 if none.
 func (t *Topology) PartitionOfNode(n transport.NodeID) PartitionID {
-	for _, p := range t.Partitions {
+	for _, p := range t.load() {
 		if p.Primary == n {
 			return p.ID
 		}
 	}
 	return -1
+}
+
+// EncodeTopologyTo appends the topology's current layout to a wire
+// writer (the payload of the topology-exchange verbs).
+func EncodeTopologyTo(w *wire.Writer, t *Topology) {
+	parts := t.Snapshot()
+	w.Uint32(uint32(len(parts)))
+	for _, info := range parts {
+		w.Uint32(uint32(info.ID))
+		w.Uint32(uint32(info.Primary))
+		w.Uint32(uint32(len(info.Replicas)))
+		for _, r := range info.Replicas {
+			w.Uint32(uint32(r))
+		}
+		w.Uint32(uint32(len(info.Warming)))
+		for _, r := range info.Warming {
+			w.Uint32(uint32(r))
+		}
+	}
+}
+
+// DecodeTopologyFrom parses a layout encoded by EncodeTopologyTo,
+// leaving the reader positioned after it (verbs append addressing
+// metadata behind the layout).
+func DecodeTopologyFrom(r *wire.Reader) ([]PartitionInfo, error) {
+	n := r.Uint32()
+	parts := make([]PartitionInfo, 0, n)
+	for i := uint32(0); i < n; i++ {
+		info := PartitionInfo{
+			ID:      PartitionID(r.Uint32()),
+			Primary: transport.NodeID(r.Uint32()),
+		}
+		nr := r.Uint32()
+		for j := uint32(0); j < nr; j++ {
+			info.Replicas = append(info.Replicas, transport.NodeID(r.Uint32()))
+		}
+		nw := r.Uint32()
+		for j := uint32(0); j < nw; j++ {
+			info.Warming = append(info.Warming, transport.NodeID(r.Uint32()))
+		}
+		parts = append(parts, info)
+	}
+	return parts, r.Err()
 }
 
 // DefaultPartitioner is the orthogonal (non-workload-aware) scheme that

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -170,5 +171,65 @@ func TestHotEntriesSnapshot(t *testing.T) {
 	snap[storage.RID{Table: 1, Key: 2}] = 0 // mutate snapshot
 	if d.LookupTableSize() != 1 {
 		t.Fatal("snapshot mutation leaked into directory")
+	}
+}
+
+// Promote must name its failure: an unknown partition and a node that
+// is not a replica are different operator mistakes, and the harness
+// needs errors.Is to tell them apart instead of a silent false.
+func TestPromoteTypedErrors(t *testing.T) {
+	topo := NewTopology(3, 2)
+
+	if err := topo.Promote(PartitionID(7), 0); !errors.Is(err, ErrUnknownPartition) {
+		t.Fatalf("Promote(unknown partition) = %v, want ErrUnknownPartition", err)
+	}
+	if err := topo.Promote(PartitionID(-1), 0); !errors.Is(err, ErrUnknownPartition) {
+		t.Fatalf("Promote(negative partition) = %v, want ErrUnknownPartition", err)
+	}
+
+	// Node 0 primaries partition 0 but does not replicate it.
+	if err := topo.Promote(PartitionID(0), topo.Primary(0)); !errors.Is(err, ErrNotReplica) {
+		t.Fatalf("Promote(non-replica) = %v, want ErrNotReplica", err)
+	}
+
+	// A genuine replica promotes, and the old primary takes its slot.
+	old := topo.Primary(0)
+	rep := topo.Replicas(0)[0]
+	if err := topo.Promote(PartitionID(0), rep); err != nil {
+		t.Fatalf("Promote(replica) = %v", err)
+	}
+	if topo.Primary(0) != rep {
+		t.Fatalf("primary = %d, want %d", topo.Primary(0), rep)
+	}
+	found := false
+	for _, r := range topo.Replicas(0) {
+		if r == old {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("demoted primary %d missing from replicas %v", old, topo.Replicas(0))
+	}
+}
+
+// CommitWarming requires the node to actually be warming; promoting a
+// stranger must fail typed, not corrupt the layout.
+func TestCommitWarmingTypedErrors(t *testing.T) {
+	topo := NewTopology(2, 1)
+	if err := topo.CommitWarming(PartitionID(0), 1); !errors.Is(err, ErrNotWarming) {
+		t.Fatalf("CommitWarming(not warming) = %v, want ErrNotWarming", err)
+	}
+	if err := topo.AddWarming(PartitionID(0), 1); err != nil {
+		t.Fatalf("AddWarming: %v", err)
+	}
+	if err := topo.CommitWarming(PartitionID(0), 1); err != nil {
+		t.Fatalf("CommitWarming: %v", err)
+	}
+	reps := topo.Replicas(0)
+	if len(reps) == 0 || reps[len(reps)-1] != 1 {
+		t.Fatalf("committed warming node missing from replicas %v", reps)
+	}
+	if len(topo.Warming(0)) != 0 {
+		t.Fatalf("warming set not cleared: %v", topo.Warming(0))
 	}
 }

@@ -304,9 +304,13 @@ func (e *Engine) runTwoRegion(ctx context.Context, req *txn.Request, proc *txn.P
 	}
 
 	// Step 4: delegate, execute, and commit the inner region. Register
-	// the replica-ack waiter first so acks cannot race registration.
-	replicas := topo.Replicas(innerPID)
-	ack := n.ExpectInnerAcks(txnID, len(replicas))
+	// the replica-ack waiter first so acks cannot race registration. The
+	// expected ack count is NOT sized from this coordinator's topology
+	// view: mid-handoff the inner host streams to a warming replica this
+	// view may not know about (or has just stopped streaming to one it
+	// still lists), so the waiter registers pending and is resolved below
+	// with the count the host actually sent (innerResponse.Streamed).
+	ack := n.ExpectPendingAcks(txnID)
 
 	ireq := &innerRequest{
 		TxnID:    txnID,
@@ -338,6 +342,7 @@ func (e *Engine) runTwoRegion(ctx context.Context, req *txn.Request, proc *txn.P
 		st.abortLocked(n, txnID)
 		return txn.Result{Reason: iresp.Reason, Detail: iresp.detail, Distributed: st.isDistributed()}
 	}
+	n.ResolveInnerAcks(txnID, iresp.Streamed)
 	for id, v := range iresp.Reads {
 		st.reads[id] = v
 	}

@@ -60,6 +60,12 @@ type innerResponse struct {
 	// stamps every outer apply with it and releases it once the commit
 	// wave has landed cluster-wide.
 	TS uint64
+	// Streamed is how many replication-stream messages the inner host
+	// sent for this region — the number of acks the coordinator must
+	// wait out. It is a count the host alone knows: the stream targets
+	// are captured from the host's topology snapshot, which can include
+	// a warming replica mid-handoff that the coordinator's view lacks.
+	Streamed int
 	// detail is coordinator-local failure context (transport errors on
 	// the delegation RPC); it never travels on the wire.
 	detail string
@@ -70,6 +76,7 @@ func (r *innerResponse) encode() []byte {
 	w.Bool(r.OK)
 	w.Uint8(uint8(r.Reason))
 	w.Uint64(r.TS)
+	w.Uint32(uint32(r.Streamed))
 	r.Reads.Encode(w)
 	return w.Bytes()
 }
@@ -80,6 +87,7 @@ func decodeInnerResponse(p []byte) (*innerResponse, error) {
 	resp.OK = r.Bool()
 	resp.Reason = txn.AbortReason(r.Uint8())
 	resp.TS = r.Uint64()
+	resp.Streamed = int(r.Uint32())
 	resp.Reads = txn.DecodeReadSet(r)
 	return resp, r.Err()
 }
@@ -345,10 +353,19 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 	// partition for a region with no ops.
 	innerPID := n.Partition()
 	innerPIDSet := false
+	// entered tracks the partition pin taken at innerPID resolution; the
+	// pin holds the handoff fence open (DrainPartition waits it out), so
+	// a mid-flight partition move can never flip routing under a region
+	// that is about to unilaterally commit here.
+	entered := false
 
 	release := func() {
 		for _, l := range locks {
 			l.b.Lock.Unlock(l.mode)
+		}
+		if entered {
+			n.LeavePartition(innerPID)
+			entered = false
 		}
 	}
 	abort := func(reason txn.AbortReason) *innerResponse {
@@ -420,6 +437,13 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 		if !innerPIDSet {
 			innerPID = n.Directory().Partition(storage.RID{Table: op.Table, Key: key})
 			innerPIDSet = true
+			// Fenced (mid-handoff) or no longer primary: the region must
+			// re-route. AbortMoved is retryable at the client, and the
+			// retry re-reads the directory, landing on the new primary.
+			if !n.EnterPartition(innerPID) {
+				return abort(txn.AbortMoved), nil
+			}
+			entered = true
 		}
 		b := tbl.Bucket(key)
 		if !lock(b, op.Type.LockMode()) {
@@ -513,8 +537,15 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 	// cleanly instead of stranding a half-applied transaction that the
 	// coordinator reports as aborted. The send is a local enqueue and
 	// never waits on the network.
+	// Capture the stream targets once, while the bucket locks (and the
+	// partition pin) are held: the same snapshot sizes the coordinator's
+	// ack wait (Streamed, below) and receives the sends, so a warming
+	// replica added mid-handoff is either in both or in neither.
+	targets := n.Directory().Topology().StreamTargets(innerPID)
+	streamed := 0
 	if len(writes) > 0 {
-		if sent, err := n.StreamInnerRepl(innerPID, txnID, ts, coord, writes); err != nil {
+		sent, err := n.StreamInnerRepl(targets, txnID, ts, coord, writes)
+		if err != nil {
 			if sent > 0 {
 				// A partially-sent stream means some replica will apply a
 				// write set this abort disowns; no compensation exists, so
@@ -529,6 +560,7 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 			}
 			return &innerResponse{Reason: txn.AbortInternal}, nil
 		}
+		streamed = sent
 	}
 	if err := server.ApplyWrites(n.Store(), ts, writes); err != nil {
 		// A write to a locked, verified record cannot legitimately fail;
@@ -548,13 +580,9 @@ func execInnerLocked(n *server.Node, txnID uint64, coord transport.NodeID, proc 
 	// fsync batch; see ExecInnerLocal and RegisterVerbs).
 	wait := n.LogWrites(txnID, ts, writes)
 	release()
-	if len(writes) == 0 {
-		// Nothing to replicate: satisfy the coordinator's ack
-		// expectation directly so it does not wait forever.
-		for range n.Directory().Topology().Replicas(innerPID) {
-			n.VerbMetrics().Add(server.KindInnerAck)
-			_ = n.Endpoint().Send(coord, server.VerbInnerAck, server.EncodeAbort(txnID))
-		}
-	}
-	return &innerResponse{OK: true, Reads: collect, TS: ts}, wait
+	// A region with no writes streamed nothing; Streamed = 0 resolves the
+	// coordinator's pending ack wait immediately (no self-ack loop — the
+	// coordinator no longer guesses the replica count from its own
+	// topology view).
+	return &innerResponse{OK: true, Reads: collect, TS: ts, Streamed: streamed}, wait
 }

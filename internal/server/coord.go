@@ -190,7 +190,7 @@ type PendingReplication struct {
 // relay when this node is the partition's primary, a forward RPC to the
 // primary otherwise.
 func (n *Node) forwardTo(pr *PendingReplication, pid cluster.PartitionID, txnID, ts uint64, ws []WriteOp) {
-	if len(ws) == 0 || len(n.dir.Topology().Replicas(pid)) == 0 {
+	if len(ws) == 0 || len(n.dir.Topology().StreamTargets(pid)) == 0 {
 		return
 	}
 	primary := n.dir.Topology().Primary(pid)
@@ -340,25 +340,29 @@ func (n *Node) CommitAll(txnID, ts uint64, targets []CommitTarget, writes map[cl
 	return errors.Join(errs...)
 }
 
-// StreamInnerRepl sends the inner-region write set to each replica of the
-// inner partition as a one-way message and returns immediately: per §5 the
-// inner primary "moves on to the next transaction" without waiting. The
-// replicas will ack to the coordinator, not to us. This stream is the one
-// path that must stay two-sided: it relies on per-link FIFO delivery for
-// the §5 in-order-apply property, which the one-sided doorbell path does
-// not provide.
+// StreamInnerRepl sends the inner-region write set to each stream target
+// of the inner partition as a one-way message and returns immediately:
+// per §5 the inner primary "moves on to the next transaction" without
+// waiting. The targets will ack to the coordinator, not to us. This
+// stream is the one path that must stay two-sided: it relies on per-link
+// FIFO delivery for the §5 in-order-apply property, which the one-sided
+// doorbell path does not provide.
 //
-// On failure, sent reports how many replica sends had already gone out:
-// callers abort cleanly only when sent == 0 (nothing reached any
-// replica); a partial stream has no compensation path and is an engine
-// invariant violation.
-func (n *Node) StreamInnerRepl(pid cluster.PartitionID, txnID, ts uint64, coordinator transport.NodeID, writes []WriteOp) (sent int, err error) {
-	replicas := n.dir.Topology().Replicas(pid)
-	if len(replicas) == 0 {
+// The caller captures targets (Topology.StreamTargets) in the same
+// snapshot it sizes its ack wait with — passing them explicitly keeps
+// the count and the sends agreeing even while a handoff mutates the
+// topology concurrently.
+//
+// On failure, sent reports how many sends had already gone out: callers
+// abort cleanly only when sent == 0 (nothing reached any replica); a
+// partial stream has no compensation path and is an engine invariant
+// violation.
+func (n *Node) StreamInnerRepl(targets []transport.NodeID, txnID, ts uint64, coordinator transport.NodeID, writes []WriteOp) (sent int, err error) {
+	if len(targets) == 0 {
 		return 0, nil
 	}
 	payload := EncodeInnerRepl(txnID, ts, coordinator, writes)
-	for _, r := range replicas {
+	for _, r := range targets {
 		if err := n.ep.Send(r, VerbInnerRepl, payload); err != nil {
 			return sent, fmt.Errorf("server: inner repl to node %d: %w", r, err)
 		}

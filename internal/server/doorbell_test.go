@@ -22,7 +22,7 @@ func newTestPair(t *testing.T) (sender, dest *Node) {
 	mk := func(id simfab.NodeID, part cluster.PartitionID) *Node {
 		st := storage.NewStore()
 		tbl := st.CreateTable(1, 64)
-		for k := storage.Key(0); k < 20; k++ {
+		for k := storage.Key(0); k < 40; k++ {
 			if err := tbl.Bucket(k).Insert(k, []byte{byte(k)}); err != nil {
 				t.Fatal(err)
 			}
@@ -38,15 +38,21 @@ func newTestPair(t *testing.T) (sender, dest *Node) {
 	return sender, dest
 }
 
-// distinctKeys returns n keys from table 1 whose buckets are pairwise
-// distinct, so per-key lock assertions cannot alias through the bucket
-// hash.
+// distinctKeys returns n keys from table 1 that node n primaries (lock
+// acquisition now rejects records routed elsewhere with AbortMoved) and
+// whose buckets are pairwise distinct, so per-key lock assertions cannot
+// alias through the bucket hash.
 func distinctKeys(t *testing.T, n *Node, count int) []storage.Key {
 	t.Helper()
 	tbl := n.Store().Table(1)
+	dir := n.Directory()
 	var keys []storage.Key
 	seen := map[*storage.Bucket]bool{}
-	for k := storage.Key(0); k < 20 && len(keys) < count; k++ {
+	for k := storage.Key(0); k < 40 && len(keys) < count; k++ {
+		pid := dir.Partition(storage.RID{Table: 1, Key: k})
+		if dir.Topology().Primary(pid) != n.ID() {
+			continue
+		}
 		b := tbl.Bucket(k)
 		if seen[b] {
 			continue
@@ -55,7 +61,7 @@ func distinctKeys(t *testing.T, n *Node, count int) []storage.Key {
 		keys = append(keys, k)
 	}
 	if len(keys) < count {
-		t.Fatalf("only %d distinct buckets among 20 keys", len(keys))
+		t.Fatalf("only %d distinct owned buckets among 40 keys", len(keys))
 	}
 	return keys
 }

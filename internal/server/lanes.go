@@ -209,8 +209,15 @@ func (n *Node) applyByLane(txnID, ts uint64, writes []WriteOp, done func(error))
 	// the executor — the next stream message for this lane cannot apply,
 	// let alone append, until this closure returns, so log order = apply
 	// order per lane. The returned wait is nil when nothing was logged.
+	//
+	// The apply is tolerant (replayWrites, not the strict ApplyWrites):
+	// a warming node added mid-handoff legitimately sees commit-stream
+	// messages for records its backfill has not copied yet — an update
+	// to a missing key must land as an insert, and a missing table must
+	// be created, exactly the WAL-replay semantics. Primaries keep the
+	// strict apply (CommitLocal); only replicated write sets come here.
 	applyLog := func(lane int, ws []WriteOp) (func() error, error) {
-		if err := ApplyWrites(n.store, ts, ws); err != nil {
+		if err := replayWrites(n.store, ts, ws); err != nil {
 			return nil, err
 		}
 		if n.wal == nil {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/chillerdb/chiller/internal/cluster"
 	"github.com/chillerdb/chiller/internal/storage"
@@ -40,9 +41,21 @@ type Node struct {
 	txnSeq atomic.Uint64
 
 	// Participant transaction state (locks held on behalf of remote
-	// coordinators, and by local coordinators for uniformity).
+	// coordinators, and by local coordinators for uniformity). stMu also
+	// guards the handoff cutover state below: fencing and pinning must
+	// be one critical section, or a drain could miss a transaction that
+	// passed the fence check but had not yet made its pin visible.
 	stMu  sync.Mutex
 	state map[uint64]*partState
+	// fenced marks partitions mid-handoff on this node: new lock
+	// acquisitions and inner regions abort with AbortMoved while
+	// transactions already pinned run to completion (no global quiesce).
+	fenced map[cluster.PartitionID]bool
+	// partPins counts in-flight local work per partition — one pin per
+	// held bucket lock plus one per executing inner region. A handoff
+	// drains a partition by fencing it and waiting for its pins to
+	// reach zero.
+	partPins map[cluster.PartitionID]int
 
 	// Pending inner-region replication acks awaited by local
 	// coordinators: txnID → countdown channel.
@@ -119,6 +132,9 @@ type partState struct {
 type lockRef struct {
 	bucket *storage.Bucket
 	mode   storage.LockMode
+	// pid is the partition the record routed to at acquisition time;
+	// the release path unpins it.
+	pid cluster.PartitionID
 }
 
 // New creates a node bound to an endpoint, owning the primary store for
@@ -134,6 +150,8 @@ func New(ep transport.Endpoint, st *storage.Store, reg *txn.Registry, dir *clust
 		dir:      dir,
 		part:     part,
 		state:    make(map[uint64]*partState),
+		fenced:   make(map[cluster.PartitionID]bool),
+		partPins: make(map[cluster.PartitionID]int),
 		acks:     make(map[uint64]*AckWaiter),
 		vm:       NewVerbMetrics(),
 	}
@@ -162,6 +180,9 @@ func New(ep transport.Endpoint, st *storage.Store, reg *txn.Registry, dir *clust
 	ep.HandleAsync(VerbInnerRepl, n.handleInnerRepl)
 	ep.Handle(VerbInnerAck, n.handleInnerAck)
 	ep.Handle(VerbPing, func(transport.NodeID, []byte) ([]byte, error) { return nil, nil })
+	// Elasticity verbs: stream-flush marker, topology exchange, and the
+	// joiner-driven handoff trigger (see handoff.go).
+	n.registerHandoffVerbs(ep)
 	// Snapshot reads are lock-free and touch no participant state, so
 	// they run inline on the dispatcher instead of a lane (queueing a
 	// versioned read behind inner regions would add exactly the latency
@@ -285,6 +306,7 @@ func (n *Node) LockReadLocal(txnID uint64, entries []LockEntry) *LockResponse {
 		n.stMu.Lock()
 		for _, l := range st.locks[len(st.locks)-acquired:] {
 			l.bucket.Lock.Unlock(l.mode)
+			n.partPins[l.pid]--
 		}
 		st.locks = st.locks[:len(st.locks)-acquired]
 		n.stMu.Unlock()
@@ -320,7 +342,9 @@ func (n *Node) LockReadLocal(txnID uint64, entries []LockEntry) *LockResponse {
 		case held:
 			// Already sufficiently locked by this txn.
 		case idx >= 0:
-			// Held shared, exclusive requested: try upgrade.
+			// Held shared, exclusive requested: try upgrade. No fence
+			// check: the held lock already pins the partition, and a
+			// drain waits for this transaction either way.
 			if !b.Lock.Upgrade() {
 				return fail(txn.AbortLockConflict)
 			}
@@ -328,11 +352,28 @@ func (n *Node) LockReadLocal(txnID uint64, entries []LockEntry) *LockResponse {
 			st.locks[idx].mode = storage.LockExclusive
 			n.stMu.Unlock()
 		default:
+			// Re-resolve the record's partition at acquisition time and
+			// verify this node still primaries it: the coordinator routed
+			// against a layout that a live handoff or hot-record migration
+			// may since have replaced. Fence check and pin are one stMu
+			// critical section, so a concurrent drain either sees the pin
+			// or this call sees the fence — never neither.
+			pid := n.dir.Partition(storage.RID{Table: e.Table, Key: e.Key})
+			n.stMu.Lock()
+			if n.fenced[pid] || n.dir.Topology().Primary(pid) != n.ID() {
+				n.stMu.Unlock()
+				return fail(txn.AbortMoved)
+			}
+			n.partPins[pid]++
+			n.stMu.Unlock()
 			if !b.Lock.TryLock(e.Mode) {
+				n.stMu.Lock()
+				n.partPins[pid]--
+				n.stMu.Unlock()
 				return fail(txn.AbortLockConflict)
 			}
 			n.stMu.Lock()
-			st.locks = append(st.locks, lockRef{bucket: b, mode: e.Mode})
+			st.locks = append(st.locks, lockRef{bucket: b, mode: e.Mode, pid: pid})
 			n.stMu.Unlock()
 			acquired++
 		}
@@ -414,6 +455,77 @@ func (n *Node) releaseAll(txnID uint64) {
 	for _, l := range st.locks {
 		l.bucket.Lock.Unlock(l.mode)
 	}
+	if len(st.locks) > 0 {
+		n.stMu.Lock()
+		for _, l := range st.locks {
+			n.partPins[l.pid]--
+		}
+		n.stMu.Unlock()
+	}
+}
+
+// --- Handoff cutover state (fence, pin, drain; see handoff.go) ---
+
+// Fence blocks new lock acquisitions and inner regions for partition
+// pid on this node: they abort with AbortMoved (retryable — the retry
+// re-reads the directory) while transactions already holding locks or
+// pins run to completion. Commits of pinned transactions still apply
+// here; the fence only closes the front door.
+func (n *Node) Fence(pid cluster.PartitionID) {
+	n.stMu.Lock()
+	n.fenced[pid] = true
+	n.stMu.Unlock()
+}
+
+// Unfence reopens a fenced partition (after the cutover installed the
+// new layout, or when a handoff aborts).
+func (n *Node) Unfence(pid cluster.PartitionID) {
+	n.stMu.Lock()
+	delete(n.fenced, pid)
+	n.stMu.Unlock()
+}
+
+// DrainPartition waits until no in-flight transaction pins pid on this
+// node. Call after Fence: with the front door closed, NO_WAIT locking
+// guarantees every pinned transaction finishes (commits or aborts) in
+// bounded time. The timeout guards against a wedged coordinator; a
+// non-nil error means the handoff must be aborted, not forced.
+func (n *Node) DrainPartition(pid cluster.PartitionID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n.stMu.Lock()
+		pins := n.partPins[pid]
+		n.stMu.Unlock()
+		if pins == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server: node %d: partition %d did not drain within %v (%d pins)", n.ID(), pid, timeout, pins)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// EnterPartition pins pid for an inner region (which acquires its hot
+// locks outside LockReadLocal). It reports false when the partition is
+// fenced or no longer primaried here — the engine aborts the region
+// with AbortMoved. Every successful Enter must be paired with
+// LeavePartition.
+func (n *Node) EnterPartition(pid cluster.PartitionID) bool {
+	n.stMu.Lock()
+	defer n.stMu.Unlock()
+	if n.fenced[pid] || n.dir.Topology().Primary(pid) != n.ID() {
+		return false
+	}
+	n.partPins[pid]++
+	return true
+}
+
+// LeavePartition releases an EnterPartition pin.
+func (n *Node) LeavePartition(pid cluster.PartitionID) {
+	n.stMu.Lock()
+	n.partPins[pid]--
+	n.stMu.Unlock()
 }
 
 // ApplyWrites applies a write set to a store (used by participants at
@@ -589,14 +701,17 @@ func (n *Node) handleReplForward(_ transport.NodeID, req []byte, reply func([]by
 // instead of hanging (acks are one-way and die silently with the
 // dispatcher).
 func (n *Node) ForwardRepl(pid cluster.PartitionID, ts uint64, writes []WriteOp, done func(error)) {
-	replicas := n.dir.Topology().Replicas(pid)
-	if len(replicas) == 0 {
+	// One topology snapshot sizes the ack wait AND addresses the sends:
+	// a handoff flipping a warming node into the replica set mid-call
+	// can therefore never make the count disagree with the stream.
+	targets := n.dir.Topology().StreamTargets(pid)
+	if len(targets) == 0 {
 		done(nil)
 		return
 	}
 	fid := n.NextTxnID() | fwdAckBit
-	ack := n.ExpectInnerAcks(fid, len(replicas))
-	if sent, err := n.StreamInnerRepl(pid, fid, ts, n.ID(), writes); err != nil {
+	ack := n.ExpectInnerAcks(fid, len(targets))
+	if sent, err := n.StreamInnerRepl(targets, fid, ts, n.ID(), writes); err != nil {
 		if sent > 0 {
 			// Part of the stream is out: some replica will apply a write
 			// set whose transaction is about to report failure. There is
@@ -605,7 +720,7 @@ func (n *Node) ForwardRepl(pid cluster.PartitionID, ts uint64, writes []WriteOp,
 			// under any fault plan (the stream is protected); only a
 			// blunt-mode partition or a mid-traffic Close can get here.
 			panic(fmt.Sprintf("server: node %d: replication stream partially sent (%d of %d) then failed: %v",
-				n.ID(), sent, len(replicas), err))
+				n.ID(), sent, len(targets), err))
 		}
 		n.CancelInnerAcks(fid)
 		n.ReleaseInnerWaiter(ack)
@@ -721,6 +836,43 @@ func (n *Node) ExpectInnerAcks(txnID uint64, count int) *AckWaiter {
 	n.acks[txnID] = w
 	n.ackMu.Unlock()
 	return w
+}
+
+// pendingAckSentinel is the provisional remaining-count a waiter is
+// registered with before its sender knows how many acks to expect (the
+// stream-target count is only final once the inner region captured its
+// topology snapshot). It is far above any real replica count, so early
+// acks can decrement but never fire the waiter; ResolveInnerAcks
+// subtracts the sentinel back out once the true count is known. Shares
+// the countdown arithmetic of handleInnerAck race-free for every
+// interleaving of acks and resolution.
+const pendingAckSentinel = 1 << 50
+
+// ExpectPendingAcks registers a waiter for txnID before the number of
+// expected acks is known. Pair with ResolveInnerAcks (success) or
+// CancelInnerAcks (abort).
+func (n *Node) ExpectPendingAcks(txnID uint64) *AckWaiter {
+	w := ackPool.Get().(*AckWaiter)
+	w.remaining = pendingAckSentinel
+	n.ackMu.Lock()
+	n.acks[txnID] = w
+	n.ackMu.Unlock()
+	return w
+}
+
+// ResolveInnerAcks fixes a pending waiter's expected ack count to
+// streamed (the number of stream targets actually sent to). If every
+// ack already arrived — or streamed is zero — the waiter fires now.
+func (n *Node) ResolveInnerAcks(txnID uint64, streamed int) {
+	n.ackMu.Lock()
+	if w, ok := n.acks[txnID]; ok {
+		w.remaining -= pendingAckSentinel - streamed
+		if w.remaining <= 0 {
+			delete(n.acks, txnID)
+			w.ch <- struct{}{} // cap 1, single signaller: never blocks
+		}
+	}
+	n.ackMu.Unlock()
 }
 
 // CancelInnerAcks discards a registered waiter (inner region aborted, so

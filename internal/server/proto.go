@@ -51,6 +51,26 @@ const (
 	// before declaring the cluster up (bounded, instead of hanging in
 	// lazy-dial retries on the first real transaction).
 	VerbPing = "ping"
+	// VerbHandoffFlush is the handoff's stream-flush marker: after
+	// fencing and draining a partition, the old primary calls it at each
+	// of the partition's stream targets; the reply certifies that every
+	// VerbInnerRepl message sent earlier on this link has been applied
+	// (per-link FIFO orders the request behind the sends, a lane barrier
+	// on the receiver orders the reply behind the applies). Protected
+	// control plane — see handoff.go.
+	VerbHandoffFlush = "hfl"
+	// VerbTopoGet returns the serving node's current topology snapshot
+	// plus its peer address book — how a joining process (or a bench
+	// client) bootstraps and refreshes its layout.
+	VerbTopoGet = "tget"
+	// VerbTopoSet installs a topology snapshot (and merges any carried
+	// peer addresses) on the receiving node — the cutover broadcast of a
+	// multi-process handoff.
+	VerbTopoSet = "tset"
+	// VerbHandoff asks the partition's current primary to run the full
+	// handoff protocol, moving the primary role to the requesting node
+	// (a joiner that has already dialed in). See HandleHandoffVerbs.
+	VerbHandoff = "hoff"
 )
 
 // PreCommitVerbs is the verb set whose loss an engine recovers from by

@@ -129,6 +129,11 @@ func (t *Table) Bucket(key Key) *Bucket {
 	return &t.buckets[t.bucketIndex(key)]
 }
 
+// BucketAt returns the i'th primary bucket (0 <= i < NumBuckets), for
+// whole-table walks like the handoff backfill that must visit each
+// bucket chain exactly once.
+func (t *Table) BucketAt(i int) *Bucket { return &t.buckets[i] }
+
 // BucketIndex exposes the key→bucket mapping for diagnostics and for
 // contention accounting (two keys in one bucket share a lock).
 func (t *Table) BucketIndex(key Key) int { return t.bucketIndex(key) }
@@ -308,6 +313,37 @@ func (b *Bucket) ChainLength() int {
 		n++
 	}
 	return n
+}
+
+// SnapshotRecord is one record captured by Bucket.SnapshotTS for a
+// partition backfill: the live value plus the commit timestamp that
+// produced it.
+type SnapshotRecord struct {
+	Key   Key
+	Value []byte
+	TS    uint64
+}
+
+// SnapshotTS copies the bucket chain's live records with their commit
+// timestamps. For a transactionally consistent capture the caller holds
+// the bucket's LockWord in at least shared mode across the call (and
+// across whatever it does with the result — e.g. streaming it to a
+// warming replica); the internal mu alone only gives per-record
+// atomicity against writers.
+func (b *Bucket) SnapshotTS() []SnapshotRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var recs []SnapshotRecord
+	for cur := b; cur != nil; cur = cur.overflow {
+		for i := range cur.entries {
+			if !cur.entries[i].dead {
+				v := make([]byte, len(cur.entries[i].value))
+				copy(v, cur.entries[i].value)
+				recs = append(recs, SnapshotRecord{Key: cur.entries[i].key, Value: v, TS: cur.entries[i].ts})
+			}
+		}
+	}
+	return recs
 }
 
 // Range calls fn for every live record in the table. fn must not call back

@@ -162,6 +162,19 @@ func (f *Fabric) SetPeers(peers map[transport.NodeID]string) {
 	}
 }
 
+// Peers returns a copy of the current node-ID→address map. Together
+// with SetPeers it satisfies server.PeerDirectory, which is how
+// membership changes propagate the address book between processes.
+func (f *Fabric) Peers() map[transport.NodeID]string {
+	f.pmu.RLock()
+	defer f.pmu.RUnlock()
+	out := make(map[transport.NodeID]string, len(f.peers))
+	for id, addr := range f.peers {
+		out[id] = addr
+	}
+	return out
+}
+
 // ID returns this node's identity.
 func (f *Fabric) ID() transport.NodeID { return f.id }
 

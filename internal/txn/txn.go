@@ -317,6 +317,12 @@ const (
 	// GC horizon, typically right after a recovery discarded old
 	// versions). Retryable: a fresh attempt takes a fresher snapshot.
 	AbortStaleRead
+	// AbortMoved means the transaction routed to a node that no longer
+	// (or not yet) owns the partition it addressed: a membership change
+	// or hot-record migration installed a new layout between routing and
+	// lock acquisition. Retryable — the retry re-reads the directory and
+	// routes to the new owner.
+	AbortMoved
 )
 
 func (a AbortReason) String() string {
@@ -339,6 +345,8 @@ func (a AbortReason) String() string {
 		return "unreachable"
 	case AbortStaleRead:
 		return "stale-read"
+	case AbortMoved:
+		return "moved"
 	}
 	return fmt.Sprintf("abort(%d)", uint8(a))
 }

@@ -57,6 +57,9 @@ type config struct {
 	walDir       string
 	fsync        FsyncPolicy
 	mvcc         bool
+	// autoRepartition > 0 starts the background repartitioner at that
+	// interval (WithAutoRepartition).
+	autoRepartition time.Duration
 
 	transport  TransportKind
 	listenAddr string
@@ -240,6 +243,25 @@ func WithSampling(rate float64) Option {
 		}
 		c.sampleRate = rate
 		c.simOnly = append(c.simOnly, "WithSampling")
+		return nil
+	}
+}
+
+// WithAutoRepartition starts a background repartitioner: every interval
+// the DB runs one Repartition pass over the access samples collected
+// since the last pass, relocating records whose contention likelihood
+// crossed the threshold and rewriting the hot lookup table — the
+// paper's contention-centric partitioning run continuously instead of
+// from a maintenance window. Passes with no fresh samples are skipped.
+// Requires WithSampling; simulation-only (over TransportTCP the stores
+// live in the node processes). See docs/ELASTICITY.md.
+func WithAutoRepartition(interval time.Duration) Option {
+	return func(c *config) error {
+		if interval <= 0 {
+			return fmt.Errorf("chiller: auto-repartition interval %v must be positive: %w", interval, ErrBadConfig)
+		}
+		c.autoRepartition = interval
+		c.simOnly = append(c.simOnly, "WithAutoRepartition")
 		return nil
 	}
 }
